@@ -1,0 +1,83 @@
+// Fig. 2 reproduction: CFCC C(S) vs k = 4..20 on six small graphs for
+// Exact / Top-CFCC / Degree / Approx / Forest / Schur.
+//
+// Shapes to match: SchurCFCM tracks Exact throughout; ForestCFCM close;
+// Top-CFCC is comparable to or worse than Degree; greedy methods beat
+// both heuristics.
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.h"
+#include "cfcm/approx_greedy.h"
+#include "cfcm/cfcc.h"
+#include "cfcm/exact_greedy.h"
+#include "cfcm/forest_cfcm.h"
+#include "cfcm/heuristics.h"
+#include "cfcm/schur_cfcm.h"
+
+namespace {
+
+constexpr int kMaxGroup = 20;
+
+std::vector<double> PrefixCfcc(const cfcm::Graph& g,
+                               const std::vector<cfcm::NodeId>& selected) {
+  // One inversion + downdates for the whole curve.
+  const auto traces = cfcm::ExactPrefixTraces(g, selected);
+  std::vector<double> out(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    out[i] = static_cast<double>(g.num_nodes()) / traces[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto suite = cfcm::bench::SmallSuite();
+  std::printf(
+      "== Fig. 2: C(S) vs k on small graphs (6 algorithms, k=4..20) ==\n");
+  cfcm::bench::PrintProvenance(suite);
+  cfcm::CfcmOptions opts = cfcm::bench::BenchOptions(0.2);
+  // Small graphs: spend the budget the paper's 72-core runs implied
+  // (its w = 24 (eps/7)^{-2} ln n is in the hundreds even at eps=0.2).
+  opts.forest_factor = 3.0;
+  opts.max_forests = 4096;
+  opts.jl_rows = 64;
+  cfcm::bench::PrintOptions(opts);
+
+  for (const auto& d : suite) {
+    const cfcm::Graph& g = d.graph;
+    auto exact = cfcm::ExactGreedyMaximize(g, kMaxGroup);
+    auto forest = cfcm::ForestCfcmMaximize(g, kMaxGroup, opts);
+    auto schur = cfcm::SchurCfcmMaximize(g, kMaxGroup, opts);
+    auto approx = cfcm::ApproxGreedyMaximize(g, kMaxGroup, opts);
+    if (!exact.ok() || !forest.ok() || !schur.ok() || !approx.ok()) {
+      std::printf("%s: solver failure\n", d.name.c_str());
+      return 1;
+    }
+    const auto degree = cfcm::DegreeSelect(g, kMaxGroup);
+    const auto topcfcc = cfcm::TopCfccSelectExact(g, kMaxGroup);
+
+    const auto c_exact = PrefixCfcc(g, exact->selected);
+    const auto c_forest = PrefixCfcc(g, forest->selected);
+    const auto c_schur = PrefixCfcc(g, schur->selected);
+    const auto c_approx = PrefixCfcc(g, approx->selected);
+    const auto c_degree = PrefixCfcc(g, degree);
+    const auto c_top = PrefixCfcc(g, topcfcc);
+
+    std::printf("\n-- %s (n=%d, m=%lld) --\n", d.name.c_str(), g.num_nodes(),
+                static_cast<long long>(g.num_edges()));
+    std::printf("%2s %9s %9s %9s %9s %9s %9s\n", "k", "Exact", "TopCFCC",
+                "Degree", "Approx", "Forest", "Schur");
+    for (int k = 4; k <= kMaxGroup; k += 4) {
+      std::printf("%2d %9.5f %9.5f %9.5f %9.5f %9.5f %9.5f\n", k,
+                  c_exact[k - 1], c_top[k - 1], c_degree[k - 1],
+                  c_approx[k - 1], c_forest[k - 1], c_schur[k - 1]);
+    }
+    std::fflush(stdout);
+  }
+  std::printf("\n# paper shape check: greedy methods (Exact/Approx/Forest/"
+              "Schur) cluster together and beat Degree/TopCFCC at k=20; "
+              "Schur is the best sampled method throughout.\n");
+  return 0;
+}

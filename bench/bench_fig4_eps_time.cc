@@ -1,0 +1,49 @@
+// Fig. 4 reproduction: running time of ForestCFCM / SchurCFCM as the
+// error parameter eps varies over [0.15, 0.4].
+//
+// Shapes to match: time grows like eps^{-2}; SchurCFCM is faster at
+// every eps and its advantage widens as eps shrinks (more forests =>
+// the cheaper-per-forest sampler wins more).
+#include <cstdio>
+
+#include "bench_support.h"
+#include "cfcm/forest_cfcm.h"
+#include "cfcm/schur_cfcm.h"
+
+namespace {
+
+constexpr int kGroupSize = 10;
+constexpr double kEpsValues[] = {0.40, 0.35, 0.30, 0.25, 0.20, 0.15};
+
+}  // namespace
+
+int main() {
+  const auto suite = cfcm::bench::EpsTimeSuite();
+  std::printf(
+      "== Fig. 4: running time (s) vs eps for Forest/Schur, k = %d ==\n",
+      kGroupSize);
+  cfcm::bench::PrintProvenance(suite);
+  cfcm::bench::PrintOptions(cfcm::bench::BenchOptions(0.2));
+
+  for (const auto& d : suite) {
+    const cfcm::Graph& g = d.graph;
+    std::printf("\n-- %s (n=%d, m=%lld) --\n", d.name.c_str(), g.num_nodes(),
+                static_cast<long long>(g.num_edges()));
+    std::printf("%6s %12s %12s\n", "eps", "ForestCFCM", "SchurCFCM");
+    for (double eps : kEpsValues) {
+      const cfcm::CfcmOptions opts = cfcm::bench::BenchOptions(eps);
+      auto forest = cfcm::ForestCfcmMaximize(g, kGroupSize, opts);
+      auto schur = cfcm::SchurCfcmMaximize(g, kGroupSize, opts);
+      if (!forest.ok() || !schur.ok()) return 1;
+      std::printf("%6.2f %12.3f %12.3f\n", eps, forest->seconds,
+                  schur->seconds);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n# shape check (see EXPERIMENTS.md): both columns grow as "
+              "eps shrinks (eps^-2 targets, flattened at large eps by the "
+              "min-batch floor); Schur wins on walk-dominated graphs "
+              "(Euroroads*), Forest on assembly-dominated small/scaled "
+              "rows.\n");
+  return 0;
+}

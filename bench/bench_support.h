@@ -1,0 +1,62 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Every bench binary prints (a) the dataset substitution table (paper
+// graph -> generator stand-in, with any size scaling), and (b) rows in
+// the same layout as the paper's table/figure so EXPERIMENTS.md can
+// compare shapes directly.
+#ifndef CFCM_BENCH_BENCH_SUPPORT_H_
+#define CFCM_BENCH_BENCH_SUPPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "cfcm/cfcc.h"
+#include "cfcm/options.h"
+#include "graph/graph.h"
+
+namespace cfcm::bench {
+
+/// One benchmark graph: a named, seeded generator stand-in for a paper
+/// dataset (DESIGN.md §5).
+struct Dataset {
+  std::string name;        ///< e.g. "EmailEnron*" (star = synthetic stand-in)
+  std::string paper_size;  ///< the original n/m, for the provenance table
+  std::string generator;   ///< generator call that produced the graph
+  Graph graph;
+};
+
+/// Fig. 1 tiny graphs: Zebra*, Karate, Cont. USA, Dolphins*.
+std::vector<Dataset> TinySuite();
+
+/// Fig. 2 / Fig. 5 small graphs (Exact greedy feasible on 2 cores).
+std::vector<Dataset> SmallSuite();
+
+/// Fig. 3 large graphs (CFCC evaluated by Hutchinson+CG).
+std::vector<Dataset> LargeSuite();
+
+/// Table II suite, ascending n. Sizes above ~30k are scaled down from
+/// the paper's originals (the paper used a 72-core server; this
+/// environment has 2 cores) — `paper_size` records the original.
+std::vector<Dataset> Table2Suite();
+
+/// Fig. 4 epsilon-sweep graphs.
+std::vector<Dataset> EpsTimeSuite();
+
+/// Prints the provenance header for a suite.
+void PrintProvenance(const std::vector<Dataset>& suite);
+
+/// CFCC of `group`: dense exact for small graphs, Hutchinson+CG above
+/// the threshold (the paper's own evaluation protocol for large graphs).
+double EvaluateCfcc(const Graph& graph, const std::vector<NodeId>& group,
+                    uint64_t seed = 99, NodeId dense_threshold = 3000);
+
+/// Default solver options used by all benches (recorded in the output).
+CfcmOptions BenchOptions(double eps, uint64_t seed = 1);
+
+/// Prints "name=value" config lines so every bench output is
+/// self-describing.
+void PrintOptions(const CfcmOptions& options);
+
+}  // namespace cfcm::bench
+
+#endif  // CFCM_BENCH_BENCH_SUPPORT_H_

@@ -1,0 +1,104 @@
+// Table II reproduction: running time (seconds) of EXACT, APPROXGREEDY,
+// FORESTCFCM and SCHURCFCM with k = 20 and eps in {0.3, 0.2, 0.15}.
+//
+// Shapes to match the paper:
+//   * EXACT is only feasible on the smallest graphs;
+//   * APPROXGREEDY falls behind by 1-2 orders of magnitude and degrades
+//     hardest on dense rows (buzznet*, Astro-Ph*);
+//   * SCHURCFCM <= FORESTCFCM on every row;
+//   * both sampling algorithms scale into the largest rows.
+#include <cstdio>
+
+#include "bench_support.h"
+#include "cfcm/approx_greedy.h"
+#include "cfcm/exact_greedy.h"
+#include "cfcm/forest_cfcm.h"
+#include "cfcm/schur_cfcm.h"
+#include "common/timer.h"
+#include "graph/diameter.h"
+
+namespace {
+
+constexpr int kGroupSize = 20;
+constexpr cfcm::NodeId kExactLimit = 2100;     // dense O(n^3) baseline
+constexpr cfcm::NodeId kApproxLimit = 12500;   // solver-based baseline
+
+// The dense buzznet* row is kept in the APPROX column beyond the limit:
+// it is where the paper's m-dominated Approx cost blows up.
+bool RunApprox(const cfcm::bench::Dataset& d) {
+  return d.graph.num_nodes() <= kApproxLimit || d.name == "buzznet*";
+}
+
+double TimeExact(const cfcm::Graph& g) {
+  auto result = cfcm::ExactGreedyMaximize(g, kGroupSize);
+  return result.ok() ? result->seconds : -1;
+}
+
+double TimeApprox(const cfcm::Graph& g, double eps) {
+  cfcm::CfcmOptions opts = cfcm::bench::BenchOptions(eps);
+  cfcm::CgOptions cg;
+  cg.tolerance = 1e-6;
+  auto result = cfcm::ApproxGreedyMaximize(g, kGroupSize, opts, cg);
+  return result.ok() ? result->seconds : -1;
+}
+
+double TimeForest(const cfcm::Graph& g, double eps) {
+  auto result =
+      cfcm::ForestCfcmMaximize(g, kGroupSize, cfcm::bench::BenchOptions(eps));
+  return result.ok() ? result->seconds : -1;
+}
+
+double TimeSchur(const cfcm::Graph& g, double eps) {
+  auto result =
+      cfcm::SchurCfcmMaximize(g, kGroupSize, cfcm::bench::BenchOptions(eps));
+  return result.ok() ? result->seconds : -1;
+}
+
+void PrintCell(double seconds) {
+  if (seconds < 0) {
+    std::printf(" %9s", "--");
+  } else {
+    std::printf(" %9.3f", seconds);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto suite = cfcm::bench::Table2Suite();
+  std::printf("== Table II: running time (seconds), k = %d ==\n", kGroupSize);
+  cfcm::bench::PrintProvenance(suite);
+  cfcm::bench::PrintOptions(cfcm::bench::BenchOptions(0.2));
+  std::printf("# EXACT on n <= %d, APPROX on n <= %d (matches the paper's "
+              "feasibility pattern on this machine)\n",
+              kExactLimit, kApproxLimit);
+  std::printf(
+      "%-14s %8s %9s %4s %5s | %9s %9s | %9s %9s %9s | %9s %9s %9s\n",
+      "Network", "Node", "Edge", "tau", "|T*|", "EXACT", "APPROX",
+      "F(0.3)", "F(0.2)", "F(0.15)", "S(0.3)", "S(0.2)", "S(0.15)");
+
+  const double eps_values[3] = {0.3, 0.2, 0.15};
+  for (const auto& d : suite) {
+    const cfcm::Graph& g = d.graph;
+    const cfcm::NodeId tau = cfcm::EstimateDiameter(g);
+    const auto t_star = cfcm::SelectAuxiliaryRoots(g, 4096);
+    std::printf("%-14s %8d %9lld %4d %5d |", d.name.c_str(), g.num_nodes(),
+                static_cast<long long>(g.num_edges()), tau,
+                static_cast<int>(t_star.size()));
+    PrintCell(g.num_nodes() <= kExactLimit ? TimeExact(g) : -1);
+    PrintCell(RunApprox(d) ? TimeApprox(g, 0.2) : -1);
+    std::printf(" |");
+    for (double eps : eps_values) PrintCell(TimeForest(g, eps));
+    std::printf(" |");
+    for (double eps : eps_values) PrintCell(TimeSchur(g, eps));
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "# shape check (see EXPERIMENTS.md): time grows ~eps^-2 per column; "
+      "Forest/Schur scale with n while APPROX scales with m (compare "
+      "time/m across rows); Schur wins on walk-dominated rows (high-"
+      "diameter Euroroads*), while at these scaled-down sizes the Eq.(11) "
+      "assembly can offset its walk savings elsewhere.\n");
+  return 0;
+}

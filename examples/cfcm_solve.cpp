@@ -1,0 +1,126 @@
+// Command-line CFCM solver: the library as a downstream user would run
+// it on their own edge lists.
+//
+//   cfcm_solve <edge-list> [--k N] [--algo schur|forest|exact|approx|degree]
+//              [--eps X] [--seed N] [--threads N]
+//
+// The input is a whitespace edge list ('#'/'%' comments allowed); the
+// largest connected component is extracted automatically (the paper's
+// preprocessing), and selected nodes are reported in original ids.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cfcm/approx_greedy.h"
+#include "cfcm/cfcc.h"
+#include "cfcm/exact_greedy.h"
+#include "cfcm/forest_cfcm.h"
+#include "cfcm/heuristics.h"
+#include "cfcm/schur_cfcm.h"
+#include "common/timer.h"
+#include "graph/components.h"
+#include "graph/io.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <edge-list> [--k N] [--algo "
+               "schur|forest|exact|approx|degree] [--eps X] [--seed N] "
+               "[--threads N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string path = argv[1];
+  int k = 10;
+  std::string algo = "schur";
+  cfcm::CfcmOptions options;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const char* value = argv[i + 1];
+    if (flag == "--k") {
+      k = std::atoi(value);
+    } else if (flag == "--algo") {
+      algo = value;
+    } else if (flag == "--eps") {
+      options.eps = std::atof(value);
+    } else if (flag == "--seed") {
+      options.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--threads") {
+      options.num_threads = std::atoi(value);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  auto loaded = cfcm::LoadEdgeList(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const cfcm::LccResult lcc = cfcm::LargestConnectedComponent(*loaded);
+  std::printf("loaded %s: n=%d m=%lld; LCC n=%d m=%lld\n", path.c_str(),
+              loaded->num_nodes(), static_cast<long long>(loaded->num_edges()),
+              lcc.graph.num_nodes(),
+              static_cast<long long>(lcc.graph.num_edges()));
+
+  cfcm::Timer timer;
+  std::vector<cfcm::NodeId> selected;
+  if (algo == "schur") {
+    auto r = cfcm::SchurCfcmMaximize(lcc.graph, k, options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    selected = r->selected;
+  } else if (algo == "forest") {
+    auto r = cfcm::ForestCfcmMaximize(lcc.graph, k, options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    selected = r->selected;
+  } else if (algo == "exact") {
+    auto r = cfcm::ExactGreedyMaximize(lcc.graph, k);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    selected = r->selected;
+  } else if (algo == "approx") {
+    auto r = cfcm::ApproxGreedyMaximize(lcc.graph, k, options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    selected = r->selected;
+  } else if (algo == "degree") {
+    selected = cfcm::DegreeSelect(lcc.graph, k);
+  } else {
+    return Usage(argv[0]);
+  }
+  const double seconds = timer.Seconds();
+
+  std::printf("%s selected %d nodes in %.3fs (original ids):", algo.c_str(),
+              k, seconds);
+  for (cfcm::NodeId u : selected) {
+    std::printf(" %d", lcc.to_original[u]);
+  }
+  std::printf("\n");
+  if (lcc.graph.num_nodes() <= 3000) {
+    std::printf("C(S) = %.6f (dense exact)\n",
+                cfcm::ExactGroupCfcc(lcc.graph, selected));
+  } else {
+    const auto approx = cfcm::ApproximateGroupCfcc(lcc.graph, selected,
+                                                   /*probes=*/16, 7);
+    std::printf("C(S) = %.6f (Hutchinson+CG, trace stderr %.2g)\n",
+                approx.cfcc, approx.trace_std_error);
+  }
+  return 0;
+}

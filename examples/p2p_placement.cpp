@@ -1,0 +1,113 @@
+// P2P resource placement (paper §I: "how to place resources on k peers
+// in P2P networks for easy access by others"). Hosts are placed on a
+// scale-free overlay with ForestCFCM; access cost is measured both by
+// effective resistance and by simulated random-walk search length.
+//
+//   ./build/examples/p2p_placement [n] [k]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "cfcm/cfcc.h"
+#include "cfcm/forest_cfcm.h"
+#include "cfcm/heuristics.h"
+#include "common/rng.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace {
+
+// Mean number of random-walk hops for a peer to find any resource holder
+// (the classic unstructured-P2P search model).
+double MeanSearchHops(const cfcm::Graph& g,
+                      const std::vector<cfcm::NodeId>& hosts, int trials,
+                      uint64_t seed) {
+  std::vector<char> is_host(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (cfcm::NodeId h : hosts) is_host[h] = 1;
+  cfcm::Rng rng(seed);
+  long long total = 0;
+  for (int t = 0; t < trials; ++t) {
+    cfcm::NodeId u = static_cast<cfcm::NodeId>(
+        rng.NextBounded(static_cast<uint32_t>(g.num_nodes())));
+    int hops = 0;
+    while (!is_host[u] && hops < 100000) {
+      const auto nbrs = g.neighbors(u);
+      u = nbrs[rng.NextBounded(static_cast<uint32_t>(nbrs.size()))];
+      ++hops;
+    }
+    total += hops;
+  }
+  return static_cast<double>(total) / trials;
+}
+
+}  // namespace
+
+// Federated P2P overlay: `communities` scale-free swarms joined by a few
+// gateway links — the regime where degree-based placement piles hosts
+// into one swarm while CFCM spreads them for global accessibility.
+cfcm::Graph MakeOverlay(cfcm::NodeId n, int communities, uint64_t seed) {
+  cfcm::GraphBuilder builder(n);
+  const cfcm::NodeId per = n / communities;
+  for (int c = 0; c < communities; ++c) {
+    const cfcm::Graph part =
+        cfcm::BarabasiAlbert(per, 2, seed + static_cast<uint64_t>(c));
+    const cfcm::NodeId base = c * per;
+    for (const auto& [u, v] : part.Edges()) builder.AddEdge(base + u, base + v);
+  }
+  cfcm::Rng rng(seed ^ 0xfeed);
+  for (int c = 1; c < communities; ++c) {
+    // Two random gateway links from each community to the previous one.
+    for (int link = 0; link < 2; ++link) {
+      const auto a = static_cast<cfcm::NodeId>((c - 1) * per +
+                                               rng.NextBounded(per));
+      const auto b =
+          static_cast<cfcm::NodeId>(c * per + rng.NextBounded(per));
+      builder.AddEdge(a, b);
+    }
+  }
+  return std::move(std::move(builder).Build()).value();
+}
+
+int main(int argc, char** argv) {
+  const cfcm::NodeId n = argc > 1 ? std::atoi(argv[1]) : 3000;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  const cfcm::Graph g = MakeOverlay(n, /*communities=*/4, 77);
+  std::printf("P2P overlay: n=%d, m=%lld (4 scale-free swarms + gateway "
+              "links)\n",
+              g.num_nodes(), static_cast<long long>(g.num_edges()));
+
+  cfcm::CfcmOptions options;
+  options.eps = 0.2;
+  options.seed = 11;
+  // Overlay graphs of this size are cheap to sample: buy accuracy.
+  options.forest_factor = 6.0;
+  options.max_forests = 4096;
+  options.jl_rows = 48;
+  auto cfcm_hosts = cfcm::ForestCfcmMaximize(g, k, options);
+  if (!cfcm_hosts.ok()) {
+    std::fprintf(stderr, "solver failed: %s\n",
+                 cfcm_hosts.status().ToString().c_str());
+    return 1;
+  }
+  const auto degree_hosts = cfcm::DegreeSelect(g, k);
+
+  std::printf("\n%-12s %12s %18s\n", "placement", "C(S)",
+              "mean search hops");
+  for (const auto& [name, hosts] :
+       {std::pair<const char*, std::vector<cfcm::NodeId>>{
+            "ForestCFCM", cfcm_hosts->selected},
+        {"Degree", degree_hosts}}) {
+    std::printf("%-12s %12.6f %18.2f\n", name,
+                cfcm::ExactGroupCfcc(g, hosts),
+                MeanSearchHops(g, hosts, 4000, 123));
+  }
+  std::printf(
+      "\nForestCFCM hosts:");
+  for (cfcm::NodeId u : cfcm_hosts->selected) std::printf(" %d", u);
+  std::printf("\n(higher C(S) tracks shorter random-walk search: CFCC "
+              "counts *all* paths, matching how unstructured P2P lookups "
+              "actually move)\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Point-cloud sampling (paper §I: "selecting a representative subset of
+// points to preserve the geometric features"). Builds a k-NN graph over
+// a synthetic 3D shape and picks landmark points with SchurCFCM; quality
+// is measured by the mean squared distance from every point to its
+// nearest landmark (coverage), compared with random sampling.
+//
+//   ./build/examples/point_cloud_sampling [points] [landmarks]
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "cfcm/cfcc.h"
+#include "cfcm/schur_cfcm.h"
+#include "common/rng.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+
+namespace {
+
+using Point = std::array<double, 3>;
+
+// Two interlocking torus rings: a shape with non-trivial geometry.
+std::vector<Point> MakeShape(int count, uint64_t seed) {
+  cfcm::Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double u = 2 * M_PI * rng.NextDouble();
+    const double v = 2 * M_PI * rng.NextDouble();
+    const double r = 0.25, big_r = 1.0;
+    Point p;
+    if (i % 2 == 0) {
+      p = {(big_r + r * std::cos(v)) * std::cos(u),
+           (big_r + r * std::cos(v)) * std::sin(u), r * std::sin(v)};
+    } else {
+      p = {big_r + (big_r + r * std::cos(v)) * std::cos(u), r * std::sin(v),
+           (big_r + r * std::cos(v)) * std::sin(u)};
+    }
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+double SquaredDist(const Point& a, const Point& b) {
+  double d2 = 0;
+  for (int c = 0; c < 3; ++c) d2 += (a[c] - b[c]) * (a[c] - b[c]);
+  return d2;
+}
+
+double CoverageError(const std::vector<Point>& pts,
+                     const std::vector<cfcm::NodeId>& landmarks) {
+  double total = 0;
+  for (const Point& p : pts) {
+    double best = 1e300;
+    for (cfcm::NodeId l : landmarks) best = std::min(best, SquaredDist(p, pts[l]));
+    total += best;
+  }
+  return total / static_cast<double>(pts.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int count = argc > 1 ? std::atoi(argv[1]) : 1200;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 12;
+
+  const auto pts = MakeShape(count, 5150);
+  const cfcm::Graph knn = cfcm::KnnGraph(pts, 8);
+  const cfcm::LccResult lcc = cfcm::LargestConnectedComponent(knn);
+  std::printf("point cloud: %d points, k-NN graph LCC n=%d m=%lld\n", count,
+              lcc.graph.num_nodes(),
+              static_cast<long long>(lcc.graph.num_edges()));
+
+  cfcm::CfcmOptions options;
+  options.eps = 0.2;
+  options.seed = 31;
+  options.forest_factor = 6.0;
+  options.max_forests = 4096;
+  options.jl_rows = 48;
+  auto result = cfcm::SchurCfcmMaximize(lcc.graph, k, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "solver failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<cfcm::NodeId> landmarks;
+  for (cfcm::NodeId u : result->selected) {
+    landmarks.push_back(lcc.to_original[u]);
+  }
+
+  // Random baseline restricted to the LCC so both selections live on the
+  // same graph and C(S) is comparable.
+  cfcm::Rng rng(8);
+  std::vector<cfcm::NodeId> random_lcc;
+  while (static_cast<int>(random_lcc.size()) < k) {
+    const auto u = static_cast<cfcm::NodeId>(
+        rng.NextBounded(static_cast<uint32_t>(lcc.graph.num_nodes())));
+    if (std::find(random_lcc.begin(), random_lcc.end(), u) ==
+        random_lcc.end()) {
+      random_lcc.push_back(u);
+    }
+  }
+  std::vector<cfcm::NodeId> random_landmarks;
+  for (cfcm::NodeId u : random_lcc) {
+    random_landmarks.push_back(lcc.to_original[u]);
+  }
+
+  // Primary metric: the quantity CFCC optimizes — electrical closeness
+  // of every point to the landmark set on the k-NN graph (higher C(S) =
+  // lower mean effective resistance). 3D coverage MSE is reported as a
+  // secondary, purely geometric view.
+  std::printf("\n%-12s %12s %20s\n", "sampling", "C(S) (graph)",
+              "coverage MSE (3D)");
+  std::printf("%-12s %12.6f %20.6f\n", "SchurCFCM",
+              cfcm::ExactGroupCfcc(lcc.graph, result->selected),
+              CoverageError(pts, landmarks));
+  std::printf("%-12s %12.6f %20.6f\n", "Random",
+              cfcm::ExactGroupCfcc(lcc.graph, random_lcc),
+              CoverageError(pts, random_landmarks));
+  std::printf("\nlandmark indices:");
+  for (cfcm::NodeId u : landmarks) std::printf(" %d", u);
+  std::printf("\n(CFCC maximizes electrical closeness on the k-NN graph — "
+              "the C(S) column; geometric MSE is a secondary view where "
+              "spread-out random points can compete on smooth shapes)\n");
+  return 0;
+}

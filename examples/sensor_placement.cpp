@@ -1,0 +1,87 @@
+// Wireless sensor placement (paper §I motivation): choose k nodes of a
+// deployment-area network to host sensors so that every location has low
+// effective resistance — i.e. strong multi-path connectivity — to the
+// sensor group. Compares SchurCFCM against degree and random placement.
+//
+//   ./build/examples/sensor_placement [n] [k]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cfcm/cfcc.h"
+#include "cfcm/heuristics.h"
+#include "cfcm/schur_cfcm.h"
+#include "common/rng.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+
+namespace {
+
+// Mean and worst effective resistance from any node to the group: the
+// "signal accessibility" profile of a placement.
+struct Coverage {
+  double mean_r;
+  double max_r;
+};
+
+Coverage Evaluate(const cfcm::Graph& g, const std::vector<cfcm::NodeId>& s) {
+  const cfcm::DenseMatrix inv = cfcm::ExactLaplacianSubmatrixInverse(g, s);
+  double total = 0, worst = 0;
+  for (int i = 0; i < inv.rows(); ++i) {
+    total += inv(i, i);
+    worst = std::max(worst, inv(i, i));
+  }
+  return {total / g.num_nodes(), worst};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cfcm::NodeId n = argc > 1 ? std::atoi(argv[1]) : 800;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 6;
+
+  // Deployment area: a random geometric radio-range graph.
+  const cfcm::Graph g = cfcm::RandomGeometric(n, 0.06, 2024);
+  std::printf("sensor field: n=%d, m=%lld (random geometric, r=0.06)\n",
+              g.num_nodes(), static_cast<long long>(g.num_edges()));
+
+  cfcm::CfcmOptions options;
+  options.eps = 0.2;
+  options.seed = 4;
+  auto placed = cfcm::SchurCfcmMaximize(g, k, options);
+  if (!placed.ok()) {
+    std::fprintf(stderr, "solver failed: %s\n",
+                 placed.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto degree = cfcm::DegreeSelect(g, k);
+  std::vector<cfcm::NodeId> random_pick;
+  cfcm::Rng rng(9);
+  while (static_cast<int>(random_pick.size()) < k) {
+    const cfcm::NodeId u =
+        static_cast<cfcm::NodeId>(rng.NextBounded(static_cast<uint32_t>(n)));
+    if (std::find(random_pick.begin(), random_pick.end(), u) ==
+        random_pick.end()) {
+      random_pick.push_back(u);
+    }
+  }
+
+  std::printf("\n%-12s %12s %14s %14s\n", "placement", "C(S)",
+              "mean R(u,S)", "max R(u,S)");
+  for (const auto& [name, sel] :
+       {std::pair<const char*, std::vector<cfcm::NodeId>>{"SchurCFCM",
+                                                          placed->selected},
+        {"Degree", degree},
+        {"Random", random_pick}}) {
+    const Coverage cov = Evaluate(g, sel);
+    std::printf("%-12s %12.6f %14.4f %14.4f\n", name,
+                cfcm::ExactGroupCfcc(g, sel), cov.mean_r, cov.max_r);
+  }
+  std::printf("\nSchurCFCM sensors:");
+  for (cfcm::NodeId u : placed->selected) std::printf(" %d", u);
+  std::printf("\n(lower mean/max resistance = every point of the field is "
+              "electrically closer to a sensor)\n");
+  return 0;
+}

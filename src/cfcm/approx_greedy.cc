@@ -1,0 +1,117 @@
+#include "cfcm/approx_greedy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "cfcm/cfcc.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace cfcm {
+
+StatusOr<ApproxGreedyResult> ApproxGreedyMaximize(const Graph& graph, int k,
+                                                  const CfcmOptions& options,
+                                                  const CgOptions& cg) {
+  CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
+  Timer timer;
+  const NodeId n = graph.num_nodes();
+  const std::size_t nn = static_cast<std::size_t>(n);
+  const EstimatorOptions est = ToEstimatorOptions(options);
+  const int w = ResolveJlRows(est, n);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(w));
+  const auto edges = graph.Edges();
+
+  ApproxGreedyResult result;
+  std::vector<double> score(nn, 0.0);
+  Vector rhs(nn, 0.0), sol(nn, 0.0);
+
+  // ---- Pick 1: L†_uu ≈ sum_i (L† B^T q_i)_u^2.
+  for (int i = 0; i < w; ++i) {
+    Rng rng(options.seed ^ 0x1f123bb5ULL, static_cast<uint64_t>(i));
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    for (const auto& [a, b] : edges) {
+      const double q = rng.NextBool() ? scale : -scale;
+      rhs[a] += q;
+      rhs[b] -= q;
+    }
+    sol.assign(nn, 0.0);
+    const CgSummary summary = SolveLaplacianPseudoinverse(graph, rhs, &sol, cg);
+    ++result.solver_calls;
+    result.cg_iterations += summary.iterations;
+    for (NodeId u = 0; u < n; ++u) score[u] += sol[u] * sol[u];
+  }
+  std::vector<char> in_s(nn, 0);
+  const NodeId first = static_cast<NodeId>(
+      std::min_element(score.begin(), score.end()) - score.begin());
+  result.selected.push_back(first);
+  in_s[first] = 1;
+
+  // ---- Picks 2..k.
+  std::vector<double> numerator(nn), denominator(nn);
+  for (int pick = 1; pick < k; ++pick) {
+    LaplacianSubmatrixOp op(graph, in_s);
+    std::fill(numerator.begin(), numerator.end(), 0.0);
+    std::fill(denominator.begin(), denominator.end(), 0.0);
+
+    // Numerator: ||W L_{-S}^{-1} e_u||^2, rows of W are Rademacher/sqrt(w)
+    // over V \ S.
+    for (int i = 0; i < w; ++i) {
+      Rng rng(options.seed ^ 0x53a5ca9dULL,
+              (static_cast<uint64_t>(pick) << 32) | static_cast<uint64_t>(i));
+      for (NodeId u = 0; u < n; ++u) {
+        rhs[u] = in_s[u] ? 0.0 : (rng.NextBool() ? scale : -scale);
+      }
+      sol.assign(nn, 0.0);
+      const CgSummary summary = SolveGroundedLaplacian(op, rhs, &sol, cg);
+      ++result.solver_calls;
+      result.cg_iterations += summary.iterations;
+      for (NodeId u = 0; u < n; ++u) numerator[u] += sol[u] * sol[u];
+    }
+    // Denominator: (L_{-S}^{-1})_uu = ||B~ L_{-S}^{-1} e_u||^2 with
+    // B~^T B~ = L_{-S}: interior incidence rows + sqrt(b_u) boundary rows.
+    for (int i = 0; i < w; ++i) {
+      Rng rng(options.seed ^ 0x7ee39a1bULL,
+              (static_cast<uint64_t>(pick) << 32) | static_cast<uint64_t>(i));
+      std::fill(rhs.begin(), rhs.end(), 0.0);
+      for (const auto& [a, b] : edges) {
+        if (in_s[a] || in_s[b]) continue;
+        const double q = rng.NextBool() ? scale : -scale;
+        rhs[a] += q;
+        rhs[b] -= q;
+      }
+      for (NodeId u = 0; u < n; ++u) {
+        if (in_s[u]) continue;
+        int boundary = 0;
+        for (NodeId v : graph.neighbors(u)) boundary += in_s[v] ? 1 : 0;
+        if (boundary > 0) {
+          const double q = rng.NextBool() ? scale : -scale;
+          rhs[u] += std::sqrt(static_cast<double>(boundary)) * q;
+        }
+      }
+      sol.assign(nn, 0.0);
+      const CgSummary summary = SolveGroundedLaplacian(op, rhs, &sol, cg);
+      ++result.solver_calls;
+      result.cg_iterations += summary.iterations;
+      for (NodeId u = 0; u < n; ++u) denominator[u] += sol[u] * sol[u];
+    }
+
+    NodeId best = -1;
+    double best_delta = -1;
+    for (NodeId u = 0; u < n; ++u) {
+      if (in_s[u]) continue;
+      const double floor = 1.0 / static_cast<double>(graph.degree(u) + 1);
+      const double delta = numerator[u] / std::max(denominator[u], floor);
+      if (delta > best_delta) {
+        best_delta = delta;
+        best = u;
+      }
+    }
+    result.selected.push_back(best);
+    in_s[best] = 1;
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace cfcm

@@ -1,0 +1,134 @@
+#include "cfcm/edge_addition.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cfcm/cfcc.h"
+#include "common/timer.h"
+#include "graph/components.h"
+#include "linalg/laplacian.h"
+
+namespace cfcm {
+
+namespace {
+
+// Trace drop of adding x x^T to L_{-S}: ||M x||^2 / (1 + x^T M x), and
+// the corresponding update M -= (M x)(M x)^T / (1 + x^T M x).
+struct Candidate {
+  NodeId u = -1;  // kept-index endpoint
+  NodeId v = -1;  // kept-index endpoint or -1 when the edge goes into S
+  NodeId orig_u = -1;
+  NodeId orig_v = -1;
+  double gain = -1;
+};
+
+}  // namespace
+
+StatusOr<EdgeAdditionResult> GreedyEdgeAddition(
+    const Graph& graph, const std::vector<NodeId>& group, int k,
+    EdgeCandidates candidates) {
+  if (group.empty()) {
+    return Status::InvalidArgument("group must be non-empty");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (!IsConnected(graph)) {
+    return Status::FailedPrecondition("graph must be connected");
+  }
+  const NodeId n = graph.num_nodes();
+  std::vector<char> in_s(static_cast<std::size_t>(n), 0);
+  for (NodeId s : group) {
+    if (s < 0 || s >= n) {
+      return Status::InvalidArgument("group node out of range");
+    }
+    in_s[s] = 1;
+  }
+
+  Timer timer;
+  const SubmatrixIndex index = MakeSubmatrixIndex(n, group);
+  DenseMatrix m = ExactLaplacianSubmatrixInverse(graph, group);
+  const int dim = m.rows();
+  double trace = m.Trace();
+
+  // Track the evolving edge set for candidate enumeration.
+  std::vector<std::vector<char>> adjacent(
+      static_cast<std::size_t>(n), std::vector<char>(static_cast<std::size_t>(n), 0));
+  for (const auto& [a, b] : graph.Edges()) {
+    adjacent[a][b] = adjacent[b][a] = 1;
+  }
+
+  EdgeAdditionResult result;
+  result.initial_trace = trace;
+  Vector mx(static_cast<std::size_t>(dim));
+  for (int round = 0; round < k; ++round) {
+    Candidate best;
+    // Row norms ||M e_u||^2 serve the into-group candidates directly.
+    for (int u = 0; u < dim; ++u) {
+      const NodeId orig_u = index.kept[u];
+      const auto mu = m.Row(u);
+      // (u, s) candidates: x = e_u.
+      for (NodeId s : group) {
+        if (adjacent[orig_u][s]) continue;
+        double nrm = 0;
+        for (int j = 0; j < dim; ++j) nrm += mu[j] * mu[j];
+        const double gain = nrm / (1.0 + m(u, u));
+        if (gain > best.gain) {
+          best = {static_cast<NodeId>(u), -1, orig_u, s, gain};
+        }
+        break;  // gain is identical for every s in S; pick the first
+      }
+      if (candidates == EdgeCandidates::kAny) {
+        // (u, v) candidates inside V\S: x = e_u - e_v.
+        const auto mu_row = m.Row(u);
+        for (int v = u + 1; v < dim; ++v) {
+          const NodeId orig_v = index.kept[v];
+          if (adjacent[orig_u][orig_v]) continue;
+          const auto mv = m.Row(v);
+          double nrm = 0, xmx = 0;
+          for (int j = 0; j < dim; ++j) {
+            const double d = mu_row[j] - mv[j];
+            nrm += d * d;
+          }
+          xmx = m(u, u) + m(v, v) - 2 * m(u, v);
+          const double gain = nrm / (1.0 + xmx);
+          if (gain > best.gain) {
+            best = {static_cast<NodeId>(u), static_cast<NodeId>(v), orig_u,
+                    orig_v, gain};
+          }
+        }
+      }
+    }
+    if (best.gain < 0) {
+      return Status::FailedPrecondition(
+          "no candidate non-edges left to add");
+    }
+    // Apply the rank-1 Sherman–Morrison update.
+    double denom;
+    if (best.v < 0) {
+      for (int j = 0; j < dim; ++j) mx[j] = m(best.u, j);
+      denom = 1.0 + m(best.u, best.u);
+    } else {
+      for (int j = 0; j < dim; ++j) mx[j] = m(best.u, j) - m(best.v, j);
+      denom = 1.0 + m(best.u, best.u) + m(best.v, best.v) -
+              2 * m(best.u, best.v);
+    }
+    const double inv_denom = 1.0 / denom;
+    for (int i = 0; i < dim; ++i) {
+      const double f = mx[i] * inv_denom;
+      if (f == 0.0) continue;
+      auto mi = m.MutableRow(i);
+      for (int j = 0; j < dim; ++j) mi[j] -= f * mx[j];
+    }
+    trace -= best.gain;
+    adjacent[best.orig_u][best.orig_v] = 1;
+    adjacent[best.orig_v][best.orig_u] = 1;
+    result.added.emplace_back(std::min(best.orig_u, best.orig_v),
+                              std::max(best.orig_u, best.orig_v));
+    result.trace_after.push_back(trace);
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace cfcm

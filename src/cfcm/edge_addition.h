@@ -1,0 +1,49 @@
+// Greedy edge addition for group CFCC — the open problem the paper
+// poses in §VI ("Previous works have not solved the edge selection
+// problem for maximizing CFCC, which presents an opportunity for future
+// research"). This module implements the exact small-scale variant:
+// given a fixed group S, repeatedly add the non-edge that maximizes the
+// resulting C(S).
+#ifndef CFCM_CFCM_EDGE_ADDITION_H_
+#define CFCM_CFCM_EDGE_ADDITION_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// Which candidate edges the optimizer may add.
+enum class EdgeCandidates {
+  kToGroup,  ///< non-edges (u, s) with u in V\S, s in S (paper §VI framing)
+  kAny,      ///< any non-edge of the graph
+};
+
+/// Result of greedy edge addition.
+struct EdgeAdditionResult {
+  std::vector<std::pair<NodeId, NodeId>> added;  ///< greedy order
+  std::vector<double> trace_after;  ///< Tr(L'_{-S}^{-1}) after each edge
+  double initial_trace = 0.0;      ///< before any addition
+  double seconds = 0.0;
+};
+
+/// \brief Adds `k` edges maximizing C(S) greedily, exactly.
+///
+/// Maintains M = L_{-S}^{-1} densely. Adding edge (u, v) inside V\S is
+/// the rank-1 update L += x x^T with x = e_u - e_v, so by
+/// Sherman–Morrison the trace drops by ||M x||^2 / (1 + x^T M x); adding
+/// (u, s) with s in S grounded is x = e_u. Each round scans all
+/// candidates in O(n^2) using row norms of the symmetric M.
+///
+/// O(n^3 + k n^2) total; small/medium graphs (the Monte-Carlo analogue
+/// is future work, mirroring the paper). Requires connected graph,
+/// non-empty S, k >= 1, and enough non-edges.
+StatusOr<EdgeAdditionResult> GreedyEdgeAddition(
+    const Graph& graph, const std::vector<NodeId>& group, int k,
+    EdgeCandidates candidates = EdgeCandidates::kToGroup);
+
+}  // namespace cfcm
+
+#endif  // CFCM_CFCM_EDGE_ADDITION_H_

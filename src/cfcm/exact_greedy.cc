@@ -1,0 +1,80 @@
+#include "cfcm/exact_greedy.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cfcm/cfcc.h"
+#include "common/timer.h"
+#include "linalg/laplacian.h"
+
+namespace cfcm {
+
+StatusOr<ExactGreedyResult> ExactGreedyMaximize(const Graph& graph, int k) {
+  CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
+  Timer timer;
+  const NodeId n = graph.num_nodes();
+  ExactGreedyResult result;
+
+  // Pick 1: argmin_u L†_uu  (Eq. 4: sum_v R(u,v) = Tr(L†) + n L†_uu).
+  NodeId first = 0;
+  {
+    const DenseMatrix pinv = LaplacianPseudoinverse(graph);
+    double best = pinv(0, 0);
+    for (NodeId u = 1; u < n; ++u) {
+      if (pinv(u, u) < best) {
+        best = pinv(u, u);
+        first = u;
+      }
+    }
+  }
+  result.selected.push_back(first);
+
+  // M = L_{-S}^{-1} over the kept index (S = {first}).
+  const SubmatrixIndex index = MakeSubmatrixIndex(n, {first});
+  DenseMatrix m = ExactLaplacianSubmatrixInverse(graph, {first});
+  const int dim = m.rows();
+  std::vector<char> alive(static_cast<std::size_t>(dim), 1);
+  double trace = m.Trace();
+  result.trace_after.push_back(trace);
+
+  std::vector<double> col_norm(static_cast<std::size_t>(dim));
+  for (int pick = 1; pick < k; ++pick) {
+    // Delta(u,S) = ||M e_u||^2 / M_uu (Eq. 5, M symmetric).
+    int best = -1;
+    double best_gain = -1;
+    for (int u = 0; u < dim; ++u) {
+      if (!alive[u]) continue;
+      double nrm = 0;
+      const auto mu = m.Row(u);  // M symmetric: row access = column norm
+      for (int j = 0; j < dim; ++j) {
+        if (alive[j]) nrm += mu[j] * mu[j];
+      }
+      col_norm[u] = nrm;
+      const double gain = nrm / m(u, u);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = u;
+      }
+    }
+    assert(best >= 0);
+    // Downdate: removing row/col `best` from L_{-S} maps the inverse to
+    // M' = M - M e_b e_b^T M / M_bb on the remaining indices.
+    const double inv_pivot = 1.0 / m(best, best);
+    for (int i = 0; i < dim; ++i) {
+      if (!alive[i] || i == best) continue;
+      const double f = m(i, best) * inv_pivot;
+      if (f == 0.0) continue;
+      auto mi = m.MutableRow(i);
+      const auto mb = m.Row(best);
+      for (int j = 0; j < dim; ++j) mi[j] -= f * mb[j];
+    }
+    alive[best] = 0;
+    trace -= best_gain;
+    result.trace_after.push_back(trace);
+    result.selected.push_back(index.kept[best]);
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace cfcm

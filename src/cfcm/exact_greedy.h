@@ -1,0 +1,29 @@
+// EXACT baseline: greedy CFCM via dense matrix inversion (paper §V-A).
+#ifndef CFCM_CFCM_EXACT_GREEDY_H_
+#define CFCM_CFCM_EXACT_GREEDY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// Result of the exact greedy baseline.
+struct ExactGreedyResult {
+  std::vector<NodeId> selected;     ///< greedy order
+  std::vector<double> trace_after;  ///< Tr(L_{-S_i}^{-1}) after each pick
+  double seconds = 0.0;
+};
+
+/// \brief Exact greedy: first pick argmin L†_uu from the dense
+/// pseudoinverse; then maintain M = L_{-S}^{-1} explicitly and select
+/// argmax (M^2)_uu / M_uu (Eq. 5), downdating M with the submatrix-
+/// inverse identity M' = M - M e_u e_u^T M / M_uu after each pick.
+///
+/// O(n^3 + k n^2) time, O(n^2) memory; small/medium graphs only.
+StatusOr<ExactGreedyResult> ExactGreedyMaximize(const Graph& graph, int k);
+
+}  // namespace cfcm
+
+#endif  // CFCM_CFCM_EXACT_GREEDY_H_

@@ -1,0 +1,68 @@
+#include "cfcm/forest_cfcm.h"
+
+#include <algorithm>
+
+#include "cfcm/cfcc.h"
+#include "common/timer.h"
+#include "estimators/first_pick.h"
+#include "estimators/forest_delta.h"
+
+namespace cfcm {
+
+EstimatorOptions ToEstimatorOptions(const CfcmOptions& options) {
+  EstimatorOptions est;
+  est.eps = options.eps;
+  est.seed = options.seed;
+  est.min_batch = options.min_batch;
+  est.max_forests = options.max_forests;
+  est.forest_factor = options.forest_factor;
+  est.jl_rows = options.jl_rows;
+  est.max_jl_rows = options.max_jl_rows;
+  est.adaptive = options.adaptive;
+  return est;
+}
+
+StatusOr<CfcmResult> ForestCfcmMaximize(const Graph& graph, int k,
+                                        const CfcmOptions& options) {
+  CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
+  Timer timer;
+  ThreadPool pool(options.num_threads == 0
+                      ? 0
+                      : static_cast<std::size_t>(options.num_threads));
+  EstimatorOptions est = ToEstimatorOptions(options);
+
+  CfcmResult result;
+  std::vector<char> in_s(static_cast<std::size_t>(graph.num_nodes()), 0);
+  // Iteration 1: argmin of the pseudoinverse diagonal (Alg. 3 lines 1-14).
+  {
+    const FirstPickResult first = EstimateFirstPick(graph, est, pool);
+    result.selected.push_back(first.best);
+    in_s[first.best] = 1;
+    result.forests_per_iteration.push_back(first.forests);
+    result.total_forests += first.forests;
+  }
+  // Iterations 2..k: argmax of Delta'(u, S) (Alg. 3 lines 15-18).
+  for (int i = 1; i < k; ++i) {
+    est.seed = options.seed + static_cast<uint64_t>(i) * 0x9e3779b9ULL;
+    const DeltaEstimate delta = ForestDelta(graph, result.selected, est, pool);
+    result.jl_rows = delta.jl_rows;
+    result.forests_per_iteration.push_back(delta.forests);
+    result.total_forests += delta.forests;
+
+    NodeId best = -1;
+    double best_delta = -1;
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      if (in_s[u]) continue;
+      if (delta.delta[u] > best_delta) {
+        best_delta = delta.delta[u];
+        best = u;
+      }
+    }
+    result.selected.push_back(best);
+    in_s[best] = 1;
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace cfcm

@@ -1,0 +1,57 @@
+#include "cfcm/heuristics.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "cfcm/forest_cfcm.h"
+#include "estimators/first_pick.h"
+#include "linalg/laplacian.h"
+
+namespace cfcm {
+
+namespace {
+
+// First k node ids when ordered by `better` (stable on ties by id).
+std::vector<NodeId> TopK(NodeId n, int k,
+                         const std::function<bool(NodeId, NodeId)>& better) {
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (better(a, b)) return true;
+                      if (better(b, a)) return false;
+                      return a < b;
+                    });
+  order.resize(static_cast<std::size_t>(k));
+  return order;
+}
+
+}  // namespace
+
+std::vector<NodeId> DegreeSelect(const Graph& graph, int k) {
+  return TopK(graph.num_nodes(), k, [&](NodeId a, NodeId b) {
+    return graph.degree(a) > graph.degree(b);
+  });
+}
+
+std::vector<NodeId> TopCfccSelectExact(const Graph& graph, int k) {
+  const DenseMatrix pinv = LaplacianPseudoinverse(graph);
+  return TopK(graph.num_nodes(), k, [&](NodeId a, NodeId b) {
+    return pinv(a, a) < pinv(b, b);
+  });
+}
+
+std::vector<NodeId> TopCfccSelectEstimated(const Graph& graph, int k,
+                                           const CfcmOptions& options) {
+  ThreadPool pool(options.num_threads == 0
+                      ? 0
+                      : static_cast<std::size_t>(options.num_threads));
+  const FirstPickResult first =
+      EstimateFirstPick(graph, ToEstimatorOptions(options), pool);
+  return TopK(graph.num_nodes(), k, [&](NodeId a, NodeId b) {
+    return first.scores[a] < first.scores[b];
+  });
+}
+
+}  // namespace cfcm

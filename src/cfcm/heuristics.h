@@ -1,0 +1,26 @@
+// DEGREE and TOP-CFCC heuristic baselines (paper §V-A).
+#ifndef CFCM_CFCM_HEURISTICS_H_
+#define CFCM_CFCM_HEURISTICS_H_
+
+#include <vector>
+
+#include "cfcm/options.h"
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// k nodes of largest degree (ties broken by smaller id).
+std::vector<NodeId> DegreeSelect(const Graph& graph, int k);
+
+/// \brief TOP-CFCC: k nodes with largest single-node CFCC, i.e. smallest
+/// L†_uu, from the dense pseudoinverse. O(n^3); small graphs.
+std::vector<NodeId> TopCfccSelectExact(const Graph& graph, int k);
+
+/// TOP-CFCC for large graphs: ranks the forest-sampled estimates of
+/// L†_uu (shifted by the constant L†_ss, which does not affect order).
+std::vector<NodeId> TopCfccSelectEstimated(const Graph& graph, int k,
+                                           const CfcmOptions& options = {});
+
+}  // namespace cfcm
+
+#endif  // CFCM_CFCM_HEURISTICS_H_

@@ -1,0 +1,129 @@
+#include "cfcm/optimum.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <string>
+
+#include "cfcm/cfcc.h"
+#include "common/timer.h"
+#include "linalg/laplacian.h"
+
+namespace cfcm {
+
+namespace {
+
+// Depth-first enumeration state over groups {u_1 < u_2 < ... < u_k}.
+struct SearchState {
+  int k;
+  int dim;  // n - 1 (index space after removing the level-1 node)
+  const SubmatrixIndex* index;
+  std::vector<NodeId> current;  // original node ids chosen so far
+  OptimumResult* result;
+
+  // Recurses with M = L_{-S}^{-1} over the level-1 kept index; `alive`
+  // marks indices not yet moved into S; `trace` = Tr(M) over alive.
+  void Recurse(const DenseMatrix& m, std::vector<char>& alive, double trace,
+               int last_index) {
+    const int chosen = static_cast<int>(current.size());
+    if (chosen == k) {
+      ++result->subsets_evaluated;
+      if (trace < result->trace) {
+        result->trace = trace;
+        result->best = current;
+      }
+      return;
+    }
+    if (chosen == k - 1) {
+      // Leaf layer: evaluate every candidate without materializing M'.
+      for (int u = last_index + 1; u < dim; ++u) {
+        if (!alive[u]) continue;
+        double nrm = 0;
+        const auto mu = m.Row(u);  // M symmetric: row = column
+        for (int j = 0; j < dim; ++j) {
+          if (alive[j]) nrm += mu[j] * mu[j];
+        }
+        const double leaf_trace = trace - nrm / m(u, u);
+        ++result->subsets_evaluated;
+        if (leaf_trace < result->trace) {
+          result->trace = leaf_trace;
+          result->best = current;
+          result->best.push_back(index->kept[u]);
+        }
+      }
+      return;
+    }
+    for (int u = last_index + 1; u < dim; ++u) {
+      if (!alive[u]) continue;
+      // Need at least k - chosen - 1 more candidates above u.
+      if (dim - u - 1 < k - chosen - 1) break;
+      DenseMatrix next = m;
+      const double inv_pivot = 1.0 / m(u, u);
+      double gain = 0;
+      const auto mu = m.Row(u);
+      for (int j = 0; j < dim; ++j) {
+        if (alive[j]) gain += mu[j] * mu[j];
+      }
+      gain *= inv_pivot;
+      for (int i = 0; i < dim; ++i) {
+        if (!alive[i] || i == u) continue;
+        const double f = m(i, u) * inv_pivot;
+        if (f == 0.0) continue;
+        for (int j = 0; j < dim; ++j) {
+          if (alive[j] && j != u) next(i, j) -= f * m(u, j);
+        }
+      }
+      alive[u] = 0;
+      current.push_back(index->kept[u]);
+      Recurse(next, alive, trace - gain, u);
+      current.pop_back();
+      alive[u] = 1;
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<OptimumResult> OptimumSearch(const Graph& graph, int k) {
+  CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
+  const NodeId n = graph.num_nodes();
+  if (n > 128) {
+    return Status::InvalidArgument(
+        "OptimumSearch is exhaustive; refusing n=" + std::to_string(n) +
+        " > 128");
+  }
+  Timer timer;
+  OptimumResult result;
+  result.trace = std::numeric_limits<double>::infinity();
+
+  if (k == 1) {
+    for (NodeId u = 0; u < n; ++u) {
+      const double trace = ExactTraceInverseSubmatrix(graph, {u});
+      ++result.subsets_evaluated;
+      if (trace < result.trace) {
+        result.trace = trace;
+        result.best = {u};
+      }
+    }
+  } else {
+    // Enumerate the smallest group element at the top level; each branch
+    // pays one dense inversion, everything below is O(n^2) downdates.
+    for (NodeId u1 = 0; u1 + k <= n; ++u1) {
+      const SubmatrixIndex index = MakeSubmatrixIndex(n, {u1});
+      const DenseMatrix m = ExactLaplacianSubmatrixInverse(graph, {u1});
+      const int dim = m.rows();
+      std::vector<char> alive(static_cast<std::size_t>(dim), 1);
+      SearchState state{k, dim, &index, {u1}, &result};
+      // Only indices whose original id exceeds u1 may be chosen next; the
+      // kept index is ascending with u1 removed, so original id > u1
+      // corresponds to kept position >= u1.
+      state.Recurse(m, alive, m.Trace(), static_cast<int>(u1) - 1);
+    }
+  }
+  result.cfcc = static_cast<double>(n) / result.trace;
+  std::sort(result.best.begin(), result.best.end());
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace cfcm

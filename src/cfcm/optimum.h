@@ -1,0 +1,33 @@
+// Exhaustive CFCM optimum for tiny graphs (paper Fig. 1 reference).
+#ifndef CFCM_CFCM_OPTIMUM_H_
+#define CFCM_CFCM_OPTIMUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// Result of the exhaustive search.
+struct OptimumResult {
+  std::vector<NodeId> best;  ///< optimal group, ascending node order
+  double trace = 0.0;        ///< Tr(L_{-S*}^{-1})
+  double cfcc = 0.0;         ///< C(S*) = n / trace
+  std::int64_t subsets_evaluated = 0;
+  double seconds = 0.0;
+};
+
+/// \brief Examines all C(n, k) groups and returns the one minimizing
+/// Tr(L_{-S}^{-1}).
+///
+/// Uses depth-first enumeration with Sherman–Morrison submatrix-inverse
+/// downdates so each internal node costs O(n^2) instead of a fresh
+/// O(n^3) factorization. Still exponential in k — intended for the
+/// paper's tiny graphs (n <= ~70, k <= 5); rejects n > 128.
+StatusOr<OptimumResult> OptimumSearch(const Graph& graph, int k);
+
+}  // namespace cfcm
+
+#endif  // CFCM_CFCM_OPTIMUM_H_

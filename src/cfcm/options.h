@@ -1,0 +1,48 @@
+// Public configuration and result types for CFCM solvers.
+#ifndef CFCM_CFCM_OPTIONS_H_
+#define CFCM_CFCM_OPTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "estimators/options.h"
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// \brief Options shared by ForestCFCM / SchurCFCM (and, where relevant,
+/// the baselines).
+struct CfcmOptions {
+  double eps = 0.2;      ///< paper's error parameter epsilon
+  uint64_t seed = 1;     ///< base RNG seed (full determinism per seed)
+  int num_threads = 0;   ///< sampling workers; 0 = hardware concurrency
+
+  // -- sampling engineering knobs (see DESIGN.md "Engineering constants").
+  int min_batch = 32;
+  int max_forests = 1024;
+  double forest_factor = 1.0;
+  int jl_rows = 0;       ///< 0 = auto
+  int max_jl_rows = 64;
+  bool adaptive = true;
+
+  // -- SchurCFCM only.
+  int t_size = 0;   ///< |T|; 0 = the |T*| = argmin {|T| - dmax(T)} rule
+  int t_cap = 256;  ///< upper bound on |T|
+};
+
+/// Per-iteration and total diagnostics of a solver run.
+struct CfcmResult {
+  std::vector<NodeId> selected;          ///< greedy order, size k
+  std::vector<int> forests_per_iteration;
+  std::int64_t total_forests = 0;
+  double seconds = 0.0;
+  int jl_rows = 0;
+  int auxiliary_roots = 0;  ///< |T| (SchurCFCM only)
+};
+
+/// Lowers CfcmOptions to the estimator-level sampling options.
+EstimatorOptions ToEstimatorOptions(const CfcmOptions& options);
+
+}  // namespace cfcm
+
+#endif  // CFCM_CFCM_OPTIONS_H_

@@ -1,0 +1,149 @@
+#include "cfcm/schur_cfcm.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "cfcm/cfcc.h"
+#include "common/timer.h"
+#include "estimators/first_pick.h"
+#include "estimators/forest_delta.h"
+#include "estimators/schur_delta.h"
+
+namespace cfcm {
+
+namespace {
+
+// Shared implementation: removal order plus the remaining-graph dmax
+// after each removal.
+void HubOrderWithDmax(const Graph& graph, int cap, std::vector<NodeId>* order,
+                      std::vector<NodeId>* dmax_after) {
+  const NodeId n = graph.num_nodes();
+  cap = std::min<int>(cap, n - 2);  // leave at least 2 non-root nodes
+  std::vector<NodeId> degree(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) degree[u] = graph.degree(u);
+  std::vector<char> removed(static_cast<std::size_t>(n), 0);
+
+  // Lazy max-heap of (degree, node); stale entries are skipped.
+  std::priority_queue<std::pair<NodeId, NodeId>> heap;
+  for (NodeId u = 0; u < n; ++u) heap.emplace(degree[u], u);
+
+  while (static_cast<int>(order->size()) < cap && !heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (removed[u] || d != degree[u]) continue;  // stale
+    removed[u] = 1;
+    order->push_back(u);
+    for (NodeId v : graph.neighbors(u)) {
+      if (!removed[v]) {
+        --degree[v];
+        heap.emplace(degree[v], v);
+      }
+    }
+    // Current dmax(T): top of heap after skipping stale entries.
+    while (!heap.empty()) {
+      auto [dt, ut] = heap.top();
+      if (removed[ut] || dt != degree[ut]) {
+        heap.pop();
+        continue;
+      }
+      break;
+    }
+    dmax_after->push_back(heap.empty() ? 0 : heap.top().first);
+  }
+}
+
+}  // namespace
+
+std::vector<NodeId> HubRemovalOrder(const Graph& graph, int count) {
+  std::vector<NodeId> order;
+  std::vector<NodeId> dmax_after;
+  HubOrderWithDmax(graph, count, &order, &dmax_after);
+  return order;
+}
+
+std::vector<NodeId> SelectAuxiliaryRoots(const Graph& graph, int cap) {
+  std::vector<NodeId> order;
+  std::vector<NodeId> dmax_after;
+  HubOrderWithDmax(graph, cap, &order, &dmax_after);
+
+  // |T*| = argmin_{|T|>=1} |{|T| - dmax(T)}|: the balance point where the
+  // auxiliary set size meets the remaining maximum degree (paper §V-A
+  // "we attempt to reach a balance between these two factors"; the
+  // signed difference is monotone increasing on scale-free graphs, so
+  // the balance is its zero crossing — an h-index of the degree
+  // sequence, matching the |T*| magnitudes of the paper's Table II).
+  int best_size = 1;
+  NodeId best_value = std::abs(1 - (dmax_after.empty() ? 0 : dmax_after[0]));
+  for (int size = 2; size <= static_cast<int>(order.size()); ++size) {
+    const NodeId value = std::abs(size - dmax_after[size - 1]);
+    if (value < best_value) {
+      best_value = value;
+      best_size = size;
+    }
+  }
+  order.resize(static_cast<std::size_t>(best_size));
+  return order;
+}
+
+StatusOr<CfcmResult> SchurCfcmMaximize(const Graph& graph, int k,
+                                       const CfcmOptions& options) {
+  CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
+  Timer timer;
+  ThreadPool pool(options.num_threads == 0
+                      ? 0
+                      : static_cast<std::size_t>(options.num_threads));
+  EstimatorOptions est = ToEstimatorOptions(options);
+
+  // Auxiliary root set T of hubs (Alg. 5 line 1).
+  const std::vector<NodeId> t_all =
+      options.t_size > 0 ? HubRemovalOrder(graph, options.t_size)
+                         : SelectAuxiliaryRoots(graph, options.t_cap);
+
+  CfcmResult result;
+  result.auxiliary_roots = static_cast<int>(t_all.size());
+  std::vector<char> in_s(static_cast<std::size_t>(graph.num_nodes()), 0);
+
+  // Iteration 1 is identical to ForestCFCM (Alg. 5 lines 2-15).
+  {
+    const FirstPickResult first = EstimateFirstPick(graph, est, pool);
+    result.selected.push_back(first.best);
+    in_s[first.best] = 1;
+    result.forests_per_iteration.push_back(first.forests);
+    result.total_forests += first.forests;
+  }
+  // Iterations 2..k: SchurDelta with root set S ∪ (T \ S).
+  for (int i = 1; i < k; ++i) {
+    est.seed = options.seed + static_cast<uint64_t>(i) * 0x9e3779b9ULL;
+    std::vector<NodeId> t_nodes;
+    t_nodes.reserve(t_all.size());
+    for (NodeId t : t_all) {
+      if (!in_s[t]) t_nodes.push_back(t);
+    }
+
+    DeltaEstimate delta;
+    if (t_nodes.empty()) {
+      delta = ForestDelta(graph, result.selected, est, pool);
+    } else {
+      delta = SchurDelta(graph, result.selected, t_nodes, est, pool);
+    }
+    result.jl_rows = delta.jl_rows;
+    result.forests_per_iteration.push_back(delta.forests);
+    result.total_forests += delta.forests;
+
+    NodeId best = -1;
+    double best_delta = -1;
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      if (in_s[u]) continue;
+      if (delta.delta[u] > best_delta) {
+        best_delta = delta.delta[u];
+        best = u;
+      }
+    }
+    result.selected.push_back(best);
+    in_s[best] = 1;
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace cfcm

@@ -1,0 +1,95 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace cfcm {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++in_flight_;
+    tasks_.push(std::move(task));
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1 || threads_.size() == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // Dynamic chunking: workers pull ranges off a shared cursor so uneven
+  // per-iteration cost (forest sizes vary wildly) stays balanced.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t chunk =
+      std::max<std::size_t>(1, count / (threads_.size() * 8));
+  const std::size_t num_tasks = std::min(threads_.size(), count);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    Submit([cursor, chunk, count, &body] {
+      for (;;) {
+        const std::size_t begin = cursor->fetch_add(chunk);
+        if (begin >= count) return;
+        const std::size_t end = std::min(count, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      }
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::RunPerWorker(const std::function<void(std::size_t)>& body) {
+  const std::size_t n = threads_.size();
+  for (std::size_t t = 0; t < n; ++t) {
+    Submit([t, &body] { body(t); });
+  }
+  Wait();
+}
+
+}  // namespace cfcm

@@ -1,0 +1,57 @@
+// Fixed-size thread pool for pleasingly-parallel forest batches.
+#ifndef CFCM_COMMON_THREAD_POOL_H_
+#define CFCM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cfcm {
+
+/// \brief Minimal fixed-size worker pool.
+///
+/// The only pattern the library needs is "run f(i) for i in [0, count) on
+/// all workers and wait", exposed as ParallelFor. Task order inside a
+/// worker is unspecified; callers must make their work items independent
+/// (forest samples are seeded by index, so results are deterministic).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Runs body(index) for every index in [0, count), blocking until all
+  /// iterations finish. Iterations are distributed dynamically in chunks.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
+  /// Runs body(worker_id) once on each worker and waits. Useful for
+  /// merging per-worker accumulators.
+  void RunPerWorker(const std::function<void(std::size_t)>& body);
+
+ private:
+  void WorkerLoop();
+  void Submit(std::function<void()> task);
+  void Wait();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace cfcm
+
+#endif  // CFCM_COMMON_THREAD_POOL_H_

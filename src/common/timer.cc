@@ -1,0 +1,12 @@
+#include "common/timer.h"
+
+namespace cfcm {
+
+void Timer::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Timer::Seconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+}  // namespace cfcm

@@ -1,0 +1,32 @@
+// Wall-clock timing helper used by benches and adaptive samplers.
+#ifndef CFCM_COMMON_TIMER_H_
+#define CFCM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace cfcm {
+
+/// \brief Monotonic wall-clock stopwatch.
+///
+/// Starts running on construction; `Restart()` resets the origin and
+/// `Seconds()` reports the elapsed time without stopping the clock.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// Resets the elapsed time to zero.
+  void Restart();
+
+  /// Elapsed wall-clock seconds since construction or last Restart().
+  double Seconds() const;
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cfcm
+
+#endif  // CFCM_COMMON_TIMER_H_

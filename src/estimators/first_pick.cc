@@ -1,0 +1,133 @@
+#include "estimators/first_pick.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "estimators/bernstein.h"
+#include "estimators/phi_estimators.h"
+#include "forest/bfs_tree.h"
+#include "forest/subtree.h"
+#include "forest/wilson.h"
+
+namespace cfcm {
+
+namespace {
+
+struct WorkerState {
+  explicit WorkerState(const Graph& graph)
+      : sampler(graph),
+        xbuf(static_cast<std::size_t>(graph.num_nodes())),
+        obuf(static_cast<std::size_t>(graph.num_nodes())),
+        sum(static_cast<std::size_t>(graph.num_nodes())),
+        sum_sq(static_cast<std::size_t>(graph.num_nodes())) {}
+
+  ForestSampler sampler;
+  std::vector<int32_t> sizes;
+  std::vector<int32_t> xbuf;
+  std::vector<double> obuf;
+  std::vector<double> sum;
+  std::vector<double> sum_sq;
+};
+
+}  // namespace
+
+FirstPickResult EstimateFirstPick(const Graph& graph,
+                                  const EstimatorOptions& options,
+                                  ThreadPool& pool) {
+  const NodeId n = graph.num_nodes();
+  assert(n >= 2);
+  FirstPickResult result;
+  result.pivot = graph.MaxDegreeNode();
+  const TreeScaffold scaffold = MakeTreeScaffold(graph, {result.pivot});
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const int target = ResolveTargetForests(options, n);
+  const double delta = ResolveBernsteinDelta(options, n);
+
+  const std::size_t num_workers = std::max<std::size_t>(1, pool.num_threads());
+  std::vector<WorkerState> workers;
+  workers.reserve(num_workers);
+  for (std::size_t t = 0; t < num_workers; ++t) workers.emplace_back(graph);
+
+  std::vector<double> sum(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> sum_sq(static_cast<std::size_t>(n), 0.0);
+
+  int total = 0;
+  int batch = std::max(1, options.min_batch);
+  while (total < target) {
+    const int current = std::min(batch, target - total);
+    const int base = total;
+    pool.RunPerWorker([&](std::size_t worker_id) {
+      WorkerState& ws = workers[worker_id];
+      std::fill(ws.sum.begin(), ws.sum.end(), 0.0);
+      std::fill(ws.sum_sq.begin(), ws.sum_sq.end(), 0.0);
+      for (int i = static_cast<int>(worker_id); i < current;
+           i += static_cast<int>(num_workers)) {
+        Rng rng(options.seed, static_cast<uint64_t>(base + i));
+        const RootedForest& forest =
+            ws.sampler.Sample(scaffold.is_root, &rng);
+        SubtreeSizes(forest, &ws.sizes);
+        DiagPrefixPass(scaffold, forest, &ws.xbuf);
+        OnesPrefixPass(scaffold, forest, ws.sizes, &ws.obuf);
+        for (NodeId u = 0; u < n; ++u) {
+          const double v = static_cast<double>(ws.xbuf[u]) -
+                           2.0 * inv_n * ws.obuf[u];
+          ws.sum[u] += v;
+          ws.sum_sq[u] += v * v;
+        }
+      }
+    });
+    for (const WorkerState& ws : workers) {
+      for (NodeId u = 0; u < n; ++u) {
+        sum[u] += ws.sum[u];
+        sum_sq[u] += ws.sum_sq[u];
+      }
+    }
+    total += current;
+    batch *= 2;
+
+    if (options.adaptive && total < target) {
+      // Selection-resolved stop: the best candidate's upper confidence
+      // bound lies below the runner-up's lower bound. (The paper's
+      // relative criterion is ill-posed here because x_u is a *shifted*
+      // diagonal that can be arbitrarily close to zero; resolving the
+      // argmin is what the first iteration actually needs.)
+      NodeId best = -1, second = -1;
+      for (NodeId u = 0; u < n; ++u) {
+        const double xu = sum[u] / total;
+        if (best == -1 || xu < sum[best] / total) {
+          second = best;
+          best = u;
+        } else if (second == -1 || xu < sum[second] / total) {
+          second = u;
+        }
+      }
+      if (best >= 0 && second >= 0) {
+        auto half_width = [&](NodeId u) {
+          const double sup = 3.0 * static_cast<double>(scaffold.bfs.depth[u]);
+          return EmpiricalBernsteinHalfWidth(total, sum[u], sum_sq[u], sup,
+                                             delta);
+        };
+        const double hb = half_width(best);
+        const double hs = half_width(second);
+        if (sum[best] / total + hb <= sum[second] / total - hs) {
+          result.converged = true;
+          break;
+        }
+      }
+    }
+  }
+  result.forests = total;
+
+  result.scores.assign(static_cast<std::size_t>(n), 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    result.scores[u] = sum[u] / result.forests;
+  }
+  result.scores[result.pivot] = 0.0;  // Alg. 3 line 11: x_s <- 0
+  result.best = static_cast<NodeId>(
+      std::min_element(result.scores.begin(), result.scores.end()) -
+      result.scores.begin());
+  return result;
+}
+
+}  // namespace cfcm

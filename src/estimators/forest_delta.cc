@@ -1,0 +1,175 @@
+#include "estimators/forest_delta.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "estimators/bernstein.h"
+#include "estimators/phi_estimators.h"
+#include "forest/bfs_tree.h"
+#include "forest/subtree.h"
+#include "forest/wilson.h"
+#include "linalg/jl.h"
+
+namespace cfcm {
+
+namespace {
+
+struct WorkerState {
+  WorkerState(const Graph& graph, int w)
+      : sampler(graph),
+        xbuf(static_cast<std::size_t>(graph.num_nodes())),
+        sub(static_cast<std::size_t>(graph.num_nodes()) * w),
+        ybuf(static_cast<std::size_t>(graph.num_nodes()) * w),
+        sum_x(static_cast<std::size_t>(graph.num_nodes())),
+        sum_sq_x(static_cast<std::size_t>(graph.num_nodes())),
+        sum_y(static_cast<std::size_t>(graph.num_nodes()) * w),
+        sum_y_sq(static_cast<std::size_t>(graph.num_nodes())) {}
+
+  ForestSampler sampler;
+  std::vector<int32_t> xbuf;
+  std::vector<double> sub;
+  std::vector<double> ybuf;
+  std::vector<double> sum_x;
+  std::vector<double> sum_sq_x;
+  std::vector<double> sum_y;
+  std::vector<double> sum_y_sq;
+};
+
+}  // namespace
+
+DeltaEstimate ForestDelta(const Graph& graph,
+                          const std::vector<NodeId>& s_nodes,
+                          const EstimatorOptions& options, ThreadPool& pool) {
+  const NodeId n = graph.num_nodes();
+  assert(!s_nodes.empty());
+  const TreeScaffold scaffold = MakeTreeScaffold(graph, s_nodes);
+  const int w = ResolveJlRows(options, n);
+  const int target = ResolveTargetForests(options, n);
+  const double delta_fail = ResolveBernsteinDelta(options, n);
+  const JlSketch sketch(w, n, options.seed ^ 0x9d2c5680a76b3f01ULL);
+
+  const std::size_t num_workers = std::max<std::size_t>(1, pool.num_threads());
+  std::vector<WorkerState> workers;
+  workers.reserve(num_workers);
+  for (std::size_t t = 0; t < num_workers; ++t) workers.emplace_back(graph, w);
+
+  const std::size_t nw = static_cast<std::size_t>(n) * w;
+  std::vector<double> sum_x(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> sum_sq_x(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> sum_y(nw, 0.0);
+  std::vector<double> sum_y_sq(static_cast<std::size_t>(n), 0.0);
+
+  DeltaEstimate result;
+  result.jl_rows = w;
+  result.delta.assign(static_cast<std::size_t>(n), 0.0);
+  result.z.assign(static_cast<std::size_t>(n), 0.0);
+  result.numerator.assign(static_cast<std::size_t>(n), 0.0);
+
+  // Evaluates point estimates and (optionally) the Bernstein stop rule.
+  auto assemble_and_check = [&](int r) {
+    const double inv_r = 1.0 / static_cast<double>(r);
+    bool all_converged = options.adaptive;
+    const double rel_cap = options.eps / (1.0 + options.eps);
+    for (NodeId u = 0; u < n; ++u) {
+      if (scaffold.is_root[u]) {
+        result.delta[u] = result.z[u] = result.numerator[u] = 0.0;
+        continue;
+      }
+      const double zu = sum_x[u] * inv_r;
+      double raw_num = 0;
+      const double* yu = sum_y.data() + static_cast<std::size_t>(u) * w;
+      for (int j = 0; j < w; ++j) {
+        const double m = yu[j] * inv_r;
+        raw_num += m * m;
+      }
+      // Aggregate variance across sketch rows: sum_j Var(Y_j) = mean
+      // ||Y_f||^2 - ||mean Y||^2. Used both to debias the numerator and
+      // as the Bernstein variance proxy.
+      const double v_tot = std::max(0.0, sum_y_sq[u] * inv_r - raw_num);
+      // E[sum_j Ybar_j^2] = ||E Y||^2 + sum_j Var(Y_j)/r: subtract the
+      // plug-in bias (it scales with depth^2 and would systematically
+      // favor deep nodes on high-diameter graphs).
+      const double num =
+          r > 1 ? std::max(raw_num - v_tot / static_cast<double>(r - 1), 0.0)
+                : raw_num;
+      result.z[u] = zu;
+      result.numerator[u] = num;
+      // (L^{-1}_{-S})_uu >= 1/d_u by the Neumann-series bound (paper
+      // Lemma 3.9); clamp the denominator so sampling noise cannot blow
+      // up the ratio.
+      const double z_floor = 1.0 / static_cast<double>(graph.degree(u) + 1);
+      result.delta[u] = num / std::max(zu, z_floor);
+
+      if (all_converged) {
+        const double sup_x = 2.0 * static_cast<double>(scaffold.bfs.depth[u]);
+        const double hz = EmpiricalBernsteinHalfWidth(r, sum_x[u], sum_sq_x[u],
+                                                      sup_x, delta_fail);
+        const double log_term = std::log(3.0 / delta_fail);
+        const double h_base = 2.0 * log_term * v_tot * inv_r;
+        const double h_num = 2.0 * std::sqrt(num * h_base) + h_base;
+        const double rel =
+            h_num / std::max(num, 1e-300) + hz / std::max(zu, z_floor);
+        if (rel > rel_cap) all_converged = false;
+      }
+    }
+    return all_converged;
+  };
+
+  int total = 0;
+  int batch = std::max(1, options.min_batch);
+  while (total < target) {
+    const int current = std::min(batch, target - total);
+    const int base = total;
+    pool.RunPerWorker([&](std::size_t worker_id) {
+      WorkerState& ws = workers[worker_id];
+      std::fill(ws.sum_x.begin(), ws.sum_x.end(), 0.0);
+      std::fill(ws.sum_sq_x.begin(), ws.sum_sq_x.end(), 0.0);
+      std::fill(ws.sum_y.begin(), ws.sum_y.end(), 0.0);
+      std::fill(ws.sum_y_sq.begin(), ws.sum_y_sq.end(), 0.0);
+      for (int i = static_cast<int>(worker_id); i < current;
+           i += static_cast<int>(num_workers)) {
+        Rng rng(options.seed, static_cast<uint64_t>(base + i));
+        const RootedForest& forest = ws.sampler.Sample(scaffold.is_root, &rng);
+        SubtreeJlSums(forest, scaffold.is_root, sketch, ws.sub.data());
+        DiagPrefixPass(scaffold, forest, &ws.xbuf);
+        JlPrefixPass(scaffold, forest, ws.sub.data(), w, ws.ybuf.data());
+        for (NodeId u = 0; u < n; ++u) {
+          if (scaffold.is_root[u]) continue;
+          const double x = static_cast<double>(ws.xbuf[u]);
+          ws.sum_x[u] += x;
+          ws.sum_sq_x[u] += x * x;
+          const double* yr = ws.ybuf.data() + static_cast<std::size_t>(u) * w;
+          double* acc = ws.sum_y.data() + static_cast<std::size_t>(u) * w;
+          double sq = 0;
+          for (int j = 0; j < w; ++j) {
+            acc[j] += yr[j];
+            sq += yr[j] * yr[j];
+          }
+          ws.sum_y_sq[u] += sq;
+        }
+      }
+    });
+    for (const WorkerState& ws : workers) {
+      for (NodeId u = 0; u < n; ++u) {
+        sum_x[u] += ws.sum_x[u];
+        sum_sq_x[u] += ws.sum_sq_x[u];
+        sum_y_sq[u] += ws.sum_y_sq[u];
+      }
+      for (std::size_t i = 0; i < nw; ++i) sum_y[i] += ws.sum_y[i];
+    }
+    total += current;
+    batch *= 2;
+
+    if (total >= target) break;
+    if (options.adaptive && assemble_and_check(total)) {
+      result.converged = true;
+      break;
+    }
+  }
+  assemble_and_check(total);
+  result.forests = total;
+  return result;
+}
+
+}  // namespace cfcm

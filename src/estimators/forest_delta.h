@@ -1,0 +1,35 @@
+// ForestDelta (paper Algorithm 2): marginal gains Delta(u, S) from
+// sampled spanning forests rooted at S.
+#ifndef CFCM_ESTIMATORS_FOREST_DELTA_H_
+#define CFCM_ESTIMATORS_FOREST_DELTA_H_
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "estimators/options.h"
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// Estimates of Delta(u,S) = (L_{-S}^{-2})_uu / (L_{-S}^{-1})_uu.
+struct DeltaEstimate {
+  std::vector<double> delta;      ///< Delta'(u,S); 0 at nodes of S
+  std::vector<double> z;          ///< (L_{-S}^{-1})_uu estimates; 0 at S
+  std::vector<double> numerator;  ///< ||W L_{-S}^{-1} e_u||^2 estimates
+  int forests = 0;
+  int jl_rows = 0;
+  bool converged = false;  ///< Bernstein criterion fired before the cap
+};
+
+/// \brief Runs Algorithm 2: samples rooted forests with root set
+/// `s_nodes`, maintains diagonal and JL-sketched flow estimators, and
+/// applies the empirical-Bernstein adaptive exit.
+///
+/// Requires a connected graph and a non-empty root set.
+DeltaEstimate ForestDelta(const Graph& graph,
+                          const std::vector<NodeId>& s_nodes,
+                          const EstimatorOptions& options, ThreadPool& pool);
+
+}  // namespace cfcm
+
+#endif  // CFCM_ESTIMATORS_FOREST_DELTA_H_

@@ -1,0 +1,35 @@
+#include "estimators/options.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cfcm {
+
+namespace {
+
+double Log2N(NodeId n) { return std::log2(static_cast<double>(std::max<NodeId>(2, n))); }
+
+}  // namespace
+
+int ResolveJlRows(const EstimatorOptions& options, NodeId n) {
+  if (options.jl_rows > 0) return options.jl_rows;
+  const int derived = static_cast<int>(std::ceil(2.0 * Log2N(n)));
+  return std::clamp(derived, 8, options.max_jl_rows);
+}
+
+int ResolveTargetForests(const EstimatorOptions& options, NodeId n) {
+  if (options.target_forests > 0) {
+    return std::min(options.target_forests, options.max_forests);
+  }
+  const double derived =
+      options.forest_factor / (options.eps * options.eps) * Log2N(n);
+  return std::clamp(static_cast<int>(std::ceil(derived)), options.min_batch,
+                    options.max_forests);
+}
+
+double ResolveBernsteinDelta(const EstimatorOptions& options, NodeId n) {
+  if (options.bernstein_delta > 0) return options.bernstein_delta;
+  return 1.0 / static_cast<double>(std::max<NodeId>(2, n));
+}
+
+}  // namespace cfcm

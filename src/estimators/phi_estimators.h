@@ -1,0 +1,47 @@
+// Per-forest prefix passes implementing the paper's Phi estimators.
+//
+// All estimators telescope per-edge flow statistics along the fixed BFS
+// tree from the root set. The key identity (proved from Lemma 3.2 by
+// subtracting the flows sourced at the two endpoints of an edge; see
+// DESIGN.md §3) is, for every graph edge (a, b):
+//
+//   Pr[pi_a = b] - Pr[pi_b = a] = (L_{-S}^{-1})_aa - (L_{-S}^{-1})_bb,
+//
+// so the per-forest statistic chi[pi_a = b] - chi[pi_b = a] summed along
+// the BFS path of u is an unbiased estimator of (L_{-S}^{-1})_uu; and for
+// weighted sources, E[ Wsub_f(a) chi[pi_a=b] - Wsub_f(b) chi[pi_b=a] ]
+// = sum_v w_v ((L^{-1})_va - (L^{-1})_vb) because v's root path traverses
+// a->b iff pi_a = b and v lies in subtree(a) (Lemma 3.3).
+#ifndef CFCM_ESTIMATORS_PHI_ESTIMATORS_H_
+#define CFCM_ESTIMATORS_PHI_ESTIMATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "forest/bfs_tree.h"
+#include "forest/wilson.h"
+
+namespace cfcm {
+
+/// \brief Per-forest diagonal statistics X_f(u) with E[X_f(u)] =
+/// (L_{-S}^{-1})_uu. Writes into xbuf (n entries; roots get 0). O(n).
+void DiagPrefixPass(const TreeScaffold& scaffold, const RootedForest& forest,
+                    std::vector<int32_t>* xbuf);
+
+/// \brief Per-forest all-ones-weighted statistics O_f(u) with E[O_f(u)] =
+/// 1^T L_{-S}^{-1} e_u. `sizes` are the forest subtree sizes
+/// (SubtreeSizes). Writes into obuf (n entries; roots get 0). O(n).
+void OnesPrefixPass(const TreeScaffold& scaffold, const RootedForest& forest,
+                    const std::vector<int32_t>& sizes,
+                    std::vector<double>* obuf);
+
+/// \brief Per-forest JL-weighted statistics Y_f(u) in R^w with
+/// E[Y_{j,f}(u)] = (W L_{-S}^{-1})_{ju}. `sub` are the JL subtree sums
+/// (SubtreeJlSums, node-major n*w). Writes node-major into ybuf (n*w;
+/// roots get 0). O(n*w).
+void JlPrefixPass(const TreeScaffold& scaffold, const RootedForest& forest,
+                  const double* sub, int w, double* ybuf);
+
+}  // namespace cfcm
+
+#endif  // CFCM_ESTIMATORS_PHI_ESTIMATORS_H_

@@ -1,0 +1,25 @@
+#include "forest/bfs_tree.h"
+
+#include <cassert>
+
+namespace cfcm {
+
+TreeScaffold MakeTreeScaffold(const Graph& graph,
+                              const std::vector<NodeId>& roots) {
+  assert(!roots.empty());
+  TreeScaffold scaffold;
+  scaffold.is_root.assign(static_cast<std::size_t>(graph.num_nodes()), 0);
+  for (NodeId r : roots) {
+    assert(r >= 0 && r < graph.num_nodes());
+    if (!scaffold.is_root[r]) {
+      scaffold.is_root[r] = 1;
+      scaffold.roots.push_back(r);
+    }
+  }
+  scaffold.bfs = Bfs(graph, scaffold.roots);
+  assert(scaffold.bfs.num_reached() == graph.num_nodes() &&
+         "estimators require a connected graph");
+  return scaffold;
+}
+
+}  // namespace cfcm

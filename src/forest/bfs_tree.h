@@ -1,0 +1,31 @@
+// Fixed BFS-tree scaffold shared by all forest estimators.
+//
+// Every Phi estimator in the paper telescopes per-edge flow statistics
+// along a fixed path from u to the root set (Lemma 3.3). Using the BFS
+// tree from S keeps paths shortest (length <= tau) and lets all n values
+// be computed by one prefix pass over the BFS order.
+#ifndef CFCM_FOREST_BFS_TREE_H_
+#define CFCM_FOREST_BFS_TREE_H_
+
+#include <vector>
+
+#include "graph/bfs.h"
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// \brief BFS tree rooted at a node set, plus the root indicator mask.
+struct TreeScaffold {
+  std::vector<NodeId> roots;  ///< deduplicated root set
+  std::vector<char> is_root;  ///< n-length 0/1 mask
+  BfsResult bfs;              ///< order/parent/depth from the roots
+};
+
+/// Builds the scaffold; requires a connected graph and non-empty roots
+/// (asserts that BFS reaches every node).
+TreeScaffold MakeTreeScaffold(const Graph& graph,
+                              const std::vector<NodeId>& roots);
+
+}  // namespace cfcm
+
+#endif  // CFCM_FOREST_BFS_TREE_H_

@@ -1,0 +1,37 @@
+#include "forest/subtree.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace cfcm {
+
+void SubtreeSizes(const RootedForest& forest, std::vector<int32_t>* sizes) {
+  const std::size_t n = forest.parent.size();
+  sizes->assign(n, 0);
+  for (NodeId u : forest.leaves_first) (*sizes)[u] += 1;  // self-weight
+  for (NodeId u : forest.leaves_first) {
+    (*sizes)[forest.parent[u]] += (*sizes)[u];
+  }
+}
+
+void SubtreeJlSums(const RootedForest& forest, const std::vector<char>& is_root,
+                   const JlSketch& sketch, double* buf) {
+  const std::size_t n = forest.parent.size();
+  const int w = sketch.num_rows();
+  // Roots carry no self-weight; overwrite everything else below.
+  for (std::size_t u = 0; u < n; ++u) {
+    double* row = buf + u * static_cast<std::size_t>(w);
+    if (is_root[u]) {
+      std::memset(row, 0, sizeof(double) * static_cast<std::size_t>(w));
+    } else {
+      sketch.ColumnInto(static_cast<NodeId>(u), row);
+    }
+  }
+  for (NodeId u : forest.leaves_first) {
+    const double* src = buf + static_cast<std::size_t>(u) * w;
+    double* dst = buf + static_cast<std::size_t>(forest.parent[u]) * w;
+    for (int j = 0; j < w; ++j) dst[j] += src[j];
+  }
+}
+
+}  // namespace cfcm

@@ -1,0 +1,33 @@
+// Subtree aggregation kernels over sampled forests.
+//
+// For a forest edge (u, pi_u), the set of sources whose root path
+// traverses u -> pi_u is exactly subtree(u); all per-forest weighted flow
+// statistics therefore reduce to subtree sums, computable in one pass
+// over the leaves-first order (paper Alg. 2 lines 8-10).
+#ifndef CFCM_FOREST_SUBTREE_H_
+#define CFCM_FOREST_SUBTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "forest/wilson.h"
+#include "linalg/jl.h"
+
+namespace cfcm {
+
+/// \brief sizes[u] = |subtree(u)| counting only non-root nodes as weight
+/// carriers, i.e. every non-root contributes 1, roots contribute 0 but
+/// still accumulate their descendants. O(n).
+void SubtreeSizes(const RootedForest& forest, std::vector<int32_t>* sizes);
+
+/// \brief Per-node JL subtree sums.
+///
+/// On return buf[u*w + j] = sum over v in subtree(u) of W(j, v), where
+/// roots carry zero self-weight (W is defined on V \ roots, matching the
+/// paper's W in R^{w x |V\S|}). `buf` must have n*w entries. O(n*w).
+void SubtreeJlSums(const RootedForest& forest, const std::vector<char>& is_root,
+                   const JlSketch& sketch, double* buf);
+
+}  // namespace cfcm
+
+#endif  // CFCM_FOREST_SUBTREE_H_

@@ -1,0 +1,66 @@
+#include "forest/wilson.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cfcm {
+
+ForestSampler::ForestSampler(const Graph& graph) : graph_(graph) {
+  const std::size_t n = static_cast<std::size_t>(graph.num_nodes());
+  forest_.parent.assign(n, -1);
+  forest_.root_of.assign(n, -1);
+  forest_.leaves_first.reserve(n);
+  in_forest_.assign(n, 0);
+}
+
+const RootedForest& ForestSampler::Sample(const std::vector<char>& is_root,
+                                          Rng* rng) {
+  const NodeId n = graph_.num_nodes();
+  assert(static_cast<NodeId>(is_root.size()) == n);
+
+  std::copy(is_root.begin(), is_root.end(), in_forest_.begin());
+  forest_.leaves_first.clear();
+  last_walk_steps_ = 0;
+
+  auto& parent = forest_.parent;
+  for (NodeId u = 0; u < n; ++u) {
+    parent[u] = -1;
+    forest_.root_of[u] = is_root[u] ? u : -1;
+  }
+
+  for (NodeId start = 0; start < n; ++start) {
+    if (in_forest_[start]) continue;
+    // Phase 1: random walk until the current forest is hit. Only the last
+    // exit edge per node survives, which is exactly loop erasure.
+    NodeId i = start;
+    while (!in_forest_[i]) {
+      const auto nbrs = graph_.neighbors(i);
+      parent[i] = nbrs[rng->NextBounded(static_cast<uint32_t>(nbrs.size()))];
+      ++last_walk_steps_;
+      i = parent[i];
+    }
+    // Phase 2: retrace the loop-erased path and commit it to the forest.
+    chain_.clear();
+    i = start;
+    while (!in_forest_[i]) {
+      in_forest_[i] = 1;
+      chain_.push_back(i);
+      i = parent[i];
+    }
+    // Append root-to-leaf so that the final global reversal yields a
+    // leaves-before-parents order (paper Alg. 1 lines 13-14).
+    for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
+      forest_.leaves_first.push_back(*it);
+    }
+  }
+  std::reverse(forest_.leaves_first.begin(), forest_.leaves_first.end());
+
+  // rho_u: parents precede children in the reversed iteration below.
+  for (auto it = forest_.leaves_first.rbegin();
+       it != forest_.leaves_first.rend(); ++it) {
+    forest_.root_of[*it] = forest_.root_of[parent[*it]];
+  }
+  return forest_;
+}
+
+}  // namespace cfcm

@@ -1,0 +1,53 @@
+// Wilson's algorithm for uniform rooted spanning forests (paper Alg. 1).
+#ifndef CFCM_FOREST_WILSON_H_
+#define CFCM_FOREST_WILSON_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// \brief A rooted spanning forest of G with a fixed root set.
+///
+/// `parent[u]` is pi_u for non-roots and -1 for roots. `leaves_first`
+/// lists all non-root nodes such that every node appears before its
+/// forest parent (the paper's reverse-DFS order L_DFS); iterating it
+/// lets subtree aggregates be computed with one visit per node.
+/// `root_of[u]` is rho_u, the root of u's tree (roots map to themselves).
+struct RootedForest {
+  std::vector<NodeId> parent;
+  std::vector<NodeId> leaves_first;
+  std::vector<NodeId> root_of;
+};
+
+/// \brief Scratch buffers for repeated sampling (avoids reallocation on
+/// the hot path). One instance per worker thread.
+class ForestSampler {
+ public:
+  explicit ForestSampler(const Graph& graph);
+
+  /// Samples a uniform spanning forest rooted at {u : is_root[u] != 0}
+  /// via loop-erased random walks. The root set must be non-empty and the
+  /// graph connected. Deterministic in *rng.
+  ///
+  /// The returned reference points at internal buffers valid until the
+  /// next Sample() call on this sampler.
+  const RootedForest& Sample(const std::vector<char>& is_root, Rng* rng);
+
+  /// Total random-walk steps taken by the last Sample() call (the cost
+  /// measure of Lemma 3.7: Tr((I - P_{-S})^{-1}) in expectation).
+  std::int64_t last_walk_steps() const { return last_walk_steps_; }
+
+ private:
+  const Graph& graph_;
+  RootedForest forest_;
+  std::vector<char> in_forest_;
+  std::vector<NodeId> chain_;
+  std::int64_t last_walk_steps_ = 0;
+};
+
+}  // namespace cfcm
+
+#endif  // CFCM_FOREST_WILSON_H_

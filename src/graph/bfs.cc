@@ -1,0 +1,37 @@
+#include "graph/bfs.h"
+
+#include <cassert>
+
+namespace cfcm {
+
+BfsResult Bfs(const Graph& graph, const std::vector<NodeId>& sources) {
+  const NodeId n = graph.num_nodes();
+  BfsResult result;
+  result.parent.assign(static_cast<std::size_t>(n), BfsResult::kUnreached);
+  result.depth.assign(static_cast<std::size_t>(n), BfsResult::kUnreached);
+  result.order.reserve(static_cast<std::size_t>(n));
+
+  for (NodeId s : sources) {
+    assert(s >= 0 && s < n);
+    if (result.depth[s] == 0) continue;  // duplicate source
+    result.depth[s] = 0;
+    result.order.push_back(s);
+  }
+  // `order` doubles as the BFS queue: nodes are appended exactly once.
+  for (std::size_t head = 0; head < result.order.size(); ++head) {
+    const NodeId u = result.order[head];
+    for (NodeId v : graph.neighbors(u)) {
+      if (result.depth[v] != BfsResult::kUnreached) continue;
+      result.depth[v] = result.depth[u] + 1;
+      result.parent[v] = u;
+      result.order.push_back(v);
+    }
+  }
+  return result;
+}
+
+BfsResult Bfs(const Graph& graph, NodeId source) {
+  return Bfs(graph, std::vector<NodeId>{source});
+}
+
+}  // namespace cfcm

@@ -1,0 +1,33 @@
+// Multi-source breadth-first search.
+#ifndef CFCM_GRAPH_BFS_H_
+#define CFCM_GRAPH_BFS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// \brief Result of a (multi-source) BFS.
+///
+/// Unreached nodes have parent == -1 and depth == kUnreached and do not
+/// appear in `order`. Sources have parent == -1 and depth == 0.
+struct BfsResult {
+  static constexpr NodeId kUnreached = -1;
+
+  std::vector<NodeId> order;   ///< Visit order; sources first.
+  std::vector<NodeId> parent;  ///< BFS-tree parent per node (-1 for sources).
+  std::vector<NodeId> depth;   ///< Hop distance from the nearest source.
+
+  NodeId num_reached() const { return static_cast<NodeId>(order.size()); }
+};
+
+/// Runs BFS from every node in `sources` simultaneously.
+BfsResult Bfs(const Graph& graph, const std::vector<NodeId>& sources);
+
+/// Single-source overload.
+BfsResult Bfs(const Graph& graph, NodeId source);
+
+}  // namespace cfcm
+
+#endif  // CFCM_GRAPH_BFS_H_

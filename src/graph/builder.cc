@@ -1,0 +1,56 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace cfcm {
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u == v) return;  // Self-loops carry no resistance information.
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  if (v + 1 > num_nodes_) num_nodes_ = v + 1;
+}
+
+StatusOr<Graph> GraphBuilder::Build() && {
+  for (const auto& [u, v] : edges_) {
+    if (u < 0) {
+      return Status::InvalidArgument("negative node id " + std::to_string(u));
+    }
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  const NodeId n = num_nodes_;
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (NodeId i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+
+  std::vector<NodeId> neighbors(static_cast<std::size_t>(offsets[n]));
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    neighbors[static_cast<std::size_t>(cursor[u]++)] = v;
+    neighbors[static_cast<std::size_t>(cursor[v]++)] = u;
+  }
+  // Edges were sorted by (u, v) so each u-list is already ascending, but
+  // the v-side inserts are interleaved; sort each list to guarantee order.
+  for (NodeId u = 0; u < n; ++u) {
+    std::sort(neighbors.begin() + offsets[u], neighbors.begin() + offsets[u + 1]);
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Graph BuildGraph(NodeId num_nodes,
+                 const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder builder(num_nodes);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  auto graph = std::move(builder).Build();
+  assert(graph.ok());
+  return std::move(graph).value();
+}
+
+}  // namespace cfcm

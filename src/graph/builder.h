@@ -1,0 +1,46 @@
+// Mutable edge accumulator that produces immutable CSR graphs.
+#ifndef CFCM_GRAPH_BUILDER_H_
+#define CFCM_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// \brief Accumulates undirected edges and builds a Graph.
+///
+/// Self-loops are dropped and parallel edges deduplicated at Build() time.
+/// Node count is max(explicit num_nodes, max endpoint + 1).
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declares at least `n` nodes (isolated nodes are allowed here;
+  /// most algorithms additionally require connectivity, checked by them).
+  explicit GraphBuilder(NodeId n) : num_nodes_(n) {}
+
+  /// Adds undirected edge {u, v}. Negative ids are rejected at Build().
+  void AddEdge(NodeId u, NodeId v);
+
+  /// Number of (not yet deduplicated) added edges.
+  std::size_t num_added_edges() const { return edges_.size(); }
+
+  /// Builds the CSR graph; fails on negative endpoints.
+  StatusOr<Graph> Build() &&;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+/// Convenience for tests/generators: builds from an edge list, asserting
+/// validity.
+Graph BuildGraph(NodeId num_nodes,
+                 const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+}  // namespace cfcm
+
+#endif  // CFCM_GRAPH_BUILDER_H_

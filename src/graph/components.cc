@@ -1,0 +1,73 @@
+#include "graph/components.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+#include "graph/builder.h"
+
+namespace cfcm {
+
+std::vector<NodeId> ConnectedComponents(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> label(static_cast<std::size_t>(n), -1);
+  std::vector<NodeId> queue;
+  NodeId next_label = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    if (label[s] != -1) continue;
+    label[s] = next_label;
+    queue.assign(1, s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (NodeId v : graph.neighbors(queue[head])) {
+        if (label[v] != -1) continue;
+        label[v] = next_label;
+        queue.push_back(v);
+      }
+    }
+    ++next_label;
+  }
+  return label;
+}
+
+NodeId NumComponents(const Graph& graph) {
+  const auto label = ConnectedComponents(graph);
+  NodeId count = 0;
+  for (NodeId l : label) count = std::max(count, l + 1);
+  return count;
+}
+
+bool IsConnected(const Graph& graph) {
+  return graph.num_nodes() > 0 && NumComponents(graph) == 1;
+}
+
+LccResult LargestConnectedComponent(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  const auto label = ConnectedComponents(graph);
+  NodeId num_labels = 0;
+  for (NodeId l : label) num_labels = std::max(num_labels, l + 1);
+
+  std::vector<NodeId> size(static_cast<std::size_t>(num_labels), 0);
+  for (NodeId l : label) ++size[l];
+  const NodeId best = static_cast<NodeId>(
+      std::max_element(size.begin(), size.end()) - size.begin());
+
+  LccResult result;
+  std::vector<NodeId> to_new(static_cast<std::size_t>(n), -1);
+  for (NodeId u = 0; u < n; ++u) {
+    if (label[u] == best) {
+      to_new[u] = static_cast<NodeId>(result.to_original.size());
+      result.to_original.push_back(u);
+    }
+  }
+  GraphBuilder builder(static_cast<NodeId>(result.to_original.size()));
+  for (NodeId u = 0; u < n; ++u) {
+    if (to_new[u] == -1) continue;
+    for (NodeId v : graph.neighbors(u)) {
+      if (u < v && to_new[v] != -1) builder.AddEdge(to_new[u], to_new[v]);
+    }
+  }
+  auto built = std::move(builder).Build();
+  result.graph = std::move(built).value();
+  return result;
+}
+
+}  // namespace cfcm

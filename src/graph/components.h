@@ -1,0 +1,34 @@
+// Connected components and largest-connected-component extraction.
+#ifndef CFCM_GRAPH_COMPONENTS_H_
+#define CFCM_GRAPH_COMPONENTS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// Component label per node (labels are dense, 0-based, ordered by the
+/// smallest node id in each component).
+std::vector<NodeId> ConnectedComponents(const Graph& graph);
+
+/// Number of connected components.
+NodeId NumComponents(const Graph& graph);
+
+/// True if the graph is connected (and non-empty).
+bool IsConnected(const Graph& graph);
+
+/// \brief Largest connected component with its node mapping.
+struct LccResult {
+  Graph graph;                      ///< Induced subgraph, relabeled [0, n').
+  std::vector<NodeId> to_original;  ///< LCC id -> original id.
+};
+
+/// Extracts the largest connected component (ties: smallest label).
+/// Matches the paper's preprocessing: "we perform our experiments on
+/// their largest connected components".
+LccResult LargestConnectedComponent(const Graph& graph);
+
+}  // namespace cfcm
+
+#endif  // CFCM_GRAPH_COMPONENTS_H_

@@ -1,0 +1,116 @@
+#include "graph/datasets.h"
+
+#include <array>
+#include <cassert>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+
+namespace cfcm {
+
+Graph KarateClub() {
+  // Zachary (1977), 1-indexed as in the original paper.
+  static constexpr std::array<std::pair<int, int>, 78> kEdges = {{
+      {1, 2},   {1, 3},   {1, 4},   {1, 5},   {1, 6},   {1, 7},   {1, 8},
+      {1, 9},   {1, 11},  {1, 12},  {1, 13},  {1, 14},  {1, 18},  {1, 20},
+      {1, 22},  {1, 32},  {2, 3},   {2, 4},   {2, 8},   {2, 14},  {2, 18},
+      {2, 20},  {2, 22},  {2, 31},  {3, 4},   {3, 8},   {3, 9},   {3, 10},
+      {3, 14},  {3, 28},  {3, 29},  {3, 33},  {4, 8},   {4, 13},  {4, 14},
+      {5, 7},   {5, 11},  {6, 7},   {6, 11},  {6, 17},  {7, 17},  {9, 31},
+      {9, 33},  {9, 34},  {10, 34}, {14, 34}, {15, 33}, {15, 34}, {16, 33},
+      {16, 34}, {19, 33}, {19, 34}, {20, 34}, {21, 33}, {21, 34}, {23, 33},
+      {23, 34}, {24, 26}, {24, 28}, {24, 30}, {24, 33}, {24, 34}, {25, 26},
+      {25, 28}, {25, 32}, {26, 32}, {27, 30}, {27, 34}, {28, 34}, {29, 32},
+      {29, 34}, {30, 33}, {30, 34}, {31, 33}, {31, 34}, {32, 33}, {32, 34},
+      {33, 34},
+  }};
+  GraphBuilder builder(34);
+  for (const auto& [u, v] : kEdges) builder.AddEdge(u - 1, v - 1);
+  auto graph = std::move(std::move(builder).Build()).value();
+  assert(graph.num_nodes() == 34 && graph.num_edges() == 78);
+  return graph;
+}
+
+Graph ContiguousUsa() {
+  // 48 contiguous states + DC; 107 land/water border pairs.
+  static const std::vector<std::pair<std::string, std::string>> kBorders = {
+      {"AL", "FL"}, {"AL", "GA"}, {"AL", "MS"}, {"AL", "TN"}, {"AR", "LA"},
+      {"AR", "MO"}, {"AR", "MS"}, {"AR", "OK"}, {"AR", "TN"}, {"AR", "TX"},
+      {"AZ", "CA"}, {"AZ", "NM"}, {"AZ", "NV"}, {"AZ", "UT"}, {"CA", "NV"},
+      {"CA", "OR"}, {"CO", "KS"}, {"CO", "NE"}, {"CO", "NM"}, {"CO", "OK"},
+      {"CO", "UT"}, {"CO", "WY"}, {"CT", "MA"}, {"CT", "NY"}, {"CT", "RI"},
+      {"DC", "MD"}, {"DC", "VA"}, {"DE", "MD"}, {"DE", "NJ"}, {"DE", "PA"},
+      {"FL", "GA"}, {"GA", "NC"}, {"GA", "SC"}, {"GA", "TN"}, {"IA", "IL"},
+      {"IA", "MN"}, {"IA", "MO"}, {"IA", "NE"}, {"IA", "SD"}, {"IA", "WI"},
+      {"ID", "MT"}, {"ID", "NV"}, {"ID", "OR"}, {"ID", "UT"}, {"ID", "WA"},
+      {"ID", "WY"}, {"IL", "IN"}, {"IL", "KY"}, {"IL", "MO"}, {"IL", "WI"},
+      {"IN", "KY"}, {"IN", "MI"}, {"IN", "OH"}, {"KS", "MO"}, {"KS", "NE"},
+      {"KS", "OK"}, {"KY", "MO"}, {"KY", "OH"}, {"KY", "TN"}, {"KY", "VA"},
+      {"KY", "WV"}, {"LA", "MS"}, {"LA", "TX"}, {"MA", "NH"}, {"MA", "NY"},
+      {"MA", "RI"}, {"MA", "VT"}, {"MD", "PA"}, {"MD", "VA"}, {"MD", "WV"},
+      {"ME", "NH"}, {"MI", "OH"}, {"MI", "WI"}, {"MN", "ND"}, {"MN", "SD"},
+      {"MN", "WI"}, {"MO", "NE"}, {"MO", "OK"}, {"MO", "TN"}, {"MS", "TN"},
+      {"MT", "ND"}, {"MT", "SD"}, {"MT", "WY"}, {"NC", "SC"}, {"NC", "TN"},
+      {"NC", "VA"}, {"ND", "SD"}, {"NE", "SD"}, {"NE", "WY"}, {"NH", "VT"},
+      {"NJ", "NY"}, {"NJ", "PA"}, {"NM", "OK"}, {"NM", "TX"}, {"NV", "OR"},
+      {"NV", "UT"}, {"NY", "PA"}, {"NY", "VT"}, {"OH", "PA"}, {"OH", "WV"},
+      {"OK", "TX"}, {"OR", "WA"}, {"PA", "WV"}, {"SD", "WY"}, {"TN", "VA"},
+      {"UT", "WY"}, {"VA", "WV"},
+  };
+  std::map<std::string, NodeId> ids;
+  for (const auto& [a, b] : kBorders) {
+    ids.emplace(a, 0);
+    ids.emplace(b, 0);
+  }
+  NodeId next = 0;
+  for (auto& [name, id] : ids) id = next++;
+  GraphBuilder builder(next);
+  for (const auto& [a, b] : kBorders) builder.AddEdge(ids[a], ids[b]);
+  auto graph = std::move(std::move(builder).Build()).value();
+  assert(graph.num_nodes() == 49 && graph.num_edges() == 107);
+  return graph;
+}
+
+Graph ZebraSynthetic() {
+  // 23 nodes; dense clustered contact structure (the real zebra LCC has
+  // mean degree ~9). Watts–Strogatz base keeps it clique-ish.
+  Graph g = WattsStrogatz(/*n=*/23, /*k=*/5, /*beta=*/0.25, /*seed=*/0x5eb7a);
+  assert(IsConnected(g));
+  return g;
+}
+
+Graph DolphinsSynthetic() {
+  // 62 nodes / 159 edges, like the Doubtful Sound dolphin network.
+  Graph g = PowerlawCluster(/*n=*/62, /*m=*/3, /*p=*/0.5, /*seed=*/0xd01f1);
+  // PowerlawCluster(62, 3) yields 3 + 59*3 = 180 edges minus dedup; trim
+  // to 159 by dropping the highest-index surplus edges deterministically.
+  auto edges = g.Edges();
+  if (edges.size() > 159) {
+    // Drop edges whose removal keeps the graph connected, scanning from
+    // the back (later preferential edges are redundant closures).
+    std::vector<std::pair<NodeId, NodeId>> kept(edges.begin(), edges.end());
+    std::size_t i = kept.size();
+    while (kept.size() > 159 && i > 0) {
+      --i;
+      std::vector<std::pair<NodeId, NodeId>> trial;
+      trial.reserve(kept.size() - 1);
+      for (std::size_t j = 0; j < kept.size(); ++j) {
+        if (j != i) trial.push_back(kept[j]);
+      }
+      Graph candidate = BuildGraph(62, trial);
+      if (IsConnected(candidate)) {
+        kept.swap(trial);
+      }
+    }
+    g = BuildGraph(62, kept);
+  }
+  assert(g.num_nodes() == 62 && IsConnected(g));
+  return g;
+}
+
+}  // namespace cfcm

@@ -1,0 +1,31 @@
+// Embedded tiny benchmark graphs (paper Fig. 1).
+#ifndef CFCM_GRAPH_DATASETS_H_
+#define CFCM_GRAPH_DATASETS_H_
+
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// Zachary's karate club: 34 nodes, 78 edges (the real network).
+Graph KarateClub();
+
+/// Contiguous-USA state adjacency: 49 nodes (48 states + DC), 107 edges
+/// (the real network, built from geographic border pairs; four-corner
+/// point contacts AZ–CO and NM–UT are not edges, matching the standard
+/// dataset).
+Graph ContiguousUsa();
+
+/// \brief "Zebra*": fixed-seed synthetic stand-in for the 23-node zebra
+/// interaction network used in the paper's Fig. 1; same node/edge budget
+/// and connectivity, dense social-clique structure. The original edge
+/// list is not redistributable offline; DESIGN.md §5 documents the
+/// substitution.
+Graph ZebraSynthetic();
+
+/// "Dolphins*": fixed-seed synthetic stand-in for the 62-node, 159-edge
+/// dolphin social network (same rationale as ZebraSynthetic()).
+Graph DolphinsSynthetic();
+
+}  // namespace cfcm
+
+#endif  // CFCM_GRAPH_DATASETS_H_

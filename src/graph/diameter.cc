@@ -1,0 +1,49 @@
+#include "graph/diameter.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+
+namespace cfcm {
+
+namespace {
+
+// Returns (farthest node, eccentricity) from `source`.
+std::pair<NodeId, NodeId> FarthestFrom(const Graph& graph, NodeId source) {
+  const BfsResult bfs = Bfs(graph, source);
+  NodeId far_node = source;
+  NodeId far_depth = 0;
+  for (NodeId u : bfs.order) {
+    if (bfs.depth[u] > far_depth) {
+      far_depth = bfs.depth[u];
+      far_node = u;
+    }
+  }
+  return {far_node, far_depth};
+}
+
+}  // namespace
+
+NodeId ExactDiameter(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  NodeId diameter = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    diameter = std::max(diameter, FarthestFrom(graph, s).second);
+  }
+  return diameter;
+}
+
+NodeId EstimateDiameter(const Graph& graph, int sweeps) {
+  if (graph.num_nodes() == 0) return 0;
+  NodeId start = graph.MaxDegreeNode();
+  NodeId best = 0;
+  for (int i = 0; i < sweeps; ++i) {
+    const auto [far_node, ecc] = FarthestFrom(graph, start);
+    best = std::max(best, ecc);
+    if (far_node == start) break;
+    start = far_node;
+  }
+  return best;
+}
+
+}  // namespace cfcm

@@ -1,0 +1,246 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+#include "graph/builder.h"
+
+namespace cfcm {
+
+Graph PathGraph(NodeId n) {
+  assert(n >= 1);
+  GraphBuilder builder(n);
+  for (NodeId i = 0; i + 1 < n; ++i) builder.AddEdge(i, i + 1);
+  return std::move(std::move(builder).Build()).value();
+}
+
+Graph CycleGraph(NodeId n) {
+  assert(n >= 3);
+  GraphBuilder builder(n);
+  for (NodeId i = 0; i < n; ++i) builder.AddEdge(i, (i + 1) % n);
+  return std::move(std::move(builder).Build()).value();
+}
+
+Graph CompleteGraph(NodeId n) {
+  assert(n >= 1);
+  GraphBuilder builder(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) builder.AddEdge(i, j);
+  }
+  return std::move(std::move(builder).Build()).value();
+}
+
+Graph StarGraph(NodeId n) {
+  assert(n >= 2);
+  GraphBuilder builder(n);
+  for (NodeId i = 1; i < n; ++i) builder.AddEdge(0, i);
+  return std::move(std::move(builder).Build()).value();
+}
+
+Graph GridGraph(NodeId rows, NodeId cols) {
+  assert(rows >= 1 && cols >= 1);
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return std::move(std::move(builder).Build()).value();
+}
+
+Graph BarabasiAlbert(NodeId n, NodeId m, uint64_t seed) {
+  assert(m >= 1 && n > m);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  // `targets` holds one entry per edge endpoint, so uniform sampling from
+  // it is exactly degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(2) * n * m);
+  for (NodeId i = 0; i <= m; ++i) {
+    for (NodeId j = i + 1; j <= m; ++j) {
+      builder.AddEdge(i, j);
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  std::vector<NodeId> chosen;
+  for (NodeId u = m + 1; u < n; ++u) {
+    chosen.clear();
+    while (static_cast<NodeId>(chosen.size()) < m) {
+      const NodeId t = endpoints[rng.NextBounded(
+          static_cast<uint32_t>(endpoints.size()))];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (NodeId t : chosen) {
+      builder.AddEdge(u, t);
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
+  return std::move(std::move(builder).Build()).value();
+}
+
+Graph ErdosRenyiGnm(NodeId n, EdgeId m, uint64_t seed) {
+  assert(n >= 2);
+  const EdgeId max_edges = static_cast<EdgeId>(n) * (n - 1) / 2;
+  assert(m <= max_edges);
+  (void)max_edges;
+  Rng rng(seed);
+  std::set<std::pair<NodeId, NodeId>> edges;
+  while (static_cast<EdgeId>(edges.size()) < m) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(static_cast<uint32_t>(n)));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(static_cast<uint32_t>(n)));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    edges.emplace(u, v);
+  }
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return std::move(std::move(builder).Build()).value();
+}
+
+Graph WattsStrogatz(NodeId n, NodeId k, double beta, uint64_t seed) {
+  assert(k >= 1 && n > 2 * k);
+  Rng rng(seed);
+  std::set<std::pair<NodeId, NodeId>> edges;
+  auto norm = [](NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId j = 1; j <= k; ++j) edges.insert(norm(u, (u + j) % n));
+  }
+  // Rewire the far endpoint of each original lattice edge with prob beta.
+  std::vector<std::pair<NodeId, NodeId>> lattice(edges.begin(), edges.end());
+  for (const auto& e : lattice) {
+    if (rng.NextDouble() >= beta) continue;
+    edges.erase(e);
+    // Keep u, pick a fresh partner not already linked.
+    const NodeId u = e.first;
+    for (int attempts = 0; attempts < 64; ++attempts) {
+      const NodeId w =
+          static_cast<NodeId>(rng.NextBounded(static_cast<uint32_t>(n)));
+      if (w == u || edges.count(norm(u, w)) != 0) continue;
+      edges.insert(norm(u, w));
+      break;
+    }
+    if (edges.count(e) == 0 &&
+        static_cast<EdgeId>(edges.size()) < static_cast<EdgeId>(lattice.size())) {
+      edges.insert(e);  // all attempts collided: restore the lattice edge
+    }
+  }
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return std::move(std::move(builder).Build()).value();
+}
+
+Graph PowerlawCluster(NodeId n, NodeId m, double p, uint64_t seed) {
+  assert(m >= 1 && n > m);
+  Rng rng(seed);
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n));
+  std::vector<NodeId> endpoints;
+  auto connect = [&](NodeId a, NodeId b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+  };
+  for (NodeId i = 0; i <= m; ++i) {
+    for (NodeId j = i + 1; j <= m; ++j) connect(i, j);
+  }
+  auto linked = [&](NodeId a, NodeId b) {
+    return std::find(adj[a].begin(), adj[a].end(), b) != adj[a].end();
+  };
+  for (NodeId u = m + 1; u < n; ++u) {
+    NodeId added = 0;
+    NodeId last = -1;
+    while (added < m) {
+      NodeId target = -1;
+      if (last != -1 && rng.NextDouble() < p) {
+        // Triad closure: link to a random neighbor of the last target.
+        const auto& cand = adj[last];
+        target = cand[rng.NextBounded(static_cast<uint32_t>(cand.size()))];
+      } else {
+        target = endpoints[rng.NextBounded(
+            static_cast<uint32_t>(endpoints.size()))];
+      }
+      if (target == u || linked(u, target)) {
+        // Fall back to a fresh preferential draw next round.
+        last = -1;
+        continue;
+      }
+      connect(u, target);
+      last = target;
+      ++added;
+    }
+  }
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : adj[u]) {
+      if (u < v) builder.AddEdge(u, v);
+    }
+  }
+  return std::move(std::move(builder).Build()).value();
+}
+
+Graph RandomGeometric(NodeId n, double radius, uint64_t seed) {
+  assert(n >= 2);
+  Rng rng(seed);
+  std::vector<std::pair<double, double>> pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) p = {rng.NextDouble(), rng.NextDouble()};
+  // Sort by x so the radius search only scans a window; O(n * window).
+  std::vector<NodeId> by_x(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) by_x[i] = i;
+  std::sort(by_x.begin(), by_x.end(), [&](NodeId a, NodeId b) {
+    return pts[a].first < pts[b].first;
+  });
+  GraphBuilder builder(n);
+  const double r2 = radius * radius;
+  for (std::size_t i = 0; i < by_x.size(); ++i) {
+    const NodeId a = by_x[i];
+    for (std::size_t j = i + 1; j < by_x.size(); ++j) {
+      const NodeId b = by_x[j];
+      const double dx = pts[b].first - pts[a].first;
+      if (dx > radius) break;
+      const double dy = pts[b].second - pts[a].second;
+      if (dx * dx + dy * dy <= r2) builder.AddEdge(a, b);
+    }
+  }
+  // Hamiltonian backbone along x keeps the graph connected (road networks
+  // are connected by construction; LCC extraction would shrink n).
+  for (std::size_t i = 0; i + 1 < by_x.size(); ++i) {
+    builder.AddEdge(by_x[i], by_x[i + 1]);
+  }
+  return std::move(std::move(builder).Build()).value();
+}
+
+Graph KnnGraph(const std::vector<std::array<double, 3>>& points, int k) {
+  const NodeId n = static_cast<NodeId>(points.size());
+  assert(k >= 1 && n > k);
+  GraphBuilder builder(n);
+  std::vector<std::pair<double, NodeId>> dist;
+  for (NodeId i = 0; i < n; ++i) {
+    dist.clear();
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double d2 = 0;
+      for (int c = 0; c < 3; ++c) {
+        const double d = points[i][c] - points[j][c];
+        d2 += d * d;
+      }
+      dist.emplace_back(d2, j);
+    }
+    std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+    for (int t = 0; t < k; ++t) builder.AddEdge(i, dist[t].second);
+  }
+  return std::move(std::move(builder).Build()).value();
+}
+
+}  // namespace cfcm

@@ -1,0 +1,66 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on KONECT/SNAP/NetworkRepository downloads that are
+// unavailable in this offline environment; DESIGN.md §5 documents how each
+// dataset is substituted by a generator from this header with matched size
+// and structure class. All generators are deterministic in `seed`.
+#ifndef CFCM_GRAPH_GENERATORS_H_
+#define CFCM_GRAPH_GENERATORS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// Path graph 0-1-2-...-(n-1).
+Graph PathGraph(NodeId n);
+
+/// Cycle graph on n >= 3 nodes.
+Graph CycleGraph(NodeId n);
+
+/// Complete graph K_n.
+Graph CompleteGraph(NodeId n);
+
+/// Star graph: node 0 adjacent to 1..n-1.
+Graph StarGraph(NodeId n);
+
+/// rows x cols 4-neighbor lattice.
+Graph GridGraph(NodeId rows, NodeId cols);
+
+/// \brief Barabási–Albert preferential attachment.
+///
+/// Starts from a clique on `m + 1` nodes; each new node attaches to `m`
+/// distinct existing nodes chosen proportionally to degree. Produces the
+/// scale-free degree sequences typical of social/web graphs; always
+/// connected.
+Graph BarabasiAlbert(NodeId n, NodeId m, uint64_t seed);
+
+/// Erdős–Rényi G(n, m): m distinct uniform edges (may be disconnected;
+/// callers usually take the LCC).
+Graph ErdosRenyiGnm(NodeId n, EdgeId m, uint64_t seed);
+
+/// \brief Watts–Strogatz small world: ring lattice with `k` neighbors per
+/// side, each edge rewired with probability `beta`.
+Graph WattsStrogatz(NodeId n, NodeId k, double beta, uint64_t seed);
+
+/// \brief Holme–Kim power-law cluster model: BA attachment where each of
+/// the `m` links follows a triad-closure step with probability `p`.
+/// Mimics clustered collaboration networks (Astro-Ph, HEP-Th, DBLP).
+Graph PowerlawCluster(NodeId n, NodeId m, double p, uint64_t seed);
+
+/// \brief Random geometric graph on the unit square (radius connectivity),
+/// plus a Hamiltonian-path backbone so the graph is connected. High
+/// diameter and near-constant degree: the stand-in for road networks
+/// (Euroroads).
+Graph RandomGeometric(NodeId n, double radius, uint64_t seed);
+
+/// \brief k-nearest-neighbor graph of a 3D point set (symmetrized).
+/// Substrate for the point-cloud sampling example.
+Graph KnnGraph(const std::vector<std::array<double, 3>>& points, int k);
+
+}  // namespace cfcm
+
+#endif  // CFCM_GRAPH_GENERATORS_H_

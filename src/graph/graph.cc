@@ -1,0 +1,46 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cfcm {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<NodeId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  assert(!offsets_.empty());
+  assert(offsets_.front() == 0);
+  assert(offsets_.back() == static_cast<EdgeId>(neighbors_.size()));
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  const auto adj = neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+NodeId Graph::MaxDegreeNode() const {
+  const NodeId n = num_nodes();
+  NodeId best = -1;
+  NodeId best_deg = -1;
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId d = degree(u);
+    if (d > best_deg) {
+      best_deg = d;
+      best = u;
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::Edges() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges()));
+  const NodeId n = num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace cfcm

@@ -1,0 +1,66 @@
+// Immutable CSR representation of a simple undirected graph.
+#ifndef CFCM_GRAPH_GRAPH_H_
+#define CFCM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace cfcm {
+
+using NodeId = int32_t;
+using EdgeId = int64_t;
+
+/// \brief Simple undirected graph in compressed sparse row form.
+///
+/// Nodes are dense integers [0, n). Every undirected edge {u, v} is stored
+/// twice (once in each adjacency list); `num_edges()` reports the
+/// undirected count m. Self-loops and parallel edges are rejected by
+/// GraphBuilder, so degree(u) == adjacency size.
+///
+/// The structure is immutable after construction which makes it safe to
+/// share across sampling threads without synchronization.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of prebuilt CSR arrays. `offsets` has n+1 entries,
+  /// `neighbors` has 2m entries with each list sorted ascending.
+  Graph(std::vector<EdgeId> offsets, std::vector<NodeId> neighbors);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+  EdgeId num_edges() const { return static_cast<EdgeId>(neighbors_.size()) / 2; }
+
+  /// Degree of node u.
+  NodeId degree(NodeId u) const {
+    return static_cast<NodeId>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Adjacency list of u, sorted ascending.
+  std::span<const NodeId> neighbors(NodeId u) const {
+    return {neighbors_.data() + offsets_[u],
+            static_cast<std::size_t>(offsets_[u + 1] - offsets_[u])};
+  }
+
+  /// True if {u, v} is an edge (binary search, O(log deg)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Node with maximum degree (smallest id wins ties); -1 on empty graph.
+  NodeId MaxDegreeNode() const;
+
+  /// All undirected edges as (u, v) pairs with u < v.
+  std::vector<std::pair<NodeId, NodeId>> Edges() const;
+
+  /// Raw CSR access for kernels that iterate all adjacencies.
+  const std::vector<EdgeId>& offsets() const { return offsets_; }
+  const std::vector<NodeId>& raw_neighbors() const { return neighbors_; }
+
+ private:
+  std::vector<EdgeId> offsets_;
+  std::vector<NodeId> neighbors_;
+};
+
+}  // namespace cfcm
+
+#endif  // CFCM_GRAPH_GRAPH_H_

@@ -1,0 +1,61 @@
+#include "graph/io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.h"
+
+namespace cfcm {
+
+StatusOr<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  GraphBuilder builder;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const char c = line[first];
+    if (c == '#' || c == '%') continue;
+    std::istringstream fields(line);
+    long long u = 0;
+    long long v = 0;
+    if (!(fields >> u >> v)) {
+      return Status::IoError(path + ":" + std::to_string(line_no) +
+                             ": expected two integer node ids");
+    }
+    if (u < 0 || v < 0) {
+      return Status::IoError(path + ":" + std::to_string(line_no) +
+                             ": negative node id");
+    }
+    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return std::move(builder).Build();
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing: " +
+                           std::strerror(errno));
+  }
+  out << "# cfcm edge list: " << graph.num_nodes() << " nodes, "
+      << graph.num_edges() << " edges\n";
+  for (const auto& [u, v] : graph.Edges()) {
+    out << u << ' ' << v << '\n';
+  }
+  if (!out.flush()) {
+    return Status::IoError("write to '" + path + "' failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace cfcm

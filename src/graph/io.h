@@ -1,0 +1,24 @@
+// Plain-text edge-list input/output (SNAP/KONECT style).
+#ifndef CFCM_GRAPH_IO_H_
+#define CFCM_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// \brief Loads an undirected graph from a whitespace-separated edge list.
+///
+/// Lines starting with '#' or '%' are comments. Each data line must start
+/// with two integer node ids (trailing columns, e.g. weights or
+/// timestamps, are ignored). Self-loops and duplicates are cleaned up.
+StatusOr<Graph> LoadEdgeList(const std::string& path);
+
+/// Writes `graph` as "u v" lines (u < v), one edge per line.
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace cfcm
+
+#endif  // CFCM_GRAPH_IO_H_

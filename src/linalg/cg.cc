@@ -1,0 +1,101 @@
+#include "linalg/cg.h"
+
+#include <cmath>
+
+namespace cfcm {
+
+namespace {
+
+// Subtracts the mean so the vector is orthogonal to the all-ones kernel.
+void ProjectAgainstOnes(Vector* v) {
+  double mean = 0;
+  for (double x : *v) mean += x;
+  mean /= static_cast<double>(v->size());
+  for (double& x : *v) x -= mean;
+}
+
+// Shared PCG loop over an abstract SPD operator.
+template <typename ApplyFn, typename PrecondFn, typename PostFn>
+CgSummary Pcg(std::size_t n, const ApplyFn& apply, const PrecondFn& precond,
+              const PostFn& post_iterate, const Vector& b, Vector* x,
+              const CgOptions& options) {
+  Vector r(n, 0.0), z(n, 0.0), p(n, 0.0), ap(n, 0.0);
+
+  apply(*x, &ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  precond(r, &z);
+  p = z;
+
+  const double b_norm = Norm2(b);
+  CgSummary summary;
+  if (b_norm == 0.0) {
+    x->assign(n, 0.0);
+    summary.converged = true;
+    return summary;
+  }
+  double rz = Dot(r, z);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    summary.relative_residual = Norm2(r) / b_norm;
+    if (summary.relative_residual <= options.tolerance) {
+      summary.converged = true;
+      return summary;
+    }
+    apply(p, &ap);
+    const double pap = Dot(p, ap);
+    if (!(pap > 0)) break;  // lost positive-definiteness numerically
+    const double alpha = rz / pap;
+    Axpy(alpha, p, x);
+    Axpy(-alpha, ap, &r);
+    post_iterate(x, &r);
+    precond(r, &z);
+    const double rz_next = Dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    summary.iterations = it + 1;
+  }
+  summary.relative_residual = Norm2(r) / b_norm;
+  summary.converged = summary.relative_residual <= options.tolerance;
+  return summary;
+}
+
+}  // namespace
+
+CgSummary SolveGroundedLaplacian(const LaplacianSubmatrixOp& op,
+                                 const Vector& b, Vector* x,
+                                 const CgOptions& options) {
+  const std::size_t n = static_cast<std::size_t>(op.n());
+  Vector rhs = b;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (op.removed(static_cast<NodeId>(u))) {
+      rhs[u] = 0;
+      (*x)[u] = 0;
+    }
+  }
+  return Pcg(
+      n, [&op](const Vector& v, Vector* out) { op.Apply(v, out); },
+      [&op](const Vector& r, Vector* z) { op.ApplyJacobi(r, z); },
+      [](Vector*, Vector*) {}, rhs, x, options);
+}
+
+CgSummary SolveLaplacianPseudoinverse(const Graph& graph, const Vector& b,
+                                      Vector* x, const CgOptions& options) {
+  const std::size_t n = static_cast<std::size_t>(graph.num_nodes());
+  LaplacianSubmatrixOp op(graph,
+                          std::vector<char>(static_cast<std::size_t>(n), 0));
+  Vector rhs = b;
+  ProjectAgainstOnes(&rhs);
+  ProjectAgainstOnes(x);
+  // Re-project every iteration: rounding slowly leaks mass into the
+  // all-ones null space and would stall convergence.
+  auto post = [](Vector* xi, Vector* ri) {
+    ProjectAgainstOnes(xi);
+    ProjectAgainstOnes(ri);
+  };
+  return Pcg(
+      n, [&op](const Vector& v, Vector* out) { op.Apply(v, out); },
+      [&op](const Vector& r, Vector* z) { op.ApplyJacobi(r, z); }, post, rhs,
+      x, options);
+}
+
+}  // namespace cfcm

@@ -1,0 +1,63 @@
+#include "linalg/csr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+namespace cfcm {
+
+CsrMatrix CsrMatrix::FromTriplets(
+    int rows, int cols, std::vector<std::tuple<int, int, double>> triplets) {
+  std::sort(triplets.begin(), triplets.end(),
+            [](const auto& a, const auto& b) {
+              return std::make_pair(std::get<0>(a), std::get<1>(a)) <
+                     std::make_pair(std::get<0>(b), std::get<1>(b));
+            });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.offsets_.assign(static_cast<std::size_t>(rows) + 1, 0);
+  for (std::size_t i = 0; i < triplets.size();) {
+    const auto [r, c, v0] = triplets[i];
+    assert(r >= 0 && r < rows && c >= 0 && c < cols);
+    double v = v0;
+    std::size_t j = i + 1;
+    while (j < triplets.size() && std::get<0>(triplets[j]) == r &&
+           std::get<1>(triplets[j]) == c) {
+      v += std::get<2>(triplets[j]);
+      ++j;
+    }
+    m.col_index_.push_back(c);
+    m.values_.push_back(v);
+    ++m.offsets_[r + 1];
+    i = j;
+  }
+  for (int r = 0; r < rows; ++r) m.offsets_[r + 1] += m.offsets_[r];
+  return m;
+}
+
+void CsrMatrix::Multiply(const Vector& x, Vector* y) const {
+  assert(static_cast<int>(x.size()) == cols_);
+  y->assign(static_cast<std::size_t>(rows_), 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0;
+    for (std::int64_t k = offsets_[r]; k < offsets_[r + 1]; ++k) {
+      acc += values_[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_index_[static_cast<std::size_t>(k)])];
+    }
+    (*y)[r] = acc;
+  }
+}
+
+DenseMatrix CsrMatrix::ToDense() const {
+  DenseMatrix d(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (std::int64_t k = offsets_[r]; k < offsets_[r + 1]; ++k) {
+      d(r, col_index_[static_cast<std::size_t>(k)]) +=
+          values_[static_cast<std::size_t>(k)];
+    }
+  }
+  return d;
+}
+
+}  // namespace cfcm

@@ -1,0 +1,45 @@
+// General sparse matrix in compressed sparse row format.
+#ifndef CFCM_LINALG_CSR_H_
+#define CFCM_LINALG_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dense.h"
+
+namespace cfcm {
+
+/// \brief Read-only CSR matrix of doubles.
+///
+/// Used for weighted Schur-complement graphs and SpMV tests; the hot
+/// Laplacian path uses the matrix-free LaplacianSubmatrixOp instead.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from triplets (duplicates are summed). O(nnz log nnz).
+  static CsrMatrix FromTriplets(
+      int rows, int cols,
+      std::vector<std::tuple<int, int, double>> triplets);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::int64_t nnz() const { return static_cast<std::int64_t>(values_.size()); }
+
+  /// y = A x.
+  void Multiply(const Vector& x, Vector* y) const;
+
+  /// Dense copy (tests).
+  DenseMatrix ToDense() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<std::int64_t> offsets_;
+  std::vector<int> col_index_;
+  std::vector<double> values_;
+};
+
+}  // namespace cfcm
+
+#endif  // CFCM_LINALG_CSR_H_

@@ -1,0 +1,85 @@
+#include "linalg/dense.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cfcm {
+
+DenseMatrix DenseMatrix::Identity(int n) {
+  DenseMatrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double DenseMatrix::Trace() const {
+  assert(rows_ == cols_);
+  double t = 0;
+  for (int i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+  assert(cols_ == other.rows_);
+  DenseMatrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const auto src = other.Row(k);
+      auto dst = out.MutableRow(i);
+      for (int j = 0; j < other.cols_; ++j) dst[j] += a * src[j];
+    }
+  }
+  return out;
+}
+
+Vector DenseMatrix::MultiplyVec(const Vector& x) const {
+  assert(static_cast<int>(x.size()) == cols_);
+  Vector y(static_cast<std::size_t>(rows_), 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    const auto row = Row(i);
+    double acc = 0;
+    for (int j = 0; j < cols_; ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::Transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+double DenseMatrix::MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double worst = 0;
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      worst = std::max(worst, std::fabs(a(i, j) - b(i, j)));
+    }
+  }
+  return worst;
+}
+
+double Dot(const Vector& x, const Vector& y) {
+  assert(x.size() == y.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double Norm2(const Vector& x) { return std::sqrt(Dot(x, x)); }
+
+void Axpy(double alpha, const Vector& x, Vector* y) {
+  assert(x.size() == y->size());
+  for (std::size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vector* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+}  // namespace cfcm

@@ -1,0 +1,83 @@
+// Row-major dense matrix and small vector kernels.
+//
+// Dense algebra backs the EXACT/OPTIMUM baselines and every estimator
+// test reference; it is deliberately simple (no blocking/SIMD) because the
+// paper's own EXACT baseline is a cubic-time matrix-inversion loop.
+#ifndef CFCM_LINALG_DENSE_H_
+#define CFCM_LINALG_DENSE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cfcm {
+
+using Vector = std::vector<double>;
+
+/// \brief Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, 0.0) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  static DenseMatrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int i, int j) {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+  double operator()(int i, int j) const {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+
+  std::span<const double> Row(int i) const {
+    return {data_.data() + static_cast<std::size_t>(i) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+  std::span<double> MutableRow(int i) {
+    return {data_.data() + static_cast<std::size_t>(i) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+
+  /// Sum of diagonal entries (square matrices).
+  double Trace() const;
+
+  /// this * other.
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+
+  /// this * x.
+  Vector MultiplyVec(const Vector& x) const;
+
+  DenseMatrix Transpose() const;
+
+  /// max_ij |A_ij - B_ij|; shapes must match.
+  static double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b);
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// x . y
+double Dot(const Vector& x, const Vector& y);
+
+/// ||x||_2
+double Norm2(const Vector& x);
+
+/// y += alpha * x
+void Axpy(double alpha, const Vector& x, Vector* y);
+
+/// x *= alpha
+void Scale(double alpha, Vector* x);
+
+}  // namespace cfcm
+
+#endif  // CFCM_LINALG_DENSE_H_

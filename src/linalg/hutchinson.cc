@@ -1,0 +1,47 @@
+#include "linalg/hutchinson.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace cfcm {
+
+TraceEstimate HutchinsonTraceInverse(const Graph& graph,
+                                     const std::vector<NodeId>& removed,
+                                     int probes, uint64_t seed,
+                                     const CgOptions& cg) {
+  assert(!removed.empty());
+  assert(probes >= 1);
+  const std::size_t n = static_cast<std::size_t>(graph.num_nodes());
+  std::vector<char> mask(n, 0);
+  for (NodeId s : removed) mask[static_cast<std::size_t>(s)] = 1;
+  LaplacianSubmatrixOp op(graph, mask);
+
+  double sum = 0;
+  double sum_sq = 0;
+  Vector z(n, 0.0), x(n, 0.0);
+  for (int p = 0; p < probes; ++p) {
+    Rng rng(seed, static_cast<uint64_t>(p));
+    for (std::size_t u = 0; u < n; ++u) {
+      z[u] = op.removed(static_cast<NodeId>(u)) ? 0.0
+                                                : (rng.NextBool() ? 1.0 : -1.0);
+    }
+    x.assign(n, 0.0);
+    SolveGroundedLaplacian(op, z, &x, cg);
+    const double sample = Dot(z, x);
+    sum += sample;
+    sum_sq += sample * sample;
+  }
+  TraceEstimate est;
+  est.probes = probes;
+  est.trace = sum / probes;
+  if (probes > 1) {
+    const double var =
+        std::max(0.0, (sum_sq - sum * sum / probes) / (probes - 1));
+    est.std_error = std::sqrt(var / probes);
+  }
+  return est;
+}
+
+}  // namespace cfcm

@@ -1,0 +1,32 @@
+// Hutchinson stochastic trace estimation for Tr(L_{-S}^{-1}).
+//
+// The paper evaluates solution quality on large graphs "employing the
+// conjugate gradient method" (Section V-B.2); Hutchinson probing with CG
+// solves is the standard way to do that without forming the inverse.
+#ifndef CFCM_LINALG_HUTCHINSON_H_
+#define CFCM_LINALG_HUTCHINSON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/cg.h"
+
+namespace cfcm {
+
+/// Result of a stochastic trace estimate.
+struct TraceEstimate {
+  double trace = 0.0;
+  double std_error = 0.0;  ///< standard error of the mean across probes
+  int probes = 0;
+};
+
+/// \brief Estimates Tr(L_{-S}^{-1}) with Rademacher probes z and CG
+/// solves: E[z^T L_{-S}^{-1} z] = Tr(L_{-S}^{-1}).
+TraceEstimate HutchinsonTraceInverse(const Graph& graph,
+                                     const std::vector<NodeId>& removed,
+                                     int probes, uint64_t seed,
+                                     const CgOptions& cg = {});
+
+}  // namespace cfcm
+
+#endif  // CFCM_LINALG_HUTCHINSON_H_

@@ -1,0 +1,124 @@
+#include "linalg/laplacian.h"
+
+#include <cassert>
+
+#include "linalg/ldlt.h"
+
+namespace cfcm {
+
+SubmatrixIndex MakeSubmatrixIndex(NodeId n, const std::vector<NodeId>& removed) {
+  SubmatrixIndex index;
+  index.pos.assign(static_cast<std::size_t>(n), 0);
+  for (NodeId s : removed) {
+    assert(s >= 0 && s < n);
+    index.pos[s] = -1;
+  }
+  index.kept.reserve(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    if (index.pos[u] == -1) continue;
+    index.pos[u] = static_cast<NodeId>(index.kept.size());
+    index.kept.push_back(u);
+  }
+  return index;
+}
+
+DenseMatrix DenseLaplacian(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  DenseMatrix l(n, n);
+  for (NodeId u = 0; u < n; ++u) {
+    l(u, u) = graph.degree(u);
+    for (NodeId v : graph.neighbors(u)) l(u, v) = -1.0;
+  }
+  return l;
+}
+
+DenseMatrix DenseLaplacianSubmatrix(const Graph& graph,
+                                    const SubmatrixIndex& index) {
+  const int dim = static_cast<int>(index.kept.size());
+  DenseMatrix l(dim, dim);
+  for (int i = 0; i < dim; ++i) {
+    const NodeId u = index.kept[i];
+    l(i, i) = graph.degree(u);
+    for (NodeId v : graph.neighbors(u)) {
+      const NodeId j = index.pos[v];
+      if (j >= 0) l(i, j) = -1.0;
+    }
+  }
+  return l;
+}
+
+DenseMatrix LaplacianPseudoinverse(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  DenseMatrix shifted = DenseLaplacian(graph);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) shifted(i, j) += inv_n;
+  }
+  auto ldlt = LdltFactorization::Compute(shifted);
+  assert(ldlt.ok() && "L + J/n is SPD for connected graphs");
+  DenseMatrix pinv = ldlt->Inverse();
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) pinv(i, j) -= inv_n;
+  }
+  return pinv;
+}
+
+double ExactTraceInverseSubmatrix(const Graph& graph,
+                                  const std::vector<NodeId>& removed) {
+  return ExactLaplacianSubmatrixInverse(graph, removed).Trace();
+}
+
+DenseMatrix ExactLaplacianSubmatrixInverse(const Graph& graph,
+                                           const std::vector<NodeId>& removed) {
+  assert(!removed.empty() && "L is singular; remove at least one node");
+  const SubmatrixIndex index = MakeSubmatrixIndex(graph.num_nodes(), removed);
+  const DenseMatrix sub = DenseLaplacianSubmatrix(graph, index);
+  auto ldlt = LdltFactorization::Compute(sub);
+  assert(ldlt.ok() && "L_{-S} is SPD for connected graphs");
+  return ldlt->Inverse();
+}
+
+double ExactAbsorptionWalkCost(const Graph& graph,
+                               const std::vector<NodeId>& removed) {
+  const SubmatrixIndex index = MakeSubmatrixIndex(graph.num_nodes(), removed);
+  const DenseMatrix inv = ExactLaplacianSubmatrixInverse(graph, removed);
+  double cost = 0;
+  for (std::size_t i = 0; i < index.kept.size(); ++i) {
+    cost += static_cast<double>(graph.degree(index.kept[i])) *
+            inv(static_cast<int>(i), static_cast<int>(i));
+  }
+  return cost;
+}
+
+LaplacianSubmatrixOp::LaplacianSubmatrixOp(const Graph& graph,
+                                           std::vector<char> in_removed)
+    : graph_(graph), in_removed_(std::move(in_removed)) {
+  assert(in_removed_.size() == static_cast<std::size_t>(graph.num_nodes()));
+}
+
+void LaplacianSubmatrixOp::Apply(const Vector& x, Vector* y) const {
+  const NodeId n = graph_.num_nodes();
+  assert(static_cast<NodeId>(x.size()) == n &&
+         static_cast<NodeId>(y->size()) == n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (in_removed_[u]) {
+      (*y)[u] = 0;
+      continue;
+    }
+    double acc = static_cast<double>(graph_.degree(u)) * x[u];
+    for (NodeId v : graph_.neighbors(u)) {
+      if (!in_removed_[v]) acc -= x[v];
+    }
+    (*y)[u] = acc;
+  }
+}
+
+void LaplacianSubmatrixOp::ApplyJacobi(const Vector& r, Vector* z) const {
+  const NodeId n = graph_.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    (*z)[u] = in_removed_[u] ? 0.0
+                             : r[u] / static_cast<double>(graph_.degree(u));
+  }
+}
+
+}  // namespace cfcm

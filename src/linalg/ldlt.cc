@@ -1,0 +1,116 @@
+#include "linalg/ldlt.h"
+
+#include <cmath>
+#include <string>
+
+namespace cfcm {
+
+StatusOr<LdltFactorization> LdltFactorization::Compute(const DenseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LDLT requires a square matrix");
+  }
+  const int n = a.rows();
+  DenseMatrix lower = DenseMatrix::Identity(n);
+  Vector diag(static_cast<std::size_t>(n), 0.0);
+
+  // Scale-aware pivot floor: treat pivots below eps * max|a_ii| as
+  // numerically singular.
+  double max_diag = 0;
+  for (int i = 0; i < n; ++i) max_diag = std::max(max_diag, std::fabs(a(i, i)));
+  const double pivot_floor = std::max(1e-300, 1e-12 * max_diag);
+
+  for (int j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (int k = 0; k < j; ++k) d -= lower(j, k) * lower(j, k) * diag[k];
+    if (!(d > pivot_floor)) {
+      return Status::NumericalError("non-positive pivot at column " +
+                                    std::to_string(j));
+    }
+    diag[j] = d;
+    for (int i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      const auto li = lower.Row(i);
+      const auto lj = lower.Row(j);
+      for (int k = 0; k < j; ++k) v -= li[k] * lj[k] * diag[k];
+      lower(i, j) = v / d;
+    }
+  }
+  return LdltFactorization(std::move(lower), std::move(diag));
+}
+
+Vector LdltFactorization::Solve(const Vector& b) const {
+  const int n = dim();
+  assert(static_cast<int>(b.size()) == n);
+  Vector x = b;
+  // Forward: L y = b.
+  for (int i = 0; i < n; ++i) {
+    const auto row = lower_.Row(i);
+    double acc = x[i];
+    for (int k = 0; k < i; ++k) acc -= row[k] * x[k];
+    x[i] = acc;
+  }
+  // Diagonal: D z = y.
+  for (int i = 0; i < n; ++i) x[i] /= diag_[i];
+  // Backward: L^T w = z.
+  for (int i = n - 1; i >= 0; --i) {
+    double acc = x[i];
+    for (int k = i + 1; k < n; ++k) acc -= lower_(k, i) * x[k];
+    x[i] = acc;
+  }
+  return x;
+}
+
+DenseMatrix LdltFactorization::SolveMatrix(DenseMatrix b) const {
+  const int n = dim();
+  assert(b.rows() == n);
+  const int m = b.cols();
+  // Forward: L Y = B, processed as row operations over all columns.
+  for (int i = 1; i < n; ++i) {
+    auto bi = b.MutableRow(i);
+    const auto li = lower_.Row(i);
+    for (int k = 0; k < i; ++k) {
+      const double coef = li[k];
+      if (coef == 0.0) continue;
+      const auto bk = b.Row(k);
+      for (int j = 0; j < m; ++j) bi[j] -= coef * bk[j];
+    }
+  }
+  // Diagonal: D Z = Y.
+  for (int i = 0; i < n; ++i) {
+    const double inv_d = 1.0 / diag_[i];
+    for (double& v : b.MutableRow(i)) v *= inv_d;
+  }
+  // Backward: L^T X = Z.
+  for (int i = n - 2; i >= 0; --i) {
+    auto bi = b.MutableRow(i);
+    for (int k = i + 1; k < n; ++k) {
+      const double coef = lower_(k, i);
+      if (coef == 0.0) continue;
+      const auto bk = b.Row(k);
+      for (int j = 0; j < m; ++j) bi[j] -= coef * bk[j];
+    }
+  }
+  return b;
+}
+
+DenseMatrix LdltFactorization::Inverse() const {
+  const int n = dim();
+  DenseMatrix inv = SolveMatrix(DenseMatrix::Identity(n));
+  // Symmetrize to scrub round-off (the exact inverse is symmetric).
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double v = 0.5 * (inv(i, j) + inv(j, i));
+      inv(i, j) = v;
+      inv(j, i) = v;
+    }
+  }
+  return inv;
+}
+
+double LdltFactorization::LogDet() const {
+  double acc = 0;
+  for (double d : diag_) acc += std::log(d);
+  return acc;
+}
+
+}  // namespace cfcm

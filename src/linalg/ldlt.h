@@ -1,0 +1,48 @@
+// LDL^T factorization for symmetric positive-definite matrices.
+#ifndef CFCM_LINALG_LDLT_H_
+#define CFCM_LINALG_LDLT_H_
+
+#include "common/status.h"
+#include "linalg/dense.h"
+
+namespace cfcm {
+
+/// \brief Cholesky-style LDL^T factorization (no pivoting).
+///
+/// Grounded Laplacian submatrices L_{-S} are symmetric positive definite
+/// for non-empty S on a connected graph, so unpivoted LDL^T is stable.
+/// Factorization fails with NumericalError if a pivot drops below a
+/// tolerance (e.g. the matrix was singular or indefinite).
+class LdltFactorization {
+ public:
+  /// Factors SPD matrix `a` (only the lower triangle is read).
+  static StatusOr<LdltFactorization> Compute(const DenseMatrix& a);
+
+  int dim() const { return lower_.rows(); }
+
+  /// Solves A x = b.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves A X = B for a dense right-hand-side block. Row-oriented
+  /// substitution over all columns at once: same flop count as per-column
+  /// solves but contiguous inner loops (the O(n^3) path the EXACT and
+  /// OPTIMUM baselines live on).
+  DenseMatrix SolveMatrix(DenseMatrix b) const;
+
+  /// Dense inverse A^{-1} (block solve against the identity).
+  DenseMatrix Inverse() const;
+
+  /// log(det A) = sum log d_i.
+  double LogDet() const;
+
+ private:
+  LdltFactorization(DenseMatrix lower, Vector diag)
+      : lower_(std::move(lower)), diag_(std::move(diag)) {}
+
+  DenseMatrix lower_;  // unit lower-triangular L
+  Vector diag_;        // D
+};
+
+}  // namespace cfcm
+
+#endif  // CFCM_LINALG_LDLT_H_

@@ -1,0 +1,86 @@
+#include "linalg/schur_exact.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "linalg/ldlt.h"
+#include "linalg/laplacian.h"
+
+namespace cfcm {
+
+DenseMatrix ExactSchurComplement(const DenseMatrix& m,
+                                 const std::vector<int>& onto) {
+  assert(m.rows() == m.cols());
+  const int n = m.rows();
+  std::vector<char> in_t(static_cast<std::size_t>(n), 0);
+  for (int t : onto) {
+    assert(t >= 0 && t < n);
+    in_t[static_cast<std::size_t>(t)] = 1;
+  }
+  std::vector<int> u_index;
+  for (int i = 0; i < n; ++i) {
+    if (!in_t[static_cast<std::size_t>(i)]) u_index.push_back(i);
+  }
+  const int nu = static_cast<int>(u_index.size());
+  const int nt = static_cast<int>(onto.size());
+
+  DenseMatrix m_uu(nu, nu), m_ut(nu, nt), m_tt(nt, nt);
+  for (int i = 0; i < nu; ++i) {
+    for (int j = 0; j < nu; ++j) m_uu(i, j) = m(u_index[i], u_index[j]);
+    for (int j = 0; j < nt; ++j) m_ut(i, j) = m(u_index[i], onto[j]);
+  }
+  for (int i = 0; i < nt; ++i) {
+    for (int j = 0; j < nt; ++j) m_tt(i, j) = m(onto[i], onto[j]);
+  }
+  auto ldlt = LdltFactorization::Compute(m_uu);
+  assert(ldlt.ok() && "M_UU must be SPD");
+
+  // X = M_UU^{-1} M_UT, column by column.
+  DenseMatrix x(nu, nt);
+  Vector col(static_cast<std::size_t>(nu));
+  for (int j = 0; j < nt; ++j) {
+    for (int i = 0; i < nu; ++i) col[static_cast<std::size_t>(i)] = m_ut(i, j);
+    const Vector sol = ldlt->Solve(col);
+    for (int i = 0; i < nu; ++i) x(i, j) = sol[static_cast<std::size_t>(i)];
+  }
+  // S = M_TT - M_TU X  (M_TU = M_UT^T by symmetry of our inputs).
+  DenseMatrix schur = m_tt;
+  for (int i = 0; i < nt; ++i) {
+    for (int j = 0; j < nt; ++j) {
+      double acc = 0;
+      for (int k = 0; k < nu; ++k) acc += m_ut(k, i) * x(k, j);
+      schur(i, j) -= acc;
+    }
+  }
+  return schur;
+}
+
+DenseMatrix ExactRootedProbabilities(const Graph& graph,
+                                     const std::vector<NodeId>& s_nodes,
+                                     const std::vector<NodeId>& t_nodes) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> removed = s_nodes;
+  removed.insert(removed.end(), t_nodes.begin(), t_nodes.end());
+  const SubmatrixIndex index = MakeSubmatrixIndex(n, removed);
+  const DenseMatrix l_uu = DenseLaplacianSubmatrix(graph, index);
+  auto ldlt = LdltFactorization::Compute(l_uu);
+  assert(ldlt.ok());
+
+  const int nu = static_cast<int>(index.kept.size());
+  const int nt = static_cast<int>(t_nodes.size());
+  DenseMatrix f(nu, nt);
+  Vector rhs(static_cast<std::size_t>(nu));
+  for (int j = 0; j < nt; ++j) {
+    // Column j of -L_UT: +1 for u adjacent to t_j (L_ut = -1).
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    for (NodeId u : graph.neighbors(t_nodes[j])) {
+      const NodeId i = index.pos[u];
+      if (i >= 0) rhs[static_cast<std::size_t>(i)] = 1.0;
+    }
+    const Vector sol = ldlt->Solve(rhs);
+    for (int i = 0; i < nu; ++i) f(i, j) = sol[static_cast<std::size_t>(i)];
+  }
+  return f;
+}
+
+}  // namespace cfcm

@@ -1,0 +1,33 @@
+// Exact (dense) Schur complements and rooted probabilities.
+//
+// Test references for Lemmas 4.2/4.3 and Eq. (11)/(15), and the exact
+// |T|x|T| algebra inside SchurDelta.
+#ifndef CFCM_LINALG_SCHUR_EXACT_H_
+#define CFCM_LINALG_SCHUR_EXACT_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/dense.h"
+
+namespace cfcm {
+
+/// \brief Schur complement S_T(M) = M_TT - M_TU M_UU^{-1} M_UT.
+///
+/// `onto` lists the retained indices T (ascending); U is the complement.
+/// M_UU must be invertible (SPD in all our uses).
+DenseMatrix ExactSchurComplement(const DenseMatrix& m,
+                                 const std::vector<int>& onto);
+
+/// \brief Exact rooted-probability matrix F = -L_UU^{-1} L_UT for forests
+/// rooted at S ∪ T (Lemma 4.2): F[u][t] = Pr(rho_u = t).
+///
+/// Rows follow ascending order of U = V \ (S ∪ T); columns follow the
+/// order of `t_nodes`.
+DenseMatrix ExactRootedProbabilities(const Graph& graph,
+                                     const std::vector<NodeId>& s_nodes,
+                                     const std::vector<NodeId>& t_nodes);
+
+}  // namespace cfcm
+
+#endif  // CFCM_LINALG_SCHUR_EXACT_H_

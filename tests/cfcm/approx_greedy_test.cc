@@ -1,0 +1,81 @@
+#include "cfcm/approx_greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "cfcm/cfcc.h"
+#include "cfcm/exact_greedy.h"
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace cfcm {
+namespace {
+
+CfcmOptions TestOptions() {
+  CfcmOptions opts;
+  opts.eps = 0.2;
+  opts.seed = 5;
+  opts.jl_rows = 48;
+  return opts;
+}
+
+TEST(ApproxGreedyTest, NearExactQualityOnKarate) {
+  const Graph g = KarateClub();
+  auto approx = ApproxGreedyMaximize(g, 5, TestOptions());
+  auto exact = ExactGreedyMaximize(g, 5);
+  ASSERT_TRUE(approx.ok() && exact.ok());
+  const double c_approx = ExactGroupCfcc(g, approx->selected);
+  const double c_exact = ExactGroupCfcc(g, exact->selected);
+  EXPECT_GE(c_approx, 0.9 * c_exact);
+}
+
+TEST(ApproxGreedyTest, SolverCallCountMatchesStructure) {
+  // Pick 1: w solves; picks 2..k: 2w solves each.
+  const Graph g = ContiguousUsa();
+  CfcmOptions opts = TestOptions();
+  opts.jl_rows = 16;
+  auto result = ApproxGreedyMaximize(g, 3, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->solver_calls, 16 + 2 * 16 * 2);
+  EXPECT_GT(result->cg_iterations, 0);
+}
+
+TEST(ApproxGreedyTest, SelectsDistinctNodes) {
+  const Graph g = DolphinsSynthetic();
+  auto result = ApproxGreedyMaximize(g, 8, TestOptions());
+  ASSERT_TRUE(result.ok());
+  std::vector<NodeId> sorted = result->selected;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(ApproxGreedyTest, DeterministicInSeed) {
+  const Graph g = KarateClub();
+  auto a = ApproxGreedyMaximize(g, 4, TestOptions());
+  auto b = ApproxGreedyMaximize(g, 4, TestOptions());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->selected, b->selected);
+}
+
+TEST(ApproxGreedyTest, RejectsInvalidInput) {
+  EXPECT_FALSE(ApproxGreedyMaximize(KarateClub(), 0, TestOptions()).ok());
+  EXPECT_FALSE(
+      ApproxGreedyMaximize(BuildGraph(4, {{0, 1}, {2, 3}}), 1, TestOptions())
+          .ok());
+}
+
+TEST(ApproxGreedyTest, FirstPickIsGoodSingleNode) {
+  // The JL/solver first pick should land on a top single-node group.
+  const Graph g = KarateClub();
+  auto result = ApproxGreedyMaximize(g, 1, TestOptions());
+  ASSERT_TRUE(result.ok());
+  const double c_picked = ExactGroupCfcc(g, result->selected);
+  double c_best = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    c_best = std::max(c_best, ExactGroupCfcc(g, {u}));
+  }
+  EXPECT_GE(c_picked, 0.97 * c_best);
+}
+
+}  // namespace
+}  // namespace cfcm

@@ -1,0 +1,124 @@
+#include "cfcm/cfcc.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+
+namespace cfcm {
+namespace {
+
+TEST(CfccTest, PathGraphSingleNodeKnownValue) {
+  // Path 0-1-2 grounded at {1}: L_{-S}^{-1} = I (two isolated unit
+  // resistors), trace = 2, C = 3/2.
+  const Graph g = PathGraph(3);
+  EXPECT_NEAR(ExactNodeCfcc(g, 1), 1.5, 1e-12);
+  // Grounded at an end node: trace = 2 + ... path resistances 1 and 2,
+  // actually Tr = (1)+(2)... R(1,{0})=1, R(2,{0})=2 → trace 3, C = 1.
+  EXPECT_NEAR(ExactNodeCfcc(g, 0), 1.0, 1e-12);
+}
+
+TEST(CfccTest, CompleteGraphSymmetry) {
+  const Graph g = CompleteGraph(6);
+  const double c0 = ExactNodeCfcc(g, 0);
+  for (NodeId u = 1; u < 6; ++u) {
+    EXPECT_NEAR(ExactNodeCfcc(g, u), c0, 1e-12);
+  }
+}
+
+TEST(CfccTest, GroupCfccGrowsWithGroup) {
+  const Graph g = KarateClub();
+  const double c1 = ExactGroupCfcc(g, {0});
+  const double c2 = ExactGroupCfcc(g, {0, 33});
+  const double c3 = ExactGroupCfcc(g, {0, 33, 16});
+  EXPECT_GT(c2, c1);
+  EXPECT_GT(c3, c2);
+}
+
+TEST(CfccTest, MatchesDefinitionViaResistanceSum) {
+  // C(S) = n / sum_u R(u, S) with R(u,S) = (L_{-S}^{-1})_uu.
+  const Graph g = ContiguousUsa();
+  const std::vector<NodeId> s = {3, 30};
+  const DenseMatrix inv = ExactLaplacianSubmatrixInverse(g, s);
+  double sum_r = 0;
+  for (int i = 0; i < inv.rows(); ++i) sum_r += inv(i, i);
+  EXPECT_NEAR(ExactGroupCfcc(g, s),
+              static_cast<double>(g.num_nodes()) / sum_r, 1e-10);
+}
+
+TEST(CfccTest, SingleNodeFormulaViaPseudoinverse) {
+  // C(u) = n / (Tr(L†) + n L†_uu) — the paper's Section II-D identity.
+  const Graph g = KarateClub();
+  const DenseMatrix pinv = LaplacianPseudoinverse(g);
+  const double trace_pinv = pinv.Trace();
+  const double n = g.num_nodes();
+  for (NodeId u : {0, 7, 19, 33}) {
+    const double via_pinv = n / (trace_pinv + n * pinv(u, u));
+    EXPECT_NEAR(ExactNodeCfcc(g, u), via_pinv, 1e-9) << "u=" << u;
+  }
+}
+
+TEST(CfccTest, PrefixTracesMatchFreshFactorizations) {
+  const Graph g = KarateClub();
+  const std::vector<NodeId> order = {33, 0, 16, 5, 24};
+  const auto traces = ExactPrefixTraces(g, order);
+  ASSERT_EQ(traces.size(), order.size());
+  std::vector<NodeId> prefix;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    prefix.push_back(order[i]);
+    EXPECT_NEAR(traces[i], ExactTraceInverseSubmatrix(g, prefix),
+                1e-8 * traces[i])
+        << "prefix " << i;
+  }
+}
+
+TEST(CfccTest, PrefixTracesArbitraryOrderNotJustGreedy) {
+  // Downdates must be order-correct even for a deliberately bad order.
+  const Graph g = ContiguousUsa();
+  const std::vector<NodeId> order = {48, 2, 31, 7};
+  const auto traces = ExactPrefixTraces(g, order);
+  std::vector<NodeId> prefix;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    prefix.push_back(order[i]);
+    EXPECT_NEAR(traces[i], ExactTraceInverseSubmatrix(g, prefix),
+                1e-8 * traces[i]);
+  }
+}
+
+TEST(CfccTest, ApproximateMatchesExact) {
+  const Graph g = KarateClub();
+  const std::vector<NodeId> s = {0, 33};
+  const double exact = ExactGroupCfcc(g, s);
+  const ApproxCfcc approx = ApproximateGroupCfcc(g, s, 512, 9);
+  EXPECT_NEAR(approx.cfcc, exact, 0.05 * exact);
+  EXPECT_GT(approx.trace_std_error, 0.0);
+}
+
+TEST(CfccValidationTest, AcceptsValidArguments) {
+  EXPECT_TRUE(ValidateCfcmArguments(KarateClub(), 5).ok());
+}
+
+TEST(CfccValidationTest, RejectsBadK) {
+  const Graph g = KarateClub();
+  EXPECT_EQ(ValidateCfcmArguments(g, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateCfcmArguments(g, -2).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateCfcmArguments(g, 34).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CfccValidationTest, RejectsDisconnectedGraph) {
+  const Graph g = BuildGraph(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(ValidateCfcmArguments(g, 1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CfccValidationTest, RejectsTinyGraph) {
+  const Graph g = BuildGraph(1, {});
+  EXPECT_FALSE(ValidateCfcmArguments(g, 1).ok());
+}
+
+}  // namespace
+}  // namespace cfcm

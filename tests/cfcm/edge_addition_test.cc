@@ -1,0 +1,123 @@
+#include "cfcm/edge_addition.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "cfcm/cfcc.h"
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+
+namespace cfcm {
+namespace {
+
+// Trace of the augmented graph computed from scratch.
+double FreshTrace(const Graph& g, const std::vector<NodeId>& group,
+                  const std::vector<std::pair<NodeId, NodeId>>& extra) {
+  auto edges = g.Edges();
+  edges.insert(edges.end(), extra.begin(), extra.end());
+  return ExactTraceInverseSubmatrix(BuildGraph(g.num_nodes(), edges), group);
+}
+
+TEST(EdgeAdditionTest, TraceAfterMatchesRefactorization) {
+  const Graph g = KarateClub();
+  const std::vector<NodeId> group = {0, 33};
+  auto result = GreedyEdgeAddition(g, group, 4, EdgeCandidates::kAny);
+  ASSERT_TRUE(result.ok());
+  std::vector<std::pair<NodeId, NodeId>> sofar;
+  for (std::size_t i = 0; i < result->added.size(); ++i) {
+    sofar.push_back(result->added[i]);
+    const double fresh = FreshTrace(g, group, sofar);
+    EXPECT_NEAR(result->trace_after[i], fresh, 1e-8 * fresh) << "i=" << i;
+  }
+}
+
+TEST(EdgeAdditionTest, FirstPickIsBruteForceOptimalToGroup) {
+  const Graph g = ContiguousUsa();
+  const std::vector<NodeId> group = {10};
+  auto result = GreedyEdgeAddition(g, group, 1, EdgeCandidates::kToGroup);
+  ASSERT_TRUE(result.ok());
+
+  double best = 1e300;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (u == 10 || g.HasEdge(u, 10)) continue;
+    best = std::min(best, FreshTrace(g, group, {{std::min<NodeId>(u, 10),
+                                                 std::max<NodeId>(u, 10)}}));
+  }
+  EXPECT_NEAR(result->trace_after[0], best, 1e-8 * best);
+}
+
+TEST(EdgeAdditionTest, FirstPickIsBruteForceOptimalAnyEdge) {
+  const Graph g = ZebraSynthetic();
+  const std::vector<NodeId> group = {0};
+  auto result = GreedyEdgeAddition(g, group, 1, EdgeCandidates::kAny);
+  ASSERT_TRUE(result.ok());
+
+  double best = 1e300;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+      if (g.HasEdge(u, v)) continue;
+      if (u == 0 && v == 0) continue;
+      best = std::min(best, FreshTrace(g, group, {{u, v}}));
+    }
+  }
+  EXPECT_NEAR(result->trace_after[0], best, 1e-8 * best);
+}
+
+TEST(EdgeAdditionTest, CfccStrictlyImproves) {
+  const Graph g = DolphinsSynthetic();
+  const std::vector<NodeId> group = {0, 5};
+  auto result = GreedyEdgeAddition(g, group, 6, EdgeCandidates::kAny);
+  ASSERT_TRUE(result.ok());
+  double prev = result->initial_trace;
+  for (double t : result->trace_after) {
+    EXPECT_LT(t, prev);  // adding an edge strictly lowers the trace
+    prev = t;
+  }
+}
+
+TEST(EdgeAdditionTest, AddedEdgesAreDistinctNonEdges) {
+  const Graph g = KarateClub();
+  const std::vector<NodeId> group = {33};
+  auto result = GreedyEdgeAddition(g, group, 8, EdgeCandidates::kAny);
+  ASSERT_TRUE(result.ok());
+  std::vector<std::pair<NodeId, NodeId>> added = result->added;
+  for (const auto& [a, b] : added) {
+    EXPECT_FALSE(g.HasEdge(a, b)) << a << "," << b;
+    EXPECT_LT(a, b);
+  }
+  std::sort(added.begin(), added.end());
+  EXPECT_EQ(std::unique(added.begin(), added.end()), added.end());
+}
+
+TEST(EdgeAdditionTest, ToGroupEdgesAllTouchGroup) {
+  const Graph g = KarateClub();
+  const std::vector<NodeId> group = {0, 33};
+  auto result = GreedyEdgeAddition(g, group, 5, EdgeCandidates::kToGroup);
+  ASSERT_TRUE(result.ok());
+  for (const auto& [a, b] : result->added) {
+    EXPECT_TRUE(a == 0 || a == 33 || b == 0 || b == 33);
+  }
+}
+
+TEST(EdgeAdditionTest, RejectsInvalidArguments) {
+  const Graph g = KarateClub();
+  EXPECT_FALSE(GreedyEdgeAddition(g, {}, 2).ok());
+  EXPECT_FALSE(GreedyEdgeAddition(g, {0}, 0).ok());
+  EXPECT_FALSE(
+      GreedyEdgeAddition(BuildGraph(4, {{0, 1}, {2, 3}}), {0}, 1).ok());
+}
+
+TEST(EdgeAdditionTest, StarGraphToGroupSaturates) {
+  // Star with S = {hub}: every node already adjacent to the hub, so no
+  // to-group candidate exists.
+  const Graph g = StarGraph(8);
+  auto result = GreedyEdgeAddition(g, {0}, 1, EdgeCandidates::kToGroup);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace cfcm

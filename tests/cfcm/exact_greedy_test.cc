@@ -1,0 +1,101 @@
+#include "cfcm/exact_greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "cfcm/cfcc.h"
+#include "cfcm/optimum.h"
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+
+namespace cfcm {
+namespace {
+
+TEST(ExactGreedyTest, FirstPickIsPseudoinverseArgmin) {
+  const Graph g = KarateClub();
+  auto result = ExactGreedyMaximize(g, 1);
+  ASSERT_TRUE(result.ok());
+  const DenseMatrix pinv = LaplacianPseudoinverse(g);
+  NodeId best = 0;
+  for (NodeId u = 1; u < g.num_nodes(); ++u) {
+    if (pinv(u, u) < pinv(best, best)) best = u;
+  }
+  EXPECT_EQ(result->selected[0], best);
+}
+
+TEST(ExactGreedyTest, TraceAfterMatchesRefactorization) {
+  // The Sherman–Morrison downdates must agree with fresh dense traces.
+  const Graph g = ContiguousUsa();
+  auto result = ExactGreedyMaximize(g, 4);
+  ASSERT_TRUE(result.ok());
+  std::vector<NodeId> prefix;
+  for (int i = 0; i < 4; ++i) {
+    prefix.push_back(result->selected[i]);
+    const double fresh = ExactTraceInverseSubmatrix(g, prefix);
+    EXPECT_NEAR(result->trace_after[i], fresh, 1e-8 * fresh) << "i=" << i;
+  }
+}
+
+TEST(ExactGreedyTest, GainsAreGreedyOptimalEachStep) {
+  // At every step the chosen node must have the (near-)largest true gain.
+  const Graph g = KarateClub();
+  auto result = ExactGreedyMaximize(g, 3);
+  ASSERT_TRUE(result.ok());
+  std::vector<NodeId> prefix;
+  for (int i = 0; i < 3; ++i) {
+    const double chosen_trace = result->trace_after[i];
+    // Compare against all alternatives for this step.
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (std::find(prefix.begin(), prefix.end(), u) != prefix.end() ||
+          u == result->selected[i]) {
+        continue;
+      }
+      std::vector<NodeId> alt = prefix;
+      alt.push_back(u);
+      EXPECT_LE(chosen_trace,
+                ExactTraceInverseSubmatrix(g, alt) + 1e-9)
+          << "step " << i << " alternative " << u;
+    }
+    prefix.push_back(result->selected[i]);
+  }
+}
+
+TEST(ExactGreedyTest, NearOptimalOnTinyGraphs) {
+  // Greedy achieves (1 - k/(k-1)/e) of optimum; in practice it is
+  // essentially optimal on these graphs (paper Fig. 1).
+  for (int k : {2, 3}) {
+    const Graph g = ZebraSynthetic();
+    auto greedy = ExactGreedyMaximize(g, k);
+    auto opt = OptimumSearch(g, k);
+    ASSERT_TRUE(greedy.ok() && opt.ok());
+    const double c_greedy = ExactGroupCfcc(g, greedy->selected);
+    EXPECT_GE(c_greedy, 0.95 * opt->cfcc) << "k=" << k;
+  }
+}
+
+TEST(ExactGreedyTest, SelectsDistinctNodes) {
+  const Graph g = DolphinsSynthetic();
+  auto result = ExactGreedyMaximize(g, 10);
+  ASSERT_TRUE(result.ok());
+  std::vector<NodeId> sorted = result->selected;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(ExactGreedyTest, TraceIsStrictlyDecreasing) {
+  const Graph g = KarateClub();
+  auto result = ExactGreedyMaximize(g, 6);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 1; i < result->trace_after.size(); ++i) {
+    EXPECT_LT(result->trace_after[i], result->trace_after[i - 1]);
+  }
+}
+
+TEST(ExactGreedyTest, RejectsInvalidArguments) {
+  EXPECT_FALSE(ExactGreedyMaximize(KarateClub(), 0).ok());
+  EXPECT_FALSE(ExactGreedyMaximize(BuildGraph(4, {{0, 1}, {2, 3}}), 2).ok());
+}
+
+}  // namespace
+}  // namespace cfcm

@@ -1,0 +1,115 @@
+#include "cfcm/forest_cfcm.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "cfcm/cfcc.h"
+#include "cfcm/exact_greedy.h"
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace cfcm {
+namespace {
+
+CfcmOptions TestOptions(int max_forests = 2048) {
+  CfcmOptions opts;
+  opts.eps = 0.2;
+  opts.seed = 17;
+  opts.num_threads = 2;
+  opts.max_forests = max_forests;
+  opts.forest_factor = 8.0;  // tests favor accuracy over speed
+  opts.jl_rows = 48;
+  return opts;
+}
+
+TEST(ForestCfcmTest, NearExactQualityOnKarate) {
+  const Graph g = KarateClub();
+  auto forest = ForestCfcmMaximize(g, 5, TestOptions());
+  auto exact = ExactGreedyMaximize(g, 5);
+  ASSERT_TRUE(forest.ok() && exact.ok());
+  EXPECT_GE(ExactGroupCfcc(g, forest->selected),
+            0.93 * ExactGroupCfcc(g, exact->selected));
+}
+
+TEST(ForestCfcmTest, NearExactQualityOnContUsa) {
+  const Graph g = ContiguousUsa();
+  auto forest = ForestCfcmMaximize(g, 4, TestOptions());
+  auto exact = ExactGreedyMaximize(g, 4);
+  ASSERT_TRUE(forest.ok() && exact.ok());
+  EXPECT_GE(ExactGroupCfcc(g, forest->selected),
+            0.93 * ExactGroupCfcc(g, exact->selected));
+}
+
+TEST(ForestCfcmTest, SelectsKDistinctNodes) {
+  const Graph g = DolphinsSynthetic();
+  auto result = ForestCfcmMaximize(g, 10, TestOptions(256));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->selected.size(), 10u);
+  std::vector<NodeId> sorted = result->selected;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(ForestCfcmTest, ReportsDiagnostics) {
+  const Graph g = KarateClub();
+  auto result = ForestCfcmMaximize(g, 3, TestOptions(128));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->forests_per_iteration.size(), 3u);
+  EXPECT_GT(result->total_forests, 0);
+  EXPECT_GT(result->jl_rows, 0);
+  EXPECT_GT(result->seconds, 0.0);
+}
+
+TEST(ForestCfcmTest, DeterministicInSeed) {
+  const Graph g = ContiguousUsa();
+  auto a = ForestCfcmMaximize(g, 4, TestOptions(256));
+  auto b = ForestCfcmMaximize(g, 4, TestOptions(256));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->selected, b->selected);
+}
+
+TEST(ForestCfcmTest, DeterministicAcrossThreadCounts) {
+  const Graph g = KarateClub();
+  CfcmOptions one = TestOptions(256);
+  one.num_threads = 1;
+  CfcmOptions four = TestOptions(256);
+  four.num_threads = 4;
+  auto a = ForestCfcmMaximize(g, 3, one);
+  auto b = ForestCfcmMaximize(g, 3, four);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->selected, b->selected);
+}
+
+TEST(ForestCfcmTest, K1MatchesBestSingleNode) {
+  const Graph g = KarateClub();
+  auto result = ForestCfcmMaximize(g, 1, TestOptions());
+  ASSERT_TRUE(result.ok());
+  double best = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    best = std::max(best, ExactGroupCfcc(g, {u}));
+  }
+  EXPECT_GE(ExactGroupCfcc(g, result->selected), 0.97 * best);
+}
+
+TEST(ForestCfcmTest, RejectsInvalidInput) {
+  EXPECT_FALSE(ForestCfcmMaximize(KarateClub(), 0, TestOptions()).ok());
+  EXPECT_FALSE(ForestCfcmMaximize(KarateClub(), 34, TestOptions()).ok());
+  EXPECT_FALSE(
+      ForestCfcmMaximize(BuildGraph(4, {{0, 1}, {2, 3}}), 2, TestOptions())
+          .ok());
+}
+
+TEST(ForestCfcmTest, BeatsDegreeHeuristicOnKarate) {
+  // The paper's headline quality claim at small scale.
+  const Graph g = KarateClub();
+  auto result = ForestCfcmMaximize(g, 5, TestOptions());
+  ASSERT_TRUE(result.ok());
+  std::vector<NodeId> degree_sel = {33, 0, 32, 2, 1};
+  EXPECT_GT(ExactGroupCfcc(g, result->selected),
+            ExactGroupCfcc(g, degree_sel));
+}
+
+}  // namespace
+}  // namespace cfcm

@@ -1,0 +1,146 @@
+// End-to-end runs of all five solvers plus heuristics on the embedded
+// graphs, asserting the paper's quality ordering (Figs. 1-3):
+// Optimum >= Exact ≈ Schur ≈ Forest >= Approx >= heuristics (within
+// sampling tolerance).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cfcm/approx_greedy.h"
+#include "cfcm/cfcc.h"
+#include "cfcm/exact_greedy.h"
+#include "cfcm/forest_cfcm.h"
+#include "cfcm/heuristics.h"
+#include "cfcm/optimum.h"
+#include "cfcm/schur_cfcm.h"
+#include "graph/builder.h"
+#include "graph/components.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace cfcm {
+namespace {
+
+CfcmOptions SamplingOptions() {
+  CfcmOptions opts;
+  opts.eps = 0.2;
+  opts.seed = 23;
+  opts.num_threads = 2;
+  opts.max_forests = 4096;
+  opts.forest_factor = 8.0;
+  return opts;
+}
+
+TEST(IntegrationTest, FullStackOnKarateK5) {
+  const Graph g = KarateClub();
+  constexpr int k = 5;
+  auto opt = OptimumSearch(g, k);
+  auto exact = ExactGreedyMaximize(g, k);
+  auto forest = ForestCfcmMaximize(g, k, SamplingOptions());
+  auto schur = SchurCfcmMaximize(g, k, SamplingOptions());
+  auto approx = ApproxGreedyMaximize(g, k, SamplingOptions());
+  ASSERT_TRUE(opt.ok() && exact.ok() && forest.ok() && schur.ok() &&
+              approx.ok());
+
+  const double c_opt = opt->cfcc;
+  const double c_exact = ExactGroupCfcc(g, exact->selected);
+  const double c_forest = ExactGroupCfcc(g, forest->selected);
+  const double c_schur = ExactGroupCfcc(g, schur->selected);
+  const double c_approx = ExactGroupCfcc(g, approx->selected);
+  const double c_degree = ExactGroupCfcc(g, DegreeSelect(g, k));
+
+  // Paper Fig. 1: greedy methods are all near-optimal.
+  EXPECT_GE(c_exact, 0.99 * c_opt);
+  EXPECT_GE(c_forest, 0.93 * c_opt);
+  EXPECT_GE(c_schur, 0.93 * c_opt);
+  EXPECT_GE(c_approx, 0.90 * c_opt);
+  // ... and clearly better than the degree heuristic (Fig. 2).
+  EXPECT_GT(c_exact, c_degree);
+  EXPECT_GT(c_schur, c_degree);
+}
+
+TEST(IntegrationTest, FullStackOnContUsaK4) {
+  const Graph g = ContiguousUsa();
+  constexpr int k = 4;
+  auto opt = OptimumSearch(g, k);
+  auto exact = ExactGreedyMaximize(g, k);
+  auto forest = ForestCfcmMaximize(g, k, SamplingOptions());
+  auto schur = SchurCfcmMaximize(g, k, SamplingOptions());
+  ASSERT_TRUE(opt.ok() && exact.ok() && forest.ok() && schur.ok());
+  EXPECT_GE(ExactGroupCfcc(g, exact->selected), 0.99 * opt->cfcc);
+  EXPECT_GE(ExactGroupCfcc(g, forest->selected), 0.92 * opt->cfcc);
+  EXPECT_GE(ExactGroupCfcc(g, schur->selected), 0.92 * opt->cfcc);
+}
+
+TEST(IntegrationTest, MediumScaleFreeGraphQualityOrdering) {
+  // On a 400-node BA graph (Exact feasible), the sampled greedy methods
+  // must stay within a few percent of Exact and beat Degree/Top-CFCC.
+  const Graph g = BarabasiAlbert(400, 3, 77);
+  constexpr int k = 8;
+  auto exact = ExactGreedyMaximize(g, k);
+  auto forest = ForestCfcmMaximize(g, k, SamplingOptions());
+  auto schur = SchurCfcmMaximize(g, k, SamplingOptions());
+  ASSERT_TRUE(exact.ok() && forest.ok() && schur.ok());
+  const double c_exact = ExactGroupCfcc(g, exact->selected);
+  const double c_forest = ExactGroupCfcc(g, forest->selected);
+  const double c_schur = ExactGroupCfcc(g, schur->selected);
+  const double c_degree = ExactGroupCfcc(g, DegreeSelect(g, k));
+  const double c_top = ExactGroupCfcc(g, TopCfccSelectExact(g, k));
+  EXPECT_GE(c_forest, 0.93 * c_exact);
+  EXPECT_GE(c_schur, 0.93 * c_exact);
+  EXPECT_GE(c_exact, c_degree - 1e-12);
+  EXPECT_GE(c_exact, c_top - 1e-12);
+}
+
+TEST(IntegrationTest, HutchinsonEvaluationAgreesWithDense) {
+  // The large-graph CFCC evaluation path must agree with dense algebra
+  // where both are feasible.
+  const Graph g = DolphinsSynthetic();
+  auto schur = SchurCfcmMaximize(g, 6, SamplingOptions());
+  ASSERT_TRUE(schur.ok());
+  const double dense = ExactGroupCfcc(g, schur->selected);
+  const ApproxCfcc sampled = ApproximateGroupCfcc(g, schur->selected, 512, 3);
+  EXPECT_NEAR(sampled.cfcc, dense, 0.05 * dense);
+}
+
+TEST(IntegrationTest, LccPipelineOnDisconnectedInput) {
+  // Realistic ingestion: raw edge list with small disconnected parts.
+  GraphBuilder builder;
+  const Graph ba = BarabasiAlbert(150, 2, 31);
+  for (const auto& [u, v] : ba.Edges()) builder.AddEdge(u, v);
+  builder.AddEdge(300, 301);  // stray component
+  builder.AddEdge(302, 303);
+  const Graph raw = std::move(std::move(builder).Build()).value();
+  ASSERT_FALSE(IsConnected(raw));
+
+  const LccResult lcc = LargestConnectedComponent(raw);
+  ASSERT_TRUE(IsConnected(lcc.graph));
+  EXPECT_EQ(lcc.graph.num_nodes(), 150);
+
+  auto result = SchurCfcmMaximize(lcc.graph, 5, SamplingOptions());
+  ASSERT_TRUE(result.ok());
+  // Map back to original ids and confirm they exist there.
+  for (NodeId u : result->selected) {
+    ASSERT_LT(static_cast<std::size_t>(u), lcc.to_original.size());
+    EXPECT_LT(lcc.to_original[u], 300);
+  }
+}
+
+TEST(IntegrationTest, SaveLoadSolveRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cfcm_integration.txt";
+  ASSERT_TRUE(SaveEdgeList(KarateClub(), path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  auto a = ForestCfcmMaximize(*loaded, 3, SamplingOptions());
+  auto b = ForestCfcmMaximize(KarateClub(), 3, SamplingOptions());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->selected, b->selected);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cfcm

@@ -1,0 +1,107 @@
+#include "cfcm/optimum.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cfcm/cfcc.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+
+namespace cfcm {
+namespace {
+
+// Reference: brute force by fresh dense factorization per subset.
+std::pair<std::vector<NodeId>, double> NaiveOptimum(const Graph& g, int k) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> subset(static_cast<std::size_t>(k));
+  std::vector<NodeId> best;
+  double best_trace = 1e300;
+  // Enumerate combinations via odometer.
+  for (int i = 0; i < k; ++i) subset[i] = i;
+  for (;;) {
+    const double trace = ExactTraceInverseSubmatrix(
+        g, std::vector<NodeId>(subset.begin(), subset.end()));
+    if (trace < best_trace) {
+      best_trace = trace;
+      best = subset;
+    }
+    int pos = k - 1;
+    while (pos >= 0 && subset[pos] == n - k + pos) --pos;
+    if (pos < 0) break;
+    ++subset[pos];
+    for (int i = pos + 1; i < k; ++i) subset[i] = subset[i - 1] + 1;
+  }
+  return {best, best_trace};
+}
+
+TEST(OptimumTest, MatchesNaiveOnKarateK2) {
+  const Graph g = KarateClub();
+  auto fast = OptimumSearch(g, 2);
+  ASSERT_TRUE(fast.ok());
+  const auto [naive_best, naive_trace] = NaiveOptimum(g, 2);
+  EXPECT_NEAR(fast->trace, naive_trace, 1e-8);
+  EXPECT_EQ(fast->best, naive_best);
+  EXPECT_EQ(fast->subsets_evaluated, 34 * 33 / 2);
+}
+
+TEST(OptimumTest, MatchesNaiveOnZebraK3) {
+  const Graph g = ZebraSynthetic();
+  auto fast = OptimumSearch(g, 3);
+  ASSERT_TRUE(fast.ok());
+  const auto [naive_best, naive_trace] = NaiveOptimum(g, 3);
+  EXPECT_NEAR(fast->trace, naive_trace, 1e-8);
+  EXPECT_EQ(fast->best, naive_best);
+}
+
+TEST(OptimumTest, K1MatchesBestSingleNode) {
+  const Graph g = ContiguousUsa();
+  auto fast = OptimumSearch(g, 1);
+  ASSERT_TRUE(fast.ok());
+  double best = 1e300;
+  NodeId best_u = -1;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const double trace = ExactTraceInverseSubmatrix(g, {u});
+    if (trace < best) {
+      best = trace;
+      best_u = u;
+    }
+  }
+  EXPECT_EQ(fast->best, std::vector<NodeId>{best_u});
+  EXPECT_NEAR(fast->trace, best, 1e-9);
+}
+
+TEST(OptimumTest, CfccIsNOverTrace) {
+  const Graph g = KarateClub();
+  auto result = OptimumSearch(g, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->cfcc, 34.0 / result->trace, 1e-12);
+  EXPECT_NEAR(result->cfcc, ExactGroupCfcc(g, result->best), 1e-9);
+}
+
+TEST(OptimumTest, EvaluatesAllSubsets) {
+  const Graph g = ZebraSynthetic();  // n = 23
+  auto result = OptimumSearch(g, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->subsets_evaluated, 23LL * 22 * 21 / 6);
+}
+
+TEST(OptimumTest, RejectsLargeGraphs) {
+  const Graph g = BarabasiAlbert(200, 2, 3);
+  EXPECT_FALSE(OptimumSearch(g, 2).ok());
+}
+
+TEST(OptimumTest, BestIsSortedAndDistinct) {
+  const Graph g = KarateClub();
+  auto result = OptimumSearch(g, 4);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->best.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(result->best.begin(), result->best.end()));
+  EXPECT_EQ(std::adjacent_find(result->best.begin(), result->best.end()),
+            result->best.end());
+}
+
+}  // namespace
+}  // namespace cfcm

@@ -1,0 +1,254 @@
+// Property-based parameterized suites over a pool of structurally
+// diverse graphs and seeds: the mathematical invariants the paper's
+// algorithms rely on must hold on every instance.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cfcm/cfcc.h"
+#include "cfcm/exact_greedy.h"
+#include "cfcm/optimum.h"
+#include "common/rng.h"
+#include "graph/bfs.h"
+#include "graph/builder.h"
+#include "graph/components.h"
+#include "graph/diameter.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+#include "linalg/ldlt.h"
+#include "linalg/schur_exact.h"
+#include "test_util.h"
+
+namespace cfcm {
+namespace {
+
+using cfcm::testing::NamedGraph;
+using cfcm::testing::PropertyGraphPool;
+
+class GraphPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  const Graph& graph() const { return pool()[GetParam()].graph; }
+  const char* name() const { return pool()[GetParam()].name; }
+
+  static const std::vector<NamedGraph>& pool() {
+    static const std::vector<NamedGraph>* kPool =
+        new std::vector<NamedGraph>(PropertyGraphPool());
+    return *kPool;
+  }
+};
+
+TEST_P(GraphPropertyTest, ResistanceDistanceIsAMetric) {
+  const Graph& g = graph();
+  const DenseMatrix pinv = LaplacianPseudoinverse(g);
+  auto r = [&](NodeId i, NodeId j) {
+    return pinv(i, i) + pinv(j, j) - 2 * pinv(i, j);
+  };
+  const NodeId n = g.num_nodes();
+  Rng rng(100 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId a = rng.NextBounded(static_cast<uint32_t>(n));
+    const NodeId b = rng.NextBounded(static_cast<uint32_t>(n));
+    const NodeId c = rng.NextBounded(static_cast<uint32_t>(n));
+    EXPECT_NEAR(r(a, a), 0.0, 1e-9);
+    EXPECT_GE(r(a, b), -1e-9);                        // non-negative
+    EXPECT_NEAR(r(a, b), r(b, a), 1e-9);              // symmetric
+    EXPECT_LE(r(a, c), r(a, b) + r(b, c) + 1e-9);     // triangle
+  }
+}
+
+TEST_P(GraphPropertyTest, ResistanceUpperBoundedByShortestPath) {
+  // Effective resistance <= hop distance (unit resistors, Rayleigh).
+  const Graph& g = graph();
+  const DenseMatrix pinv = LaplacianPseudoinverse(g);
+  const BfsResult bfs = Bfs(g, 0);
+  for (NodeId u = 1; u < g.num_nodes(); ++u) {
+    const double r = pinv(0, 0) + pinv(u, u) - 2 * pinv(0, u);
+    EXPECT_LE(r, bfs.depth[u] + 1e-9) << name() << " u=" << u;
+  }
+}
+
+TEST_P(GraphPropertyTest, RayleighMonotonicityUnderEdgeAddition) {
+  // Adding an edge can only decrease effective resistances.
+  const Graph& g = graph();
+  const NodeId n = g.num_nodes();
+  // Find a non-edge to add.
+  NodeId a = -1, b = -1;
+  for (NodeId u = 0; u < n && a < 0; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (!g.HasEdge(u, v)) {
+        a = u;
+        b = v;
+        break;
+      }
+    }
+  }
+  if (a < 0) GTEST_SKIP() << "complete graph";
+  auto edges = g.Edges();
+  edges.emplace_back(a, b);
+  const Graph denser = BuildGraph(n, edges);
+
+  const DenseMatrix p1 = LaplacianPseudoinverse(g);
+  const DenseMatrix p2 = LaplacianPseudoinverse(denser);
+  Rng rng(31 + GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    const NodeId u = rng.NextBounded(static_cast<uint32_t>(n));
+    const NodeId v = rng.NextBounded(static_cast<uint32_t>(n));
+    const double r1 = p1(u, u) + p1(v, v) - 2 * p1(u, v);
+    const double r2 = p2(u, u) + p2(v, v) - 2 * p2(u, v);
+    EXPECT_LE(r2, r1 + 1e-9) << name();
+  }
+}
+
+TEST_P(GraphPropertyTest, TraceInverseIsMonotoneDecreasingInS) {
+  // Supermodular-monotone objective: adding nodes shrinks the trace.
+  const Graph& g = graph();
+  Rng rng(7 + GetParam());
+  std::vector<NodeId> s;
+  s.push_back(rng.NextBounded(static_cast<uint32_t>(g.num_nodes())));
+  double prev = ExactTraceInverseSubmatrix(g, s);
+  for (int i = 0; i < 3 && static_cast<NodeId>(s.size()) + 1 <
+                              g.num_nodes();
+       ++i) {
+    NodeId next;
+    do {
+      next = rng.NextBounded(static_cast<uint32_t>(g.num_nodes()));
+    } while (std::find(s.begin(), s.end(), next) != s.end());
+    s.push_back(next);
+    const double cur = ExactTraceInverseSubmatrix(g, s);
+    EXPECT_LT(cur, prev) << name();
+    prev = cur;
+  }
+}
+
+TEST_P(GraphPropertyTest, MarginalGainsAreSupermodular) {
+  // For S ⊆ S' and u ∉ S': Delta(u, S) >= Delta(u, S') — the diminishing
+  // returns property behind the greedy guarantee.
+  const Graph& g = graph();
+  Rng rng(13 + GetParam());
+  const NodeId n = g.num_nodes();
+  auto pick_distinct = [&](std::vector<NodeId>& out, int count) {
+    while (static_cast<int>(out.size()) < count) {
+      const NodeId v = rng.NextBounded(static_cast<uint32_t>(n));
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+    }
+  };
+  std::vector<NodeId> base;
+  pick_distinct(base, 3);  // base = {a, b, c}; S = {a}, S' = {a, b}
+  const NodeId u = base[2];
+  const std::vector<NodeId> s_small = {base[0]};
+  const std::vector<NodeId> s_big = {base[0], base[1]};
+  auto delta = [&](const std::vector<NodeId>& s) {
+    std::vector<NodeId> su = s;
+    su.push_back(u);
+    return ExactTraceInverseSubmatrix(g, s) -
+           ExactTraceInverseSubmatrix(g, su);
+  };
+  EXPECT_GE(delta(s_small), delta(s_big) - 1e-9) << name();
+}
+
+TEST_P(GraphPropertyTest, EntrywiseMonotonicityOfSubmatrixInverse) {
+  // [29]: growing S can only decrease entries of L_{-S}^{-1} (all
+  // entries are non-negative voltages).
+  const Graph& g = graph();
+  const NodeId n = g.num_nodes();
+  Rng rng(23 + GetParam());
+  const NodeId a = rng.NextBounded(static_cast<uint32_t>(n));
+  NodeId b;
+  do {
+    b = rng.NextBounded(static_cast<uint32_t>(n));
+  } while (b == a);
+
+  const DenseMatrix small_inv = ExactLaplacianSubmatrixInverse(g, {a});
+  const DenseMatrix big_inv = ExactLaplacianSubmatrixInverse(g, {a, b});
+  const SubmatrixIndex idx_small = MakeSubmatrixIndex(n, {a});
+  const SubmatrixIndex idx_big = MakeSubmatrixIndex(n, {a, b});
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (idx_big.pos[u] < 0 || idx_big.pos[v] < 0) continue;
+      const double small_e = small_inv(idx_small.pos[u], idx_small.pos[v]);
+      const double big_e = big_inv(idx_big.pos[u], idx_big.pos[v]);
+      EXPECT_GE(small_e, big_e - 1e-9);
+      EXPECT_GE(big_e, -1e-9);  // voltages are non-negative
+    }
+  }
+}
+
+TEST_P(GraphPropertyTest, SchurComplementPreservesTtBlockOfInverse) {
+  const Graph& g = graph();
+  if (g.num_nodes() < 8) GTEST_SKIP();
+  const DenseMatrix l_sub =
+      DenseLaplacianSubmatrix(g, MakeSubmatrixIndex(g.num_nodes(), {0}));
+  const std::vector<int> t = {1, 3, 5};
+  const DenseMatrix schur = ExactSchurComplement(l_sub, t);
+  const DenseMatrix schur_inv = LdltFactorization::Compute(schur)->Inverse();
+  const DenseMatrix full_inv = LdltFactorization::Compute(l_sub)->Inverse();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    for (std::size_t j = 0; j < t.size(); ++j) {
+      EXPECT_NEAR(schur_inv(static_cast<int>(i), static_cast<int>(j)),
+                  full_inv(t[i], t[j]), 1e-8)
+          << name();
+    }
+  }
+}
+
+TEST_P(GraphPropertyTest, GreedyTraceMatchesDownadatesEverywhere) {
+  const Graph& g = graph();
+  const int k = std::min<NodeId>(4, g.num_nodes() - 1);
+  auto result = ExactGreedyMaximize(g, k);
+  ASSERT_TRUE(result.ok());
+  std::vector<NodeId> prefix;
+  for (int i = 0; i < k; ++i) {
+    prefix.push_back(result->selected[i]);
+    EXPECT_NEAR(result->trace_after[i], ExactTraceInverseSubmatrix(g, prefix),
+                1e-7 * result->trace_after[i])
+        << name();
+  }
+}
+
+TEST_P(GraphPropertyTest, GreedyAchievesApproximationFactorVsOptimum) {
+  const Graph& g = graph();
+  if (g.num_nodes() > 50) GTEST_SKIP() << "optimum too expensive";
+  const int k = 3;
+  auto greedy = ExactGreedyMaximize(g, k);
+  auto opt = OptimumSearch(g, k);
+  ASSERT_TRUE(greedy.ok() && opt.ok());
+  // Theoretical factor 1 - (k/(k-1)) / e ≈ 0.448 for k=3; practice is
+  // far better but we assert the guarantee itself.
+  const double c_greedy = ExactGroupCfcc(g, greedy->selected);
+  EXPECT_GE(c_greedy, (1.0 - 1.5 / M_E) * opt->cfcc) << name();
+  // Empirically greedy is near-optimal; the symmetric cycle is its worst
+  // pool instance (~0.92 of optimum), so assert 90% across the board.
+  EXPECT_GE(c_greedy, 0.90 * opt->cfcc) << name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphPool, GraphPropertyTest,
+    ::testing::Range(0, static_cast<int>(PropertyGraphPool().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return PropertyGraphPool()[info.param].name;
+    });
+
+// Seed sweep: estimator pipelines must stay deterministic and valid
+// across seeds.
+class SeedSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedSweepTest, GeneratorsProduceConnectedScaleFreeGraphs) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const Graph g = BarabasiAlbert(300, 2, seed);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.num_nodes(), 300);
+  const Graph plc = PowerlawCluster(200, 3, 0.4, seed);
+  EXPECT_TRUE(IsConnected(plc));
+}
+
+TEST_P(SeedSweepTest, GeometricGraphsStayConnected) {
+  const Graph g =
+      RandomGeometric(200, 0.06, static_cast<uint64_t>(GetParam()));
+  EXPECT_TRUE(IsConnected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace cfcm

@@ -1,0 +1,90 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cfcm {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, StreamsAreIndependent) {
+  Rng a(7, 0), b(7, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(42);
+  for (uint32_t bound : {1u, 2u, 3u, 7u, 100u, 1u << 20}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(2024);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> hist(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++hist[rng.NextBounded(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(hist[b], expected, 5 * std::sqrt(expected));
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolIsFair) {
+  Rng rng(77);
+  int heads = 0;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) heads += rng.NextBool();
+  EXPECT_NEAR(heads, kDraws / 2, 4 * std::sqrt(kDraws / 4.0));
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministicAndDistinct) {
+  uint64_t state = 42;
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(SplitMix64(&state));
+  EXPECT_EQ(seen.size(), 1000u);
+
+  uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+  Rng rng(5);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace cfcm

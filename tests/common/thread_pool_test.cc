@@ -1,0 +1,63 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cfcm {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> order;
+  pool.ParallelFor(16, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  std::vector<int> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, RunPerWorkerTouchesEachWorker) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(3);
+  pool.RunPerWorker([&](std::size_t t) { hits[t].fetch_add(1); });
+  for (int t = 0; t < 3; ++t) EXPECT_EQ(hits[t].load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<long long> sum{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(1000, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long long>(i));
+    });
+  }
+  EXPECT_EQ(sum.load(), 5LL * (999LL * 1000 / 2));
+}
+
+TEST(ThreadPoolTest, DefaultUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace cfcm

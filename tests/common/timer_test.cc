@@ -1,0 +1,44 @@
+#include "common/timer.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace cfcm {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = timer.Seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(TimerTest, RestartResetsOrigin) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Restart();
+  EXPECT_LT(timer.Seconds(), 0.015);
+}
+
+TEST(TimerTest, MillisMatchesSeconds) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = timer.Seconds();
+  const double ms = timer.Millis();
+  EXPECT_NEAR(ms / 1000.0, s, 0.01);
+}
+
+TEST(TimerTest, MonotoneNonDecreasing) {
+  Timer timer;
+  double prev = timer.Seconds();
+  for (int i = 0; i < 100; ++i) {
+    const double now = timer.Seconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace cfcm

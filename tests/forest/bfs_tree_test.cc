@@ -1,0 +1,46 @@
+#include "forest/bfs_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace cfcm {
+namespace {
+
+TEST(TreeScaffoldTest, RootsAreDedupedAndMasked) {
+  const Graph g = KarateClub();
+  const TreeScaffold s = MakeTreeScaffold(g, {0, 33, 0});
+  EXPECT_EQ(s.roots.size(), 2u);
+  EXPECT_TRUE(s.is_root[0]);
+  EXPECT_TRUE(s.is_root[33]);
+  EXPECT_FALSE(s.is_root[1]);
+}
+
+TEST(TreeScaffoldTest, BfsReachesAllNodes) {
+  const Graph g = GridGraph(7, 7);
+  const TreeScaffold s = MakeTreeScaffold(g, {24});
+  EXPECT_EQ(s.bfs.num_reached(), 49);
+}
+
+TEST(TreeScaffoldTest, DepthZeroExactlyAtRoots) {
+  const Graph g = CycleGraph(12);
+  const TreeScaffold s = MakeTreeScaffold(g, {0, 6});
+  for (NodeId u = 0; u < 12; ++u) {
+    EXPECT_EQ(s.bfs.depth[u] == 0, s.is_root[u] != 0);
+  }
+}
+
+TEST(TreeScaffoldTest, ParentsAreBfsEdges) {
+  const Graph g = BarabasiAlbert(150, 2, 31);
+  const TreeScaffold s = MakeTreeScaffold(g, {0, 1});
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (s.is_root[u]) continue;
+    ASSERT_GE(s.bfs.parent[u], 0);
+    EXPECT_TRUE(g.HasEdge(u, s.bfs.parent[u]));
+    EXPECT_EQ(s.bfs.depth[u], s.bfs.depth[s.bfs.parent[u]] + 1);
+  }
+}
+
+}  // namespace
+}  // namespace cfcm

@@ -1,0 +1,110 @@
+#include "forest/subtree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace cfcm {
+namespace {
+
+std::vector<char> Mask(NodeId n, const std::vector<NodeId>& roots) {
+  std::vector<char> mask(static_cast<std::size_t>(n), 0);
+  for (NodeId r : roots) mask[r] = 1;
+  return mask;
+}
+
+// Brute-force subtree membership: v in subtree(u) iff u is on v's chain.
+bool InSubtree(const RootedForest& f, const std::vector<char>& is_root,
+               NodeId v, NodeId u) {
+  NodeId i = v;
+  for (;;) {
+    if (i == u) return true;
+    if (is_root[i]) return false;
+    i = f.parent[i];
+  }
+}
+
+TEST(SubtreeTest, SizesMatchBruteForce) {
+  const Graph g = KarateClub();
+  const auto roots = Mask(g.num_nodes(), {0, 33});
+  ForestSampler sampler(g);
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const RootedForest& f = sampler.Sample(roots, &rng);
+    std::vector<int32_t> sizes;
+    SubtreeSizes(f, &sizes);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      int expected = 0;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (!roots[v] && InSubtree(f, roots, v, u)) ++expected;
+      }
+      EXPECT_EQ(sizes[u], expected) << "u=" << u;
+    }
+  }
+}
+
+TEST(SubtreeTest, PathGraphSizes) {
+  // Path rooted at 0: parent chain u -> u-1; subtree(u) = {u..n-1}.
+  const Graph g = PathGraph(6);
+  const auto roots = Mask(6, {0});
+  ForestSampler sampler(g);
+  Rng rng(1);
+  const RootedForest& f = sampler.Sample(roots, &rng);
+  std::vector<int32_t> sizes;
+  SubtreeSizes(f, &sizes);
+  for (NodeId u = 1; u < 6; ++u) EXPECT_EQ(sizes[u], 6 - u);
+  EXPECT_EQ(sizes[0], 5);  // root accumulates all non-root weight
+}
+
+TEST(SubtreeTest, JlSumsMatchBruteForce) {
+  const Graph g = BarabasiAlbert(60, 2, 3);
+  const auto roots = Mask(g.num_nodes(), {0, 5});
+  const int w = 12;
+  const JlSketch sketch(w, g.num_nodes(), 77);
+  ForestSampler sampler(g);
+  Rng rng(9);
+  const RootedForest& f = sampler.Sample(roots, &rng);
+
+  std::vector<double> buf(static_cast<std::size_t>(g.num_nodes()) * w);
+  SubtreeJlSums(f, roots, sketch, buf.data());
+
+  for (NodeId u = 0; u < g.num_nodes(); u += 7) {
+    for (int j = 0; j < w; ++j) {
+      double expected = 0;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (!roots[v] && InSubtree(f, roots, v, u)) {
+          expected += sketch.Entry(j, v);
+        }
+      }
+      EXPECT_NEAR(buf[static_cast<std::size_t>(u) * w + j], expected, 1e-9);
+    }
+  }
+}
+
+TEST(SubtreeTest, RootsCarryNoSelfWeight) {
+  const Graph g = StarGraph(8);
+  const auto roots = Mask(8, {0});
+  const JlSketch sketch(4, 8, 5);
+  ForestSampler sampler(g);
+  Rng rng(2);
+  const RootedForest& f = sampler.Sample(roots, &rng);
+  std::vector<double> buf(8 * 4);
+  SubtreeJlSums(f, roots, sketch, buf.data());
+  // Star rooted at hub: every leaf is its own subtree.
+  for (NodeId u = 1; u < 8; ++u) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(buf[static_cast<std::size_t>(u) * 4 + j], sketch.Entry(j, u));
+    }
+  }
+  // Root's accumulated sum = sum over all leaves.
+  for (int j = 0; j < 4; ++j) {
+    double expected = 0;
+    for (NodeId v = 1; v < 8; ++v) expected += sketch.Entry(j, v);
+    EXPECT_NEAR(buf[j], expected, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cfcm

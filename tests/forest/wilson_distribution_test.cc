@@ -1,0 +1,86 @@
+// Distributional tests for Wilson's algorithm against exact counts from
+// the matrix-forest theorem: N(S) = det(L_{-S}), and each rooted forest
+// is uniform.
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "forest/wilson.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+#include "linalg/ldlt.h"
+
+namespace cfcm {
+namespace {
+
+double DetLaplacianSubmatrix(const Graph& g, const std::vector<NodeId>& s) {
+  const DenseMatrix l =
+      DenseLaplacianSubmatrix(g, MakeSubmatrixIndex(g.num_nodes(), s));
+  auto ldlt = LdltFactorization::Compute(l);
+  return std::exp(ldlt->LogDet());
+}
+
+// Canonical key of a forest = the parent array.
+std::vector<NodeId> Key(const RootedForest& f) { return f.parent; }
+
+TEST(WilsonDistributionTest, CycleC4RootedAtOneNodeIsUniform) {
+  // C4 rooted at {0}: spanning trees of C4 = 4, all equally likely.
+  const Graph g = CycleGraph(4);
+  EXPECT_NEAR(DetLaplacianSubmatrix(g, {0}), 4.0, 1e-9);
+
+  ForestSampler sampler(g);
+  Rng rng(31);
+  std::vector<char> roots = {1, 0, 0, 0};
+  std::map<std::vector<NodeId>, int> hist;
+  constexpr int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++hist[Key(sampler.Sample(roots, &rng))];
+  }
+  ASSERT_EQ(hist.size(), 4u);
+  for (const auto& [key, count] : hist) {
+    EXPECT_NEAR(count, kSamples / 4.0, 5 * std::sqrt(kSamples / 4.0));
+  }
+}
+
+TEST(WilsonDistributionTest, TwoRootForestCountMatchesDeterminant) {
+  // Diamond graph (K4 minus one edge), roots {0, 3}: the number of
+  // distinct sampled forests must equal det(L_{-{0,3}}).
+  const Graph g = BuildGraph(4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
+  const double expected_count = DetLaplacianSubmatrix(g, {0, 3});
+
+  ForestSampler sampler(g);
+  Rng rng(77);
+  std::vector<char> roots = {1, 0, 0, 1};
+  std::map<std::vector<NodeId>, int> hist;
+  constexpr int kSamples = 60000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++hist[Key(sampler.Sample(roots, &rng))];
+  }
+  EXPECT_NEAR(static_cast<double>(hist.size()), expected_count, 1e-6);
+  // ... and uniformly so.
+  for (const auto& [key, count] : hist) {
+    const double mean = kSamples / expected_count;
+    EXPECT_NEAR(count, mean, 5 * std::sqrt(mean));
+  }
+}
+
+TEST(WilsonDistributionTest, CompleteGraphTreeCountCayley) {
+  // K5 rooted anywhere has 5^3 = 125 spanning trees (Cayley).
+  const Graph g = CompleteGraph(5);
+  EXPECT_NEAR(DetLaplacianSubmatrix(g, {0}), 125.0, 1e-6);
+  ForestSampler sampler(g);
+  Rng rng(13);
+  std::vector<char> roots = {1, 0, 0, 0, 0};
+  std::map<std::vector<NodeId>, int> hist;
+  for (int i = 0; i < 125 * 400; ++i) {
+    ++hist[Key(sampler.Sample(roots, &rng))];
+  }
+  EXPECT_EQ(hist.size(), 125u);
+}
+
+}  // namespace
+}  // namespace cfcm

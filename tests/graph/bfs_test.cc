@@ -1,0 +1,65 @@
+#include "graph/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace cfcm {
+namespace {
+
+TEST(BfsTest, PathGraphDepths) {
+  const Graph g = PathGraph(5);
+  const BfsResult bfs = Bfs(g, 0);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(bfs.depth[u], u);
+  EXPECT_EQ(bfs.parent[0], -1);
+  for (NodeId u = 1; u < 5; ++u) EXPECT_EQ(bfs.parent[u], u - 1);
+}
+
+TEST(BfsTest, OrderStartsAtSourcesAndIsMonotoneInDepth) {
+  const Graph g = GridGraph(5, 5);
+  const BfsResult bfs = Bfs(g, 12);  // center
+  EXPECT_EQ(bfs.order.front(), 12);
+  for (std::size_t i = 1; i < bfs.order.size(); ++i) {
+    EXPECT_LE(bfs.depth[bfs.order[i - 1]], bfs.depth[bfs.order[i]]);
+  }
+}
+
+TEST(BfsTest, MultiSourceTakesNearestSource) {
+  const Graph g = PathGraph(10);
+  const BfsResult bfs = Bfs(g, std::vector<NodeId>{0, 9});
+  EXPECT_EQ(bfs.depth[0], 0);
+  EXPECT_EQ(bfs.depth[9], 0);
+  EXPECT_EQ(bfs.depth[4], 4);
+  EXPECT_EQ(bfs.depth[5], 4);
+}
+
+TEST(BfsTest, DuplicateSourcesAreIgnored) {
+  const Graph g = CycleGraph(6);
+  const BfsResult bfs = Bfs(g, std::vector<NodeId>{2, 2, 2});
+  EXPECT_EQ(bfs.num_reached(), 6);
+  EXPECT_EQ(bfs.depth[2], 0);
+}
+
+TEST(BfsTest, DisconnectedNodesUnreached) {
+  const Graph g = BuildGraph(4, {{0, 1}, {2, 3}});
+  const BfsResult bfs = Bfs(g, 0);
+  EXPECT_EQ(bfs.num_reached(), 2);
+  EXPECT_EQ(bfs.depth[2], BfsResult::kUnreached);
+  EXPECT_EQ(bfs.parent[3], BfsResult::kUnreached);
+}
+
+TEST(BfsTest, ParentsFormValidTree) {
+  const Graph g = BarabasiAlbert(200, 2, 5);
+  const BfsResult bfs = Bfs(g, 0);
+  ASSERT_EQ(bfs.num_reached(), 200);
+  for (NodeId u = 1; u < 200; ++u) {
+    const NodeId p = bfs.parent[u];
+    ASSERT_NE(p, BfsResult::kUnreached);
+    EXPECT_TRUE(g.HasEdge(u, p));
+    EXPECT_EQ(bfs.depth[u], bfs.depth[p] + 1);
+  }
+}
+
+}  // namespace
+}  // namespace cfcm

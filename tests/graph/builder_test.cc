@@ -1,0 +1,70 @@
+#include "graph/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace cfcm {
+namespace {
+
+TEST(GraphBuilderTest, DeduplicatesParallelEdges) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(0, 1);
+  const Graph g = std::move(std::move(builder).Build()).value();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoops) {
+  GraphBuilder builder;
+  builder.AddEdge(2, 2);
+  builder.AddEdge(0, 1);
+  const Graph g = std::move(std::move(builder).Build()).value();
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(GraphBuilderTest, NodeCountFromMaxEndpoint) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 9);
+  const Graph g = std::move(std::move(builder).Build()).value();
+  EXPECT_EQ(g.num_nodes(), 10);
+}
+
+TEST(GraphBuilderTest, ExplicitNodeCountIsRespected) {
+  GraphBuilder builder(8);
+  builder.AddEdge(0, 1);
+  const Graph g = std::move(std::move(builder).Build()).value();
+  EXPECT_EQ(g.num_nodes(), 8);
+}
+
+TEST(GraphBuilderTest, RejectsNegativeIds) {
+  GraphBuilder builder;
+  builder.AddEdge(-1, 3);
+  auto result = std::move(builder).Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, EmptyBuildSucceeds) {
+  GraphBuilder builder;
+  auto result = std::move(builder).Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_nodes(), 0);
+}
+
+TEST(GraphBuilderTest, BuildGraphHelperRoundTrips) {
+  const Graph g = BuildGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(GraphBuilderTest, CountsAddedEdgesBeforeDedup) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  EXPECT_EQ(builder.num_added_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace cfcm

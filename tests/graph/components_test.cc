@@ -1,0 +1,67 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace cfcm {
+namespace {
+
+TEST(ComponentsTest, ConnectedGraphHasOneComponent) {
+  EXPECT_EQ(NumComponents(CycleGraph(8)), 1);
+  EXPECT_TRUE(IsConnected(KarateClub()));
+}
+
+TEST(ComponentsTest, CountsComponents) {
+  const Graph g = BuildGraph(7, {{0, 1}, {1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(NumComponents(g), 3);
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(ComponentsTest, LabelsAreConsistent) {
+  const Graph g = BuildGraph(6, {{0, 1}, {2, 3}, {4, 5}});
+  const auto label = ConnectedComponents(g);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[2], label[3]);
+  EXPECT_NE(label[0], label[2]);
+  EXPECT_NE(label[2], label[4]);
+}
+
+TEST(ComponentsTest, EmptyGraphNotConnected) {
+  Graph g;
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(ComponentsTest, LccExtractsLargest) {
+  // Component A: 0-1-2 (3 nodes). Component B: 3-4-5-6 cycle (4 nodes).
+  const Graph g = BuildGraph(7, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {5, 6}, {6, 3}});
+  const LccResult lcc = LargestConnectedComponent(g);
+  EXPECT_EQ(lcc.graph.num_nodes(), 4);
+  EXPECT_EQ(lcc.graph.num_edges(), 4);
+  ASSERT_EQ(lcc.to_original.size(), 4u);
+  EXPECT_EQ(lcc.to_original[0], 3);
+  EXPECT_TRUE(IsConnected(lcc.graph));
+}
+
+TEST(ComponentsTest, LccPreservesStructure) {
+  const Graph g = BuildGraph(5, {{1, 2}, {2, 3}, {3, 1}});  // 0,4 isolated
+  const LccResult lcc = LargestConnectedComponent(g);
+  EXPECT_EQ(lcc.graph.num_nodes(), 3);
+  EXPECT_EQ(lcc.graph.num_edges(), 3);
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(lcc.graph.degree(u), 2);
+}
+
+TEST(ComponentsTest, LccOfConnectedGraphIsIdentity) {
+  const Graph g = KarateClub();
+  const LccResult lcc = LargestConnectedComponent(g);
+  EXPECT_EQ(lcc.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(lcc.graph.num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(lcc.to_original[u], u);
+  }
+}
+
+}  // namespace
+}  // namespace cfcm

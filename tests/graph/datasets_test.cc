@@ -1,0 +1,78 @@
+#include "graph/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+
+namespace cfcm {
+namespace {
+
+TEST(DatasetsTest, KarateShape) {
+  const Graph g = KarateClub();
+  EXPECT_EQ(g.num_nodes(), 34);
+  EXPECT_EQ(g.num_edges(), 78);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(DatasetsTest, KarateKnownStructure) {
+  const Graph g = KarateClub();
+  // Mr. Hi (node 0) has degree 16; John A. (node 33) has degree 17.
+  EXPECT_EQ(g.degree(0), 16);
+  EXPECT_EQ(g.degree(33), 17);
+  EXPECT_EQ(g.MaxDegreeNode(), 33);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(32, 33));
+  EXPECT_FALSE(g.HasEdge(0, 33));  // the two leaders are not adjacent
+}
+
+TEST(DatasetsTest, ContiguousUsaShape) {
+  const Graph g = ContiguousUsa();
+  EXPECT_EQ(g.num_nodes(), 49);
+  EXPECT_EQ(g.num_edges(), 107);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(DatasetsTest, ContiguousUsaKnownDegrees) {
+  const Graph g = ContiguousUsa();
+  // Tennessee and Missouri each border 8 states: max degree 8.
+  NodeId max_deg = 0;
+  int count_deg8 = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_deg = std::max(max_deg, g.degree(u));
+    if (g.degree(u) == 8) ++count_deg8;
+  }
+  EXPECT_EQ(max_deg, 8);
+  EXPECT_EQ(count_deg8, 2);
+  // Maine borders exactly one state (New Hampshire): exactly one
+  // degree-1 node.
+  int count_deg1 = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) count_deg1 += g.degree(u) == 1;
+  EXPECT_EQ(count_deg1, 1);
+}
+
+TEST(DatasetsTest, ZebraSyntheticShape) {
+  const Graph g = ZebraSynthetic();
+  EXPECT_EQ(g.num_nodes(), 23);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_GE(g.num_edges(), 23);  // dense social structure
+}
+
+TEST(DatasetsTest, DolphinsSyntheticShape) {
+  const Graph g = DolphinsSynthetic();
+  EXPECT_EQ(g.num_nodes(), 62);
+  EXPECT_EQ(g.num_edges(), 159);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(DatasetsTest, DatasetsAreDeterministic) {
+  const Graph a = DolphinsSynthetic();
+  const Graph b = DolphinsSynthetic();
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.Edges(), b.Edges());
+  const Graph za = ZebraSynthetic();
+  const Graph zb = ZebraSynthetic();
+  EXPECT_EQ(za.Edges(), zb.Edges());
+}
+
+}  // namespace
+}  // namespace cfcm

@@ -1,0 +1,52 @@
+#include "graph/diameter.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace cfcm {
+namespace {
+
+TEST(DiameterTest, PathGraphExact) {
+  EXPECT_EQ(ExactDiameter(PathGraph(10)), 9);
+}
+
+TEST(DiameterTest, CycleGraphExact) {
+  EXPECT_EQ(ExactDiameter(CycleGraph(10)), 5);
+  EXPECT_EQ(ExactDiameter(CycleGraph(11)), 5);
+}
+
+TEST(DiameterTest, CompleteGraphExact) {
+  EXPECT_EQ(ExactDiameter(CompleteGraph(7)), 1);
+}
+
+TEST(DiameterTest, StarGraphExact) {
+  EXPECT_EQ(ExactDiameter(StarGraph(12)), 2);
+}
+
+TEST(DiameterTest, GridGraphExact) {
+  EXPECT_EQ(ExactDiameter(GridGraph(3, 4)), 5);  // (rows-1)+(cols-1)
+}
+
+TEST(DiameterTest, KarateDiameterIsFive) {
+  EXPECT_EQ(ExactDiameter(KarateClub()), 5);
+}
+
+TEST(DiameterTest, EstimateIsLowerBoundAndUsuallyTight) {
+  for (const auto& g :
+       {PathGraph(40), CycleGraph(30), GridGraph(6, 7), KarateClub()}) {
+    const NodeId exact = ExactDiameter(g);
+    const NodeId est = EstimateDiameter(g);
+    EXPECT_LE(est, exact);
+    EXPECT_GE(est, exact - 1);  // double sweep is near-exact here
+  }
+}
+
+TEST(DiameterTest, EstimateOnEmptyGraphIsZero) {
+  Graph g;
+  EXPECT_EQ(EstimateDiameter(g), 0);
+}
+
+}  // namespace
+}  // namespace cfcm

@@ -1,0 +1,106 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/components.h"
+
+namespace cfcm {
+namespace {
+
+TEST(GeneratorsTest, PathCycleCompleteStarShapes) {
+  EXPECT_EQ(PathGraph(6).num_edges(), 5);
+  EXPECT_EQ(CycleGraph(6).num_edges(), 6);
+  EXPECT_EQ(CompleteGraph(6).num_edges(), 15);
+  EXPECT_EQ(StarGraph(6).num_edges(), 5);
+  EXPECT_EQ(GridGraph(3, 4).num_edges(), 3 * 3 + 2 * 4);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertShapeAndConnectivity) {
+  const Graph g = BarabasiAlbert(500, 3, 42);
+  EXPECT_EQ(g.num_nodes(), 500);
+  EXPECT_TRUE(IsConnected(g));
+  // clique(4)=6 edges + 496*3 minus dedup collisions (none: distinct picks)
+  EXPECT_EQ(g.num_edges(), 6 + 496 * 3);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertIsScaleFreeIsh) {
+  const Graph g = BarabasiAlbert(2000, 2, 7);
+  // Hub degree should far exceed the average degree (~4).
+  EXPECT_GT(g.degree(g.MaxDegreeNode()), 40);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertDeterministicInSeed) {
+  const Graph a = BarabasiAlbert(100, 2, 9);
+  const Graph b = BarabasiAlbert(100, 2, 9);
+  const Graph c = BarabasiAlbert(100, 2, 10);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  EXPECT_NE(a.Edges(), c.Edges());
+}
+
+TEST(GeneratorsTest, ErdosRenyiGnmHasExactEdgeCount) {
+  const Graph g = ErdosRenyiGnm(200, 700, 3);
+  EXPECT_EQ(g.num_nodes(), 200);
+  EXPECT_EQ(g.num_edges(), 700);
+}
+
+TEST(GeneratorsTest, WattsStrogatzKeepsEdgeBudget) {
+  const Graph g = WattsStrogatz(300, 4, 0.1, 5);
+  EXPECT_EQ(g.num_nodes(), 300);
+  // Rewiring preserves the number of edges (n*k), modulo rare collisions.
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 300.0 * 4, 8.0);
+}
+
+TEST(GeneratorsTest, WattsStrogatzZeroBetaIsRingLattice) {
+  const Graph g = WattsStrogatz(50, 3, 0.0, 1);
+  EXPECT_EQ(g.num_edges(), 150);
+  for (NodeId u = 0; u < 50; ++u) EXPECT_EQ(g.degree(u), 6);
+}
+
+TEST(GeneratorsTest, PowerlawClusterShape) {
+  const Graph g = PowerlawCluster(400, 3, 0.5, 11);
+  EXPECT_EQ(g.num_nodes(), 400);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.num_edges(), 6 + 396 * 3);
+}
+
+TEST(GeneratorsTest, PowerlawClusterHasHigherClusteringThanBa) {
+  auto triangles = [](const Graph& g) {
+    std::int64_t count = 0;
+    for (const auto& [u, v] : g.Edges()) {
+      for (NodeId w : g.neighbors(u)) {
+        if (w != v && g.HasEdge(v, w)) ++count;
+      }
+    }
+    return count;
+  };
+  const Graph ba = BarabasiAlbert(600, 3, 21);
+  const Graph plc = PowerlawCluster(600, 3, 0.8, 21);
+  EXPECT_GT(triangles(plc), triangles(ba));
+}
+
+TEST(GeneratorsTest, RandomGeometricConnectedWithBackbone) {
+  const Graph g = RandomGeometric(300, 0.05, 13);
+  EXPECT_EQ(g.num_nodes(), 300);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(GeneratorsTest, RandomGeometricRadiusControlsDensity) {
+  const Graph sparse = RandomGeometric(300, 0.03, 13);
+  const Graph dense = RandomGeometric(300, 0.12, 13);
+  EXPECT_GT(dense.num_edges(), sparse.num_edges());
+}
+
+TEST(GeneratorsTest, KnnGraphDegreesAtLeastK) {
+  Rng rng(99);
+  std::vector<std::array<double, 3>> pts(60);
+  for (auto& p : pts) {
+    p = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+  }
+  const Graph g = KnnGraph(pts, 4);
+  EXPECT_EQ(g.num_nodes(), 60);
+  for (NodeId u = 0; u < 60; ++u) EXPECT_GE(g.degree(u), 4);
+}
+
+}  // namespace
+}  // namespace cfcm

@@ -1,0 +1,71 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace cfcm {
+namespace {
+
+Graph Triangle() { return BuildGraph(3, {{0, 1}, {1, 2}, {0, 2}}); }
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.MaxDegreeNode(), -1);
+}
+
+TEST(GraphTest, CountsNodesAndEdges) {
+  const Graph g = Triangle();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(GraphTest, DegreesAndNeighbors) {
+  const Graph g = BuildGraph(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(1), 1);
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1);
+  EXPECT_EQ(nbrs[1], 2);
+  EXPECT_EQ(nbrs[2], 3);
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  const Graph g = BuildGraph(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  const auto nbrs = g.neighbors(2);
+  for (std::size_t i = 1; i < nbrs.size(); ++i) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+}
+
+TEST(GraphTest, HasEdge) {
+  const Graph g = Triangle();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  const Graph h = BuildGraph(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(h.HasEdge(0, 2));
+}
+
+TEST(GraphTest, MaxDegreeNodeBreaksTiesBySmallestId) {
+  const Graph g = BuildGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(g.MaxDegreeNode(), 0);  // all degree 2
+}
+
+TEST(GraphTest, EdgesListsEachEdgeOnceOrdered) {
+  const Graph g = Triangle();
+  const auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(GraphTest, IsolatedNodeHasZeroDegree) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  const Graph g = std::move(std::move(builder).Build()).value();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+}  // namespace
+}  // namespace cfcm

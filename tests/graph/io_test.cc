@@ -1,0 +1,88 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+
+namespace cfcm {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/cfcm_io_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(IoTest, LoadsSimpleEdgeList) {
+  WriteFile("0 1\n1 2\n2 0\n");
+  auto g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3);
+  EXPECT_EQ(g->num_edges(), 3);
+}
+
+TEST_F(IoTest, SkipsCommentsAndBlankLines) {
+  WriteFile("# comment\n% konect header\n\n0 1\n\n1 2\n");
+  auto g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2);
+}
+
+TEST_F(IoTest, IgnoresTrailingColumns) {
+  WriteFile("0 1 3.5 1290000000\n1 2 1.0 1290000001\n");
+  auto g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2);
+}
+
+TEST_F(IoTest, MissingFileIsIoError) {
+  auto g = LoadEdgeList("/nonexistent/definitely/missing.txt");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, MalformedLineIsIoError) {
+  WriteFile("0 1\nnot numbers\n");
+  auto g = LoadEdgeList(path_);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, NegativeIdIsIoError) {
+  WriteFile("0 -2\n");
+  auto g = LoadEdgeList(path_);
+  ASSERT_FALSE(g.ok());
+}
+
+TEST_F(IoTest, SaveThenLoadRoundTripsKarate) {
+  const Graph karate = KarateClub();
+  ASSERT_TRUE(SaveEdgeList(karate, path_).ok());
+  auto loaded = LoadEdgeList(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), karate.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), karate.num_edges());
+  for (NodeId u = 0; u < karate.num_nodes(); ++u) {
+    EXPECT_EQ(loaded->degree(u), karate.degree(u));
+  }
+}
+
+TEST_F(IoTest, SaveToUnwritablePathFails) {
+  const Graph karate = KarateClub();
+  EXPECT_FALSE(SaveEdgeList(karate, "/nonexistent/dir/out.txt").ok());
+}
+
+}  // namespace
+}  // namespace cfcm

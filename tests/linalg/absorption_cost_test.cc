@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "forest/wilson.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+
+namespace cfcm {
+namespace {
+
+TEST(AbsorptionCostTest, PathGraphKnownValue) {
+  // Path 0-1-2 absorbed at {0}: (L_{-S}^{-1}) = [[1,1],[1,2]] over {1,2}
+  // (check: L_{-S} = [[2,-1],[-1,1]]). Cost = d_1*1 + d_2*2 = 2*1+1*2 = 4.
+  const Graph g = PathGraph(3);
+  EXPECT_NEAR(ExactAbsorptionWalkCost(g, {0}), 4.0, 1e-10);
+}
+
+TEST(AbsorptionCostTest, MoreRootsLowerCost) {
+  const Graph g = KarateClub();
+  const double one = ExactAbsorptionWalkCost(g, {33});
+  const double two = ExactAbsorptionWalkCost(g, {33, 0});
+  const double three = ExactAbsorptionWalkCost(g, {33, 0, 2});
+  EXPECT_LT(two, one);
+  EXPECT_LT(three, two);
+}
+
+TEST(AbsorptionCostTest, WilsonMeanStepsMatchesTrace) {
+  // Lemma 3.7 via Marchal's identity: the expected number of random-walk
+  // steps Wilson's algorithm performs equals Tr((I - P_{-S})^{-1}).
+  const Graph g = KarateClub();
+  const std::vector<NodeId> roots_vec = {33};
+  const double expected = ExactAbsorptionWalkCost(g, roots_vec);
+
+  std::vector<char> roots(static_cast<std::size_t>(g.num_nodes()), 0);
+  roots[33] = 1;
+  ForestSampler sampler(g);
+  Rng rng(29);
+  double total = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    sampler.Sample(roots, &rng);
+    total += static_cast<double>(sampler.last_walk_steps());
+  }
+  const double mean = total / kSamples;
+  EXPECT_NEAR(mean, expected, 0.05 * expected);
+}
+
+TEST(AbsorptionCostTest, HubRootIsCheaperThanLeafRoot) {
+  // Grounding a hub absorbs walks quickly: the cost driver behind
+  // SchurCFCM's speed advantage.
+  const Graph g = BarabasiAlbert(300, 2, 5);
+  const NodeId hub = g.MaxDegreeNode();
+  NodeId leaf = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.degree(u) < g.degree(leaf)) leaf = u;
+  }
+  EXPECT_LT(ExactAbsorptionWalkCost(g, {hub}),
+            ExactAbsorptionWalkCost(g, {leaf}));
+}
+
+}  // namespace
+}  // namespace cfcm

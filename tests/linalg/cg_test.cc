@@ -1,0 +1,122 @@
+#include "linalg/cg.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+
+namespace cfcm {
+namespace {
+
+std::vector<char> Mask(NodeId n, const std::vector<NodeId>& removed) {
+  std::vector<char> mask(static_cast<std::size_t>(n), 0);
+  for (NodeId s : removed) mask[s] = 1;
+  return mask;
+}
+
+TEST(CgTest, GroundedSolveMatchesDenseInverse) {
+  const Graph g = KarateClub();
+  const std::vector<NodeId> removed = {33};
+  const LaplacianSubmatrixOp op(g, Mask(g.num_nodes(), removed));
+  const DenseMatrix inv = ExactLaplacianSubmatrixInverse(g, removed);
+  const SubmatrixIndex idx = MakeSubmatrixIndex(g.num_nodes(), removed);
+
+  Vector b(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  b[0] = 1.0;  // e_0
+  Vector x(b.size(), 0.0);
+  const CgSummary summary = SolveGroundedLaplacian(op, b, &x);
+  EXPECT_TRUE(summary.converged);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (u == 33) {
+      EXPECT_EQ(x[u], 0.0);
+    } else {
+      EXPECT_NEAR(x[u], inv(idx.pos[u], idx.pos[0]), 1e-6);
+    }
+  }
+}
+
+TEST(CgTest, GroundedSolveMultipleRemoved) {
+  const Graph g = BarabasiAlbert(80, 2, 3);
+  const std::vector<NodeId> removed = {0, 17, 42};
+  const LaplacianSubmatrixOp op(g, Mask(g.num_nodes(), removed));
+  const DenseMatrix inv = ExactLaplacianSubmatrixInverse(g, removed);
+  const SubmatrixIndex idx = MakeSubmatrixIndex(g.num_nodes(), removed);
+
+  Rng rng(5);
+  Vector b(static_cast<std::size_t>(g.num_nodes()));
+  for (auto& v : b) v = rng.NextDouble() - 0.5;
+  Vector x(b.size(), 0.0);
+  EXPECT_TRUE(SolveGroundedLaplacian(op, b, &x).converged);
+
+  // Reference dense solve.
+  Vector bs(idx.kept.size());
+  for (std::size_t i = 0; i < idx.kept.size(); ++i) bs[i] = b[idx.kept[i]];
+  const Vector xs = inv.MultiplyVec(bs);
+  for (std::size_t i = 0; i < idx.kept.size(); ++i) {
+    EXPECT_NEAR(x[idx.kept[i]], xs[i], 1e-5);
+  }
+}
+
+TEST(CgTest, PseudoinverseSolveMatchesDense) {
+  const Graph g = ContiguousUsa();
+  const DenseMatrix pinv = LaplacianPseudoinverse(g);
+  Vector b(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  b[5] = 1.0;
+  b[20] = -1.0;  // already orthogonal to ones
+  Vector x(b.size(), 0.0);
+  const CgSummary summary = SolveLaplacianPseudoinverse(g, b, &x);
+  EXPECT_TRUE(summary.converged);
+  const Vector expected = pinv.MultiplyVec(b);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_NEAR(x[u], expected[u], 1e-6);
+  }
+}
+
+TEST(CgTest, PseudoinverseProjectsNonOrthogonalRhs) {
+  const Graph g = CycleGraph(12);
+  Vector b(12, 0.0);
+  b[0] = 3.0;  // mean != 0; solver must project
+  Vector x(12, 0.0);
+  EXPECT_TRUE(SolveLaplacianPseudoinverse(g, b, &x).converged);
+  double mean = 0;
+  for (double v : x) mean += v;
+  EXPECT_NEAR(mean / 12.0, 0.0, 1e-8);
+}
+
+TEST(CgTest, ZeroRhsGivesZeroSolution) {
+  const Graph g = PathGraph(10);
+  const LaplacianSubmatrixOp op(g, Mask(10, {0}));
+  Vector b(10, 0.0), x(10, 0.0);
+  const CgSummary summary = SolveGroundedLaplacian(op, b, &x);
+  EXPECT_TRUE(summary.converged);
+  for (double v : x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(CgTest, IterationCapReportsNonConverged) {
+  const Graph g = PathGraph(400);  // ill-conditioned chain
+  const LaplacianSubmatrixOp op(g, Mask(400, {0}));
+  Vector b(400, 1.0), x(400, 0.0);
+  CgOptions opts;
+  opts.max_iterations = 3;
+  const CgSummary summary = SolveGroundedLaplacian(op, b, &x, opts);
+  EXPECT_FALSE(summary.converged);
+  EXPECT_GT(summary.relative_residual, opts.tolerance);
+}
+
+TEST(CgTest, WarmStartNearSolutionConvergesFast) {
+  const Graph g = KarateClub();
+  const LaplacianSubmatrixOp op(g, Mask(g.num_nodes(), {0}));
+  Vector b(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  b[7] = 1.0;
+  Vector x(b.size(), 0.0);
+  SolveGroundedLaplacian(op, b, &x);
+  Vector x2 = x;  // warm start from the solution
+  const CgSummary again = SolveGroundedLaplacian(op, b, &x2);
+  EXPECT_TRUE(again.converged);
+  EXPECT_LE(again.iterations, 2);
+}
+
+}  // namespace
+}  // namespace cfcm

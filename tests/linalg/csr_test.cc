@@ -1,0 +1,63 @@
+#include "linalg/csr.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace cfcm {
+namespace {
+
+TEST(CsrTest, FromTripletsBasic) {
+  const CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 3);
+  const DenseMatrix d = m.ToDense();
+  EXPECT_EQ(d(0, 0), 1.0);
+  EXPECT_EQ(d(0, 2), 2.0);
+  EXPECT_EQ(d(1, 1), 3.0);
+  EXPECT_EQ(d(1, 0), 0.0);
+}
+
+TEST(CsrTest, DuplicateTripletsAreSummed) {
+  const CsrMatrix m =
+      CsrMatrix::FromTriplets(1, 1, {{0, 0, 1.5}, {0, 0, 2.5}});
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_EQ(m.ToDense()(0, 0), 4.0);
+}
+
+TEST(CsrTest, MultiplyMatchesDense) {
+  std::vector<std::tuple<int, int, double>> triplets;
+  for (int i = 0; i < 6; ++i) {
+    triplets.emplace_back(i, (i + 1) % 6, 2.0);
+    triplets.emplace_back(i, i, -1.0);
+  }
+  const CsrMatrix m = CsrMatrix::FromTriplets(6, 6, triplets);
+  const DenseMatrix d = m.ToDense();
+  Vector x = {1, 2, 3, 4, 5, 6};
+  Vector y_sparse;
+  m.Multiply(x, &y_sparse);
+  const Vector y_dense = d.MultiplyVec(x);
+  for (int i = 0; i < 6; ++i) EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-12);
+}
+
+TEST(CsrTest, EmptyMatrix) {
+  const CsrMatrix m = CsrMatrix::FromTriplets(3, 3, {});
+  EXPECT_EQ(m.nnz(), 0);
+  Vector y;
+  m.Multiply({1, 2, 3}, &y);
+  for (double v : y) EXPECT_EQ(v, 0.0);
+}
+
+TEST(CsrTest, RectangularMultiply) {
+  const CsrMatrix m =
+      CsrMatrix::FromTriplets(2, 4, {{0, 3, 1.0}, {1, 0, 2.0}});
+  Vector y;
+  m.Multiply({1, 0, 0, 5}, &y);
+  EXPECT_EQ(y[0], 5.0);
+  EXPECT_EQ(y[1], 2.0);
+}
+
+}  // namespace
+}  // namespace cfcm

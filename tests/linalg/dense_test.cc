@@ -1,0 +1,90 @@
+#include "linalg/dense.h"
+
+#include <gtest/gtest.h>
+
+namespace cfcm {
+namespace {
+
+TEST(DenseMatrixTest, ZeroInitialized) {
+  DenseMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(DenseMatrixTest, IdentityAndTrace) {
+  const DenseMatrix eye = DenseMatrix::Identity(4);
+  EXPECT_EQ(eye.Trace(), 4.0);
+  EXPECT_EQ(eye(2, 2), 1.0);
+  EXPECT_EQ(eye(0, 1), 0.0);
+}
+
+TEST(DenseMatrixTest, MultiplyMatchesHandComputation) {
+  DenseMatrix a(2, 3), b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  int v = 1;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j) a(i, j) = v++;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 2; ++j) b(i, j) = v++;
+  const DenseMatrix c = a.Multiply(b);
+  EXPECT_EQ(c(0, 0), 58.0);
+  EXPECT_EQ(c(0, 1), 64.0);
+  EXPECT_EQ(c(1, 0), 139.0);
+  EXPECT_EQ(c(1, 1), 154.0);
+}
+
+TEST(DenseMatrixTest, MultiplyVec) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const Vector y = a.MultiplyVec({5, 6});
+  EXPECT_EQ(y[0], 17.0);
+  EXPECT_EQ(y[1], 39.0);
+}
+
+TEST(DenseMatrixTest, Transpose) {
+  DenseMatrix a(2, 3);
+  a(0, 2) = 5;
+  a(1, 0) = 7;
+  const DenseMatrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t(2, 0), 5.0);
+  EXPECT_EQ(t(0, 1), 7.0);
+}
+
+TEST(DenseMatrixTest, MaxAbsDiff) {
+  DenseMatrix a(2, 2), b(2, 2);
+  b(1, 1) = -3.5;
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(a, b), 3.5);
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(a, a), 0.0);
+}
+
+TEST(VectorKernelsTest, DotNormAxpyScale) {
+  Vector x = {1, 2, 3};
+  Vector y = {4, 5, 6};
+  EXPECT_EQ(Dot(x, y), 32.0);
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+  Axpy(2.0, x, &y);
+  EXPECT_EQ(y[0], 6.0);
+  EXPECT_EQ(y[2], 12.0);
+  Scale(0.5, &y);
+  EXPECT_EQ(y[0], 3.0);
+}
+
+TEST(DenseMatrixTest, RowSpanViewsData) {
+  DenseMatrix a(2, 3);
+  a(1, 0) = 9;
+  const auto row = a.Row(1);
+  EXPECT_EQ(row[0], 9.0);
+  a.MutableRow(1)[2] = 4;
+  EXPECT_EQ(a(1, 2), 4.0);
+}
+
+}  // namespace
+}  // namespace cfcm

@@ -1,0 +1,51 @@
+#include "linalg/hutchinson.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+
+namespace cfcm {
+namespace {
+
+TEST(HutchinsonTest, ConvergesToExactTrace) {
+  const Graph g = KarateClub();
+  const std::vector<NodeId> removed = {0, 33};
+  const double exact = ExactTraceInverseSubmatrix(g, removed);
+  const TraceEstimate est = HutchinsonTraceInverse(g, removed, 400, 7);
+  EXPECT_NEAR(est.trace, exact, 0.05 * exact);
+}
+
+TEST(HutchinsonTest, StdErrorShrinksWithProbes) {
+  const Graph g = ContiguousUsa();
+  const std::vector<NodeId> removed = {10};
+  const TraceEstimate few = HutchinsonTraceInverse(g, removed, 16, 3);
+  const TraceEstimate many = HutchinsonTraceInverse(g, removed, 256, 3);
+  EXPECT_LT(many.std_error, few.std_error);
+}
+
+TEST(HutchinsonTest, DeterministicInSeed) {
+  const Graph g = KarateClub();
+  const TraceEstimate a = HutchinsonTraceInverse(g, {5}, 32, 11);
+  const TraceEstimate b = HutchinsonTraceInverse(g, {5}, 32, 11);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(HutchinsonTest, SingleProbeHasNoStdError) {
+  const Graph g = CycleGraph(10);
+  const TraceEstimate est = HutchinsonTraceInverse(g, {0}, 1, 2);
+  EXPECT_EQ(est.probes, 1);
+  EXPECT_EQ(est.std_error, 0.0);
+}
+
+TEST(HutchinsonTest, LargerGroundSetShrinksTrace) {
+  // Monotonicity: Tr(L_{-S'}^{-1}) < Tr(L_{-S}^{-1}) for S ⊂ S'.
+  const Graph g = BarabasiAlbert(300, 2, 9);
+  const TraceEstimate small_s = HutchinsonTraceInverse(g, {0}, 64, 5);
+  const TraceEstimate big_s = HutchinsonTraceInverse(g, {0, 1, 2, 3}, 64, 5);
+  EXPECT_LT(big_s.trace, small_s.trace);
+}
+
+}  // namespace
+}  // namespace cfcm

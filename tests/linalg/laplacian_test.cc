@@ -1,0 +1,140 @@
+#include "linalg/laplacian.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "linalg/ldlt.h"
+
+namespace cfcm {
+namespace {
+
+TEST(LaplacianTest, DenseLaplacianRowsSumToZero) {
+  const Graph g = KarateClub();
+  const DenseMatrix l = DenseLaplacian(g);
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    double row_sum = 0;
+    for (NodeId j = 0; j < g.num_nodes(); ++j) row_sum += l(i, j);
+    EXPECT_NEAR(row_sum, 0.0, 1e-12);
+    EXPECT_EQ(l(i, i), g.degree(i));
+  }
+}
+
+TEST(LaplacianTest, SubmatrixIndexMapsCorrectly) {
+  const SubmatrixIndex idx = MakeSubmatrixIndex(5, {1, 3});
+  ASSERT_EQ(idx.kept.size(), 3u);
+  EXPECT_EQ(idx.kept[0], 0);
+  EXPECT_EQ(idx.kept[1], 2);
+  EXPECT_EQ(idx.kept[2], 4);
+  EXPECT_EQ(idx.pos[0], 0);
+  EXPECT_EQ(idx.pos[1], -1);
+  EXPECT_EQ(idx.pos[2], 1);
+  EXPECT_EQ(idx.pos[3], -1);
+  EXPECT_EQ(idx.pos[4], 2);
+}
+
+TEST(LaplacianTest, SubmatrixKeepsFullDegrees) {
+  const Graph g = PathGraph(4);  // 0-1-2-3
+  const SubmatrixIndex idx = MakeSubmatrixIndex(4, {0});
+  const DenseMatrix l = DenseLaplacianSubmatrix(g, idx);
+  // Node 1 keeps degree 2 even though neighbor 0 was removed.
+  EXPECT_EQ(l(0, 0), 2.0);
+  EXPECT_EQ(l(0, 1), -1.0);
+  EXPECT_EQ(l(2, 2), 1.0);
+}
+
+TEST(LaplacianTest, PathGraphSubmatrixInverseIsKnown) {
+  // Path 0-1-2 grounded at 2: L_{-S} = [[1,-1],[-1,2]],
+  // inverse = [[2,1],[1,1]].
+  const Graph g = PathGraph(3);
+  const DenseMatrix inv = ExactLaplacianSubmatrixInverse(g, {2});
+  EXPECT_NEAR(inv(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(inv(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(inv(1, 1), 1.0, 1e-12);
+}
+
+TEST(LaplacianTest, TriangleSubmatrixInverseIsKnown) {
+  // Triangle grounded at node 2: L_{-S}^{-1} = (1/3)[[2,1],[1,2]].
+  const Graph g = CompleteGraph(3);
+  const DenseMatrix inv = ExactLaplacianSubmatrixInverse(g, {2});
+  EXPECT_NEAR(inv(0, 0), 2.0 / 3, 1e-12);
+  EXPECT_NEAR(inv(0, 1), 1.0 / 3, 1e-12);
+}
+
+TEST(LaplacianTest, PseudoinverseProperties) {
+  const Graph g = KarateClub();
+  const DenseMatrix l = DenseLaplacian(g);
+  const DenseMatrix pinv = LaplacianPseudoinverse(g);
+  // L L† L = L.
+  const DenseMatrix lpl = l.Multiply(pinv).Multiply(l);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(lpl, l), 1e-8);
+  // L† 1 = 0.
+  const Vector ones(static_cast<std::size_t>(g.num_nodes()), 1.0);
+  for (double v : pinv.MultiplyVec(ones)) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(LaplacianTest, ResistanceDistanceViaTwoFormulas) {
+  // Eq. (1): R(i,j) = L†_ii + L†_jj - 2 L†_ij equals
+  // Eq. (2): R(i,j) = (L_{-i}^{-1})_jj.
+  const Graph g = ContiguousUsa();
+  const DenseMatrix pinv = LaplacianPseudoinverse(g);
+  for (NodeId i : {0, 7, 20}) {
+    const SubmatrixIndex idx = MakeSubmatrixIndex(g.num_nodes(), {i});
+    const DenseMatrix inv = ExactLaplacianSubmatrixInverse(g, {i});
+    for (NodeId j : {3, 11, 40}) {
+      if (i == j) continue;
+      const double r1 = pinv(i, i) + pinv(j, j) - 2 * pinv(i, j);
+      const double r2 = inv(idx.pos[j], idx.pos[j]);
+      EXPECT_NEAR(r1, r2, 1e-9) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(LaplacianTest, OperatorMatchesDenseSubmatrix) {
+  const Graph g = BarabasiAlbert(60, 2, 17);
+  const std::vector<NodeId> removed = {3, 10, 41};
+  const SubmatrixIndex idx = MakeSubmatrixIndex(g.num_nodes(), removed);
+  const DenseMatrix dense = DenseLaplacianSubmatrix(g, idx);
+
+  std::vector<char> mask(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (NodeId s : removed) mask[s] = 1;
+  const LaplacianSubmatrixOp op(g, mask);
+
+  Vector x(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  Rng rng(4);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    x[u] = mask[u] ? 0.0 : rng.NextDouble();
+  }
+  Vector y(x.size(), 0.0);
+  op.Apply(x, &y);
+
+  Vector xs(idx.kept.size());
+  for (std::size_t i = 0; i < idx.kept.size(); ++i) xs[i] = x[idx.kept[i]];
+  const Vector ys = dense.MultiplyVec(xs);
+  for (std::size_t i = 0; i < idx.kept.size(); ++i) {
+    EXPECT_NEAR(y[idx.kept[i]], ys[i], 1e-10);
+  }
+  for (NodeId s : removed) EXPECT_EQ(y[s], 0.0);
+}
+
+TEST(LaplacianTest, JacobiPreconditionerDividesByDegree) {
+  const Graph g = StarGraph(5);
+  const LaplacianSubmatrixOp op(g, std::vector<char>(5, 0));
+  Vector r = {4, 1, 1, 1, 1};
+  Vector z(5, 0.0);
+  op.ApplyJacobi(r, &z);
+  EXPECT_DOUBLE_EQ(z[0], 1.0);  // degree 4
+  EXPECT_DOUBLE_EQ(z[1], 1.0);  // degree 1
+}
+
+TEST(LaplacianTest, ExactTraceMatchesInverseTrace) {
+  const Graph g = KarateClub();
+  const std::vector<NodeId> removed = {0, 33};
+  EXPECT_NEAR(ExactTraceInverseSubmatrix(g, removed),
+              ExactLaplacianSubmatrixInverse(g, removed).Trace(), 1e-10);
+}
+
+}  // namespace
+}  // namespace cfcm

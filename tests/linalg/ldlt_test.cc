@@ -1,0 +1,108 @@
+#include "linalg/ldlt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cfcm {
+namespace {
+
+DenseMatrix RandomSpd(int n, uint64_t seed) {
+  // A = B B^T + n I is SPD.
+  Rng rng(seed);
+  DenseMatrix b(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) b(i, j) = rng.NextDouble() - 0.5;
+  DenseMatrix a = b.Multiply(b.Transpose());
+  for (int i = 0; i < n; ++i) a(i, i) += n;
+  return a;
+}
+
+TEST(LdltTest, SolvesIdentity) {
+  auto f = LdltFactorization::Compute(DenseMatrix::Identity(3));
+  ASSERT_TRUE(f.ok());
+  const Vector x = f->Solve({1, 2, 3});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(LdltTest, SolveMatchesMultiply) {
+  const DenseMatrix a = RandomSpd(12, 7);
+  auto f = LdltFactorization::Compute(a);
+  ASSERT_TRUE(f.ok());
+  Vector b(12);
+  Rng rng(3);
+  for (auto& v : b) v = rng.NextDouble();
+  const Vector x = f->Solve(b);
+  const Vector ax = a.MultiplyVec(x);
+  for (int i = 0; i < 12; ++i) EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+TEST(LdltTest, SolveMatrixMatchesColumnSolves) {
+  const DenseMatrix a = RandomSpd(10, 21);
+  auto f = LdltFactorization::Compute(a);
+  ASSERT_TRUE(f.ok());
+  Rng rng(6);
+  DenseMatrix b(10, 3);
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 3; ++j) b(i, j) = rng.NextDouble() - 0.5;
+  }
+  const DenseMatrix x = f->SolveMatrix(b);
+  for (int j = 0; j < 3; ++j) {
+    Vector col(10);
+    for (int i = 0; i < 10; ++i) col[i] = b(i, j);
+    const Vector ref = f->Solve(col);
+    for (int i = 0; i < 10; ++i) EXPECT_NEAR(x(i, j), ref[i], 1e-10);
+  }
+}
+
+TEST(LdltTest, InverseTimesMatrixIsIdentity) {
+  const DenseMatrix a = RandomSpd(9, 11);
+  auto f = LdltFactorization::Compute(a);
+  ASSERT_TRUE(f.ok());
+  const DenseMatrix prod = a.Multiply(f->Inverse());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(prod, DenseMatrix::Identity(9)), 1e-9);
+}
+
+TEST(LdltTest, InverseIsSymmetric) {
+  const DenseMatrix inv =
+      LdltFactorization::Compute(RandomSpd(8, 5))->Inverse();
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(inv, inv.Transpose()), 1e-12);
+}
+
+TEST(LdltTest, LogDetMatchesKnownDiagonal) {
+  DenseMatrix d(3, 3);
+  d(0, 0) = 2;
+  d(1, 1) = 4;
+  d(2, 2) = 8;
+  auto f = LdltFactorization::Compute(d);
+  ASSERT_TRUE(f.ok());
+  EXPECT_NEAR(f->LogDet(), std::log(64.0), 1e-12);
+}
+
+TEST(LdltTest, RejectsNonSquare) {
+  EXPECT_FALSE(LdltFactorization::Compute(DenseMatrix(2, 3)).ok());
+}
+
+TEST(LdltTest, RejectsSingular) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 1;  // rank 1
+  auto f = LdltFactorization::Compute(a);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(LdltTest, RejectsIndefinite) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = -1;
+  EXPECT_FALSE(LdltFactorization::Compute(a).ok());
+}
+
+}  // namespace
+}  // namespace cfcm

@@ -1,0 +1,182 @@
+#include "linalg/schur_exact.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "linalg/laplacian.h"
+#include "linalg/ldlt.h"
+
+namespace cfcm {
+namespace {
+
+TEST(SchurExactTest, SchurOfBlockDiagonalIsBlock) {
+  // M = diag(A, B) => S_T(M) = B when T indexes the B block.
+  DenseMatrix m(4, 4);
+  m(0, 0) = 2;
+  m(1, 1) = 3;
+  m(2, 2) = 5;
+  m(2, 3) = 1;
+  m(3, 2) = 1;
+  m(3, 3) = 4;
+  const DenseMatrix s = ExactSchurComplement(m, {2, 3});
+  EXPECT_NEAR(s(0, 0), 5.0, 1e-12);
+  EXPECT_NEAR(s(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(s(1, 1), 4.0, 1e-12);
+}
+
+TEST(SchurExactTest, InverseOfSchurIsSubblockOfInverse) {
+  // Standard identity: (M^{-1})_TT = (S_T(M))^{-1}.
+  const Graph g = KarateClub();
+  const DenseMatrix l_sub = DenseLaplacianSubmatrix(
+      g, MakeSubmatrixIndex(g.num_nodes(), {0}));
+  const std::vector<int> t = {5, 10, 20};
+  const DenseMatrix schur = ExactSchurComplement(l_sub, t);
+  const DenseMatrix schur_inv = LdltFactorization::Compute(schur)->Inverse();
+  const DenseMatrix full_inv = LdltFactorization::Compute(l_sub)->Inverse();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    for (std::size_t j = 0; j < t.size(); ++j) {
+      EXPECT_NEAR(schur_inv(static_cast<int>(i), static_cast<int>(j)),
+                  full_inv(t[i], t[j]), 1e-9);
+    }
+  }
+}
+
+TEST(SchurExactTest, SchurOfLaplacianIsLaplacianOfWeightedGraph) {
+  // S_T(L) has zero row sums and non-positive off-diagonals [52].
+  const Graph g = ContiguousUsa();
+  const DenseMatrix l = DenseLaplacian(g);
+  const std::vector<int> t = {0, 3, 9, 17, 25, 33};
+  const DenseMatrix s = ExactSchurComplement(l, t);
+  for (int i = 0; i < s.rows(); ++i) {
+    double row_sum = 0;
+    for (int j = 0; j < s.cols(); ++j) {
+      row_sum += s(i, j);
+      if (i != j) EXPECT_LE(s(i, j), 1e-12);
+    }
+    EXPECT_NEAR(row_sum, 0.0, 1e-9);
+  }
+}
+
+TEST(SchurExactTest, Lemma43SchurOfSubmatrixEqualsSubmatrixOfSchur) {
+  // S_T(L_{-S}) = (S_{S∪T}(L))_{-S}.
+  const Graph g = BarabasiAlbert(50, 2, 23);
+  const std::vector<NodeId> s_nodes = {7, 19};
+  const std::vector<NodeId> t_nodes = {0, 1, 2};
+
+  // Left side: Schur of the grounded submatrix onto T.
+  const SubmatrixIndex idx_s = MakeSubmatrixIndex(g.num_nodes(), s_nodes);
+  const DenseMatrix l_minus_s = DenseLaplacianSubmatrix(g, idx_s);
+  std::vector<int> t_in_sub;
+  for (NodeId t : t_nodes) t_in_sub.push_back(idx_s.pos[t]);
+  const DenseMatrix lhs = ExactSchurComplement(l_minus_s, t_in_sub);
+
+  // Right side: Schur of L onto S∪T, then remove S rows/cols.
+  std::vector<int> st;
+  for (NodeId v : s_nodes) st.push_back(v);
+  for (NodeId v : t_nodes) st.push_back(v);
+  std::sort(st.begin(), st.end());
+  const DenseMatrix schur_st = ExactSchurComplement(DenseLaplacian(g), st);
+  // Locate T rows inside the sorted S∪T ordering.
+  DenseMatrix rhs(static_cast<int>(t_nodes.size()),
+                  static_cast<int>(t_nodes.size()));
+  auto pos_in_st = [&](NodeId v) {
+    return static_cast<int>(std::lower_bound(st.begin(), st.end(), v) -
+                            st.begin());
+  };
+  for (std::size_t i = 0; i < t_nodes.size(); ++i) {
+    for (std::size_t j = 0; j < t_nodes.size(); ++j) {
+      rhs(static_cast<int>(i), static_cast<int>(j)) =
+          schur_st(pos_in_st(t_nodes[i]), pos_in_st(t_nodes[j]));
+    }
+  }
+  // lhs is ordered by t_in_sub ascending == t_nodes ascending here.
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(lhs, rhs), 1e-9);
+}
+
+TEST(SchurExactTest, RootedProbabilitiesAreStochasticOverTPlusS) {
+  const Graph g = KarateClub();
+  const std::vector<NodeId> s_nodes = {0};
+  const std::vector<NodeId> t_nodes = {33, 32};
+  const DenseMatrix f = ExactRootedProbabilities(g, s_nodes, t_nodes);
+  // Each row: probabilities of absorbing at each t; in [0,1]; row sums
+  // <= 1 (remaining mass goes to S).
+  for (int i = 0; i < f.rows(); ++i) {
+    double row_sum = 0;
+    for (int j = 0; j < f.cols(); ++j) {
+      EXPECT_GE(f(i, j), -1e-12);
+      EXPECT_LE(f(i, j), 1.0 + 1e-12);
+      row_sum += f(i, j);
+    }
+    EXPECT_LE(row_sum, 1.0 + 1e-9);
+  }
+}
+
+TEST(SchurExactTest, RootedProbabilitiesPathGraphKnown) {
+  // Path 0-1-2-3-4, S={0}, T={4}: gambler's ruin absorbing at 4 from u
+  // has probability u/4.
+  const Graph g = PathGraph(5);
+  const DenseMatrix f = ExactRootedProbabilities(g, {0}, {4});
+  // U = {1,2,3} in ascending order.
+  EXPECT_NEAR(f(0, 0), 1.0 / 4, 1e-10);
+  EXPECT_NEAR(f(1, 0), 2.0 / 4, 1e-10);
+  EXPECT_NEAR(f(2, 0), 3.0 / 4, 1e-10);
+}
+
+TEST(SchurExactTest, Equation11BlockReconstruction) {
+  // L_{-S}^{-1} block form (Eq. 11) matches the direct dense inverse.
+  const Graph g = ContiguousUsa();
+  const std::vector<NodeId> s_nodes = {5};
+  const std::vector<NodeId> t_nodes = {0, 20, 40};
+  const NodeId n = g.num_nodes();
+
+  const DenseMatrix direct = ExactLaplacianSubmatrixInverse(g, s_nodes);
+  const SubmatrixIndex idx_s = MakeSubmatrixIndex(n, s_nodes);
+
+  // Pieces: F, (S_T(L_{-S}))^{-1}, L_UU^{-1}.
+  const DenseMatrix f = ExactRootedProbabilities(g, s_nodes, t_nodes);
+  std::vector<int> t_in_sub;
+  for (NodeId t : t_nodes) t_in_sub.push_back(idx_s.pos[t]);
+  const DenseMatrix schur =
+      ExactSchurComplement(DenseLaplacianSubmatrix(g, idx_s), t_in_sub);
+  const DenseMatrix schur_inv = LdltFactorization::Compute(schur)->Inverse();
+
+  std::vector<NodeId> su = s_nodes;
+  su.insert(su.end(), t_nodes.begin(), t_nodes.end());
+  const SubmatrixIndex idx_su = MakeSubmatrixIndex(n, su);
+  const DenseMatrix l_uu_inv = ExactLaplacianSubmatrixInverse(g, su);
+
+  // Check the three block identities on sampled entries.
+  // (1) TT block: direct[t1,t2] == schur_inv.
+  for (std::size_t a = 0; a < t_nodes.size(); ++a) {
+    for (std::size_t b = 0; b < t_nodes.size(); ++b) {
+      EXPECT_NEAR(direct(idx_s.pos[t_nodes[a]], idx_s.pos[t_nodes[b]]),
+                  schur_inv(static_cast<int>(a), static_cast<int>(b)), 1e-9);
+    }
+  }
+  // (2) UT block: direct[u,t] == (F schur_inv)[u,t].
+  const DenseMatrix f_si = f.Multiply(schur_inv);
+  for (NodeId u : {1, 2, 30}) {
+    if (idx_su.pos[u] < 0) continue;
+    for (std::size_t b = 0; b < t_nodes.size(); ++b) {
+      EXPECT_NEAR(direct(idx_s.pos[u], idx_s.pos[t_nodes[b]]),
+                  f_si(idx_su.pos[u], static_cast<int>(b)), 1e-9);
+    }
+  }
+  // (3) UU block: direct[u,v] == L_UU^{-1}[u,v] + (F schur_inv F^T)[u,v].
+  const DenseMatrix fsf = f_si.Multiply(f.Transpose());
+  for (NodeId u : {1, 2, 30}) {
+    for (NodeId v : {3, 10, 48}) {
+      if (idx_su.pos[u] < 0 || idx_su.pos[v] < 0) continue;
+      EXPECT_NEAR(direct(idx_s.pos[u], idx_s.pos[v]),
+                  l_uu_inv(idx_su.pos[u], idx_su.pos[v]) +
+                      fsf(idx_su.pos[u], idx_su.pos[v]),
+                  1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfcm
