@@ -1,71 +1,61 @@
 // Quickstart: maximize group current-flow closeness on Zachary's karate
-// club with every algorithm in the library.
+// club with every algorithm in the solver registry.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build && cmake --build build -j
 //   ./build/examples/quickstart
 #include <cstdio>
+#include <variant>
 
-#include "cfcm/cfcc.h"
-#include "cfcm/exact_greedy.h"
-#include "cfcm/forest_cfcm.h"
-#include "cfcm/heuristics.h"
-#include "cfcm/optimum.h"
-#include "cfcm/schur_cfcm.h"
+#include "engine/engine.h"
+#include "engine/registry.h"
 #include "graph/datasets.h"
 
-namespace {
-
-void Report(const char* name, const cfcm::Graph& graph,
-            const std::vector<cfcm::NodeId>& group) {
-  std::printf("%-12s C(S) = %.6f  S = {", name,
-              cfcm::ExactGroupCfcc(graph, group));
-  for (std::size_t i = 0; i < group.size(); ++i) {
-    std::printf("%s%d", i ? ", " : "", group[i]);
-  }
-  std::printf("}\n");
-}
-
-}  // namespace
-
 int main() {
-  const cfcm::Graph graph = cfcm::KarateClub();
   constexpr int kGroupSize = 5;
-  std::printf("Karate club: n=%d, m=%lld, maximizing CFCC with k=%d\n\n",
-              graph.num_nodes(), static_cast<long long>(graph.num_edges()),
-              kGroupSize);
 
-  cfcm::CfcmOptions options;
-  options.eps = 0.2;
-  options.seed = 7;
+  cfcm::engine::EngineOptions options;
   // The karate club is tiny, so spend a generous sampling budget: with
   // it both Monte-Carlo algorithms land on (near-)optimal groups.
-  options.forest_factor = 8.0;
-  options.max_forests = 8192;
-  options.jl_rows = 96;
+  options.solver_defaults.forest_factor = 8.0;
+  options.solver_defaults.max_forests = 8192;
+  options.solver_defaults.jl_rows = 96;
 
-  auto forest = cfcm::ForestCfcmMaximize(graph, kGroupSize, options);
-  auto schur = cfcm::SchurCfcmMaximize(graph, kGroupSize, options);
-  auto exact = cfcm::ExactGreedyMaximize(graph, kGroupSize);
-  auto optimum = cfcm::OptimumSearch(graph, kGroupSize);
-  if (!forest.ok() || !schur.ok() || !exact.ok() || !optimum.ok()) {
-    std::fprintf(stderr, "solver failed: %s\n",
-                 forest.ok() ? (schur.ok() ? exact.status().ToString().c_str()
-                                           : schur.status().ToString().c_str())
-                             : forest.status().ToString().c_str());
-    return 1;
+  cfcm::engine::Engine engine{cfcm::KarateClub(), options};
+  std::printf("Karate club: n=%d, m=%lld, maximizing CFCC with k=%d\n\n",
+              engine.session().num_nodes(),
+              static_cast<long long>(engine.session().num_edges()),
+              kGroupSize);
+
+  // One SolveJob per registered algorithm, served as a single batch on
+  // the shared session.
+  std::vector<cfcm::engine::Job> jobs;
+  const auto& registry = cfcm::engine::SolverRegistry::Global();
+  for (const auto& solver : registry.solvers()) {
+    jobs.push_back(cfcm::engine::SolveJob{.algorithm = solver->name(),
+                                          .k = kGroupSize, .eps = 0.2,
+                                          .seed = 7});
   }
 
-  Report("Optimum", graph, optimum->best);
-  Report("Exact", graph, exact->selected);
-  Report("ForestCFCM", graph, forest->selected);
-  Report("SchurCFCM", graph, schur->selected);
-  Report("Degree", graph, cfcm::DegreeSelect(graph, kGroupSize));
-  Report("Top-CFCC", graph, cfcm::TopCfccSelectExact(graph, kGroupSize));
+  const auto results = engine.RunBatch(jobs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& solver = *registry.solvers()[i];
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "%-9s failed: %s\n", solver.name().c_str(),
+                   results[i].status().ToString().c_str());
+      return 1;
+    }
+    const auto& result = std::get<cfcm::engine::SolveJobResult>(*results[i]);
+    std::printf("%-9s C(S) = %.6f  S = {", solver.name().c_str(), result.cfcc);
+    for (std::size_t j = 0; j < result.output.selected.size(); ++j) {
+      std::printf("%s%d", j ? ", " : "", result.output.selected[j]);
+    }
+    std::printf("}%s\n", solver.capabilities().optimal ? "  (optimal)" : "");
+  }
 
   std::printf(
-      "\nForestCFCM sampled %lld forests; SchurCFCM sampled %lld (|T|=%d)\n",
-      static_cast<long long>(forest->total_forests),
-      static_cast<long long>(schur->total_forests), schur->auxiliary_roots);
+      "\nRegistry has %zu solvers; randomized ones are deterministic per "
+      "seed.\n",
+      registry.solvers().size());
   return 0;
 }

@@ -1,0 +1,128 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "cfcm/cfcc.h"
+#include "linalg/laplacian.h"
+
+namespace cfcm::engine {
+
+Engine::Engine(Graph graph, EngineOptions options)
+    : session_(std::make_shared<GraphSession>(std::move(graph),
+                                              options.num_threads)),
+      options_(std::move(options)) {}
+
+Engine::Engine(std::shared_ptr<GraphSession> session, EngineOptions options)
+    : session_(std::move(session)), options_(std::move(options)) {}
+
+StatusOr<JobResult> Engine::Run(const Job& job) const {
+  if (const auto* solve = std::get_if<SolveJob>(&job)) return RunSolve(*solve);
+  return RunEvaluate(std::get<EvaluateJob>(job));
+}
+
+std::vector<StatusOr<JobResult>> Engine::RunBatch(
+    const std::vector<Job>& jobs) const {
+  // Fill per-index slots from the pool, then move into the result vector
+  // (StatusOr is not default-constructible, so resize() is unavailable).
+  std::vector<std::optional<StatusOr<JobResult>>> slots(jobs.size());
+  session_->pool().ParallelFor(jobs.size(), [&](std::size_t i) {
+    slots[i].emplace(Run(jobs[i]));
+  });
+  std::vector<StatusOr<JobResult>> results;
+  results.reserve(jobs.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+StatusOr<JobResult> Engine::RunSolve(const SolveJob& job) const {
+  if (!session_->is_connected()) {
+    return Status::FailedPrecondition(
+        "session graph must be connected and non-empty");
+  }
+  StatusOr<const Solver*> solver = SolverRegistry::Global().Find(job.algorithm);
+  if (!solver.ok()) return solver.status();
+
+  CfcmOptions options = options_.solver_defaults;
+  options.eps = job.eps;
+  options.seed = job.seed;
+  options.num_threads = job.num_threads;
+
+  StatusOr<SolveOutput> output =
+      (*solver)->Solve(session_->graph(), job.k, options);
+  if (!output.ok()) return output.status();
+
+  SolveJobResult result;
+  result.algorithm = job.algorithm;
+  result.output = std::move(*output);
+
+  // Policy: exact scoring below the ceiling, probed above. At least one
+  // probe when probing is required, so a misconfigured eval_probes never
+  // turns a finished solve into an evaluation error.
+  const NodeId remaining =
+      session_->num_nodes() - static_cast<NodeId>(result.output.selected.size());
+  const int probes = remaining <= options_.exact_eval_max_n
+                         ? 0
+                         : std::max(1, options_.eval_probes);
+  StatusOr<EvaluateJobResult> eval =
+      EvaluateGroup(result.output.selected, probes, job.seed);
+  if (!eval.ok()) return eval.status();
+  result.cfcc = eval->cfcc;
+  return JobResult(std::move(result));
+}
+
+StatusOr<JobResult> Engine::RunEvaluate(const EvaluateJob& job) const {
+  if (!session_->is_connected()) {
+    return Status::FailedPrecondition(
+        "session graph must be connected and non-empty");
+  }
+  StatusOr<EvaluateJobResult> eval =
+      EvaluateGroup(job.group, job.probes, job.seed);
+  if (!eval.ok()) return eval.status();
+  return JobResult(std::move(*eval));
+}
+
+StatusOr<EvaluateJobResult> Engine::EvaluateGroup(
+    const std::vector<NodeId>& group, int probes, uint64_t seed) const {
+  const NodeId n = session_->num_nodes();
+  if (group.empty()) {
+    return Status::InvalidArgument("group must be non-empty");
+  }
+  if (static_cast<NodeId>(group.size()) >= n) {
+    return Status::InvalidArgument("group must leave at least one free node");
+  }
+  for (NodeId u : group) {
+    if (u < 0 || u >= n) {
+      return Status::OutOfRange("group node " + std::to_string(u) +
+                                " outside [0, " + std::to_string(n) + ")");
+    }
+  }
+  std::vector<NodeId> sorted = group;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::InvalidArgument("group contains duplicate node ids");
+  }
+
+  EvaluateJobResult result;
+  if (probes <= 0) {
+    const NodeId remaining = n - static_cast<NodeId>(group.size());
+    if (remaining > options_.exact_eval_max_n) {
+      return Status::InvalidArgument(
+          "exact evaluation needs a dense " + std::to_string(remaining) +
+          "^2 inverse (ceiling " + std::to_string(options_.exact_eval_max_n) +
+          "); set probes > 0 for Hutchinson estimation");
+    }
+    result.trace = ExactTraceInverseSubmatrix(session_->graph(), group);
+    result.cfcc = static_cast<double>(n) / result.trace;
+  } else {
+    const ApproxCfcc approx =
+        ApproximateGroupCfcc(session_->graph(), group, probes, seed);
+    result.cfcc = approx.cfcc;
+    result.trace = approx.trace;
+    result.trace_std_error = approx.trace_std_error;
+  }
+  return result;
+}
+
+}  // namespace cfcm::engine

@@ -1,0 +1,117 @@
+// Batch-serving front end: Solve/Evaluate jobs against one shared
+// GraphSession, dispatched through the SolverRegistry (DESIGN.md §6).
+#ifndef CFCM_ENGINE_ENGINE_H_
+#define CFCM_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cfcm/options.h"
+#include "common/status.h"
+#include "engine/registry.h"
+#include "engine/session.h"
+
+namespace cfcm::engine {
+
+/// Select a k-node group with a named algorithm from the registry.
+struct SolveJob {
+  std::string algorithm = "forest";  ///< SolverRegistry key
+  int k = 1;
+  double eps = 0.2;      ///< error parameter (randomized solvers)
+  uint64_t seed = 1;     ///< full determinism per seed
+  int num_threads = 1;   ///< sampling threads inside the solver; keep 1
+                         ///< when many jobs run concurrently in a batch
+};
+
+/// Evaluate C(S) for a caller-provided group.
+struct EvaluateJob {
+  std::vector<NodeId> group;
+  int probes = 0;     ///< 0 = exact dense evaluation (only allowed up to
+                      ///< EngineOptions::exact_eval_max_n remaining
+                      ///< nodes); > 0 = Hutchinson probing
+  uint64_t seed = 1;  ///< probe RNG seed (probes > 0 only)
+};
+
+using Job = std::variant<SolveJob, EvaluateJob>;
+
+/// Result of a SolveJob: what the solver returned plus the evaluated
+/// group centrality.
+struct SolveJobResult {
+  std::string algorithm;
+  SolveOutput output;
+  double cfcc = 0.0;  ///< C(S) of output.selected (exact below
+                      ///< EngineOptions::exact_eval_max_n, probed above)
+};
+
+/// Result of an EvaluateJob.
+struct EvaluateJobResult {
+  double cfcc = 0.0;
+  double trace = 0.0;             ///< Tr(L_{-S}^{-1})
+  double trace_std_error = 0.0;   ///< 0 for exact evaluation
+};
+
+using JobResult = std::variant<SolveJobResult, EvaluateJobResult>;
+
+/// Engine-wide policy knobs.
+struct EngineOptions {
+  int num_threads = 0;  ///< batch pool size; 0 = hardware concurrency
+
+  /// Solve results are scored exactly (dense LDL^T) while the remaining
+  /// matrix is at most this large; above it C(S) is Hutchinson-probed.
+  NodeId exact_eval_max_n = 512;
+  int eval_probes = 64;  ///< probes used above the exact ceiling
+                         ///< (values < 1 are clamped to 1 there)
+
+  /// Base sampling options for every SolveJob; the job's eps / seed /
+  /// num_threads fields override the corresponding members.
+  CfcmOptions solver_defaults;
+};
+
+/// \brief Serves job batches against one cached graph session.
+///
+/// Jobs in a batch run concurrently on the session pool, yet every
+/// result is identical to running that job alone: solvers are
+/// deterministic per seed and jobs share only immutable state.
+class Engine {
+ public:
+  /// Owns a fresh session over `graph`.
+  explicit Engine(Graph graph, EngineOptions options = {});
+
+  /// Shares an existing session (several engines / callers may point at
+  /// the same loaded graph).
+  explicit Engine(std::shared_ptr<GraphSession> session,
+                  EngineOptions options = {});
+
+  const GraphSession& session() const { return *session_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Runs one job synchronously on the calling thread.
+  StatusOr<JobResult> Run(const Job& job) const;
+
+  /// \brief Runs all jobs concurrently on the session pool.
+  ///
+  /// results[i] corresponds to jobs[i]; apart from wall-time fields each
+  /// result matches a sequential Run(jobs[i]) exactly for the same seed,
+  /// regardless of scheduling. A failed job yields its error Status
+  /// without affecting the other jobs.
+  std::vector<StatusOr<JobResult>> RunBatch(const std::vector<Job>& jobs) const;
+
+ private:
+  StatusOr<JobResult> RunSolve(const SolveJob& job) const;
+  StatusOr<JobResult> RunEvaluate(const EvaluateJob& job) const;
+
+  /// C(S) plus trace diagnostics for `group`; exact or probed per
+  /// EngineOptions (see SolveJobResult::cfcc).
+  StatusOr<EvaluateJobResult> EvaluateGroup(const std::vector<NodeId>& group,
+                                            int probes, uint64_t seed) const;
+
+  std::shared_ptr<GraphSession> session_;
+  EngineOptions options_;
+};
+
+}  // namespace cfcm::engine
+
+#endif  // CFCM_ENGINE_ENGINE_H_

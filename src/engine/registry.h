@@ -1,0 +1,101 @@
+// Solver registry: every CFCM maximization algorithm behind one
+// polymorphic, string-keyed interface (DESIGN.md §6).
+#ifndef CFCM_ENGINE_REGISTRY_H_
+#define CFCM_ENGINE_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cfcm/options.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace cfcm::engine {
+
+/// \brief What a solver promises and how it scales.
+///
+/// Lets callers (CLI, engine, tests) enumerate and pick algorithms
+/// without hard-coding the concrete free functions.
+struct SolverCapabilities {
+  bool optimal = false;      ///< returns the true optimum (exhaustive)
+  bool deterministic = false;  ///< output independent of options.seed
+  bool randomized = false;   ///< Monte-Carlo; deterministic per seed
+  bool approximation_guarantee = false;  ///< (1 - k/((k-1)e) - eps) w.h.p.
+  std::string complexity;    ///< human-readable cost, e.g. "O(n^3 + k n^2)"
+  NodeId max_recommended_n = 0;  ///< soft size ceiling; 0 = no limit
+};
+
+/// \brief Uniform result of any registered solver: the union of the
+/// per-algorithm result structs. Fields that do not apply to a given
+/// algorithm keep their defaults.
+struct SolveOutput {
+  std::vector<NodeId> selected;    ///< chosen group, greedy/rank order
+  double seconds = 0.0;            ///< solver wall time
+  std::int64_t total_forests = 0;  ///< forest samplers only
+  int jl_rows = 0;                 ///< JL sketch rows (samplers only)
+  int auxiliary_roots = 0;         ///< SchurCFCM |T|
+  int solver_calls = 0;            ///< APPROXGREEDY Laplacian systems
+};
+
+/// \brief Interface implemented by every maximization algorithm.
+///
+/// Implementations are stateless adapters over the free functions in
+/// src/cfcm/, so Solve() is safe to call concurrently from many jobs;
+/// randomized solvers are fully deterministic in options.seed.
+class Solver {
+ public:
+  Solver(std::string name, std::string description, SolverCapabilities caps)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        capabilities_(std::move(caps)) {}
+  virtual ~Solver() = default;
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::string& description() const { return description_; }
+  const SolverCapabilities& capabilities() const { return capabilities_; }
+
+  /// Selects a k-node group on `graph` approximately (or exactly)
+  /// maximizing C(S).
+  virtual StatusOr<SolveOutput> Solve(const Graph& graph, int k,
+                                      const CfcmOptions& options) const = 0;
+
+ private:
+  std::string name_;
+  std::string description_;
+  SolverCapabilities capabilities_;
+};
+
+/// \brief Immutable name -> Solver table of all built-in algorithms:
+/// "forest", "schur", "exact", "approx", "degree", "topcfcc", "optimum".
+class SolverRegistry {
+ public:
+  /// The process-wide registry (built once, never mutated afterwards).
+  static const SolverRegistry& Global();
+
+  /// Registered names, ascending.
+  std::vector<std::string> Names() const;
+
+  /// True if `name` is registered.
+  bool Contains(const std::string& name) const;
+
+  /// Looks up a solver; NotFound (listing the valid names) otherwise.
+  StatusOr<const Solver*> Find(const std::string& name) const;
+
+  /// All solvers, ordered by name. Borrowed pointers, registry-owned.
+  const std::vector<std::unique_ptr<Solver>>& solvers() const {
+    return solvers_;
+  }
+
+ private:
+  SolverRegistry();
+  std::vector<std::unique_ptr<Solver>> solvers_;  // sorted by name()
+};
+
+}  // namespace cfcm::engine
+
+#endif  // CFCM_ENGINE_REGISTRY_H_

@@ -1,0 +1,61 @@
+#include "engine/session.h"
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+#include <utility>
+
+#include "graph/components.h"
+
+namespace cfcm::engine {
+
+GraphSession::GraphSession(Graph graph, int num_threads)
+    : graph_(std::move(graph)), num_threads_(num_threads) {}
+
+bool GraphSession::is_connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!connected_.has_value()) connected_ = IsConnected(graph_);
+  return *connected_;
+}
+
+const std::vector<NodeId>& GraphSession::degree_order() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!degree_order_.has_value()) {
+    std::vector<NodeId> order(graph_.num_nodes());
+    std::iota(order.begin(), order.end(), NodeId{0});
+    std::stable_sort(order.begin(), order.end(), [this](NodeId a, NodeId b) {
+      return graph_.degree(a) != graph_.degree(b)
+                 ? graph_.degree(a) > graph_.degree(b)
+                 : a < b;
+    });
+    degree_order_ = std::move(order);
+  }
+  return *degree_order_;
+}
+
+const CsrMatrix& GraphSession::laplacian() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!laplacian_.has_value()) {
+    const NodeId n = graph_.num_nodes();
+    std::vector<std::tuple<int, int, double>> triplets;
+    triplets.reserve(static_cast<std::size_t>(n) +
+                     graph_.raw_neighbors().size());
+    for (NodeId u = 0; u < n; ++u) {
+      triplets.emplace_back(u, u, static_cast<double>(graph_.degree(u)));
+      for (NodeId v : graph_.neighbors(u)) triplets.emplace_back(u, v, -1.0);
+    }
+    laplacian_ = CsrMatrix::FromTriplets(n, n, std::move(triplets));
+  }
+  return *laplacian_;
+}
+
+ThreadPool& GraphSession::pool() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!pool_) {
+    pool_ = std::make_unique<ThreadPool>(
+        num_threads_ > 0 ? static_cast<std::size_t>(num_threads_) : 0);
+  }
+  return *pool_;
+}
+
+}  // namespace cfcm::engine

@@ -1,0 +1,62 @@
+// Graph session: one loaded graph plus cached derived state shared by
+// every job served against it (DESIGN.md §6).
+#ifndef CFCM_ENGINE_SESSION_H_
+#define CFCM_ENGINE_SESSION_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/graph.h"
+#include "linalg/csr.h"
+
+namespace cfcm::engine {
+
+/// \brief A loaded graph plus lazily-built derived state.
+///
+/// A session outlives any number of jobs on the same graph: expensive
+/// derived structures — connectivity, the degree ordering, the sparse
+/// Laplacian, the batch worker pool — are built once on first use and
+/// then shared, so repeated queries never re-pay setup costs.
+///
+/// All accessors are thread-safe (lazy construction happens under a
+/// mutex) and the underlying Graph is immutable, so one session can
+/// serve many concurrent jobs.
+class GraphSession {
+ public:
+  /// Takes ownership of `graph`. `num_threads` sizes the shared pool
+  /// (0 = hardware concurrency); the pool itself is created on first use.
+  explicit GraphSession(Graph graph, int num_threads = 0);
+
+  const Graph& graph() const { return graph_; }
+  NodeId num_nodes() const { return graph_.num_nodes(); }
+  EdgeId num_edges() const { return graph_.num_edges(); }
+
+  /// True if the graph is connected (computed once, cached).
+  bool is_connected() const;
+
+  /// Node ids by descending degree, ties broken by smaller id (cached).
+  const std::vector<NodeId>& degree_order() const;
+
+  /// Sparse Laplacian L = D - A of the session graph (cached).
+  const CsrMatrix& laplacian() const;
+
+  /// Shared worker pool, created on first use.
+  ThreadPool& pool() const;
+
+ private:
+  const Graph graph_;
+  const int num_threads_;
+
+  mutable std::mutex mu_;
+  mutable std::optional<bool> connected_;
+  mutable std::optional<std::vector<NodeId>> degree_order_;
+  mutable std::optional<CsrMatrix> laplacian_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace cfcm::engine
+
+#endif  // CFCM_ENGINE_SESSION_H_

@@ -1,0 +1,77 @@
+#include "engine/session.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "linalg/dense.h"
+#include "linalg/laplacian.h"
+
+namespace cfcm::engine {
+namespace {
+
+TEST(SessionTest, ExposesGraphDimensions) {
+  GraphSession session{KarateClub()};
+  EXPECT_EQ(session.num_nodes(), 34);
+  EXPECT_EQ(session.num_edges(), 78);
+  EXPECT_TRUE(session.is_connected());
+}
+
+TEST(SessionTest, DegreeOrderIsSortedDescendingWithIdTiebreak) {
+  GraphSession session{KarateClub()};
+  const std::vector<NodeId>& order = session.degree_order();
+  ASSERT_EQ(order.size(), 34u);
+  const Graph& graph = session.graph();
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const NodeId prev = order[i - 1], cur = order[i];
+    const bool strictly_less = graph.degree(cur) < graph.degree(prev);
+    const bool tie_by_id = graph.degree(cur) == graph.degree(prev) &&
+                           prev < cur;
+    EXPECT_TRUE(strictly_less || tie_by_id) << "position " << i;
+  }
+  EXPECT_EQ(order.front(), graph.MaxDegreeNode());
+  // Cached: same object on every call.
+  EXPECT_EQ(&session.degree_order(), &order);
+}
+
+TEST(SessionTest, LaplacianMatchesDenseReference) {
+  GraphSession session{ContiguousUsa()};
+  const DenseMatrix expected = DenseLaplacian(session.graph());
+  const DenseMatrix got = session.laplacian().ToDense();
+  ASSERT_EQ(got.rows(), expected.rows());
+  for (int i = 0; i < expected.rows(); ++i) {
+    for (int j = 0; j < expected.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(got(i, j), expected(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(SessionTest, DetectsDisconnectedGraphs) {
+  GraphSession session{BuildGraph(4, {{0, 1}, {2, 3}})};
+  EXPECT_FALSE(session.is_connected());
+}
+
+TEST(SessionTest, LazyStateIsSafeUnderConcurrentFirstUse) {
+  GraphSession session{KarateClub(), 2};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (!session.is_connected()) mismatches.fetch_add(1);
+        if (session.degree_order().size() != 34u) mismatches.fetch_add(1);
+        if (session.laplacian().rows() != 34) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GE(session.pool().num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace cfcm::engine

@@ -1,0 +1,454 @@
+// cfcm_cli: command-line front end for the CFCM engine.
+//
+// Loads an edge list or a named built-in dataset, runs one or a batch of
+// maximization / evaluation jobs through the solver registry, and prints
+// a table or JSON.
+//
+//   cfcm_cli --graph karate --algo forest,schur,exact --k 5 --json
+//   cfcm_cli --graph ba:2000,4 --algo schur --k 10 --eps 0.1 --seed 3
+//   cfcm_cli --graph path/to/edges.txt --lcc --algo forest --k 8
+//   cfcm_cli --graph karate --evaluate 0,33,2
+//   cfcm_cli --list
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "engine/registry.h"
+#include "graph/components.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace {
+
+using cfcm::Graph;
+using cfcm::NodeId;
+using cfcm::Status;
+using cfcm::StatusOr;
+
+struct CliOptions {
+  std::string graph_source;
+  std::vector<std::string> algorithms;
+  std::vector<std::vector<NodeId>> evaluate_groups;
+  int k = 5;
+  double eps = 0.2;
+  uint64_t seed = 1;
+  int probes = 0;       // EvaluateJob probes (0 = exact)
+  int threads = 1;      // sampling threads per solver
+  bool take_lcc = false;
+  bool json = false;
+  bool list = false;
+};
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: cfcm_cli --graph <name|path> [options]\n"
+               "\n"
+               "  --graph S     built-in (karate, usa, zebra, dolphins),\n"
+               "                generator spec (ba:<n>,<m>[,<seed>] |\n"
+               "                ws:<n>,<k>,<beta>[,<seed>] | grid:<r>x<c>),\n"
+               "                or an edge-list file path\n"
+               "  --algo A,B    comma-separated registry names (default forest)\n"
+               "  --k N         group size (default 5)\n"
+               "  --eps X       error parameter (default 0.2)\n"
+               "  --seed N      base RNG seed (default 1)\n"
+               "  --evaluate G  evaluate C(S) of group 'u1,u2,...' (repeatable)\n"
+               "  --probes N    Hutchinson probes for --evaluate (0 = exact)\n"
+               "  --threads N   sampling threads per solver job (default 1)\n"
+               "  --lcc         reduce the input to its largest component\n"
+               "  --json        machine-readable output\n"
+               "  --list        list registered solvers and exit\n");
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) end = s.size();
+    if (end > start) parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+bool ParseLong(const std::string& s, long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end && *end == '\0' && !s.empty();
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end && *end == '\0' && !s.empty();
+}
+
+// Escapes quotes, backslashes and control characters for JSON string
+// literals (algorithm names, file paths and Status messages are
+// user-influenced).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<NodeId>> ParseGroup(const std::string& spec) {
+  std::vector<NodeId> group;
+  for (const std::string& part : Split(spec, ',')) {
+    long long value = 0;
+    if (!ParseLong(part, &value)) {
+      return Status::InvalidArgument("bad node id '" + part + "' in --evaluate");
+    }
+    group.push_back(static_cast<NodeId>(value));
+  }
+  return group;
+}
+
+StatusOr<Graph> LoadGraph(const std::string& source) {
+  if (source == "karate") return cfcm::KarateClub();
+  if (source == "usa") return cfcm::ContiguousUsa();
+  if (source == "zebra") return cfcm::ZebraSynthetic();
+  if (source == "dolphins") return cfcm::DolphinsSynthetic();
+  if (source.rfind("ba:", 0) == 0) {
+    const auto args = Split(source.substr(3), ',');
+    long long n = 0, m = 0, seed = 1;
+    if (args.size() < 2 || args.size() > 3 || !ParseLong(args[0], &n) ||
+        !ParseLong(args[1], &m) ||
+        (args.size() == 3 && !ParseLong(args[2], &seed))) {
+      return Status::InvalidArgument("expected ba:<n>,<m>[,<seed>]");
+    }
+    return cfcm::BarabasiAlbert(static_cast<NodeId>(n),
+                                static_cast<NodeId>(m),
+                                static_cast<uint64_t>(seed));
+  }
+  if (source.rfind("ws:", 0) == 0) {
+    const auto args = Split(source.substr(3), ',');
+    long long n = 0, k = 0, seed = 1;
+    double beta = 0.0;
+    if (args.size() < 3 || args.size() > 4 || !ParseLong(args[0], &n) ||
+        !ParseLong(args[1], &k) || !ParseDouble(args[2], &beta) ||
+        (args.size() == 4 && !ParseLong(args[3], &seed))) {
+      return Status::InvalidArgument("expected ws:<n>,<k>,<beta>[,<seed>]");
+    }
+    return cfcm::WattsStrogatz(static_cast<NodeId>(n), static_cast<NodeId>(k),
+                               beta, static_cast<uint64_t>(seed));
+  }
+  if (source.rfind("grid:", 0) == 0) {
+    const auto args = Split(source.substr(5), 'x');
+    long long rows = 0, cols = 0;
+    if (args.size() != 2 || !ParseLong(args[0], &rows) ||
+        !ParseLong(args[1], &cols)) {
+      return Status::InvalidArgument("expected grid:<rows>x<cols>");
+    }
+    return cfcm::GridGraph(static_cast<NodeId>(rows),
+                           static_cast<NodeId>(cols));
+  }
+  return cfcm::LoadEdgeList(source);
+}
+
+StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  auto need_value = [&](int i) -> StatusOr<std::string> {
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument(std::string(argv[i]) +
+                                     " requires a value");
+    }
+    return std::string(argv[i + 1]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      std::exit(0);
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--lcc") {
+      options.take_lcc = true;
+    } else if (arg == "--graph" || arg == "--algo" || arg == "--k" ||
+               arg == "--eps" || arg == "--seed" || arg == "--probes" ||
+               arg == "--threads" || arg == "--evaluate") {
+      StatusOr<std::string> value = need_value(i);
+      if (!value.ok()) return value.status();
+      ++i;
+      if (arg == "--graph") {
+        options.graph_source = *value;
+      } else if (arg == "--algo") {
+        options.algorithms = Split(*value, ',');
+      } else if (arg == "--eps") {
+        if (!ParseDouble(*value, &options.eps)) {
+          return Status::InvalidArgument("bad number for --eps: '" + *value +
+                                         "'");
+        }
+      } else if (arg == "--evaluate") {
+        StatusOr<std::vector<NodeId>> group = ParseGroup(*value);
+        if (!group.ok()) return group.status();
+        options.evaluate_groups.push_back(std::move(*group));
+      } else {
+        long long number = 0;
+        if (!ParseLong(*value, &number)) {
+          return Status::InvalidArgument("bad integer for " + arg + ": '" +
+                                         *value + "'");
+        }
+        if (arg == "--k") options.k = static_cast<int>(number);
+        if (arg == "--seed") options.seed = static_cast<uint64_t>(number);
+        if (arg == "--probes") options.probes = static_cast<int>(number);
+        if (arg == "--threads") options.threads = static_cast<int>(number);
+      }
+    } else {
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
+    }
+  }
+  return options;
+}
+
+void ListSolvers() {
+  std::printf("%-9s %-9s %-44s %s\n", "name", "kind", "complexity",
+              "description");
+  for (const auto& solver : cfcm::engine::SolverRegistry::Global().solvers()) {
+    const auto& caps = solver->capabilities();
+    const char* kind = caps.optimal       ? "optimal"
+                       : caps.randomized  ? "sampled"
+                                          : "exact";
+    std::printf("%-9s %-9s %-44s %s\n", solver->name().c_str(), kind,
+                caps.complexity.c_str(), solver->description().c_str());
+  }
+}
+
+void PrintJsonGroup(const std::vector<NodeId>& group) {
+  std::printf("[");
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    std::printf("%s%d", i ? "," : "", group[i]);
+  }
+  std::printf("]");
+}
+
+// Writes one JSON object per job result; `spec` describes the request.
+void PrintJsonJob(const cfcm::engine::Job& spec,
+                  const StatusOr<cfcm::engine::JobResult>& result, bool last) {
+  std::printf("    {");
+  if (const auto* solve = std::get_if<cfcm::engine::SolveJob>(&spec)) {
+    std::printf(
+        "\"type\":\"solve\",\"algorithm\":\"%s\",\"k\":%d,\"eps\":%g,"
+        "\"seed\":%llu,",
+        JsonEscape(solve->algorithm).c_str(), solve->k, solve->eps,
+        static_cast<unsigned long long>(solve->seed));
+  } else {
+    const auto& eval = std::get<cfcm::engine::EvaluateJob>(spec);
+    std::printf("\"type\":\"evaluate\",\"group\":");
+    PrintJsonGroup(eval.group);
+    std::printf(",\"probes\":%d,", eval.probes);
+  }
+  if (!result.ok()) {
+    std::printf("\"status\":\"error\",\"error\":\"%s\"}%s\n",
+                JsonEscape(result.status().ToString()).c_str(),
+                last ? "" : ",");
+    return;
+  }
+  if (const auto* solve =
+          std::get_if<cfcm::engine::SolveJobResult>(&*result)) {
+    std::printf("\"status\":\"ok\",\"selected\":");
+    PrintJsonGroup(solve->output.selected);
+    std::printf(",\"cfcc\":%.9g,\"forests\":%lld,\"seconds\":%.6f}",
+                solve->cfcc,
+                static_cast<long long>(solve->output.total_forests),
+                solve->output.seconds);
+  } else {
+    const auto& eval = std::get<cfcm::engine::EvaluateJobResult>(*result);
+    std::printf(
+        "\"status\":\"ok\",\"cfcc\":%.9g,\"trace\":%.9g,"
+        "\"trace_std_error\":%.3g}",
+        eval.cfcc, eval.trace, eval.trace_std_error);
+  }
+  std::printf("%s\n", last ? "" : ",");
+}
+
+void PrintTextJob(const cfcm::engine::Job& spec,
+                  const StatusOr<cfcm::engine::JobResult>& result) {
+  std::string label;
+  if (const auto* solve = std::get_if<cfcm::engine::SolveJob>(&spec)) {
+    label = solve->algorithm;
+  } else {
+    label = "evaluate";
+  }
+  if (!result.ok()) {
+    std::printf("%-10s FAILED: %s\n", label.c_str(),
+                result.status().ToString().c_str());
+    return;
+  }
+  if (const auto* solve =
+          std::get_if<cfcm::engine::SolveJobResult>(&*result)) {
+    std::printf("%-10s C(S) = %.6f  S = {", label.c_str(), solve->cfcc);
+    for (std::size_t i = 0; i < solve->output.selected.size(); ++i) {
+      std::printf("%s%d", i ? ", " : "", solve->output.selected[i]);
+    }
+    std::printf("}  (%.3fs", solve->output.seconds);
+    if (solve->output.total_forests > 0) {
+      std::printf(", %lld forests",
+                  static_cast<long long>(solve->output.total_forests));
+    }
+    std::printf(")\n");
+  } else {
+    const auto& eval = std::get<cfcm::engine::EvaluateJobResult>(*result);
+    std::printf("%-10s C(S) = %.6f  trace = %.6f", label.c_str(), eval.cfcc,
+                eval.trace);
+    if (eval.trace_std_error > 0) {
+      std::printf(" +/- %.3g", eval.trace_std_error);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StatusOr<CliOptions> parsed = ParseArgs(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n\n", parsed.status().ToString().c_str());
+    PrintUsage(stderr);
+    return 2;
+  }
+  const CliOptions& cli = *parsed;
+
+  if (cli.list) {
+    ListSolvers();
+    return 0;
+  }
+  if (cli.graph_source.empty()) {
+    std::fprintf(stderr, "error: --graph is required\n\n");
+    PrintUsage(stderr);
+    return 2;
+  }
+
+  StatusOr<Graph> loaded = LoadGraph(cli.graph_source);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error loading graph: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  Graph graph = std::move(*loaded);
+  // With --lcc all ids the user sees stay in the original numbering:
+  // evaluate groups are translated into LCC ids before running and
+  // selected groups are translated back before printing.
+  std::vector<NodeId> to_original;   // LCC id -> input id; empty = identity
+  std::vector<NodeId> from_original; // input id -> LCC id or -1
+  if (cli.take_lcc && !cfcm::IsConnected(graph)) {
+    cfcm::LccResult lcc = cfcm::LargestConnectedComponent(graph);
+    from_original.assign(graph.num_nodes(), -1);
+    for (NodeId i = 0; i < lcc.graph.num_nodes(); ++i) {
+      from_original[lcc.to_original[i]] = i;
+    }
+    to_original = std::move(lcc.to_original);
+    graph = std::move(lcc.graph);
+  }
+
+  std::vector<cfcm::engine::Job> jobs;
+  std::vector<std::string> algorithms = cli.algorithms;
+  if (algorithms.empty() && cli.evaluate_groups.empty()) {
+    algorithms.push_back("forest");
+  }
+  for (const std::string& algorithm : algorithms) {
+    cfcm::engine::SolveJob job;
+    job.algorithm = algorithm;
+    job.k = cli.k;
+    job.eps = cli.eps;
+    job.seed = cli.seed;
+    job.num_threads = cli.threads;
+    jobs.emplace_back(std::move(job));
+  }
+  for (const std::vector<NodeId>& group : cli.evaluate_groups) {
+    cfcm::engine::EvaluateJob job;
+    job.group = group;
+    job.probes = cli.probes;
+    job.seed = cli.seed;
+    jobs.emplace_back(std::move(job));
+  }
+
+  // `jobs` keeps the user's numbering for display; `exec_jobs` carries
+  // the LCC-translated ids actually run.
+  std::vector<cfcm::engine::Job> exec_jobs = jobs;
+  if (!to_original.empty()) {
+    for (cfcm::engine::Job& job : exec_jobs) {
+      auto* eval = std::get_if<cfcm::engine::EvaluateJob>(&job);
+      if (!eval) continue;
+      for (NodeId& u : eval->group) {
+        if (u < 0 || u >= static_cast<NodeId>(from_original.size()) ||
+            from_original[u] < 0) {
+          std::fprintf(stderr,
+                       "error: --evaluate node %d is not in the largest "
+                       "connected component\n", u);
+          return 1;
+        }
+        u = from_original[u];
+      }
+    }
+  }
+
+  cfcm::engine::Engine engine{std::move(graph)};
+  std::vector<StatusOr<cfcm::engine::JobResult>> results =
+      engine.RunBatch(exec_jobs);
+  if (!to_original.empty()) {
+    // Translate selected groups back into the input numbering.
+    for (auto& result : results) {
+      if (!result.ok()) continue;
+      if (auto* solve = std::get_if<cfcm::engine::SolveJobResult>(&*result)) {
+        for (NodeId& u : solve->output.selected) u = to_original[u];
+      }
+    }
+  }
+
+  const auto& session = engine.session();
+  const NodeId dmax = session.num_nodes() > 0
+                          ? session.graph().degree(session.degree_order()[0])
+                          : 0;
+  if (cli.json) {
+    std::printf("{\n  \"graph\":{\"source\":\"%s\",\"nodes\":%d,"
+                "\"edges\":%lld,\"dmax\":%d,\"connected\":%s,\"lcc\":%s},\n"
+                "  \"jobs\":[\n",
+                JsonEscape(cli.graph_source).c_str(), session.num_nodes(),
+                static_cast<long long>(session.num_edges()), dmax,
+                session.is_connected() ? "true" : "false",
+                to_original.empty() ? "false" : "true");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      PrintJsonJob(jobs[i], results[i], i + 1 == jobs.size());
+    }
+    std::printf("  ]\n}\n");
+  } else {
+    std::printf("graph %s: n=%d, m=%lld, dmax=%d%s\n",
+                cli.graph_source.c_str(), session.num_nodes(),
+                static_cast<long long>(session.num_edges()), dmax,
+                to_original.empty() ? "" : " (largest component)");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      PrintTextJob(jobs[i], results[i]);
+    }
+  }
+
+  int failures = 0;
+  for (const auto& result : results) {
+    if (!result.ok()) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
