@@ -84,7 +84,7 @@ void BM_PrefixPasses(benchmark::State& state) {
   cfcm::ForestSampler sampler(g);
   cfcm::Rng rng(4);
   const cfcm::RootedForest& forest = sampler.Sample(scaffold.is_root, &rng);
-  std::vector<int32_t> xbuf(static_cast<std::size_t>(g.num_nodes()));
+  std::vector<double> xbuf(static_cast<std::size_t>(g.num_nodes()));
   for (auto _ : state) {
     cfcm::DiagPrefixPass(scaffold, forest, &xbuf);
     benchmark::DoNotOptimize(xbuf.data());

@@ -20,20 +20,27 @@ StatusOr<ApproxGreedyResult> ApproxGreedyMaximize(const Graph& graph, int k,
   const EstimatorOptions est = ToEstimatorOptions(options);
   const int w = ResolveJlRows(est, n);
   const double scale = 1.0 / std::sqrt(static_cast<double>(w));
-  const auto edges = graph.Edges();
+  // Weighted incidence: L = B^T W_e B, so sketch rows are scaled by
+  // sqrt(w_e) per edge (1.0 on unit-weighted graphs, bit-identical to
+  // the unweighted sketch).
+  const auto edges = graph.WeightedEdges();
+  std::vector<double> sqrt_w(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    sqrt_w[e] = std::sqrt(edges[e].weight);
+  }
 
   ApproxGreedyResult result;
   std::vector<double> score(nn, 0.0);
   Vector rhs(nn, 0.0), sol(nn, 0.0);
 
-  // ---- Pick 1: L†_uu ≈ sum_i (L† B^T q_i)_u^2.
+  // ---- Pick 1: L†_uu ≈ sum_i (L† B^T W_e^{1/2} q_i)_u^2.
   for (int i = 0; i < w; ++i) {
     Rng rng(options.seed ^ 0x1f123bb5ULL, static_cast<uint64_t>(i));
     std::fill(rhs.begin(), rhs.end(), 0.0);
-    for (const auto& [a, b] : edges) {
+    for (std::size_t e = 0; e < edges.size(); ++e) {
       const double q = rng.NextBool() ? scale : -scale;
-      rhs[a] += q;
-      rhs[b] -= q;
+      rhs[edges[e].u] += sqrt_w[e] * q;
+      rhs[edges[e].v] -= sqrt_w[e] * q;
     }
     sol.assign(nn, 0.0);
     const CgSummary summary = SolveLaplacianPseudoinverse(graph, rhs, &sol, cg);
@@ -74,19 +81,25 @@ StatusOr<ApproxGreedyResult> ApproxGreedyMaximize(const Graph& graph, int k,
       Rng rng(options.seed ^ 0x7ee39a1bULL,
               (static_cast<uint64_t>(pick) << 32) | static_cast<uint64_t>(i));
       std::fill(rhs.begin(), rhs.end(), 0.0);
-      for (const auto& [a, b] : edges) {
-        if (in_s[a] || in_s[b]) continue;
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        if (in_s[edges[e].u] || in_s[edges[e].v]) continue;
         const double q = rng.NextBool() ? scale : -scale;
-        rhs[a] += q;
-        rhs[b] -= q;
+        rhs[edges[e].u] += sqrt_w[e] * q;
+        rhs[edges[e].v] -= sqrt_w[e] * q;
       }
       for (NodeId u = 0; u < n; ++u) {
         if (in_s[u]) continue;
-        int boundary = 0;
-        for (NodeId v : graph.neighbors(u)) boundary += in_s[v] ? 1 : 0;
+        // b_u = total conductance from u into S (the grounding term of
+        // L_{-S}); integer edge count when unit-weighted.
+        double boundary = 0;
+        const auto adj = graph.neighbors(u);
+        const auto wts = graph.weights(u);
+        for (std::size_t k = 0; k < adj.size(); ++k) {
+          if (in_s[adj[k]]) boundary += wts.empty() ? 1.0 : wts[k];
+        }
         if (boundary > 0) {
           const double q = rng.NextBool() ? scale : -scale;
-          rhs[u] += std::sqrt(static_cast<double>(boundary)) * q;
+          rhs[u] += std::sqrt(boundary) * q;
         }
       }
       sol.assign(nn, 0.0);
@@ -100,7 +113,7 @@ StatusOr<ApproxGreedyResult> ApproxGreedyMaximize(const Graph& graph, int k,
     double best_delta = -1;
     for (NodeId u = 0; u < n; ++u) {
       if (in_s[u]) continue;
-      const double floor = 1.0 / static_cast<double>(graph.degree(u) + 1);
+      const double floor = 1.0 / (graph.weighted_degree(u) + 1.0);
       const double delta = numerator[u] / std::max(denominator[u], floor);
       if (delta > best_delta) {
         best_delta = delta;

@@ -30,8 +30,10 @@ std::vector<NodeId> TopK(NodeId n, int k,
 }  // namespace
 
 std::vector<NodeId> DegreeSelect(const Graph& graph, int k) {
+  // Weighted degree = Laplacian diagonal; coincides with the
+  // combinatorial degree (and its tie-breaks) on unit-weighted graphs.
   return TopK(graph.num_nodes(), k, [&](NodeId a, NodeId b) {
-    return graph.degree(a) > graph.degree(b);
+    return graph.weighted_degree(a) > graph.weighted_degree(b);
   });
 }
 

@@ -9,7 +9,8 @@
 
 namespace cfcm {
 
-/// k nodes of largest degree (ties broken by smaller id).
+/// k nodes of largest weighted degree (ties broken by smaller id);
+/// plain degree on unit-weighted graphs.
 std::vector<NodeId> DegreeSelect(const Graph& graph, int k);
 
 /// \brief TOP-CFCC: k nodes with largest single-node CFCC, i.e. smallest

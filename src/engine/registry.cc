@@ -127,7 +127,8 @@ class ApproxGreedySolver final : public Solver {
 class DegreeSolver final : public Solver {
  public:
   DegreeSolver()
-      : Solver("degree", "DEGREE heuristic: the k nodes of largest degree",
+      : Solver("degree",
+               "DEGREE heuristic: the k nodes of largest (weighted) degree",
                {.optimal = false,
                 .deterministic = true,
                 .randomized = false,

@@ -41,8 +41,12 @@ const CsrMatrix& GraphSession::laplacian() const {
     triplets.reserve(static_cast<std::size_t>(n) +
                      graph_.raw_neighbors().size());
     for (NodeId u = 0; u < n; ++u) {
-      triplets.emplace_back(u, u, static_cast<double>(graph_.degree(u)));
-      for (NodeId v : graph_.neighbors(u)) triplets.emplace_back(u, v, -1.0);
+      triplets.emplace_back(u, u, graph_.weighted_degree(u));
+      const auto adj = graph_.neighbors(u);
+      const auto w = graph_.weights(u);
+      for (std::size_t k = 0; k < adj.size(); ++k) {
+        triplets.emplace_back(u, adj[k], w.empty() ? -1.0 : -w[k]);
+      }
     }
     laplacian_ = CsrMatrix::FromTriplets(n, n, std::move(triplets));
   }

@@ -33,6 +33,8 @@ class GraphSession {
   const Graph& graph() const { return graph_; }
   NodeId num_nodes() const { return graph_.num_nodes(); }
   EdgeId num_edges() const { return graph_.num_edges(); }
+  bool is_weighted() const { return !graph_.is_unit_weighted(); }
+  double total_weight() const { return graph_.total_weight(); }
 
   /// True if the graph is connected (computed once, cached).
   bool is_connected() const;
@@ -40,7 +42,8 @@ class GraphSession {
   /// Node ids by descending degree, ties broken by smaller id (cached).
   const std::vector<NodeId>& degree_order() const;
 
-  /// Sparse Laplacian L = D - A of the session graph (cached).
+  /// Sparse weighted Laplacian L = D_w - A_w of the session graph
+  /// (cached); the unweighted L = D - A when the graph is unit-weighted.
   const CsrMatrix& laplacian() const;
 
   /// Shared worker pool, created on first use.

@@ -24,7 +24,7 @@ struct WorkerState {
 
   ForestSampler sampler;
   std::vector<int32_t> sizes;
-  std::vector<int32_t> xbuf;
+  std::vector<double> xbuf;
   std::vector<double> obuf;
   std::vector<double> sum;
   std::vector<double> sum_sq;
@@ -38,7 +38,9 @@ FirstPickResult EstimateFirstPick(const Graph& graph,
   const NodeId n = graph.num_nodes();
   assert(n >= 2);
   FirstPickResult result;
-  result.pivot = graph.MaxDegreeNode();
+  // Pivot: the max-weighted-degree node minimizes the absorbing-walk
+  // cost; identical to the max-degree node on unit-weighted graphs.
+  result.pivot = graph.MaxWeightedDegreeNode();
   const TreeScaffold scaffold = MakeTreeScaffold(graph, {result.pivot});
   const double inv_n = 1.0 / static_cast<double>(n);
   const int target = ResolveTargetForests(options, n);
@@ -70,8 +72,7 @@ FirstPickResult EstimateFirstPick(const Graph& graph,
         DiagPrefixPass(scaffold, forest, &ws.xbuf);
         OnesPrefixPass(scaffold, forest, ws.sizes, &ws.obuf);
         for (NodeId u = 0; u < n; ++u) {
-          const double v = static_cast<double>(ws.xbuf[u]) -
-                           2.0 * inv_n * ws.obuf[u];
+          const double v = ws.xbuf[u] - 2.0 * inv_n * ws.obuf[u];
           ws.sum[u] += v;
           ws.sum_sq[u] += v * v;
         }
@@ -104,7 +105,7 @@ FirstPickResult EstimateFirstPick(const Graph& graph,
       }
       if (best >= 0 && second >= 0) {
         auto half_width = [&](NodeId u) {
-          const double sup = 3.0 * static_cast<double>(scaffold.bfs.depth[u]);
+          const double sup = 3.0 * scaffold.resistance_depth[u];
           return EmpiricalBernsteinHalfWidth(total, sum[u], sum_sq[u], sup,
                                              delta);
         };

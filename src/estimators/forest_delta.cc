@@ -27,7 +27,7 @@ struct WorkerState {
         sum_y_sq(static_cast<std::size_t>(graph.num_nodes())) {}
 
   ForestSampler sampler;
-  std::vector<int32_t> xbuf;
+  std::vector<double> xbuf;
   std::vector<double> sub;
   std::vector<double> ybuf;
   std::vector<double> sum_x;
@@ -95,14 +95,14 @@ DeltaEstimate ForestDelta(const Graph& graph,
                 : raw_num;
       result.z[u] = zu;
       result.numerator[u] = num;
-      // (L^{-1}_{-S})_uu >= 1/d_u by the Neumann-series bound (paper
-      // Lemma 3.9); clamp the denominator so sampling noise cannot blow
-      // up the ratio.
-      const double z_floor = 1.0 / static_cast<double>(graph.degree(u) + 1);
+      // (L^{-1}_{-S})_uu >= 1/d_w(u) by the Neumann-series bound (paper
+      // Lemma 3.9; weighted degree = Laplacian diagonal); clamp the
+      // denominator so sampling noise cannot blow up the ratio.
+      const double z_floor = 1.0 / (graph.weighted_degree(u) + 1.0);
       result.delta[u] = num / std::max(zu, z_floor);
 
       if (all_converged) {
-        const double sup_x = 2.0 * static_cast<double>(scaffold.bfs.depth[u]);
+        const double sup_x = 2.0 * scaffold.resistance_depth[u];
         const double hz = EmpiricalBernsteinHalfWidth(r, sum_x[u], sum_sq_x[u],
                                                       sup_x, delta_fail);
         const double log_term = std::log(3.0 / delta_fail);
@@ -136,7 +136,7 @@ DeltaEstimate ForestDelta(const Graph& graph,
         JlPrefixPass(scaffold, forest, ws.sub.data(), w, ws.ybuf.data());
         for (NodeId u = 0; u < n; ++u) {
           if (scaffold.is_root[u]) continue;
-          const double x = static_cast<double>(ws.xbuf[u]);
+          const double x = ws.xbuf[u];
           ws.sum_x[u] += x;
           ws.sum_sq_x[u] += x * x;
           const double* yr = ws.ybuf.data() + static_cast<std::size_t>(u) * w;

@@ -6,18 +6,19 @@
 namespace cfcm {
 
 void DiagPrefixPass(const TreeScaffold& scaffold, const RootedForest& forest,
-                    std::vector<int32_t>* xbuf) {
+                    std::vector<double>* xbuf) {
   const auto& bfs = scaffold.bfs;
   assert(xbuf->size() == bfs.parent.size());
   for (NodeId u : bfs.order) {
     if (scaffold.is_root[u]) {
-      (*xbuf)[u] = 0;
+      (*xbuf)[u] = 0.0;
       continue;
     }
     const NodeId p = bfs.parent[u];
-    int32_t x = (*xbuf)[p];
-    if (forest.parent[u] == p) ++x;  // BFS edge traversed u -> p
-    if (forest.parent[p] == u) --x;  // ... or p -> u
+    const double iw = scaffold.up_inv_weight[u];
+    double x = (*xbuf)[p];
+    if (forest.parent[u] == p) x += iw;  // BFS edge traversed u -> p
+    if (forest.parent[p] == u) x -= iw;  // ... or p -> u
     (*xbuf)[u] = x;
   }
 }
@@ -29,13 +30,14 @@ void OnesPrefixPass(const TreeScaffold& scaffold, const RootedForest& forest,
   assert(obuf->size() == bfs.parent.size());
   for (NodeId u : bfs.order) {
     if (scaffold.is_root[u]) {
-      (*obuf)[u] = 0;
+      (*obuf)[u] = 0.0;
       continue;
     }
     const NodeId p = bfs.parent[u];
+    const double iw = scaffold.up_inv_weight[u];
     double o = (*obuf)[p];
-    if (forest.parent[u] == p) o += sizes[u];
-    if (forest.parent[p] == u) o -= sizes[p];
+    if (forest.parent[u] == p) o += sizes[u] * iw;
+    if (forest.parent[p] == u) o -= sizes[p] * iw;
     (*obuf)[u] = o;
   }
 }
@@ -51,14 +53,15 @@ void JlPrefixPass(const TreeScaffold& scaffold, const RootedForest& forest,
     }
     const NodeId p = bfs.parent[u];
     const double* yp = ybuf + static_cast<std::size_t>(p) * w;
+    const double iw = scaffold.up_inv_weight[u];
     const bool fwd = forest.parent[u] == p;
     const bool bwd = forest.parent[p] == u;
     if (fwd && !bwd) {
       const double* su = sub + static_cast<std::size_t>(u) * w;
-      for (int j = 0; j < w; ++j) yu[j] = yp[j] + su[j];
+      for (int j = 0; j < w; ++j) yu[j] = yp[j] + su[j] * iw;
     } else if (bwd && !fwd) {
       const double* sp = sub + static_cast<std::size_t>(p) * w;
-      for (int j = 0; j < w; ++j) yu[j] = yp[j] - sp[j];
+      for (int j = 0; j < w; ++j) yu[j] = yp[j] - sp[j] * iw;
     } else {
       // Neither direction (or both, impossible in a forest): copy.
       std::memcpy(yu, yp, sizeof(double) * static_cast<std::size_t>(w));

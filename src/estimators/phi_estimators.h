@@ -3,15 +3,20 @@
 // All estimators telescope per-edge flow statistics along the fixed BFS
 // tree from the root set. The key identity (proved from Lemma 3.2 by
 // subtracting the flows sourced at the two endpoints of an edge; see
-// DESIGN.md §3) is, for every graph edge (a, b):
+// DESIGN.md §3) is, for every graph edge (a, b) with conductance w_ab:
 //
-//   Pr[pi_a = b] - Pr[pi_b = a] = (L_{-S}^{-1})_aa - (L_{-S}^{-1})_bb,
+//   Pr[pi_a = b] - Pr[pi_b = a] = w_ab ((L_{-S}^{-1})_aa - (L_{-S}^{-1})_bb),
 //
-// so the per-forest statistic chi[pi_a = b] - chi[pi_b = a] summed along
-// the BFS path of u is an unbiased estimator of (L_{-S}^{-1})_uu; and for
-// weighted sources, E[ Wsub_f(a) chi[pi_a=b] - Wsub_f(b) chi[pi_b=a] ]
-// = sum_v w_v ((L^{-1})_va - (L^{-1})_vb) because v's root path traverses
-// a->b iff pi_a = b and v lies in subtree(a) (Lemma 3.3).
+// the forest-measure form of Ohm's law: the net traversal probability of
+// an oriented edge equals conductance times potential difference. The
+// per-forest statistic (chi[pi_a = b] - chi[pi_b = a]) / w_ab summed
+// along the BFS path of u is therefore an unbiased estimator of
+// (L_{-S}^{-1})_uu; and for weighted sources, E[(Wsub_f(a) chi[pi_a=b] -
+// Wsub_f(b) chi[pi_b=a]) / w_ab] = sum_v w_v ((L^{-1})_va - (L^{-1})_vb)
+// because v's root path traverses a->b iff pi_a = b and v lies in
+// subtree(a) (Lemma 3.3). On unit-weighted graphs every 1/w factor is
+// exactly 1.0, so the passes reproduce the original integer statistics
+// bit-for-bit (integer-valued doubles, exact IEEE arithmetic).
 #ifndef CFCM_ESTIMATORS_PHI_ESTIMATORS_H_
 #define CFCM_ESTIMATORS_PHI_ESTIMATORS_H_
 
@@ -26,7 +31,7 @@ namespace cfcm {
 /// \brief Per-forest diagonal statistics X_f(u) with E[X_f(u)] =
 /// (L_{-S}^{-1})_uu. Writes into xbuf (n entries; roots get 0). O(n).
 void DiagPrefixPass(const TreeScaffold& scaffold, const RootedForest& forest,
-                    std::vector<int32_t>* xbuf);
+                    std::vector<double>* xbuf);
 
 /// \brief Per-forest all-ones-weighted statistics O_f(u) with E[O_f(u)] =
 /// 1^T L_{-S}^{-1} e_u. `sizes` are the forest subtree sizes

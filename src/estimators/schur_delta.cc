@@ -30,7 +30,7 @@ struct WorkerState {
         sum_wf(static_cast<std::size_t>(w) * nt) {}
 
   ForestSampler sampler;
-  std::vector<int32_t> xbuf;
+  std::vector<double> xbuf;
   std::vector<double> sub;
   std::vector<double> ybuf;
   std::vector<double> sum_x;
@@ -145,13 +145,13 @@ SchurDeltaEstimate SchurDelta(const Graph& graph,
         const double mj = yu[j] * inv_r;
         num += mj * mj;
       }
-      const double sup_x = 2.0 * static_cast<double>(scaffold.bfs.depth[u]);
+      const double sup_x = 2.0 * scaffold.resistance_depth[u];
       const double hz = EmpiricalBernsteinHalfWidth(r, sum_x[u], sum_sq_x[u],
                                                     sup_x, delta_fail);
       const double v_tot = std::max(0.0, sum_y_sq[u] * inv_r - num);
       const double h_base = 2.0 * log_term * v_tot * inv_r;
       const double h_num = 2.0 * std::sqrt(num * h_base) + h_base;
-      const double z_floor = 1.0 / static_cast<double>(graph.degree(u) + 1);
+      const double z_floor = 1.0 / (graph.weighted_degree(u) + 1.0);
       const double rel =
           h_num / std::max(num, 1e-300) + hz / std::max(zu, z_floor);
       if (rel > rel_cap) return false;
@@ -165,20 +165,24 @@ SchurDeltaEstimate SchurDelta(const Graph& graph,
     const double inv_r = 1.0 / static_cast<double>(r);
 
     // Schur complement from rooted probabilities, Eq. (15):
-    // S~(i,j) = L(t_i,t_j) - sum_{u ~ t_i, u in U} F~(u, j).
+    // S~(i,j) = L(t_i,t_j) - sum_{u ~ t_i, u in U} w(t_i,u) F~(u, j).
     DenseMatrix schur(nt, nt);
     for (int i = 0; i < nt; ++i) {
       const NodeId ti = t_nodes[i];
-      schur(i, i) = static_cast<double>(graph.degree(ti));
-      for (NodeId v : graph.neighbors(ti)) {
-        const int j = t_index[v];
-        if (j >= 0) schur(i, j) = -1.0;
+      const auto adj = graph.neighbors(ti);
+      const auto wts = graph.weights(ti);
+      schur(i, i) = graph.weighted_degree(ti);
+      for (std::size_t k = 0; k < adj.size(); ++k) {
+        const int j = t_index[adj[k]];
+        if (j >= 0) schur(i, j) = wts.empty() ? -1.0 : -wts[k];
       }
-      for (NodeId u : graph.neighbors(ti)) {
+      for (std::size_t k = 0; k < adj.size(); ++k) {
+        const NodeId u = adj[k];
         if (scaffold.is_root[u]) continue;  // only u in U contribute
+        const double w_tu = wts.empty() ? 1.0 : wts[k];
         const uint32_t* row = counts.data() + static_cast<std::size_t>(u) * nt;
         for (int j = 0; j < nt; ++j) {
-          schur(i, j) -= static_cast<double>(row[j]) * inv_r;
+          schur(i, j) -= w_tu * (static_cast<double>(row[j]) * inv_r);
         }
       }
     }
@@ -251,11 +255,11 @@ SchurDeltaEstimate SchurDelta(const Graph& graph,
       }
       result.z[u] = zu;
       result.numerator[u] = num;
-      const double z_floor = 1.0 / static_cast<double>(graph.degree(u) + 1);
+      const double z_floor = 1.0 / (graph.weighted_degree(u) + 1.0);
       result.delta[u] = num / std::max(zu, z_floor);
 
       if (all_converged) {
-        const double sup_x = 2.0 * static_cast<double>(scaffold.bfs.depth[u]);
+        const double sup_x = 2.0 * scaffold.resistance_depth[u];
         const double hz = EmpiricalBernsteinHalfWidth(r, sum_x[u], sum_sq_x[u],
                                                       sup_x, delta_fail);
         const double log_term = std::log(3.0 / delta_fail);
@@ -290,7 +294,7 @@ SchurDeltaEstimate SchurDelta(const Graph& graph,
         JlPrefixPass(scaffold, forest, ws.sub.data(), w, ws.ybuf.data());
         for (NodeId u = 0; u < n; ++u) {
           if (scaffold.is_root[u]) continue;
-          const double x = static_cast<double>(ws.xbuf[u]);
+          const double x = ws.xbuf[u];
           ws.sum_x[u] += x;
           ws.sum_sq_x[u] += x * x;
           const double* yr = ws.ybuf.data() + static_cast<std::size_t>(u) * w;

@@ -19,6 +19,20 @@ TreeScaffold MakeTreeScaffold(const Graph& graph,
   scaffold.bfs = Bfs(graph, scaffold.roots);
   assert(scaffold.bfs.num_reached() == graph.num_nodes() &&
          "estimators require a connected graph");
+
+  const std::size_t n = static_cast<std::size_t>(graph.num_nodes());
+  scaffold.up_inv_weight.assign(n, 0.0);
+  scaffold.resistance_depth.assign(n, 0.0);
+  const bool unit = graph.is_unit_weighted();
+  // BFS order visits parents before children, so resistance_depth can be
+  // accumulated in one pass.
+  for (NodeId u : scaffold.bfs.order) {
+    if (scaffold.is_root[u]) continue;
+    const NodeId p = scaffold.bfs.parent[u];
+    const double iw = unit ? 1.0 : 1.0 / graph.EdgeWeight(u, p);
+    scaffold.up_inv_weight[u] = iw;
+    scaffold.resistance_depth[u] = scaffold.resistance_depth[p] + iw;
+  }
   return scaffold;
 }
 

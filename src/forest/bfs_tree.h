@@ -3,7 +3,10 @@
 // Every Phi estimator in the paper telescopes per-edge flow statistics
 // along a fixed path from u to the root set (Lemma 3.3). Using the BFS
 // tree from S keeps paths shortest (length <= tau) and lets all n values
-// be computed by one prefix pass over the BFS order.
+// be computed by one prefix pass over the BFS order. On weighted graphs
+// the telescoped identities carry a 1/w_e factor per traversed edge
+// (see phi_estimators.h), so the scaffold precomputes each node's
+// up-edge inverse conductance and its cumulative "resistance depth".
 #ifndef CFCM_FOREST_BFS_TREE_H_
 #define CFCM_FOREST_BFS_TREE_H_
 
@@ -19,6 +22,15 @@ struct TreeScaffold {
   std::vector<NodeId> roots;  ///< deduplicated root set
   std::vector<char> is_root;  ///< n-length 0/1 mask
   BfsResult bfs;              ///< order/parent/depth from the roots
+
+  /// 1 / w(u, bfs.parent[u]) for non-roots; 0 at roots. All-ones on
+  /// unit-weighted graphs.
+  std::vector<double> up_inv_weight;
+
+  /// Resistance depth: sum of up_inv_weight along u's BFS path to the
+  /// roots. Equals (double)bfs.depth[u] exactly on unit-weighted graphs;
+  /// bounds the per-edge estimator increments for Bernstein sups.
+  std::vector<double> resistance_depth;
 };
 
 /// Builds the scaffold; requires a connected graph and non-empty roots

@@ -11,6 +11,39 @@ ForestSampler::ForestSampler(const Graph& graph) : graph_(graph) {
   forest_.root_of.assign(n, -1);
   forest_.leaves_first.reserve(n);
   in_forest_.assign(n, 0);
+  if (!graph.is_unit_weighted()) {
+    const auto& raw_w = graph.raw_weights();
+    prefix_.resize(raw_w.size());
+    const auto& offsets = graph.offsets();
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      double acc = 0;
+      for (EdgeId k = offsets[u]; k < offsets[u + 1]; ++k) {
+        acc += raw_w[static_cast<std::size_t>(k)];
+        prefix_[static_cast<std::size_t>(k)] = acc;
+      }
+    }
+  }
+}
+
+NodeId ForestSampler::StepFrom(NodeId u, Rng* rng) const {
+  const auto nbrs = graph_.neighbors(u);
+  if (prefix_.empty()) {
+    // Unit-weighted fast path: uniform neighbor, one bounded draw.
+    return nbrs[rng->NextBounded(static_cast<uint32_t>(nbrs.size()))];
+  }
+  const auto& offsets = graph_.offsets();
+  const std::size_t lo = static_cast<std::size_t>(offsets[u]);
+  const std::size_t hi = static_cast<std::size_t>(offsets[u + 1]);
+  const double total = prefix_[hi - 1];
+  const double r = rng->NextDouble() * total;
+  // First slot whose cumulative weight exceeds r; r < total almost
+  // surely, but clamp against rounding at the boundary.
+  const auto it =
+      std::upper_bound(prefix_.begin() + lo, prefix_.begin() + hi, r);
+  const std::size_t k =
+      it == prefix_.begin() + hi ? hi - 1
+                                 : static_cast<std::size_t>(it - prefix_.begin());
+  return graph_.raw_neighbors()[k];
 }
 
 const RootedForest& ForestSampler::Sample(const std::vector<char>& is_root,
@@ -34,8 +67,7 @@ const RootedForest& ForestSampler::Sample(const std::vector<char>& is_root,
     // exit edge per node survives, which is exactly loop erasure.
     NodeId i = start;
     while (!in_forest_[i]) {
-      const auto nbrs = graph_.neighbors(i);
-      parent[i] = nbrs[rng->NextBounded(static_cast<uint32_t>(nbrs.size()))];
+      parent[i] = StepFrom(i, rng);
       ++last_walk_steps_;
       i = parent[i];
     }

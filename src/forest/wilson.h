@@ -1,4 +1,4 @@
-// Wilson's algorithm for uniform rooted spanning forests (paper Alg. 1).
+// Wilson's algorithm for random rooted spanning forests (paper Alg. 1).
 #ifndef CFCM_FOREST_WILSON_H_
 #define CFCM_FOREST_WILSON_H_
 
@@ -24,11 +24,18 @@ struct RootedForest {
 
 /// \brief Scratch buffers for repeated sampling (avoids reallocation on
 /// the hot path). One instance per worker thread.
+///
+/// On unit-weighted graphs the walk picks a uniform neighbor per step
+/// (the original integer fast path, bit-for-bit identical RNG
+/// consumption). On weighted graphs each step picks neighbor v of u with
+/// probability w_uv / d_w(u) via a per-node prefix-sum table built once
+/// at construction (O(log deg) binary search per step), so sampled
+/// forests follow the weighted forest measure Pr[F] ∝ prod_{e in F} w_e.
 class ForestSampler {
  public:
   explicit ForestSampler(const Graph& graph);
 
-  /// Samples a uniform spanning forest rooted at {u : is_root[u] != 0}
+  /// Samples a random spanning forest rooted at {u : is_root[u] != 0}
   /// via loop-erased random walks. The root set must be non-empty and the
   /// graph connected. Deterministic in *rng.
   ///
@@ -41,10 +48,16 @@ class ForestSampler {
   std::int64_t last_walk_steps() const { return last_walk_steps_; }
 
  private:
+  NodeId StepFrom(NodeId u, Rng* rng) const;
+
   const Graph& graph_;
   RootedForest forest_;
   std::vector<char> in_forest_;
   std::vector<NodeId> chain_;
+  // Weighted walks only: prefix sums of each node's adjacency weights,
+  // aligned with the CSR layout (prefix_[k] = cumulative weight through
+  // raw neighbor slot k within its node's list). Empty on unit graphs.
+  std::vector<double> prefix_;
   std::int64_t last_walk_steps_ = 0;
 };
 

@@ -59,10 +59,19 @@ LccResult LargestConnectedComponent(const Graph& graph) {
     }
   }
   GraphBuilder builder(static_cast<NodeId>(result.to_original.size()));
+  const bool weighted = !graph.is_unit_weighted();
   for (NodeId u = 0; u < n; ++u) {
     if (to_new[u] == -1) continue;
-    for (NodeId v : graph.neighbors(u)) {
-      if (u < v && to_new[v] != -1) builder.AddEdge(to_new[u], to_new[v]);
+    const auto adj = graph.neighbors(u);
+    const auto w = graph.weights(u);
+    for (std::size_t k = 0; k < adj.size(); ++k) {
+      const NodeId v = adj[k];
+      if (u >= v || to_new[v] == -1) continue;
+      if (weighted) {
+        builder.AddEdge(to_new[u], to_new[v], w[k]);
+      } else {
+        builder.AddEdge(to_new[u], to_new[v]);
+      }
     }
   }
   auto built = std::move(builder).Build();

@@ -24,9 +24,9 @@ struct LccResult {
   std::vector<NodeId> to_original;  ///< LCC id -> original id.
 };
 
-/// Extracts the largest connected component (ties: smallest label).
-/// Matches the paper's preprocessing: "we perform our experiments on
-/// their largest connected components".
+/// Extracts the largest connected component (ties: smallest label),
+/// preserving edge conductances. Matches the paper's preprocessing: "we
+/// perform our experiments on their largest connected components".
 LccResult LargestConnectedComponent(const Graph& graph);
 
 }  // namespace cfcm

@@ -76,6 +76,12 @@ Graph ContiguousUsa() {
   return graph;
 }
 
+Graph KarateClubWeighted() {
+  Graph g = AssignUniformWeights(KarateClub(), 0.5, 2.0, /*seed=*/0x5ca1ab1e);
+  assert(!g.is_unit_weighted());
+  return g;
+}
+
 Graph ZebraSynthetic() {
   // 23 nodes; dense clustered contact structure (the real zebra LCC has
   // mean degree ~9). Watts–Strogatz base keeps it clique-ish.

@@ -26,6 +26,11 @@ Graph ZebraSynthetic();
 /// dolphin social network (same rationale as ZebraSynthetic()).
 Graph DolphinsSynthetic();
 
+/// Karate club with fixed-seed uniform conductances in [0.5, 2]: the
+/// small weighted reference instance used by tests and the README
+/// weighted quickstart.
+Graph KarateClubWeighted();
+
 }  // namespace cfcm
 
 #endif  // CFCM_GRAPH_DATASETS_H_

@@ -221,6 +221,17 @@ Graph RandomGeometric(NodeId n, double radius, uint64_t seed) {
   return std::move(std::move(builder).Build()).value();
 }
 
+Graph AssignUniformWeights(const Graph& graph, double lo, double hi,
+                           uint64_t seed) {
+  assert(lo > 0 && lo <= hi);
+  Rng rng(seed ^ 0x5bd1e995u);
+  GraphBuilder builder(graph.num_nodes());
+  for (const auto& [u, v] : graph.Edges()) {
+    builder.AddEdge(u, v, lo + (hi - lo) * rng.NextDouble());
+  }
+  return std::move(std::move(builder).Build()).value();
+}
+
 Graph KnnGraph(const std::vector<std::array<double, 3>>& points, int k) {
   const NodeId n = static_cast<NodeId>(points.size());
   assert(k >= 1 && n > k);

@@ -61,6 +61,14 @@ Graph RandomGeometric(NodeId n, double radius, uint64_t seed);
 /// Substrate for the point-cloud sampling example.
 Graph KnnGraph(const std::vector<std::array<double, 3>>& points, int k);
 
+/// \brief Returns a copy of `graph` with the same topology and per-edge
+/// conductances drawn i.i.d. uniform from [lo, hi], deterministic in
+/// `seed`. Turns any generator output into a weighted instance (road
+/// networks, similarity graphs). Requires 0 < lo <= hi; if lo == hi ==
+/// 1 the result is unit-weighted.
+Graph AssignUniformWeights(const Graph& graph, double lo, double hi,
+                           uint64_t seed);
+
 }  // namespace cfcm
 
 #endif  // CFCM_GRAPH_GENERATORS_H_

@@ -6,15 +6,43 @@
 namespace cfcm {
 
 Graph::Graph(std::vector<EdgeId> offsets, std::vector<NodeId> neighbors)
-    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+    : Graph(std::move(offsets), std::move(neighbors), {}) {}
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<NodeId> neighbors,
+             std::vector<double> weights)
+    : offsets_(std::move(offsets)),
+      neighbors_(std::move(neighbors)),
+      weights_(std::move(weights)) {
   assert(!offsets_.empty());
   assert(offsets_.front() == 0);
   assert(offsets_.back() == static_cast<EdgeId>(neighbors_.size()));
+  assert(weights_.empty() || weights_.size() == neighbors_.size());
+  if (!weights_.empty()) {
+    const NodeId n = num_nodes();
+    weighted_degree_.assign(static_cast<std::size_t>(n), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      double acc = 0;
+      for (EdgeId k = offsets_[u]; k < offsets_[u + 1]; ++k) {
+        acc += weights_[static_cast<std::size_t>(k)];
+      }
+      weighted_degree_[u] = acc;
+      total_weight_ += acc;
+    }
+    total_weight_ *= 0.5;  // each undirected edge was counted twice
+  }
 }
 
 bool Graph::HasEdge(NodeId u, NodeId v) const {
   const auto adj = neighbors(u);
   return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+double Graph::EdgeWeight(NodeId u, NodeId v) const {
+  const auto adj = neighbors(u);
+  const auto it = std::lower_bound(adj.begin(), adj.end(), v);
+  if (it == adj.end() || *it != v) return 0.0;
+  if (weights_.empty()) return 1.0;
+  return weights_[static_cast<std::size_t>(offsets_[u] + (it - adj.begin()))];
 }
 
 NodeId Graph::MaxDegreeNode() const {
@@ -31,6 +59,21 @@ NodeId Graph::MaxDegreeNode() const {
   return best;
 }
 
+NodeId Graph::MaxWeightedDegreeNode() const {
+  if (weights_.empty()) return MaxDegreeNode();
+  const NodeId n = num_nodes();
+  NodeId best = -1;
+  double best_deg = -1;
+  for (NodeId u = 0; u < n; ++u) {
+    const double d = weighted_degree_[u];
+    if (d > best_deg) {
+      best_deg = d;
+      best = u;
+    }
+  }
+  return best;
+}
+
 std::vector<std::pair<NodeId, NodeId>> Graph::Edges() const {
   std::vector<std::pair<NodeId, NodeId>> edges;
   edges.reserve(static_cast<std::size_t>(num_edges()));
@@ -38,6 +81,25 @@ std::vector<std::pair<NodeId, NodeId>> Graph::Edges() const {
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v : neighbors(u)) {
       if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+std::vector<WeightedEdge> Graph::WeightedEdges() const {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges()));
+  const NodeId n = num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    const auto adj = neighbors(u);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      const NodeId v = adj[i];
+      if (u >= v) continue;
+      const double w =
+          weights_.empty()
+              ? 1.0
+              : weights_[static_cast<std::size_t>(offsets_[u]) + i];
+      edges.push_back({u, v, w});
     }
   }
   return edges;

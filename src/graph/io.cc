@@ -1,7 +1,9 @@
 #include "graph/io.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -36,7 +38,28 @@ StatusOr<Graph> LoadEdgeList(const std::string& path) {
       return Status::IoError(path + ":" + std::to_string(line_no) +
                              ": negative node id");
     }
-    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    std::string weight_field;
+    if (fields >> weight_field) {
+      // Third column present: parse it as the edge conductance. Columns
+      // after it (e.g. timestamps) are ignored.
+      char* end = nullptr;
+      const double w = std::strtod(weight_field.c_str(), &end);
+      if (end == weight_field.c_str() || *end != '\0') {
+        return Status::IoError(path + ":" + std::to_string(line_no) +
+                               ": bad edge weight '" + weight_field + "'");
+      }
+      if (!std::isfinite(w) || w <= 0.0) {
+        return Status::IoError(path + ":" + std::to_string(line_no) +
+                               ": edge weight must be positive and finite"
+                               " (not NaN/inf/zero/negative), got " +
+                               weight_field);
+      }
+      // Weight column present -> weighted semantics (duplicates sum);
+      // an all-1.0 duplicate-free file still builds unit-weighted.
+      builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+    } else {
+      builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    }
   }
   return std::move(builder).Build();
 }
@@ -48,9 +71,19 @@ Status SaveEdgeList(const Graph& graph, const std::string& path) {
                            std::strerror(errno));
   }
   out << "# cfcm edge list: " << graph.num_nodes() << " nodes, "
-      << graph.num_edges() << " edges\n";
-  for (const auto& [u, v] : graph.Edges()) {
-    out << u << ' ' << v << '\n';
+      << graph.num_edges() << " edges";
+  if (!graph.is_unit_weighted()) out << ", weighted";
+  out << "\n";
+  if (graph.is_unit_weighted()) {
+    for (const auto& [u, v] : graph.Edges()) {
+      out << u << ' ' << v << '\n';
+    }
+  } else {
+    char buf[64];
+    for (const auto& e : graph.WeightedEdges()) {
+      std::snprintf(buf, sizeof(buf), "%.17g", e.weight);
+      out << e.u << ' ' << e.v << ' ' << buf << '\n';
+    }
   }
   if (!out.flush()) {
     return Status::IoError("write to '" + path + "' failed");

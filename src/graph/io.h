@@ -11,12 +11,23 @@ namespace cfcm {
 
 /// \brief Loads an undirected graph from a whitespace-separated edge list.
 ///
-/// Lines starting with '#' or '%' are comments. Each data line must start
-/// with two integer node ids (trailing columns, e.g. weights or
-/// timestamps, are ignored). Self-loops and duplicates are cleaned up.
+/// Lines starting with '#' or '%' are comments; blank lines and CRLF
+/// endings are tolerated. Each data line is
+///
+///   u v [weight] [ignored trailing columns...]
+///
+/// with integer node ids and an optional conductance in the third
+/// column. A present weight must be a positive finite number — zero,
+/// negative, NaN or infinite weights are rejected with an IoError naming
+/// the line. Any columns after the weight (e.g. KONECT timestamps) are
+/// ignored. Duplicate weighted edges have their conductances summed;
+/// duplicate unweighted edges are deduplicated; self-loops are dropped.
+/// A file whose weights are all exactly 1 (or absent) loads as a
+/// unit-weighted graph.
 StatusOr<Graph> LoadEdgeList(const std::string& path);
 
-/// Writes `graph` as "u v" lines (u < v), one edge per line.
+/// Writes `graph` as "u v" lines (u < v), or "u v w" lines when the
+/// graph is weighted, one edge per line. LoadEdgeList round-trips both.
 Status SaveEdgeList(const Graph& graph, const std::string& path);
 
 }  // namespace cfcm

@@ -26,8 +26,14 @@ DenseMatrix DenseLaplacian(const Graph& graph) {
   const NodeId n = graph.num_nodes();
   DenseMatrix l(n, n);
   for (NodeId u = 0; u < n; ++u) {
-    l(u, u) = graph.degree(u);
-    for (NodeId v : graph.neighbors(u)) l(u, v) = -1.0;
+    l(u, u) = graph.weighted_degree(u);
+    if (graph.is_unit_weighted()) {
+      for (NodeId v : graph.neighbors(u)) l(u, v) = -1.0;
+    } else {
+      const auto adj = graph.neighbors(u);
+      const auto w = graph.weights(u);
+      for (std::size_t i = 0; i < adj.size(); ++i) l(u, adj[i]) = -w[i];
+    }
   }
   return l;
 }
@@ -38,10 +44,12 @@ DenseMatrix DenseLaplacianSubmatrix(const Graph& graph,
   DenseMatrix l(dim, dim);
   for (int i = 0; i < dim; ++i) {
     const NodeId u = index.kept[i];
-    l(i, i) = graph.degree(u);
-    for (NodeId v : graph.neighbors(u)) {
-      const NodeId j = index.pos[v];
-      if (j >= 0) l(i, j) = -1.0;
+    l(i, i) = graph.weighted_degree(u);
+    const auto adj = graph.neighbors(u);
+    const auto w = graph.weights(u);
+    for (std::size_t k = 0; k < adj.size(); ++k) {
+      const NodeId j = index.pos[adj[k]];
+      if (j >= 0) l(i, j) = w.empty() ? -1.0 : -w[k];
     }
   }
   return l;
@@ -84,7 +92,7 @@ double ExactAbsorptionWalkCost(const Graph& graph,
   const DenseMatrix inv = ExactLaplacianSubmatrixInverse(graph, removed);
   double cost = 0;
   for (std::size_t i = 0; i < index.kept.size(); ++i) {
-    cost += static_cast<double>(graph.degree(index.kept[i])) *
+    cost += graph.weighted_degree(index.kept[i]) *
             inv(static_cast<int>(i), static_cast<int>(i));
   }
   return cost;
@@ -100,14 +108,30 @@ void LaplacianSubmatrixOp::Apply(const Vector& x, Vector* y) const {
   const NodeId n = graph_.num_nodes();
   assert(static_cast<NodeId>(x.size()) == n &&
          static_cast<NodeId>(y->size()) == n);
+  if (graph_.is_unit_weighted()) {
+    for (NodeId u = 0; u < n; ++u) {
+      if (in_removed_[u]) {
+        (*y)[u] = 0;
+        continue;
+      }
+      double acc = static_cast<double>(graph_.degree(u)) * x[u];
+      for (NodeId v : graph_.neighbors(u)) {
+        if (!in_removed_[v]) acc -= x[v];
+      }
+      (*y)[u] = acc;
+    }
+    return;
+  }
   for (NodeId u = 0; u < n; ++u) {
     if (in_removed_[u]) {
       (*y)[u] = 0;
       continue;
     }
-    double acc = static_cast<double>(graph_.degree(u)) * x[u];
-    for (NodeId v : graph_.neighbors(u)) {
-      if (!in_removed_[v]) acc -= x[v];
+    const auto adj = graph_.neighbors(u);
+    const auto w = graph_.weights(u);
+    double acc = graph_.weighted_degree(u) * x[u];
+    for (std::size_t k = 0; k < adj.size(); ++k) {
+      if (!in_removed_[adj[k]]) acc -= w[k] * x[adj[k]];
     }
     (*y)[u] = acc;
   }
@@ -116,8 +140,7 @@ void LaplacianSubmatrixOp::Apply(const Vector& x, Vector* y) const {
 void LaplacianSubmatrixOp::ApplyJacobi(const Vector& r, Vector* z) const {
   const NodeId n = graph_.num_nodes();
   for (NodeId u = 0; u < n; ++u) {
-    (*z)[u] = in_removed_[u] ? 0.0
-                             : r[u] / static_cast<double>(graph_.degree(u));
+    (*z)[u] = in_removed_[u] ? 0.0 : r[u] / graph_.weighted_degree(u);
   }
 }
 

@@ -21,11 +21,12 @@ struct SubmatrixIndex {
 /// Builds the index for removing `removed` (duplicates allowed).
 SubmatrixIndex MakeSubmatrixIndex(NodeId n, const std::vector<NodeId>& removed);
 
-/// Full dense Laplacian L = D - A.
+/// Full dense Laplacian L = D_w - A_w (weighted degrees on the diagonal,
+/// -w_uv off-diagonal; the unweighted L = D - A when unit-weighted).
 DenseMatrix DenseLaplacian(const Graph& graph);
 
-/// Dense grounded submatrix L_{-S} over index.kept (full-graph degrees on
-/// the diagonal).
+/// Dense grounded submatrix L_{-S} over index.kept (full-graph weighted
+/// degrees on the diagonal).
 DenseMatrix DenseLaplacianSubmatrix(const Graph& graph,
                                     const SubmatrixIndex& index);
 
@@ -41,9 +42,9 @@ double ExactTraceInverseSubmatrix(const Graph& graph,
 DenseMatrix ExactLaplacianSubmatrixInverse(const Graph& graph,
                                            const std::vector<NodeId>& removed);
 
-/// \brief Exact Tr((I - P_{-S})^{-1}) = sum_u d_u (L_{-S}^{-1})_uu: the
-/// expected absorbing-walk cost that bounds Wilson's running time
-/// (paper Lemma 3.7). Dense; small graphs / tests.
+/// \brief Exact Tr((I - P_{-S})^{-1}) = sum_u d_w(u) (L_{-S}^{-1})_uu:
+/// the expected absorbing-walk cost that bounds Wilson's running time
+/// (paper Lemma 3.7; weighted degrees). Dense; small graphs / tests.
 double ExactAbsorptionWalkCost(const Graph& graph,
                                const std::vector<NodeId>& removed);
 
@@ -64,7 +65,8 @@ class LaplacianSubmatrixOp {
   /// y = L_{-S} x  (entries at S zeroed).
   void Apply(const Vector& x, Vector* y) const;
 
-  /// Jacobi preconditioner z = diag(L)^{-1} r (entries at S zeroed).
+  /// Jacobi preconditioner z = diag(L)^{-1} r with diag(L) the weighted
+  /// degrees (entries at S zeroed).
   void ApplyJacobi(const Vector& r, Vector* z) const;
 
  private:

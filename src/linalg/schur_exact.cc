@@ -71,11 +71,13 @@ DenseMatrix ExactRootedProbabilities(const Graph& graph,
   DenseMatrix f(nu, nt);
   Vector rhs(static_cast<std::size_t>(nu));
   for (int j = 0; j < nt; ++j) {
-    // Column j of -L_UT: +1 for u adjacent to t_j (L_ut = -1).
+    // Column j of -L_UT: +w(u, t_j) for u adjacent to t_j (L_ut = -w).
     std::fill(rhs.begin(), rhs.end(), 0.0);
-    for (NodeId u : graph.neighbors(t_nodes[j])) {
-      const NodeId i = index.pos[u];
-      if (i >= 0) rhs[static_cast<std::size_t>(i)] = 1.0;
+    const auto adj = graph.neighbors(t_nodes[j]);
+    const auto w = graph.weights(t_nodes[j]);
+    for (std::size_t k = 0; k < adj.size(); ++k) {
+      const NodeId i = index.pos[adj[k]];
+      if (i >= 0) rhs[static_cast<std::size_t>(i)] = w.empty() ? 1.0 : w[k];
     }
     const Vector sol = ldlt->Solve(rhs);
     for (int i = 0; i < nu; ++i) f(i, j) = sol[static_cast<std::size_t>(i)];

@@ -1,0 +1,183 @@
+// Two guarantees of the weighted-core refactor:
+//
+// 1. On unit-weighted graphs every solver is byte-identical to the
+//    pre-weights tree: the pinned selections and forest counts below
+//    were captured on the original unweighted implementation (karate
+//    seed 1, usa seed 3) and must never drift for these seeds.
+// 2. On weighted graphs the sampling solvers track the weighted EXACT
+//    greedy baseline within the (1 ± eps) regime, and determinism per
+//    seed holds regardless of thread count.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cfcm/approx_greedy.h"
+#include "cfcm/cfcc.h"
+#include "cfcm/exact_greedy.h"
+#include "cfcm/forest_cfcm.h"
+#include "cfcm/heuristics.h"
+#include "cfcm/optimum.h"
+#include "cfcm/schur_cfcm.h"
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace cfcm {
+namespace {
+
+CfcmOptions Opts(uint64_t seed) {
+  CfcmOptions options;
+  options.seed = seed;
+  options.num_threads = 1;
+  return options;
+}
+
+TEST(UnitWeightRegressionTest, ForestCfcmKaratePinnedSelection) {
+  const Graph g = KarateClub();
+  const auto result = ForestCfcmMaximize(g, 4, Opts(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selected, (std::vector<NodeId>{0, 25, 16, 18}));
+  EXPECT_EQ(result->total_forests, 512);
+}
+
+TEST(UnitWeightRegressionTest, SchurCfcmKaratePinnedSelection) {
+  const Graph g = KarateClub();
+  const auto result = SchurCfcmMaximize(g, 4, Opts(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selected, (std::vector<NodeId>{0, 33, 6, 11}));
+  EXPECT_EQ(result->total_forests, 512);
+}
+
+TEST(UnitWeightRegressionTest, ExactGreedyKaratePinnedSelection) {
+  const auto result = ExactGreedyMaximize(KarateClub(), 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selected, (std::vector<NodeId>{33, 0, 16, 11}));
+}
+
+TEST(UnitWeightRegressionTest, ApproxGreedyKaratePinnedSelection) {
+  const auto result = ApproxGreedyMaximize(KarateClub(), 4, Opts(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selected, (std::vector<NodeId>{33, 6, 0, 11}));
+}
+
+TEST(UnitWeightRegressionTest, HeuristicsKaratePinnedSelections) {
+  const Graph g = KarateClub();
+  EXPECT_EQ(DegreeSelect(g, 4), (std::vector<NodeId>{33, 0, 32, 2}));
+  EXPECT_EQ(TopCfccSelectExact(g, 4), (std::vector<NodeId>{33, 0, 2, 32}));
+}
+
+TEST(UnitWeightRegressionTest, OptimumKaratePinnedSelection) {
+  const auto result = OptimumSearch(KarateClub(), 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best, (std::vector<NodeId>{0, 11, 16, 33}));
+}
+
+TEST(UnitWeightRegressionTest, ForestAndSchurUsaPinnedSelections) {
+  const Graph g = ContiguousUsa();
+  const auto forest = ForestCfcmMaximize(g, 5, Opts(3));
+  ASSERT_TRUE(forest.ok());
+  EXPECT_EQ(forest->selected, (std::vector<NodeId>{15, 17, 31, 25, 24}));
+  EXPECT_EQ(forest->total_forests, 705);
+  const auto schur = SchurCfcmMaximize(g, 5, Opts(3));
+  ASSERT_TRUE(schur.ok());
+  EXPECT_EQ(schur->selected, (std::vector<NodeId>{15, 17, 4, 35, 9}));
+  EXPECT_EQ(schur->total_forests, 705);
+}
+
+TEST(UnitWeightRegressionTest, AllOnesWeightsAreBehaviorallyInvisible) {
+  // A graph explicitly built with 1.0 conductances degrades to the
+  // unit-weighted representation and reproduces the pinned run.
+  const Graph karate = KarateClub();
+  GraphBuilder builder(karate.num_nodes());
+  for (const auto& [u, v] : karate.Edges()) builder.AddEdge(u, v, 1.0);
+  const Graph g = std::move(std::move(builder).Build()).value();
+  ASSERT_TRUE(g.is_unit_weighted());
+  const auto result = ForestCfcmMaximize(g, 4, Opts(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selected, (std::vector<NodeId>{0, 25, 16, 18}));
+  EXPECT_EQ(result->total_forests, 512);
+}
+
+// ---------------------------------------------------------------- weighted
+
+TEST(WeightedCfcmTest, ForestTracksWeightedExactBaseline) {
+  const Graph g = KarateClubWeighted();
+  const int k = 4;
+  const auto exact = ExactGreedyMaximize(g, k);
+  ASSERT_TRUE(exact.ok());
+  const double exact_cfcc = ExactGroupCfcc(g, exact->selected);
+
+  const auto forest = ForestCfcmMaximize(g, k, Opts(1));
+  ASSERT_TRUE(forest.ok());
+  const double forest_cfcc = ExactGroupCfcc(g, forest->selected);
+  // eps = 0.2 default: the sampled greedy value must stay within the
+  // (1 - eps) band of the exact greedy value.
+  EXPECT_GE(forest_cfcc, (1.0 - 0.2) * exact_cfcc);
+  EXPECT_LE(forest_cfcc, (1.0 + 0.2) * exact_cfcc);
+}
+
+TEST(WeightedCfcmTest, SchurTracksWeightedExactBaseline) {
+  const Graph g = KarateClubWeighted();
+  const int k = 4;
+  const auto exact = ExactGreedyMaximize(g, k);
+  ASSERT_TRUE(exact.ok());
+  const double exact_cfcc = ExactGroupCfcc(g, exact->selected);
+
+  const auto schur = SchurCfcmMaximize(g, k, Opts(1));
+  ASSERT_TRUE(schur.ok());
+  const double schur_cfcc = ExactGroupCfcc(g, schur->selected);
+  EXPECT_GE(schur_cfcc, (1.0 - 0.2) * exact_cfcc);
+}
+
+TEST(WeightedCfcmTest, ForestTracksExactOnWeightedGrid) {
+  const Graph g = AssignUniformWeights(GridGraph(6, 6), 0.25, 4.0, 23);
+  const int k = 3;
+  const auto exact = ExactGreedyMaximize(g, k);
+  ASSERT_TRUE(exact.ok());
+  const double exact_cfcc = ExactGroupCfcc(g, exact->selected);
+  const auto forest = ForestCfcmMaximize(g, k, Opts(5));
+  ASSERT_TRUE(forest.ok());
+  EXPECT_GE(ExactGroupCfcc(g, forest->selected), (1.0 - 0.2) * exact_cfcc);
+}
+
+TEST(WeightedCfcmTest, WeightedExactGreedyMatchesOptimumOnKarate) {
+  const Graph g = KarateClubWeighted();
+  const auto exact = ExactGreedyMaximize(g, 3);
+  const auto optimum = OptimumSearch(g, 3);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(optimum.ok());
+  // Greedy is not guaranteed optimal, but must be within the (1 - 1/e)
+  // bound; on this instance it should be very close.
+  EXPECT_GE(ExactGroupCfcc(g, exact->selected),
+            (1.0 - 1.0 / 2.718281828) * optimum->cfcc);
+}
+
+TEST(WeightedCfcmTest, WeightedSolversDeterministicPerSeedAcrossThreads) {
+  const Graph g = KarateClubWeighted();
+  CfcmOptions one = Opts(7);
+  CfcmOptions four = Opts(7);
+  four.num_threads = 4;
+  const auto a = ForestCfcmMaximize(g, 4, one);
+  const auto b = ForestCfcmMaximize(g, 4, four);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->selected, b->selected);
+  EXPECT_EQ(a->total_forests, b->total_forests);
+  const auto c = SchurCfcmMaximize(g, 4, one);
+  const auto d = SchurCfcmMaximize(g, 4, four);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(c->selected, d->selected);
+  EXPECT_EQ(c->total_forests, d->total_forests);
+}
+
+TEST(WeightedCfcmTest, DegreeSelectRanksByWeightedDegree) {
+  // Node 2's conductances dominate even though node 0 has more edges.
+  const Graph g = BuildWeightedGraph(
+      5, {{0, 1, 1.0}, {0, 3, 1.0}, {0, 4, 1.0}, {2, 1, 10.0}, {2, 3, 10.0}});
+  const auto top = DegreeSelect(g, 2);
+  EXPECT_EQ(top[0], 2);  // weighted degree 20 beats degree-3 node 0
+}
+
+}  // namespace
+}  // namespace cfcm

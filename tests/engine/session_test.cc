@@ -73,5 +73,21 @@ TEST(SessionTest, LazyStateIsSafeUnderConcurrentFirstUse) {
   EXPECT_GE(session.pool().num_threads(), 1u);
 }
 
+
+TEST(SessionTest, WeightedLaplacianUsesConductances) {
+  GraphSession session{KarateClubWeighted()};
+  EXPECT_TRUE(session.is_weighted());
+  EXPECT_NEAR(session.total_weight(), session.graph().total_weight(), 1e-12);
+  const DenseMatrix dense = DenseLaplacian(session.graph());
+  const DenseMatrix sparse = session.laplacian().ToDense();
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(dense, sparse), 1e-12);
+}
+
+TEST(SessionTest, UnitSessionReportsUnweighted) {
+  GraphSession session{KarateClub()};
+  EXPECT_FALSE(session.is_weighted());
+  EXPECT_EQ(session.total_weight(), 78.0);
+}
+
 }  // namespace
 }  // namespace cfcm::engine

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "forest/subtree.h"
+#include "graph/builder.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "linalg/laplacian.h"
@@ -38,7 +39,7 @@ class PhiEstimatorsTest : public ::testing::Test {
     avg.ones.assign(n, 0.0);
     avg.jl.assign(n * w, 0.0);
 
-    std::vector<int32_t> xbuf(n);
+    std::vector<double> xbuf(n);
     std::vector<double> obuf(n);
     std::vector<int32_t> sizes;
     std::vector<double> sub(n * w), ybuf(n * w);
@@ -177,6 +178,81 @@ TEST(PhiEdgeIdentityTest, EdgeOrientationIdentityHoldsExactly) {
   EXPECT_NEAR(lhs_01, inv(0, 0) - inv(1, 1), 0.02);  // = 0 by symmetry
   const double lhs_02 = static_cast<double>(n02) / kSamples;
   EXPECT_NEAR(lhs_02, inv(0, 0), 0.02);  // = 2/3
+}
+
+
+TEST_F(PhiEstimatorsTest, DiagUnbiasedOnWeightedKarate) {
+  const Graph g = KarateClubWeighted();
+  const std::vector<NodeId> s = {33};
+  const Averages avg = Run(g, s, 30000, 4, 6);
+  const DenseMatrix inv = ExactLaplacianSubmatrixInverse(g, s);
+  const SubmatrixIndex idx = MakeSubmatrixIndex(g.num_nodes(), s);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (u == 33) {
+      EXPECT_EQ(avg.diag[u], 0.0);
+      continue;
+    }
+    const double exact = inv(idx.pos[u], idx.pos[u]);
+    EXPECT_NEAR(avg.diag[u], exact, 0.08 + 0.08 * exact) << "u=" << u;
+  }
+}
+
+TEST_F(PhiEstimatorsTest, OnesUnbiasedOnWeightedGraph) {
+  const Graph g =
+      AssignUniformWeights(GridGraph(5, 5), 0.5, 2.0, /*seed=*/17);
+  const std::vector<NodeId> s = {0};
+  const Averages avg = Run(g, s, 30000, 4, 7);
+  const DenseMatrix inv = ExactLaplacianSubmatrixInverse(g, s);
+  const SubmatrixIndex idx = MakeSubmatrixIndex(g.num_nodes(), s);
+  for (NodeId u : {1, 6, 12, 24}) {
+    double exact = 0;
+    for (int i = 0; i < inv.rows(); ++i) exact += inv(i, idx.pos[u]);
+    EXPECT_NEAR(avg.ones[u], exact, 0.08 * exact + 0.5) << "u=" << u;
+  }
+}
+
+TEST_F(PhiEstimatorsTest, JlUnbiasedOnWeightedGraph) {
+  const Graph g = KarateClubWeighted();
+  const std::vector<NodeId> s = {0};
+  const int w = 6;
+  const Averages avg = Run(g, s, 30000, w, 8);
+  const DenseMatrix inv = ExactLaplacianSubmatrixInverse(g, s);
+  const SubmatrixIndex idx = MakeSubmatrixIndex(g.num_nodes(), s);
+  const NodeId n = g.num_nodes();
+  for (NodeId u : {5, 16, 33}) {
+    for (int j = 0; j < w; ++j) {
+      double exact = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (v == 0) continue;
+        exact += sketch_entries_[static_cast<std::size_t>(v) * w + j] *
+                 inv(idx.pos[v], idx.pos[u]);
+      }
+      EXPECT_NEAR(avg.jl[static_cast<std::size_t>(u) * w + j], exact,
+                  0.3 + 0.12 * std::fabs(exact))
+          << "u=" << u << " j=" << j;
+    }
+  }
+}
+
+TEST(PhiEdgeIdentityTest, WeightedEdgeOrientationIdentity) {
+  // Weighted form of the orientation identity: Pr[pi_a = b] - Pr[pi_b =
+  // a] = w_ab ((L^{-1})_aa - (L^{-1})_bb), checked on a weighted
+  // triangle rooted at node 2.
+  const Graph g =
+      BuildWeightedGraph(3, {{0, 1, 2.0}, {1, 2, 0.5}, {0, 2, 4.0}});
+  ForestSampler sampler(g);
+  Rng rng(99);
+  std::vector<char> roots = {0, 0, 1};
+  int n01 = 0, n10 = 0;
+  constexpr int kSamples = 120000;
+  for (int i = 0; i < kSamples; ++i) {
+    const RootedForest& f = sampler.Sample(roots, &rng);
+    n01 += f.parent[0] == 1;
+    n10 += f.parent[1] == 0;
+  }
+  const DenseMatrix inv = ExactLaplacianSubmatrixInverse(g, {2});
+  const double lhs = static_cast<double>(n01 - n10) / kSamples;
+  EXPECT_NEAR(lhs, 2.0 * (inv(0, 0) - inv(1, 1)), 0.02);
 }
 
 }  // namespace

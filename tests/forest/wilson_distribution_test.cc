@@ -82,5 +82,72 @@ TEST(WilsonDistributionTest, CompleteGraphTreeCountCayley) {
   EXPECT_EQ(hist.size(), 125u);
 }
 
+
+TEST(WilsonDistributionTest, WeightedTriangleTreesProportionalToWeightProduct) {
+  // Weighted triangle rooted at {2}: the three spanning trees have
+  // probability proportional to the product of their edge conductances
+  // (weighted matrix-forest theorem), normalized by det(L_{-2}).
+  const Graph g =
+      BuildWeightedGraph(3, {{0, 1, 2.0}, {1, 2, 0.5}, {0, 2, 4.0}});
+  // Trees (as parent pairs rooted at 2): {01,02}: w=8, {01,12}: w=1,
+  // {02,12}: w=2; det(L_{-2}) = 11.
+  EXPECT_NEAR(DetLaplacianSubmatrix(g, {2}), 11.0, 1e-9);
+
+  ForestSampler sampler(g);
+  Rng rng(19);
+  std::vector<char> roots = {0, 0, 1};
+  std::map<std::vector<NodeId>, int> hist;
+  constexpr int kSamples = 60000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++hist[Key(sampler.Sample(roots, &rng))];
+  }
+  ASSERT_EQ(hist.size(), 3u);
+  // parent arrays: tree {01,02}: parent0=2? No: rooted at 2, tree edges
+  // {0-1, 0-2} orients 1->0->2; {0-1,1-2}: 0->1->2; {0-2,1-2}: 0->2, 1->2.
+  const std::map<std::vector<NodeId>, double> expected = {
+      {{2, 0, -1}, 8.0 / 11.0},
+      {{1, 2, -1}, 1.0 / 11.0},
+      {{2, 2, -1}, 2.0 / 11.0},
+  };
+  for (const auto& [key, prob] : expected) {
+    ASSERT_TRUE(hist.count(key)) << "missing tree";
+    const double mean = kSamples * prob;
+    EXPECT_NEAR(hist[key], mean, 5 * std::sqrt(mean));
+  }
+}
+
+TEST(WilsonDistributionTest, WeightedForestCountMatchesWeightedDeterminant) {
+  // Diamond with asymmetric conductances, roots {0, 3}: total probability
+  // mass must cover every forest and frequencies must follow the
+  // weighted measure; spot-check via chi-squared-ish bound on each.
+  const Graph g = BuildWeightedGraph(
+      4, {{0, 1, 1.5}, {0, 2, 0.5}, {1, 2, 2.0}, {1, 3, 1.0}, {2, 3, 3.0}});
+  ForestSampler sampler(g);
+  Rng rng(101);
+  std::vector<char> roots = {1, 0, 0, 1};
+  std::map<std::vector<NodeId>, int> hist;
+  constexpr int kSamples = 80000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++hist[Key(sampler.Sample(roots, &rng))];
+  }
+  const double z = DetLaplacianSubmatrix(g, {0, 3});
+  // Each sampled forest's weight product / det must match its frequency.
+  auto weight_of = [&](const std::vector<NodeId>& parent) {
+    double w = 1;
+    for (NodeId u = 0; u < 4; ++u) {
+      if (parent[u] >= 0) w *= g.EdgeWeight(u, parent[u]);
+    }
+    return w;
+  };
+  double covered = 0;
+  for (const auto& [key, count] : hist) {
+    const double prob = weight_of(key) / z;
+    covered += prob;
+    const double mean = kSamples * prob;
+    EXPECT_NEAR(count, mean, 5 * std::sqrt(mean) + 1);
+  }
+  EXPECT_NEAR(covered, 1.0, 1e-9);  // every forest shape was sampled
+}
+
 }  // namespace
 }  // namespace cfcm

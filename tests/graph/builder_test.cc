@@ -1,5 +1,9 @@
 #include "graph/builder.h"
 
+#include <cmath>
+#include <limits>
+#include <map>
+
 #include <gtest/gtest.h>
 
 namespace cfcm {
@@ -64,6 +68,74 @@ TEST(GraphBuilderTest, CountsAddedEdgesBeforeDedup) {
   builder.AddEdge(0, 1);
   builder.AddEdge(0, 1);
   EXPECT_EQ(builder.num_added_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, WeightedDuplicatesSumConductances) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1, 1.5);
+  builder.AddEdge(1, 0, 2.5);  // parallel conductors
+  builder.AddEdge(1, 2, 0.5);
+  const Graph g = std::move(std::move(builder).Build()).value();
+  EXPECT_FALSE(g.is_unit_weighted());
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 2), 0.5);
+}
+
+TEST(GraphBuilderTest, MixedUnitAndWeightedEdgesSum) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);  // unit edge added before any weight appears
+  builder.AddEdge(0, 1, 2.0);
+  const Graph g = std::move(std::move(builder).Build()).value();
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 3.0);
+}
+
+TEST(GraphBuilderTest, AllOnesWeightsDegradeToUnitGraph) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 1.0);
+  const Graph g = std::move(std::move(builder).Build()).value();
+  EXPECT_TRUE(g.is_unit_weighted());
+  EXPECT_TRUE(g.raw_weights().empty());
+}
+
+TEST(GraphBuilderTest, RejectsNonPositiveOrNonFiniteWeights) {
+  for (double bad : {0.0, -1.0, std::nan(""),
+                     std::numeric_limits<double>::infinity()}) {
+    GraphBuilder builder;
+    builder.AddEdge(0, 1, bad);
+    auto result = std::move(builder).Build();
+    ASSERT_FALSE(result.ok()) << "weight " << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(GraphBuilderTest, WeightedSelfLoopsDropped) {
+  GraphBuilder builder;
+  builder.AddEdge(1, 1, 5.0);
+  builder.AddEdge(0, 1, 2.0);
+  const Graph g = std::move(std::move(builder).Build()).value();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 2.0);
+}
+
+TEST(GraphBuilderTest, WeightsFollowNeighborSortOrder) {
+  // Insert in scrambled order; every CSR slot must still pair the right
+  // conductance with the right neighbor.
+  GraphBuilder builder;
+  builder.AddEdge(2, 4, 0.4);
+  builder.AddEdge(2, 0, 0.1);
+  builder.AddEdge(2, 3, 0.3);
+  builder.AddEdge(2, 1, 0.2);
+  const Graph g = std::move(std::move(builder).Build()).value();
+  const auto adj = g.neighbors(2);
+  const auto w = g.weights(2);
+  ASSERT_EQ(adj.size(), 4u);
+  const std::map<NodeId, double> expected = {
+      {0, 0.1}, {1, 0.2}, {3, 0.3}, {4, 0.4}};
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w[i], expected.at(adj[i]));
+  }
 }
 
 }  // namespace

@@ -63,5 +63,22 @@ TEST(ComponentsTest, LccOfConnectedGraphIsIdentity) {
   }
 }
 
+
+TEST(ComponentsTest, LccPreservesEdgeConductances) {
+  GraphBuilder builder(6);
+  builder.AddEdge(1, 2, 2.5);
+  builder.AddEdge(2, 3, 0.5);
+  builder.AddEdge(3, 1, 4.0);
+  builder.AddEdge(4, 5, 9.0);  // smaller component, dropped
+  const Graph g = std::move(std::move(builder).Build()).value();
+  const LccResult lcc = LargestConnectedComponent(g);
+  EXPECT_EQ(lcc.graph.num_nodes(), 3);
+  EXPECT_FALSE(lcc.graph.is_unit_weighted());
+  auto orig = [&](NodeId u) { return lcc.to_original[u]; };
+  for (const auto& e : lcc.graph.WeightedEdges()) {
+    EXPECT_DOUBLE_EQ(e.weight, g.EdgeWeight(orig(e.u), orig(e.v)));
+  }
+}
+
 }  // namespace
 }  // namespace cfcm

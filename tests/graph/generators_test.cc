@@ -102,5 +102,30 @@ TEST(GeneratorsTest, KnnGraphDegreesAtLeastK) {
   for (NodeId u = 0; u < 60; ++u) EXPECT_GE(g.degree(u), 4);
 }
 
+
+TEST(GeneratorsTest, AssignUniformWeightsPreservesTopology) {
+  const Graph base = BarabasiAlbert(120, 2, 5);
+  const Graph g = AssignUniformWeights(base, 0.5, 2.0, 9);
+  EXPECT_FALSE(g.is_unit_weighted());
+  EXPECT_EQ(g.num_nodes(), base.num_nodes());
+  EXPECT_EQ(g.num_edges(), base.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(g.degree(u), base.degree(u));
+  }
+  for (const auto& e : g.WeightedEdges()) {
+    EXPECT_GE(e.weight, 0.5);
+    EXPECT_LE(e.weight, 2.0);
+  }
+}
+
+TEST(GeneratorsTest, AssignUniformWeightsDeterministicInSeed) {
+  const Graph base = WattsStrogatz(60, 3, 0.2, 11);
+  const Graph a = AssignUniformWeights(base, 0.1, 10.0, 42);
+  const Graph b = AssignUniformWeights(base, 0.1, 10.0, 42);
+  const Graph c = AssignUniformWeights(base, 0.1, 10.0, 43);
+  EXPECT_EQ(a.raw_weights(), b.raw_weights());
+  EXPECT_NE(a.raw_weights(), c.raw_weights());
+}
+
 }  // namespace
 }  // namespace cfcm

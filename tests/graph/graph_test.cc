@@ -59,6 +59,49 @@ TEST(GraphTest, EdgesListsEachEdgeOnceOrdered) {
   for (const auto& [u, v] : edges) EXPECT_LT(u, v);
 }
 
+TEST(GraphTest, UnitGraphReportsUnitWeights) {
+  const Graph g = Triangle();
+  EXPECT_TRUE(g.is_unit_weighted());
+  EXPECT_TRUE(g.weights(0).empty());
+  EXPECT_EQ(g.weighted_degree(0), 2.0);
+  EXPECT_EQ(g.total_weight(), 3.0);
+  EXPECT_EQ(g.EdgeWeight(0, 1), 1.0);
+  EXPECT_EQ(g.EdgeWeight(0, 0), 0.0);  // absent edge
+  EXPECT_EQ(g.MaxWeightedDegreeNode(), g.MaxDegreeNode());
+}
+
+TEST(GraphTest, WeightedAccessors) {
+  const Graph g =
+      BuildWeightedGraph(3, {{0, 1, 2.0}, {1, 2, 0.5}, {0, 2, 4.0}});
+  EXPECT_FALSE(g.is_unit_weighted());
+  EXPECT_DOUBLE_EQ(g.weighted_degree(0), 6.0);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(1), 2.5);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(2), 4.5);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 6.5);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 2.0);  // symmetric
+  EXPECT_EQ(g.MaxWeightedDegreeNode(), 0);
+  EXPECT_EQ(g.MaxDegreeNode(), 0);  // all combinatorial degree 2, tie -> 0
+  const auto w = g.weights(1);
+  const auto adj = g.neighbors(1);
+  ASSERT_EQ(w.size(), adj.size());
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w[i], g.EdgeWeight(1, adj[i]));
+  }
+}
+
+TEST(GraphTest, WeightedEdgesListsConductances) {
+  const Graph g = BuildWeightedGraph(3, {{1, 2, 0.25}, {0, 1, 3.0}});
+  const auto edges = g.WeightedEdges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].u, 0);
+  EXPECT_EQ(edges[0].v, 1);
+  EXPECT_DOUBLE_EQ(edges[0].weight, 3.0);
+  EXPECT_EQ(edges[1].u, 1);
+  EXPECT_EQ(edges[1].v, 2);
+  EXPECT_DOUBLE_EQ(edges[1].weight, 0.25);
+}
+
 TEST(GraphTest, IsolatedNodeHasZeroDegree) {
   GraphBuilder builder(3);
   builder.AddEdge(0, 1);

@@ -41,11 +41,57 @@ TEST_F(IoTest, SkipsCommentsAndBlankLines) {
   EXPECT_EQ(g->num_edges(), 2);
 }
 
-TEST_F(IoTest, IgnoresTrailingColumns) {
+TEST_F(IoTest, ParsesWeightColumnAndIgnoresTimestamps) {
   WriteFile("0 1 3.5 1290000000\n1 2 1.0 1290000001\n");
   auto g = LoadEdgeList(path_);
   ASSERT_TRUE(g.ok());
   EXPECT_EQ(g->num_edges(), 2);
+  EXPECT_FALSE(g->is_unit_weighted());
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(1, 2), 1.0);
+}
+
+TEST_F(IoTest, AllOnesWeightColumnLoadsUnitWeighted) {
+  WriteFile("0 1 1.0\n1 2 1\n");
+  auto g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->is_unit_weighted());
+  EXPECT_EQ(g->num_edges(), 2);
+}
+
+TEST_F(IoTest, CrlfLineEndingsAreTolerated) {
+  WriteFile("# header\r\n0 1 2.5\r\n\r\n1 2\r\n");
+  auto g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(1, 2), 1.0);
+}
+
+TEST_F(IoTest, DuplicateWeightedEdgesAreSummed) {
+  WriteFile("0 1 1.5\n1 0 2.5\n1 2 0.5\n");
+  auto g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 4.0);
+}
+
+TEST_F(IoTest, DuplicateUnweightedEdgesAreDeduplicated) {
+  WriteFile("0 1\n1 0\n0 1\n1 2\n");
+  auto g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->is_unit_weighted());
+  EXPECT_EQ(g->num_edges(), 2);
+}
+
+TEST_F(IoTest, RejectsBadWeights) {
+  for (const char* line :
+       {"0 1 0\n", "0 1 -2.5\n", "0 1 nan\n", "0 1 inf\n", "0 1 bogus\n"}) {
+    WriteFile(line);
+    auto g = LoadEdgeList(path_);
+    ASSERT_FALSE(g.ok()) << "line: " << line;
+    EXPECT_EQ(g.status().code(), StatusCode::kIoError) << "line: " << line;
+  }
 }
 
 TEST_F(IoTest, MissingFileIsIoError) {
@@ -77,6 +123,28 @@ TEST_F(IoTest, SaveThenLoadRoundTripsKarate) {
   for (NodeId u = 0; u < karate.num_nodes(); ++u) {
     EXPECT_EQ(loaded->degree(u), karate.degree(u));
   }
+}
+
+TEST_F(IoTest, WeightedRoundTripPreservesConductances) {
+  const Graph g = KarateClubWeighted();
+  ASSERT_TRUE(SaveEdgeList(g, path_).ok());
+  auto loaded = LoadEdgeList(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_nodes(), g.num_nodes());
+  ASSERT_EQ(loaded->num_edges(), g.num_edges());
+  EXPECT_FALSE(loaded->is_unit_weighted());
+  for (const auto& e : g.WeightedEdges()) {
+    EXPECT_DOUBLE_EQ(loaded->EdgeWeight(e.u, e.v), e.weight);
+  }
+}
+
+TEST_F(IoTest, UnitRoundTripStaysUnitWeighted) {
+  const Graph karate = KarateClub();
+  ASSERT_TRUE(SaveEdgeList(karate, path_).ok());
+  auto loaded = LoadEdgeList(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->is_unit_weighted());
+  EXPECT_EQ(loaded->num_edges(), karate.num_edges());
 }
 
 TEST_F(IoTest, SaveToUnwritablePathFails) {

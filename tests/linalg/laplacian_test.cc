@@ -136,5 +136,73 @@ TEST(LaplacianTest, ExactTraceMatchesInverseTrace) {
               ExactLaplacianSubmatrixInverse(g, removed).Trace(), 1e-10);
 }
 
+
+TEST(LaplacianTest, WeightedDenseLaplacianEntries) {
+  const Graph g =
+      BuildWeightedGraph(3, {{0, 1, 2.0}, {1, 2, 0.5}, {0, 2, 4.0}});
+  const DenseMatrix l = DenseLaplacian(g);
+  EXPECT_DOUBLE_EQ(l(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(l(1, 1), 2.5);
+  EXPECT_DOUBLE_EQ(l(2, 2), 4.5);
+  EXPECT_DOUBLE_EQ(l(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(l(1, 2), -0.5);
+  EXPECT_DOUBLE_EQ(l(0, 2), -4.0);
+  for (NodeId i = 0; i < 3; ++i) {
+    double row_sum = 0;
+    for (NodeId j = 0; j < 3; ++j) row_sum += l(i, j);
+    EXPECT_NEAR(row_sum, 0.0, 1e-12);
+  }
+}
+
+TEST(LaplacianTest, WeightedOperatorMatchesDenseSubmatrix) {
+  const Graph g = KarateClubWeighted();
+  const std::vector<NodeId> removed = {0, 17};
+  const SubmatrixIndex idx = MakeSubmatrixIndex(g.num_nodes(), removed);
+  const DenseMatrix sub = DenseLaplacianSubmatrix(g, idx);
+  std::vector<char> mask(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (NodeId s : removed) mask[s] = 1;
+  const LaplacianSubmatrixOp op(g, mask);
+
+  Rng rng(7);
+  Vector x(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!mask[u]) x[u] = rng.NextDouble() - 0.5;
+  }
+  Vector y(x.size(), 0.0);
+  op.Apply(x, &y);
+  for (std::size_t i = 0; i < idx.kept.size(); ++i) {
+    double expected = 0;
+    for (std::size_t j = 0; j < idx.kept.size(); ++j) {
+      expected += sub(static_cast<int>(i), static_cast<int>(j)) *
+                  x[idx.kept[j]];
+    }
+    EXPECT_NEAR(y[idx.kept[i]], expected, 1e-11);
+  }
+}
+
+TEST(LaplacianTest, WeightedJacobiDividesByWeightedDegree) {
+  const Graph g =
+      BuildWeightedGraph(3, {{0, 1, 2.0}, {1, 2, 0.5}, {0, 2, 4.0}});
+  const LaplacianSubmatrixOp op(g, std::vector<char>(3, 0));
+  Vector r = {6.0, 2.5, 9.0}, z(3, 0.0);
+  op.ApplyJacobi(r, &z);
+  EXPECT_DOUBLE_EQ(z[0], 1.0);
+  EXPECT_DOUBLE_EQ(z[1], 1.0);
+  EXPECT_DOUBLE_EQ(z[2], 2.0);
+}
+
+TEST(LaplacianTest, WeightedAbsorptionCostUsesWeightedDegrees) {
+  const Graph g = KarateClubWeighted();
+  const std::vector<NodeId> removed = {33};
+  const DenseMatrix inv = ExactLaplacianSubmatrixInverse(g, removed);
+  const SubmatrixIndex idx = MakeSubmatrixIndex(g.num_nodes(), removed);
+  double expected = 0;
+  for (std::size_t i = 0; i < idx.kept.size(); ++i) {
+    expected += g.weighted_degree(idx.kept[i]) *
+                inv(static_cast<int>(i), static_cast<int>(i));
+  }
+  EXPECT_NEAR(ExactAbsorptionWalkCost(g, removed), expected, 1e-9);
+}
+
 }  // namespace
 }  // namespace cfcm

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/builder.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "linalg/laplacian.h"
@@ -175,6 +176,37 @@ TEST(SchurExactTest, Equation11BlockReconstruction) {
                       fsf(idx_su.pos[u], idx_su.pos[v]),
                   1e-9);
     }
+  }
+}
+
+
+TEST(SchurExactTest, WeightedRootedProbabilitiesMatchAbsorptionFrequencies) {
+  // Weighted path 0 -1- 1 -2- 2 with conductances w01 = 1, w12 = 3,
+  // S = {0}, T = {2}: from node 1 the walk steps to 2 with probability
+  // 3/4 each step and to the absorbing 0 with 1/4, so rho_1 = 2 with
+  // probability 3/4.
+  const Graph g = BuildWeightedGraph(3, {{0, 1, 1.0}, {1, 2, 3.0}});
+  const DenseMatrix f = ExactRootedProbabilities(g, {0}, {2});
+  ASSERT_EQ(f.rows(), 1);
+  EXPECT_NEAR(f(0, 0), 0.75, 1e-12);
+}
+
+TEST(SchurExactTest, WeightedSchurComplementMatchesDense) {
+  const Graph g = KarateClubWeighted();
+  const std::vector<NodeId> t_nodes = {33, 0, 2};
+  std::vector<int> onto(t_nodes.begin(), t_nodes.end());
+  std::sort(onto.begin(), onto.end());
+  const DenseMatrix l = DenseLaplacian(g);
+  const DenseMatrix schur = ExactSchurComplement(l, onto);
+  // The Schur complement of a weighted Laplacian onto T is again a
+  // weighted Laplacian: symmetric with zero row sums.
+  for (int i = 0; i < schur.rows(); ++i) {
+    double row_sum = 0;
+    for (int j = 0; j < schur.cols(); ++j) {
+      EXPECT_NEAR(schur(i, j), schur(j, i), 1e-9);
+      row_sum += schur(i, j);
+    }
+    EXPECT_NEAR(row_sum, 0.0, 1e-9);
   }
 }
 

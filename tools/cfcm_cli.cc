@@ -9,6 +9,7 @@
 //   cfcm_cli --graph path/to/edges.txt --lcc --algo forest --k 8
 //   cfcm_cli --graph karate --evaluate 0,33,2
 //   cfcm_cli --list
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +33,7 @@ using cfcm::StatusOr;
 
 struct CliOptions {
   std::string graph_source;
+  std::string weighted_spec;  // "lo,hi[,seed]": random conductances
   std::vector<std::string> algorithms;
   std::vector<std::vector<NodeId>> evaluate_groups;
   int k = 5;
@@ -48,10 +50,13 @@ void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: cfcm_cli --graph <name|path> [options]\n"
                "\n"
-               "  --graph S     built-in (karate, usa, zebra, dolphins),\n"
-               "                generator spec (ba:<n>,<m>[,<seed>] |\n"
-               "                ws:<n>,<k>,<beta>[,<seed>] | grid:<r>x<c>),\n"
-               "                or an edge-list file path\n"
+               "  --graph S     built-in (karate, karate-w, usa, zebra,\n"
+               "                dolphins), generator spec (ba:<n>,<m>[,<seed>]\n"
+               "                | ws:<n>,<k>,<beta>[,<seed>] | grid:<r>x<c>),\n"
+               "                or an edge-list file path (an optional third\n"
+               "                column per line is the edge conductance)\n"
+               "  --weighted L,H[,S]  assign uniform random conductances in\n"
+               "                [L, H] to the loaded graph (seed S, default 1)\n"
                "  --algo A,B    comma-separated registry names (default forest)\n"
                "  --k N         group size (default 5)\n"
                "  --eps X       error parameter (default 0.2)\n"
@@ -61,7 +66,8 @@ void PrintUsage(std::FILE* out) {
                "  --threads N   sampling threads per solver job (default 1)\n"
                "  --lcc         reduce the input to its largest component\n"
                "  --json        machine-readable output\n"
-               "  --list        list registered solvers and exit\n");
+               "  --list-solvers  list registered solvers (capabilities from\n"
+               "                the registry) and exit; --list is an alias\n");
 }
 
 std::vector<std::string> Split(const std::string& s, char sep) {
@@ -128,6 +134,7 @@ StatusOr<std::vector<NodeId>> ParseGroup(const std::string& spec) {
 
 StatusOr<Graph> LoadGraph(const std::string& source) {
   if (source == "karate") return cfcm::KarateClub();
+  if (source == "karate-w") return cfcm::KarateClubWeighted();
   if (source == "usa") return cfcm::ContiguousUsa();
   if (source == "zebra") return cfcm::ZebraSynthetic();
   if (source == "dolphins") return cfcm::DolphinsSynthetic();
@@ -184,18 +191,21 @@ StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
       std::exit(0);
     } else if (arg == "--json") {
       options.json = true;
-    } else if (arg == "--list") {
+    } else if (arg == "--list" || arg == "--list-solvers") {
       options.list = true;
     } else if (arg == "--lcc") {
       options.take_lcc = true;
     } else if (arg == "--graph" || arg == "--algo" || arg == "--k" ||
                arg == "--eps" || arg == "--seed" || arg == "--probes" ||
-               arg == "--threads" || arg == "--evaluate") {
+               arg == "--threads" || arg == "--evaluate" ||
+               arg == "--weighted") {
       StatusOr<std::string> value = need_value(i);
       if (!value.ok()) return value.status();
       ++i;
       if (arg == "--graph") {
         options.graph_source = *value;
+      } else if (arg == "--weighted") {
+        options.weighted_spec = *value;
       } else if (arg == "--algo") {
         options.algorithms = Split(*value, ',');
       } else if (arg == "--eps") {
@@ -350,6 +360,22 @@ int main(int argc, char** argv) {
     return 1;
   }
   Graph graph = std::move(*loaded);
+  if (!cli.weighted_spec.empty()) {
+    const auto args = Split(cli.weighted_spec, ',');
+    double lo = 0, hi = 0;
+    long long wseed = 1;
+    if (args.size() < 2 || args.size() > 3 || !ParseDouble(args[0], &lo) ||
+        !ParseDouble(args[1], &hi) ||
+        (args.size() == 3 && !ParseLong(args[2], &wseed)) ||
+        !std::isfinite(lo) || !std::isfinite(hi) || lo <= 0 || hi < lo) {
+      std::fprintf(stderr,
+                   "error: --weighted expects <lo>,<hi>[,<seed>] with "
+                   "0 < lo <= hi\n");
+      return 2;
+    }
+    graph = cfcm::AssignUniformWeights(graph, lo, hi,
+                                       static_cast<uint64_t>(wseed));
+  }
   // With --lcc all ids the user sees stay in the original numbering:
   // evaluate groups are translated into LCC ids before running and
   // selected groups are translated back before printing.
@@ -426,10 +452,13 @@ int main(int argc, char** argv) {
                           : 0;
   if (cli.json) {
     std::printf("{\n  \"graph\":{\"source\":\"%s\",\"nodes\":%d,"
-                "\"edges\":%lld,\"dmax\":%d,\"connected\":%s,\"lcc\":%s},\n"
+                "\"edges\":%lld,\"dmax\":%d,\"weighted\":%s,"
+                "\"total_weight\":%.9g,\"connected\":%s,\"lcc\":%s},\n"
                 "  \"jobs\":[\n",
                 JsonEscape(cli.graph_source).c_str(), session.num_nodes(),
                 static_cast<long long>(session.num_edges()), dmax,
+                session.is_weighted() ? "true" : "false",
+                session.total_weight(),
                 session.is_connected() ? "true" : "false",
                 to_original.empty() ? "false" : "true");
     for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -437,10 +466,13 @@ int main(int argc, char** argv) {
     }
     std::printf("  ]\n}\n");
   } else {
-    std::printf("graph %s: n=%d, m=%lld, dmax=%d%s\n",
+    std::printf("graph %s: n=%d, m=%lld, dmax=%d",
                 cli.graph_source.c_str(), session.num_nodes(),
-                static_cast<long long>(session.num_edges()), dmax,
-                to_original.empty() ? "" : " (largest component)");
+                static_cast<long long>(session.num_edges()), dmax);
+    if (session.is_weighted()) {
+      std::printf(", total_weight=%.6g", session.total_weight());
+    }
+    std::printf("%s\n", to_original.empty() ? "" : " (largest component)");
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       PrintTextJob(jobs[i], results[i]);
     }
