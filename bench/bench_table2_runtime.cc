@@ -7,7 +7,15 @@
 //     hardest on dense rows (buzznet*, Astro-Ph*);
 //   * SCHURCFCM <= FORESTCFCM on every row;
 //   * both sampling algorithms scale into the largest rows.
+//
+// Flags:
+//   --smoke        run the tiny suite only (CI-sized perf point)
+//   --json <path>  also write machine-readable rows (seconds, forests,
+//                  walk_steps per sampling run) for trend tracking
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_support.h"
 #include "cfcm/approx_greedy.h"
@@ -22,6 +30,33 @@ namespace {
 constexpr int kGroupSize = 20;
 constexpr cfcm::NodeId kExactLimit = 2100;     // dense O(n^3) baseline
 constexpr cfcm::NodeId kApproxLimit = 12500;   // solver-based baseline
+
+// One timed sampling run, with the runtime's walk-step telemetry.
+struct SampledRun {
+  double seconds = -1;
+  long long forests = 0;
+  long long walk_steps = 0;
+};
+
+// Machine-readable perf rows accumulated for --json.
+struct JsonRow {
+  std::string network;
+  cfcm::NodeId n;
+  long long m;
+  std::string algo;
+  double eps;
+  SampledRun run;
+};
+
+std::vector<JsonRow>* g_json_rows = nullptr;
+
+void Record(const cfcm::bench::Dataset& d, const std::string& algo, double eps,
+            const SampledRun& run) {
+  if (g_json_rows == nullptr || run.seconds < 0) return;
+  g_json_rows->push_back({d.name, d.graph.num_nodes(),
+                          static_cast<long long>(d.graph.num_edges()), algo,
+                          eps, run});
+}
 
 // The dense buzznet* row is kept in the APPROX column beyond the limit:
 // it is where the paper's m-dominated Approx cost blows up.
@@ -42,16 +77,20 @@ double TimeApprox(const cfcm::Graph& g, double eps) {
   return result.ok() ? result->seconds : -1;
 }
 
-double TimeForest(const cfcm::Graph& g, double eps) {
+SampledRun TimeForest(const cfcm::Graph& g, double eps) {
   auto result =
       cfcm::ForestCfcmMaximize(g, kGroupSize, cfcm::bench::BenchOptions(eps));
-  return result.ok() ? result->seconds : -1;
+  if (!result.ok()) return {};
+  return {result->seconds, static_cast<long long>(result->total_forests),
+          static_cast<long long>(result->total_walk_steps)};
 }
 
-double TimeSchur(const cfcm::Graph& g, double eps) {
+SampledRun TimeSchur(const cfcm::Graph& g, double eps) {
   auto result =
       cfcm::SchurCfcmMaximize(g, kGroupSize, cfcm::bench::BenchOptions(eps));
-  return result.ok() ? result->seconds : -1;
+  if (!result.ok()) return {};
+  return {result->seconds, static_cast<long long>(result->total_forests),
+          static_cast<long long>(result->total_walk_steps)};
 }
 
 void PrintCell(double seconds) {
@@ -62,11 +101,52 @@ void PrintCell(double seconds) {
   }
 }
 
+void WriteJson(const char* path, bool smoke) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\":\"table2_runtime\",\"k\":%d,"
+               "\"smoke\":%s,\n  \"rows\":[\n",
+               kGroupSize, smoke ? "true" : "false");
+  for (std::size_t i = 0; i < g_json_rows->size(); ++i) {
+    const JsonRow& r = (*g_json_rows)[i];
+    std::fprintf(out,
+                 "    {\"network\":\"%s\",\"n\":%d,\"m\":%lld,"
+                 "\"algo\":\"%s\",\"eps\":%g,\"seconds\":%.6f,"
+                 "\"forests\":%lld,\"walk_steps\":%lld}%s\n",
+                 r.network.c_str(), r.n, r.m, r.algo.c_str(), r.eps,
+                 r.run.seconds, r.run.forests, r.run.walk_steps,
+                 i + 1 == g_json_rows->size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("# wrote %zu perf rows to %s\n", g_json_rows->size(), path);
+}
+
 }  // namespace
 
-int main() {
-  const auto suite = cfcm::bench::Table2Suite();
-  std::printf("== Table II: running time (seconds), k = %d ==\n", kGroupSize);
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  std::vector<JsonRow> json_rows;
+  if (json_path != nullptr) g_json_rows = &json_rows;
+
+  const auto suite =
+      smoke ? cfcm::bench::TinySuite() : cfcm::bench::Table2Suite();
+  std::printf("== Table II: running time (seconds), k = %d%s ==\n", kGroupSize,
+              smoke ? " (smoke suite)" : "");
   cfcm::bench::PrintProvenance(suite);
   cfcm::bench::PrintOptions(cfcm::bench::BenchOptions(0.2));
   std::printf("# EXACT on n <= %d, APPROX on n <= %d (matches the paper's "
@@ -88,9 +168,17 @@ int main() {
     PrintCell(g.num_nodes() <= kExactLimit ? TimeExact(g) : -1);
     PrintCell(RunApprox(d) ? TimeApprox(g, 0.2) : -1);
     std::printf(" |");
-    for (double eps : eps_values) PrintCell(TimeForest(g, eps));
+    for (double eps : eps_values) {
+      const SampledRun run = TimeForest(g, eps);
+      Record(d, "forest", eps, run);
+      PrintCell(run.seconds);
+    }
     std::printf(" |");
-    for (double eps : eps_values) PrintCell(TimeSchur(g, eps));
+    for (double eps : eps_values) {
+      const SampledRun run = TimeSchur(g, eps);
+      Record(d, "schur", eps, run);
+      PrintCell(run.seconds);
+    }
     std::printf("\n");
     std::fflush(stdout);
   }
@@ -100,5 +188,6 @@ int main() {
       "time/m across rows); Schur wins on walk-dominated rows (high-"
       "diameter Euroroads*), while at these scaled-down sizes the Eq.(11) "
       "assembly can offset its walk savings elsewhere.\n");
+  if (json_path != nullptr) WriteJson(json_path, smoke);
   return 0;
 }

@@ -9,26 +9,11 @@
 
 namespace cfcm {
 
-EstimatorOptions ToEstimatorOptions(const CfcmOptions& options) {
-  EstimatorOptions est;
-  est.eps = options.eps;
-  est.seed = options.seed;
-  est.min_batch = options.min_batch;
-  est.max_forests = options.max_forests;
-  est.forest_factor = options.forest_factor;
-  est.jl_rows = options.jl_rows;
-  est.max_jl_rows = options.max_jl_rows;
-  est.adaptive = options.adaptive;
-  return est;
-}
-
 StatusOr<CfcmResult> ForestCfcmMaximize(const Graph& graph, int k,
                                         const CfcmOptions& options) {
   CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
   Timer timer;
-  ThreadPool pool(options.num_threads == 0
-                      ? 0
-                      : static_cast<std::size_t>(options.num_threads));
+  ThreadPool& pool = ResolveSamplingPool(options);
   EstimatorOptions est = ToEstimatorOptions(options);
 
   CfcmResult result;
@@ -40,6 +25,7 @@ StatusOr<CfcmResult> ForestCfcmMaximize(const Graph& graph, int k,
     in_s[first.best] = 1;
     result.forests_per_iteration.push_back(first.forests);
     result.total_forests += first.forests;
+    result.total_walk_steps += first.walk_steps;
   }
   // Iterations 2..k: argmax of Delta'(u, S) (Alg. 3 lines 15-18).
   for (int i = 1; i < k; ++i) {
@@ -48,6 +34,7 @@ StatusOr<CfcmResult> ForestCfcmMaximize(const Graph& graph, int k,
     result.jl_rows = delta.jl_rows;
     result.forests_per_iteration.push_back(delta.forests);
     result.total_forests += delta.forests;
+    result.total_walk_steps += delta.walk_steps;
 
     NodeId best = -1;
     double best_delta = -1;

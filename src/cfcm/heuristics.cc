@@ -46,9 +46,7 @@ std::vector<NodeId> TopCfccSelectExact(const Graph& graph, int k) {
 
 std::vector<NodeId> TopCfccSelectEstimated(const Graph& graph, int k,
                                            const CfcmOptions& options) {
-  ThreadPool pool(options.num_threads == 0
-                      ? 0
-                      : static_cast<std::size_t>(options.num_threads));
+  ThreadPool& pool = ResolveSamplingPool(options);
   const FirstPickResult first =
       EstimateFirstPick(graph, ToEstimatorOptions(options), pool);
   return TopK(graph.num_nodes(), k, [&](NodeId a, NodeId b) {

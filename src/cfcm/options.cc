@@ -1,0 +1,25 @@
+#include "cfcm/options.h"
+
+#include "runtime/shared_pool.h"
+
+namespace cfcm {
+
+EstimatorOptions ToEstimatorOptions(const CfcmOptions& options) {
+  EstimatorOptions est;
+  est.eps = options.eps;
+  est.seed = options.seed;
+  est.min_batch = options.min_batch;
+  est.max_forests = options.max_forests;
+  est.forest_factor = options.forest_factor;
+  est.jl_rows = options.jl_rows;
+  est.max_jl_rows = options.max_jl_rows;
+  est.adaptive = options.adaptive;
+  return est;
+}
+
+ThreadPool& ResolveSamplingPool(const CfcmOptions& options) {
+  if (options.pool != nullptr) return *options.pool;
+  return SharedThreadPool(options.num_threads);
+}
+
+}  // namespace cfcm

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "estimators/options.h"
 #include "graph/graph.h"
 
@@ -12,10 +13,20 @@ namespace cfcm {
 
 /// \brief Options shared by ForestCFCM / SchurCFCM (and, where relevant,
 /// the baselines).
+///
+/// Thread-count knobs are pure performance knobs: the sampling runtime's
+/// ordered reduction (DESIGN.md §9) makes every selection and estimate
+/// bitwise identical for any pool size.
 struct CfcmOptions {
   double eps = 0.2;      ///< paper's error parameter epsilon
   uint64_t seed = 1;     ///< base RNG seed (full determinism per seed)
   int num_threads = 0;   ///< sampling workers; 0 = hardware concurrency
+                         ///< (ignored when `pool` is set)
+
+  /// Borrowed worker pool to run sampling on; nullptr = the shared
+  /// process pool sized by num_threads. The engine injects its cached
+  /// GraphSession pool here — solvers never construct pools themselves.
+  ThreadPool* pool = nullptr;
 
   // -- sampling engineering knobs (see DESIGN.md "Engineering constants").
   int min_batch = 32;
@@ -35,6 +46,7 @@ struct CfcmResult {
   std::vector<NodeId> selected;          ///< greedy order, size k
   std::vector<int> forests_per_iteration;
   std::int64_t total_forests = 0;
+  std::int64_t total_walk_steps = 0;  ///< loop-erased walk steps sampled
   double seconds = 0.0;
   int jl_rows = 0;
   int auxiliary_roots = 0;  ///< |T| (SchurCFCM only)
@@ -42,6 +54,11 @@ struct CfcmResult {
 
 /// Lowers CfcmOptions to the estimator-level sampling options.
 EstimatorOptions ToEstimatorOptions(const CfcmOptions& options);
+
+/// The pool a solver call runs its sampling on: the injected
+/// options.pool if set, else the shared process pool for
+/// options.num_threads.
+ThreadPool& ResolveSamplingPool(const CfcmOptions& options);
 
 }  // namespace cfcm
 

@@ -89,9 +89,7 @@ StatusOr<CfcmResult> SchurCfcmMaximize(const Graph& graph, int k,
                                        const CfcmOptions& options) {
   CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
   Timer timer;
-  ThreadPool pool(options.num_threads == 0
-                      ? 0
-                      : static_cast<std::size_t>(options.num_threads));
+  ThreadPool& pool = ResolveSamplingPool(options);
   EstimatorOptions est = ToEstimatorOptions(options);
 
   // Auxiliary root set T of hubs (Alg. 5 line 1).
@@ -110,6 +108,7 @@ StatusOr<CfcmResult> SchurCfcmMaximize(const Graph& graph, int k,
     in_s[first.best] = 1;
     result.forests_per_iteration.push_back(first.forests);
     result.total_forests += first.forests;
+    result.total_walk_steps += first.walk_steps;
   }
   // Iterations 2..k: SchurDelta with root set S ∪ (T \ S).
   for (int i = 1; i < k; ++i) {
@@ -129,6 +128,7 @@ StatusOr<CfcmResult> SchurCfcmMaximize(const Graph& graph, int k,
     result.jl_rows = delta.jl_rows;
     result.forests_per_iteration.push_back(delta.forests);
     result.total_forests += delta.forests;
+    result.total_walk_steps += delta.walk_steps;
 
     NodeId best = -1;
     double best_delta = -1;

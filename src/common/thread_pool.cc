@@ -1,8 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
-#include <memory>
+#include <exception>
 
 namespace cfcm {
 
@@ -21,75 +20,104 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
-  task_cv_.notify_all();
+  cv_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::WorkerLoop() {
+bool ThreadPool::DrainJob(Job& job) {
+  bool finished = false;
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+    const std::size_t begin = job.next.fetch_add(job.chunk);
+    if (begin >= job.count) break;
+    const std::size_t end = std::min(job.count, begin + job.chunk);
+    // Bodies must not throw. Pre-rewrite, every body ran on a worker
+    // thread where an escaping exception hit std::terminate; keep that
+    // fail-fast contract now that bodies also run on caller stacks —
+    // unwinding here would destroy `body` under concurrent executors
+    // (use-after-free) or leave `done` short forever (a hang).
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*job.body)(i);
+    } catch (...) {
+      std::terminate();
     }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-      if (in_flight_ == 0) done_cv_.notify_all();
+    // The final fetch_add's release sequence makes every iteration's
+    // writes visible to whoever observes done == count.
+    if (job.done.fetch_add(end - begin) + (end - begin) == job.count) {
+      finished = true;
     }
   }
+  return finished;
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++in_flight_;
-    tasks_.push(std::move(task));
-  }
-  task_cv_.notify_one();
+void ThreadPool::EraseIfExhausted(const std::shared_ptr<Job>& job) {
+  if (job->next.load(std::memory_order_relaxed) < job->count) return;
+  auto it = std::find(queue_.begin(), queue_.end(), job);
+  if (it != queue_.end()) queue_.erase(it);
 }
 
-void ThreadPool::Wait() {
+void ThreadPool::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    std::shared_ptr<Job> job = queue_.front();
+    lock.unlock();
+    const bool finished = DrainJob(*job);
+    lock.lock();
+    EraseIfExhausted(job);
+    if (finished) cv_.notify_all();
+  }
 }
 
 void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
   if (count == 1 || threads_.size() == 1) {
+    // Single-worker pools (and single iterations) run inline on the
+    // caller: exact index order, zero synchronization.
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
-  // Dynamic chunking: workers pull ranges off a shared cursor so uneven
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->count = count;
+  // Dynamic chunking: executors pull ranges off a shared cursor so uneven
   // per-iteration cost (forest sizes vary wildly) stays balanced.
-  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
-  const std::size_t chunk =
-      std::max<std::size_t>(1, count / (threads_.size() * 8));
-  const std::size_t num_tasks = std::min(threads_.size(), count);
-  for (std::size_t t = 0; t < num_tasks; ++t) {
-    Submit([cursor, chunk, count, &body] {
-      for (;;) {
-        const std::size_t begin = cursor->fetch_add(chunk);
-        if (begin >= count) return;
-        const std::size_t end = std::min(count, begin + chunk);
-        for (std::size_t i = begin; i < end; ++i) body(i);
-      }
-    });
+  job->chunk = std::max<std::size_t>(1, count / ((threads_.size() + 1) * 8));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(job);
   }
-  Wait();
-}
+  cv_.notify_all();
 
-void ThreadPool::RunPerWorker(const std::function<void(std::size_t)>& body) {
-  const std::size_t n = threads_.size();
-  for (std::size_t t = 0; t < n; ++t) {
-    Submit([t, &body] { body(t); });
+  // The caller claims chunks too — this is what makes nested ParallelFor
+  // deadlock-free: an occupied worker finishes its own nested loop even
+  // when every other worker is busy.
+  if (DrainJob(*job)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    EraseIfExhausted(job);
+    return;
   }
-  Wait();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  EraseIfExhausted(job);
+  while (job->done.load(std::memory_order_acquire) < job->count) {
+    if (!queue_.empty()) {
+      // Stragglers of this loop are running elsewhere; help another
+      // queued loop instead of sleeping on a worker-sized resource.
+      std::shared_ptr<Job> other = queue_.front();
+      lock.unlock();
+      const bool other_finished = DrainJob(*other);
+      lock.lock();
+      EraseIfExhausted(other);
+      if (other_finished) cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] {
+        return job->done.load(std::memory_order_acquire) >= job->count ||
+               !queue_.empty();
+      });
+    }
+  }
 }
 
 }  // namespace cfcm

@@ -47,7 +47,9 @@ StatusOr<JobResult> Engine::RunSolve(const SolveJob& job) const {
   CfcmOptions options = options_.solver_defaults;
   options.eps = job.eps;
   options.seed = job.seed;
-  options.num_threads = job.num_threads;
+  // Sampling reuses the cached session pool; nested ParallelFor is safe
+  // (see ThreadPool) and results are invariant to the pool size.
+  options.pool = &session_->pool();
 
   StatusOr<SolveOutput> output =
       (*solver)->Solve(session_->graph(), job.k, options);

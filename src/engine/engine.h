@@ -17,13 +17,17 @@
 namespace cfcm::engine {
 
 /// Select a k-node group with a named algorithm from the registry.
+///
+/// Sampling runs on the cached GraphSession pool (the engine injects it
+/// via CfcmOptions::pool), and the sampling runtime makes results
+/// bitwise independent of the pool size — so there is no per-job thread
+/// knob: EngineOptions::num_threads alone decides the parallelism of
+/// both the batch and the sampling inside each job.
 struct SolveJob {
   std::string algorithm = "forest";  ///< SolverRegistry key
   int k = 1;
   double eps = 0.2;      ///< error parameter (randomized solvers)
   uint64_t seed = 1;     ///< full determinism per seed
-  int num_threads = 1;   ///< sampling threads inside the solver; keep 1
-                         ///< when many jobs run concurrently in a batch
 };
 
 /// Evaluate C(S) for a caller-provided group.
@@ -65,8 +69,9 @@ struct EngineOptions {
   int eval_probes = 64;  ///< probes used above the exact ceiling
                          ///< (values < 1 are clamped to 1 there)
 
-  /// Base sampling options for every SolveJob; the job's eps / seed /
-  /// num_threads fields override the corresponding members.
+  /// Base sampling options for every SolveJob; the job's eps / seed
+  /// fields override the corresponding members, and the session pool
+  /// overrides any `pool` / `num_threads` set here.
   CfcmOptions solver_defaults;
 };
 

@@ -40,6 +40,7 @@ class ForestSolver final : public Solver {
     out.selected = std::move(result->selected);
     out.seconds = result->seconds;
     out.total_forests = result->total_forests;
+    out.total_walk_steps = result->total_walk_steps;
     out.jl_rows = result->jl_rows;
     return out;
   }
@@ -67,6 +68,7 @@ class SchurSolver final : public Solver {
     out.selected = std::move(result->selected);
     out.seconds = result->seconds;
     out.total_forests = result->total_forests;
+    out.total_walk_steps = result->total_walk_steps;
     out.jl_rows = result->jl_rows;
     out.auxiliary_roots = result->auxiliary_roots;
     return out;

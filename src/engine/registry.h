@@ -34,6 +34,7 @@ struct SolveOutput {
   std::vector<NodeId> selected;    ///< chosen group, greedy/rank order
   double seconds = 0.0;            ///< solver wall time
   std::int64_t total_forests = 0;  ///< forest samplers only
+  std::int64_t total_walk_steps = 0;  ///< loop-erased walk steps (samplers)
   int jl_rows = 0;                 ///< JL sketch rows (samplers only)
   int auxiliary_roots = 0;         ///< SchurCFCM |T|
   int solver_calls = 0;            ///< APPROXGREEDY Laplacian systems

@@ -3,31 +3,89 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 
 #include "estimators/bernstein.h"
 #include "estimators/phi_estimators.h"
 #include "forest/bfs_tree.h"
 #include "forest/subtree.h"
 #include "forest/wilson.h"
+#include "runtime/mc_runtime.h"
 
 namespace cfcm {
 
 namespace {
 
-struct WorkerState {
-  explicit WorkerState(const Graph& graph)
-      : sampler(graph),
-        xbuf(static_cast<std::size_t>(graph.num_nodes())),
-        obuf(static_cast<std::size_t>(graph.num_nodes())),
-        sum(static_cast<std::size_t>(graph.num_nodes())),
-        sum_sq(static_cast<std::size_t>(graph.num_nodes())) {}
+// Alg. 3 lines 1-14 as a sampling-runtime kernel: per forest, the
+// diagonal and all-ones prefix passes; per node, v = X_f(u) - (2/n) O_f(u)
+// folded into first and second moments. One accumulator copy total —
+// the runtime's ordered shard commits make the sums thread-invariant.
+class FirstPickKernel final : public ForestKernel {
+ public:
+  FirstPickKernel(const Graph& graph, const TreeScaffold& scaffold,
+                  const EstimatorOptions& options, std::size_t slots)
+      : scaffold_(scaffold),
+        seed_(options.seed),
+        inv_n_(1.0 / static_cast<double>(graph.num_nodes())),
+        partial_sum_(static_cast<std::size_t>(graph.num_nodes()), 0.0),
+        partial_sum_sq_(static_cast<std::size_t>(graph.num_nodes()), 0.0) {
+    scratch_.reserve(slots);
+    for (std::size_t t = 0; t < slots; ++t) {
+      scratch_.push_back(std::make_unique<Scratch>(graph));
+    }
+  }
 
-  ForestSampler sampler;
-  std::vector<int32_t> sizes;
-  std::vector<double> xbuf;
-  std::vector<double> obuf;
-  std::vector<double> sum;
-  std::vector<double> sum_sq;
+  std::int64_t ProcessForest(std::size_t slot,
+                             std::uint64_t forest_index) override {
+    Scratch& ws = *scratch_[slot];
+    Rng rng(seed_, forest_index);
+    ws.forest = &ws.sampler.Sample(scaffold_.is_root, &rng);
+    SubtreeSizes(*ws.forest, &ws.sizes);
+    DiagPrefixPass(scaffold_, *ws.forest, &ws.xbuf);
+    OnesPrefixPass(scaffold_, *ws.forest, ws.sizes, &ws.obuf);
+    return ws.sampler.last_walk_steps();
+  }
+
+  void Accumulate(std::size_t slot, NodeId begin, NodeId end) override {
+    const Scratch& ws = *scratch_[slot];
+    for (NodeId u = begin; u < end; ++u) {
+      const double v = ws.xbuf[u] - 2.0 * inv_n_ * ws.obuf[u];
+      partial_sum_[u] += v;
+      partial_sum_sq_[u] += v * v;
+    }
+  }
+
+  /// Folds the batch partials into the running sums and clears them
+  /// (the per-batch merge the Bernstein check runs against).
+  void MergeBatch(std::vector<double>* sum, std::vector<double>* sum_sq) {
+    for (std::size_t u = 0; u < partial_sum_.size(); ++u) {
+      (*sum)[u] += partial_sum_[u];
+      (*sum_sq)[u] += partial_sum_sq_[u];
+    }
+    std::fill(partial_sum_.begin(), partial_sum_.end(), 0.0);
+    std::fill(partial_sum_sq_.begin(), partial_sum_sq_.end(), 0.0);
+  }
+
+ private:
+  struct Scratch {
+    explicit Scratch(const Graph& graph)
+        : sampler(graph),
+          xbuf(static_cast<std::size_t>(graph.num_nodes())),
+          obuf(static_cast<std::size_t>(graph.num_nodes())) {}
+
+    ForestSampler sampler;
+    const RootedForest* forest = nullptr;
+    std::vector<int32_t> sizes;
+    std::vector<double> xbuf;
+    std::vector<double> obuf;
+  };
+
+  const TreeScaffold& scaffold_;
+  const uint64_t seed_;
+  const double inv_n_;
+  std::vector<std::unique_ptr<Scratch>> scratch_;
+  std::vector<double> partial_sum_;
+  std::vector<double> partial_sum_sq_;
 };
 
 }  // namespace
@@ -42,14 +100,12 @@ FirstPickResult EstimateFirstPick(const Graph& graph,
   // cost; identical to the max-degree node on unit-weighted graphs.
   result.pivot = graph.MaxWeightedDegreeNode();
   const TreeScaffold scaffold = MakeTreeScaffold(graph, {result.pivot});
-  const double inv_n = 1.0 / static_cast<double>(n);
   const int target = ResolveTargetForests(options, n);
   const double delta = ResolveBernsteinDelta(options, n);
 
-  const std::size_t num_workers = std::max<std::size_t>(1, pool.num_threads());
-  std::vector<WorkerState> workers;
-  workers.reserve(num_workers);
-  for (std::size_t t = 0; t < num_workers; ++t) workers.emplace_back(graph);
+  FirstPickKernel kernel(graph, scaffold, options, McScratchSlots(pool));
+  McRunOptions run;
+  run.num_nodes = n;
 
   std::vector<double> sum(static_cast<std::size_t>(n), 0.0);
   std::vector<double> sum_sq(static_cast<std::size_t>(n), 0.0);
@@ -58,34 +114,12 @@ FirstPickResult EstimateFirstPick(const Graph& graph,
   int batch = std::max(1, options.min_batch);
   while (total < target) {
     const int current = std::min(batch, target - total);
-    const int base = total;
-    pool.RunPerWorker([&](std::size_t worker_id) {
-      WorkerState& ws = workers[worker_id];
-      std::fill(ws.sum.begin(), ws.sum.end(), 0.0);
-      std::fill(ws.sum_sq.begin(), ws.sum_sq.end(), 0.0);
-      for (int i = static_cast<int>(worker_id); i < current;
-           i += static_cast<int>(num_workers)) {
-        Rng rng(options.seed, static_cast<uint64_t>(base + i));
-        const RootedForest& forest =
-            ws.sampler.Sample(scaffold.is_root, &rng);
-        SubtreeSizes(forest, &ws.sizes);
-        DiagPrefixPass(scaffold, forest, &ws.xbuf);
-        OnesPrefixPass(scaffold, forest, ws.sizes, &ws.obuf);
-        for (NodeId u = 0; u < n; ++u) {
-          const double v = ws.xbuf[u] - 2.0 * inv_n * ws.obuf[u];
-          ws.sum[u] += v;
-          ws.sum_sq[u] += v * v;
-        }
-      }
-    });
-    for (const WorkerState& ws : workers) {
-      for (NodeId u = 0; u < n; ++u) {
-        sum[u] += ws.sum[u];
-        sum_sq[u] += ws.sum_sq[u];
-      }
-    }
+    const McRunStats stats = RunForestBatch(
+        pool, run, static_cast<uint64_t>(total), current, kernel);
+    result.walk_steps += stats.walk_steps;
+    kernel.MergeBatch(&sum, &sum_sq);
     total += current;
-    batch *= 2;
+    batch = NextBatchSize(batch, target);
 
     if (options.adaptive && total < target) {
       // Selection-resolved stop: the best candidate's upper confidence

@@ -3,6 +3,7 @@
 #ifndef CFCM_ESTIMATORS_FIRST_PICK_H_
 #define CFCM_ESTIMATORS_FIRST_PICK_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -17,6 +18,7 @@ struct FirstPickResult {
   NodeId pivot = -1;           ///< the grounded node s (max degree)
   std::vector<double> scores;  ///< x_u = estimate of L†_uu - L†_ss
   int forests = 0;
+  std::int64_t walk_steps = 0;  ///< total loop-erased walk steps
   bool converged = false;  ///< adaptive criterion fired before the cap
 };
 

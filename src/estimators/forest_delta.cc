@@ -5,38 +5,11 @@
 #include <cmath>
 
 #include "estimators/bernstein.h"
-#include "estimators/phi_estimators.h"
+#include "estimators/jl_kernel.h"
 #include "forest/bfs_tree.h"
-#include "forest/subtree.h"
-#include "forest/wilson.h"
 #include "linalg/jl.h"
 
 namespace cfcm {
-
-namespace {
-
-struct WorkerState {
-  WorkerState(const Graph& graph, int w)
-      : sampler(graph),
-        xbuf(static_cast<std::size_t>(graph.num_nodes())),
-        sub(static_cast<std::size_t>(graph.num_nodes()) * w),
-        ybuf(static_cast<std::size_t>(graph.num_nodes()) * w),
-        sum_x(static_cast<std::size_t>(graph.num_nodes())),
-        sum_sq_x(static_cast<std::size_t>(graph.num_nodes())),
-        sum_y(static_cast<std::size_t>(graph.num_nodes()) * w),
-        sum_y_sq(static_cast<std::size_t>(graph.num_nodes())) {}
-
-  ForestSampler sampler;
-  std::vector<double> xbuf;
-  std::vector<double> sub;
-  std::vector<double> ybuf;
-  std::vector<double> sum_x;
-  std::vector<double> sum_sq_x;
-  std::vector<double> sum_y;
-  std::vector<double> sum_y_sq;
-};
-
-}  // namespace
 
 DeltaEstimate ForestDelta(const Graph& graph,
                           const std::vector<NodeId>& s_nodes,
@@ -49,10 +22,10 @@ DeltaEstimate ForestDelta(const Graph& graph,
   const double delta_fail = ResolveBernsteinDelta(options, n);
   const JlSketch sketch(w, n, options.seed ^ 0x9d2c5680a76b3f01ULL);
 
-  const std::size_t num_workers = std::max<std::size_t>(1, pool.num_threads());
-  std::vector<WorkerState> workers;
-  workers.reserve(num_workers);
-  for (std::size_t t = 0; t < num_workers; ++t) workers.emplace_back(graph, w);
+  JlForestKernel kernel(graph, scaffold, sketch, options.seed, w,
+                        McScratchSlots(pool));
+  McRunOptions run;
+  run.num_nodes = n;
 
   const std::size_t nw = static_cast<std::size_t>(n) * w;
   std::vector<double> sum_x(static_cast<std::size_t>(n), 0.0);
@@ -120,46 +93,12 @@ DeltaEstimate ForestDelta(const Graph& graph,
   int batch = std::max(1, options.min_batch);
   while (total < target) {
     const int current = std::min(batch, target - total);
-    const int base = total;
-    pool.RunPerWorker([&](std::size_t worker_id) {
-      WorkerState& ws = workers[worker_id];
-      std::fill(ws.sum_x.begin(), ws.sum_x.end(), 0.0);
-      std::fill(ws.sum_sq_x.begin(), ws.sum_sq_x.end(), 0.0);
-      std::fill(ws.sum_y.begin(), ws.sum_y.end(), 0.0);
-      std::fill(ws.sum_y_sq.begin(), ws.sum_y_sq.end(), 0.0);
-      for (int i = static_cast<int>(worker_id); i < current;
-           i += static_cast<int>(num_workers)) {
-        Rng rng(options.seed, static_cast<uint64_t>(base + i));
-        const RootedForest& forest = ws.sampler.Sample(scaffold.is_root, &rng);
-        SubtreeJlSums(forest, scaffold.is_root, sketch, ws.sub.data());
-        DiagPrefixPass(scaffold, forest, &ws.xbuf);
-        JlPrefixPass(scaffold, forest, ws.sub.data(), w, ws.ybuf.data());
-        for (NodeId u = 0; u < n; ++u) {
-          if (scaffold.is_root[u]) continue;
-          const double x = ws.xbuf[u];
-          ws.sum_x[u] += x;
-          ws.sum_sq_x[u] += x * x;
-          const double* yr = ws.ybuf.data() + static_cast<std::size_t>(u) * w;
-          double* acc = ws.sum_y.data() + static_cast<std::size_t>(u) * w;
-          double sq = 0;
-          for (int j = 0; j < w; ++j) {
-            acc[j] += yr[j];
-            sq += yr[j] * yr[j];
-          }
-          ws.sum_y_sq[u] += sq;
-        }
-      }
-    });
-    for (const WorkerState& ws : workers) {
-      for (NodeId u = 0; u < n; ++u) {
-        sum_x[u] += ws.sum_x[u];
-        sum_sq_x[u] += ws.sum_sq_x[u];
-        sum_y_sq[u] += ws.sum_y_sq[u];
-      }
-      for (std::size_t i = 0; i < nw; ++i) sum_y[i] += ws.sum_y[i];
-    }
+    const McRunStats stats = RunForestBatch(
+        pool, run, static_cast<uint64_t>(total), current, kernel);
+    result.walk_steps += stats.walk_steps;
+    kernel.MergeBatch(&sum_x, &sum_sq_x, &sum_y, &sum_y_sq);
     total += current;
-    batch *= 2;
+    batch = NextBatchSize(batch, target);
 
     if (total >= target) break;
     if (options.adaptive && assemble_and_check(total)) {

@@ -3,6 +3,7 @@
 #ifndef CFCM_ESTIMATORS_FOREST_DELTA_H_
 #define CFCM_ESTIMATORS_FOREST_DELTA_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -18,6 +19,7 @@ struct DeltaEstimate {
   std::vector<double> numerator;  ///< ||W L_{-S}^{-1} e_u||^2 estimates
   int forests = 0;
   int jl_rows = 0;
+  std::int64_t walk_steps = 0;  ///< total loop-erased walk steps
   bool converged = false;  ///< Bernstein criterion fired before the cap
 };
 

@@ -1,0 +1,78 @@
+#include "estimators/jl_kernel.h"
+
+#include <algorithm>
+
+#include "estimators/phi_estimators.h"
+#include "forest/subtree.h"
+
+namespace cfcm {
+
+JlForestKernel::JlForestKernel(const Graph& graph, const TreeScaffold& scaffold,
+                               const JlSketch& sketch, uint64_t seed,
+                               int jl_rows, std::size_t slots)
+    : scaffold_(scaffold),
+      sketch_(sketch),
+      seed_(seed),
+      jl_rows_(jl_rows),
+      partial_sum_x_(static_cast<std::size_t>(graph.num_nodes()), 0.0),
+      partial_sum_sq_x_(static_cast<std::size_t>(graph.num_nodes()), 0.0),
+      partial_sum_y_(static_cast<std::size_t>(graph.num_nodes()) * jl_rows,
+                     0.0),
+      partial_sum_y_sq_(static_cast<std::size_t>(graph.num_nodes()), 0.0) {
+  scratch_.reserve(slots);
+  for (std::size_t t = 0; t < slots; ++t) {
+    scratch_.push_back(std::make_unique<Scratch>(graph, jl_rows));
+  }
+}
+
+std::int64_t JlForestKernel::ProcessForest(std::size_t slot,
+                                           std::uint64_t forest_index) {
+  Scratch& ws = *scratch_[slot];
+  Rng rng(seed_, forest_index);
+  ws.forest = &ws.sampler.Sample(scaffold_.is_root, &rng);
+  SubtreeJlSums(*ws.forest, scaffold_.is_root, sketch_, ws.sub.data());
+  DiagPrefixPass(scaffold_, *ws.forest, &ws.xbuf);
+  JlPrefixPass(scaffold_, *ws.forest, ws.sub.data(), jl_rows_,
+               ws.ybuf.data());
+  return ws.sampler.last_walk_steps();
+}
+
+void JlForestKernel::Accumulate(std::size_t slot, NodeId begin, NodeId end) {
+  const Scratch& ws = *scratch_[slot];
+  const int w = jl_rows_;
+  for (NodeId u = begin; u < end; ++u) {
+    if (scaffold_.is_root[u]) continue;
+    const double x = ws.xbuf[u];
+    partial_sum_x_[u] += x;
+    partial_sum_sq_x_[u] += x * x;
+    const double* yr = ws.ybuf.data() + static_cast<std::size_t>(u) * w;
+    double* acc = partial_sum_y_.data() + static_cast<std::size_t>(u) * w;
+    double sq = 0;
+    for (int j = 0; j < w; ++j) {
+      acc[j] += yr[j];
+      sq += yr[j] * yr[j];
+    }
+    partial_sum_y_sq_[u] += sq;
+  }
+  AccumulateExtra(ws, begin, end);
+}
+
+void JlForestKernel::MergeBatch(std::vector<double>* sum_x,
+                                std::vector<double>* sum_sq_x,
+                                std::vector<double>* sum_y,
+                                std::vector<double>* sum_y_sq) {
+  for (std::size_t u = 0; u < partial_sum_x_.size(); ++u) {
+    (*sum_x)[u] += partial_sum_x_[u];
+    (*sum_sq_x)[u] += partial_sum_sq_x_[u];
+    (*sum_y_sq)[u] += partial_sum_y_sq_[u];
+  }
+  for (std::size_t i = 0; i < partial_sum_y_.size(); ++i) {
+    (*sum_y)[i] += partial_sum_y_[i];
+  }
+  std::fill(partial_sum_x_.begin(), partial_sum_x_.end(), 0.0);
+  std::fill(partial_sum_sq_x_.begin(), partial_sum_sq_x_.end(), 0.0);
+  std::fill(partial_sum_y_.begin(), partial_sum_y_.end(), 0.0);
+  std::fill(partial_sum_y_sq_.begin(), partial_sum_y_sq_.end(), 0.0);
+}
+
+}  // namespace cfcm

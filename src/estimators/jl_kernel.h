@@ -1,0 +1,83 @@
+// Shared JL-sketched sampling kernel under ForestDelta and SchurDelta.
+//
+// Both Alg. 2 and Alg. 4 run the same per-forest core: sample a rooted
+// forest, compute JL subtree sums, run the diagonal and JL prefix
+// passes, and fold per-node first/second moments of X_f and Y_f into
+// shared accumulators. This kernel implements that core once over the
+// sampling runtime (DESIGN.md §9); SchurDelta subclasses it to add the
+// rooted-probability counters and per-tree JL sums of Lemma 4.2.
+#ifndef CFCM_ESTIMATORS_JL_KERNEL_H_
+#define CFCM_ESTIMATORS_JL_KERNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "forest/bfs_tree.h"
+#include "forest/wilson.h"
+#include "linalg/jl.h"
+#include "runtime/mc_runtime.h"
+
+namespace cfcm {
+
+class JlForestKernel : public ForestKernel {
+ public:
+  /// `scaffold` and `sketch` must outlive the kernel. `slots` is
+  /// McScratchSlots(pool) for the pool the kernel will run on.
+  JlForestKernel(const Graph& graph, const TreeScaffold& scaffold,
+                 const JlSketch& sketch, uint64_t seed, int jl_rows,
+                 std::size_t slots);
+
+  std::int64_t ProcessForest(std::size_t slot,
+                             std::uint64_t forest_index) override;
+  void Accumulate(std::size_t slot, NodeId begin, NodeId end) override;
+
+  /// Folds the batch partials into the running sums (`sum_y` is
+  /// node-major n x w) and clears them for the next batch.
+  void MergeBatch(std::vector<double>* sum_x, std::vector<double>* sum_sq_x,
+                  std::vector<double>* sum_y, std::vector<double>* sum_y_sq);
+
+ protected:
+  struct Scratch {
+    Scratch(const Graph& graph, int w)
+        : sampler(graph),
+          xbuf(static_cast<std::size_t>(graph.num_nodes())),
+          sub(static_cast<std::size_t>(graph.num_nodes()) * w),
+          ybuf(static_cast<std::size_t>(graph.num_nodes()) * w) {}
+
+    ForestSampler sampler;
+    const RootedForest* forest = nullptr;  ///< last sampled forest
+    std::vector<double> xbuf;
+    std::vector<double> sub;   ///< JL subtree sums, node-major n x w
+    std::vector<double> ybuf;  ///< Y_f, node-major n x w
+  };
+
+  /// Subclass hook, called inside the ordered shard commit after the
+  /// X/Y moments of [begin, end) are folded. Same determinism contract.
+  virtual void AccumulateExtra(const Scratch& scratch, NodeId begin,
+                               NodeId end) {
+    (void)scratch;
+    (void)begin;
+    (void)end;
+  }
+
+  const Scratch& scratch(std::size_t slot) const { return *scratch_[slot]; }
+  const TreeScaffold& scaffold() const { return scaffold_; }
+  int jl_rows() const { return jl_rows_; }
+
+ private:
+  const TreeScaffold& scaffold_;
+  const JlSketch& sketch_;
+  const uint64_t seed_;
+  const int jl_rows_;
+  std::vector<std::unique_ptr<Scratch>> scratch_;
+  // Batch partials — exactly one copy regardless of thread count.
+  std::vector<double> partial_sum_x_;
+  std::vector<double> partial_sum_sq_x_;
+  std::vector<double> partial_sum_y_;  // node-major n x w
+  std::vector<double> partial_sum_y_sq_;
+};
+
+}  // namespace cfcm
+
+#endif  // CFCM_ESTIMATORS_JL_KERNEL_H_

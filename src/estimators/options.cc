@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace cfcm {
 
@@ -30,6 +31,13 @@ int ResolveTargetForests(const EstimatorOptions& options, NodeId n) {
 double ResolveBernsteinDelta(const EstimatorOptions& options, NodeId n) {
   if (options.bernstein_delta > 0) return options.bernstein_delta;
   return 1.0 / static_cast<double>(std::max<NodeId>(2, n));
+}
+
+int NextBatchSize(int batch, int target) {
+  if (batch >= target || batch > std::numeric_limits<int>::max() / 2) {
+    return target;
+  }
+  return std::min(batch * 2, target);
 }
 
 }  // namespace cfcm

@@ -37,6 +37,10 @@ int ResolveTargetForests(const EstimatorOptions& options, NodeId n);
 /// Failure probability delta for Bernstein bounds.
 double ResolveBernsteinDelta(const EstimatorOptions& options, NodeId n);
 
+/// Next batch size for the doubling sample loops: 2 * batch, clamped to
+/// `target` and guarded against int overflow when max_forests is large.
+int NextBatchSize(int batch, int target);
+
 }  // namespace cfcm
 
 #endif  // CFCM_ESTIMATORS_OPTIONS_H_

@@ -5,10 +5,8 @@
 #include <cmath>
 
 #include "estimators/bernstein.h"
-#include "estimators/phi_estimators.h"
+#include "estimators/jl_kernel.h"
 #include "forest/bfs_tree.h"
-#include "forest/subtree.h"
-#include "forest/wilson.h"
 #include "linalg/jl.h"
 #include "linalg/ldlt.h"
 
@@ -16,29 +14,70 @@ namespace cfcm {
 
 namespace {
 
-struct WorkerState {
-  WorkerState(const Graph& graph, int w, int nt)
-      : sampler(graph),
-        xbuf(static_cast<std::size_t>(graph.num_nodes())),
-        sub(static_cast<std::size_t>(graph.num_nodes()) * w),
-        ybuf(static_cast<std::size_t>(graph.num_nodes()) * w),
-        sum_x(static_cast<std::size_t>(graph.num_nodes())),
-        sum_sq_x(static_cast<std::size_t>(graph.num_nodes())),
-        sum_y(static_cast<std::size_t>(graph.num_nodes()) * w),
-        sum_y_sq(static_cast<std::size_t>(graph.num_nodes())),
-        counts(static_cast<std::size_t>(graph.num_nodes()) * nt, 0),
-        sum_wf(static_cast<std::size_t>(w) * nt) {}
+// JlForestKernel plus the Schur-specific statistics of Lemma 4.2: the
+// rooted-probability counters F~(u, t) and one per-tree JL sum (a forest
+// sample of W F) committed in forest order through the tail slot.
+class SchurKernel final : public JlForestKernel {
+ public:
+  SchurKernel(const Graph& graph, const TreeScaffold& scaffold,
+              const JlSketch& sketch, uint64_t seed, int jl_rows,
+              std::size_t slots, const std::vector<NodeId>& t_nodes,
+              const std::vector<int>& t_index)
+      : JlForestKernel(graph, scaffold, sketch, seed, jl_rows, slots),
+        t_nodes_(t_nodes),
+        t_index_(t_index),
+        nt_(static_cast<int>(t_nodes.size())),
+        partial_counts_(
+            static_cast<std::size_t>(graph.num_nodes()) * t_nodes.size(), 0),
+        partial_sum_wf_(static_cast<std::size_t>(jl_rows) * t_nodes.size(),
+                        0.0) {}
 
-  ForestSampler sampler;
-  std::vector<double> xbuf;
-  std::vector<double> sub;
-  std::vector<double> ybuf;
-  std::vector<double> sum_x;
-  std::vector<double> sum_sq_x;
-  std::vector<double> sum_y;
-  std::vector<double> sum_y_sq;
-  std::vector<uint32_t> counts;  // root-of counters, node-major n x |T|
-  std::vector<double> sum_wf;    // per-tree JL sums, row-major w x |T|
+  void AccumulateTail(std::size_t slot) override {
+    // Per-tree JL sums: subtree sums at roots t in T are exactly
+    // sum_{v rooted at t} W_[:,v], i.e. one forest sample of (W F).
+    const Scratch& ws = scratch(slot);
+    const int w = jl_rows();
+    for (int t = 0; t < nt_; ++t) {
+      const double* st =
+          ws.sub.data() + static_cast<std::size_t>(t_nodes_[t]) * w;
+      for (int j = 0; j < w; ++j) {
+        partial_sum_wf_[static_cast<std::size_t>(j) * nt_ + t] += st[j];
+      }
+    }
+  }
+
+  /// Folds the Schur partials into the running accumulators and clears
+  /// them (companion to JlForestKernel::MergeBatch).
+  void MergeSchurBatch(std::vector<uint32_t>* counts,
+                       std::vector<double>* sum_wf) {
+    for (std::size_t i = 0; i < partial_counts_.size(); ++i) {
+      (*counts)[i] += partial_counts_[i];
+    }
+    for (std::size_t i = 0; i < partial_sum_wf_.size(); ++i) {
+      (*sum_wf)[i] += partial_sum_wf_[i];
+    }
+    std::fill(partial_counts_.begin(), partial_counts_.end(), 0u);
+    std::fill(partial_sum_wf_.begin(), partial_sum_wf_.end(), 0.0);
+  }
+
+ protected:
+  void AccumulateExtra(const Scratch& ws, NodeId begin, NodeId end) override {
+    // Rooted-probability counter (Lemma 4.2): rho_u = t.
+    for (NodeId u = begin; u < end; ++u) {
+      if (scaffold().is_root[u]) continue;
+      const int ti = t_index_[ws.forest->root_of[u]];
+      if (ti >= 0) {
+        ++partial_counts_[static_cast<std::size_t>(u) * nt_ + ti];
+      }
+    }
+  }
+
+ private:
+  const std::vector<NodeId>& t_nodes_;
+  const std::vector<int>& t_index_;
+  const int nt_;
+  std::vector<uint32_t> partial_counts_;  // root-of counters, node-major
+  std::vector<double> partial_sum_wf_;    // per-tree JL sums, w x |T|
 };
 
 // Inverts the estimated Schur complement, escalating a diagonal ridge if
@@ -105,12 +144,10 @@ SchurDeltaEstimate SchurDelta(const Graph& graph,
   std::vector<char> in_s(static_cast<std::size_t>(n), 0);
   for (NodeId s : s_nodes) in_s[s] = 1;
 
-  const std::size_t num_workers = std::max<std::size_t>(1, pool.num_threads());
-  std::vector<WorkerState> workers;
-  workers.reserve(num_workers);
-  for (std::size_t t = 0; t < num_workers; ++t) {
-    workers.emplace_back(graph, w, nt);
-  }
+  SchurKernel kernel(graph, scaffold, sketch, options.seed, w,
+                     McScratchSlots(pool), t_nodes, t_index);
+  McRunOptions run;
+  run.num_nodes = n;
 
   const std::size_t nw = static_cast<std::size_t>(n) * w;
   std::vector<double> sum_x(static_cast<std::size_t>(n), 0.0);
@@ -277,64 +314,13 @@ SchurDeltaEstimate SchurDelta(const Graph& graph,
   int batch = std::max(1, options.min_batch);
   while (total < target) {
     const int current = std::min(batch, target - total);
-    const int base = total;
-    pool.RunPerWorker([&](std::size_t worker_id) {
-      WorkerState& ws = workers[worker_id];
-      std::fill(ws.sum_x.begin(), ws.sum_x.end(), 0.0);
-      std::fill(ws.sum_sq_x.begin(), ws.sum_sq_x.end(), 0.0);
-      std::fill(ws.sum_y.begin(), ws.sum_y.end(), 0.0);
-      std::fill(ws.sum_y_sq.begin(), ws.sum_y_sq.end(), 0.0);
-      std::fill(ws.sum_wf.begin(), ws.sum_wf.end(), 0.0);
-      for (int i = static_cast<int>(worker_id); i < current;
-           i += static_cast<int>(num_workers)) {
-        Rng rng(options.seed, static_cast<uint64_t>(base + i));
-        const RootedForest& forest = ws.sampler.Sample(scaffold.is_root, &rng);
-        SubtreeJlSums(forest, scaffold.is_root, sketch, ws.sub.data());
-        DiagPrefixPass(scaffold, forest, &ws.xbuf);
-        JlPrefixPass(scaffold, forest, ws.sub.data(), w, ws.ybuf.data());
-        for (NodeId u = 0; u < n; ++u) {
-          if (scaffold.is_root[u]) continue;
-          const double x = ws.xbuf[u];
-          ws.sum_x[u] += x;
-          ws.sum_sq_x[u] += x * x;
-          const double* yr = ws.ybuf.data() + static_cast<std::size_t>(u) * w;
-          double* acc = ws.sum_y.data() + static_cast<std::size_t>(u) * w;
-          double sq = 0;
-          for (int j = 0; j < w; ++j) {
-            acc[j] += yr[j];
-            sq += yr[j] * yr[j];
-          }
-          ws.sum_y_sq[u] += sq;
-          // Rooted-probability counter (Lemma 4.2): rho_u = t.
-          const int ti = t_index[forest.root_of[u]];
-          if (ti >= 0) {
-            ++ws.counts[static_cast<std::size_t>(u) * nt + ti];
-          }
-        }
-        // Per-tree JL sums: subtree sums at roots t in T are exactly
-        // sum_{v rooted at t} W_[:,v], i.e. one forest sample of (W F).
-        for (int t = 0; t < nt; ++t) {
-          const double* st =
-              ws.sub.data() + static_cast<std::size_t>(t_nodes[t]) * w;
-          for (int j = 0; j < w; ++j) {
-            ws.sum_wf[static_cast<std::size_t>(j) * nt + t] += st[j];
-          }
-        }
-      }
-    });
-    for (WorkerState& ws : workers) {
-      for (NodeId u = 0; u < n; ++u) {
-        sum_x[u] += ws.sum_x[u];
-        sum_sq_x[u] += ws.sum_sq_x[u];
-        sum_y_sq[u] += ws.sum_y_sq[u];
-      }
-      for (std::size_t i = 0; i < nw; ++i) sum_y[i] += ws.sum_y[i];
-      for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += ws.counts[i];
-      std::fill(ws.counts.begin(), ws.counts.end(), 0u);
-      for (std::size_t i = 0; i < sum_wf.size(); ++i) sum_wf[i] += ws.sum_wf[i];
-    }
+    const McRunStats stats = RunForestBatch(
+        pool, run, static_cast<uint64_t>(total), current, kernel);
+    result.walk_steps += stats.walk_steps;
+    kernel.MergeBatch(&sum_x, &sum_sq_x, &sum_y, &sum_y_sq);
+    kernel.MergeSchurBatch(&counts, &sum_wf);
     total += current;
-    batch *= 2;
+    batch = NextBatchSize(batch, target);
 
     if (total >= target) break;
     if (options.adaptive && cheap_converged(total)) {

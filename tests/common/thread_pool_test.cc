@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -36,10 +37,12 @@ TEST(ThreadPoolTest, SingleThreadRunsInline) {
   EXPECT_EQ(order, expected);
 }
 
-TEST(ThreadPoolTest, RunPerWorkerTouchesEachWorker) {
+TEST(ThreadPoolTest, SlotSizedParallelForTouchesEachSlot) {
+  // The sampling runtime sizes per-executor scratch as slot indices of a
+  // ParallelFor; each slot must be visited exactly once.
   ThreadPool pool(3);
   std::vector<std::atomic<int>> hits(3);
-  pool.RunPerWorker([&](std::size_t t) { hits[t].fetch_add(1); });
+  pool.ParallelFor(3, [&](std::size_t t) { hits[t].fetch_add(1); });
   for (int t = 0; t < 3; ++t) EXPECT_EQ(hits[t].load(), 1);
 }
 
@@ -57,6 +60,32 @@ TEST(ThreadPoolTest, ReusableAcrossCalls) {
 TEST(ThreadPoolTest, DefaultUsesHardwareConcurrency) {
   ThreadPool pool;
   EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // The engine runs solve jobs on the session pool and each job runs
+  // its sampling batches on the same pool. With more outer iterations
+  // than workers, the old blocking Wait() would deadlock; the caller
+  // now executes chunks of its own nested loop.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](std::size_t) {
+    pool.ParallelFor(16, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersShareThePool) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      pool.ParallelFor(100, [&](std::size_t) { total.fetch_add(1); });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 400);
 }
 
 }  // namespace

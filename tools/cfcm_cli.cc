@@ -40,7 +40,7 @@ struct CliOptions {
   double eps = 0.2;
   uint64_t seed = 1;
   int probes = 0;       // EvaluateJob probes (0 = exact)
-  int threads = 1;      // sampling threads per solver
+  int threads = 0;      // engine pool size; 0 = hardware concurrency
   bool take_lcc = false;
   bool json = false;
   bool list = false;
@@ -63,7 +63,10 @@ void PrintUsage(std::FILE* out) {
                "  --seed N      base RNG seed (default 1)\n"
                "  --evaluate G  evaluate C(S) of group 'u1,u2,...' (repeatable)\n"
                "  --probes N    Hutchinson probes for --evaluate (0 = exact)\n"
-               "  --threads N   sampling threads per solver job (default 1)\n"
+               "  --threads N   worker pool size shared by the job batch and\n"
+               "                the sampling inside each job; 0 = hardware\n"
+               "                concurrency (default). Results never depend\n"
+               "                on this value\n"
                "  --lcc         reduce the input to its largest component\n"
                "  --json        machine-readable output\n"
                "  --list-solvers  list registered solvers (capabilities from\n"
@@ -282,10 +285,12 @@ void PrintJsonJob(const cfcm::engine::Job& spec,
           std::get_if<cfcm::engine::SolveJobResult>(&*result)) {
     std::printf("\"status\":\"ok\",\"selected\":");
     PrintJsonGroup(solve->output.selected);
-    std::printf(",\"cfcc\":%.9g,\"forests\":%lld,\"seconds\":%.6f}",
-                solve->cfcc,
-                static_cast<long long>(solve->output.total_forests),
-                solve->output.seconds);
+    std::printf(
+        ",\"cfcc\":%.9g,\"forests\":%lld,\"walk_steps\":%lld,"
+        "\"seconds\":%.6f}",
+        solve->cfcc, static_cast<long long>(solve->output.total_forests),
+        static_cast<long long>(solve->output.total_walk_steps),
+        solve->output.seconds);
   } else {
     const auto& eval = std::get<cfcm::engine::EvaluateJobResult>(*result);
     std::printf(
@@ -317,8 +322,9 @@ void PrintTextJob(const cfcm::engine::Job& spec,
     }
     std::printf("}  (%.3fs", solve->output.seconds);
     if (solve->output.total_forests > 0) {
-      std::printf(", %lld forests",
-                  static_cast<long long>(solve->output.total_forests));
+      std::printf(", %lld forests, %lld walk steps",
+                  static_cast<long long>(solve->output.total_forests),
+                  static_cast<long long>(solve->output.total_walk_steps));
     }
     std::printf(")\n");
   } else {
@@ -402,7 +408,6 @@ int main(int argc, char** argv) {
     job.k = cli.k;
     job.eps = cli.eps;
     job.seed = cli.seed;
-    job.num_threads = cli.threads;
     jobs.emplace_back(std::move(job));
   }
   for (const std::vector<NodeId>& group : cli.evaluate_groups) {
@@ -433,7 +438,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  cfcm::engine::Engine engine{std::move(graph)};
+  cfcm::engine::EngineOptions engine_options;
+  engine_options.num_threads = cli.threads;  // 0 = hardware concurrency
+  cfcm::engine::Engine engine{std::move(graph), engine_options};
   std::vector<StatusOr<cfcm::engine::JobResult>> results =
       engine.RunBatch(exec_jobs);
   if (!to_original.empty()) {
@@ -450,25 +457,30 @@ int main(int argc, char** argv) {
   const NodeId dmax = session.num_nodes() > 0
                           ? session.graph().degree(session.degree_order()[0])
                           : 0;
+  // The pool is already materialized (RunBatch ran on it); its size is
+  // the resolved --threads value.
+  const int resolved_threads = static_cast<int>(session.pool().num_threads());
   if (cli.json) {
     std::printf("{\n  \"graph\":{\"source\":\"%s\",\"nodes\":%d,"
                 "\"edges\":%lld,\"dmax\":%d,\"weighted\":%s,"
                 "\"total_weight\":%.9g,\"connected\":%s,\"lcc\":%s},\n"
+                "  \"threads\":%d,\n"
                 "  \"jobs\":[\n",
                 JsonEscape(cli.graph_source).c_str(), session.num_nodes(),
                 static_cast<long long>(session.num_edges()), dmax,
                 session.is_weighted() ? "true" : "false",
                 session.total_weight(),
                 session.is_connected() ? "true" : "false",
-                to_original.empty() ? "false" : "true");
+                to_original.empty() ? "false" : "true", resolved_threads);
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       PrintJsonJob(jobs[i], results[i], i + 1 == jobs.size());
     }
     std::printf("  ]\n}\n");
   } else {
-    std::printf("graph %s: n=%d, m=%lld, dmax=%d",
+    std::printf("graph %s: n=%d, m=%lld, dmax=%d, threads=%d",
                 cli.graph_source.c_str(), session.num_nodes(),
-                static_cast<long long>(session.num_edges()), dmax);
+                static_cast<long long>(session.num_edges()), dmax,
+                resolved_threads);
     if (session.is_weighted()) {
       std::printf(", total_weight=%.6g", session.total_weight());
     }
