@@ -1,0 +1,186 @@
+// Loopback throughput bench for the serving layer: an in-process daemon
+// on an ephemeral port, hammered by C client connections issuing solve
+// requests. Two phases per graph — a cold phase of distinct seeds
+// (every request computes) and a hot phase replaying the same seeds
+// (every request is a cache hit) — so the JSON rows separate solver
+// throughput from serving-stack overhead.
+//
+//   bench_serve [--smoke] [--json BENCH_serve.json]
+//               [--connections C] [--requests N]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace {
+
+using cfcm::serve::HandlerOptions;
+using cfcm::serve::JsonValue;
+using cfcm::serve::ServeClient;
+using cfcm::serve::ServeHandler;
+using cfcm::serve::Server;
+using cfcm::serve::ServerOptions;
+
+struct PhaseRow {
+  std::string graph;
+  std::string phase;  // "cold" or "hot"
+  int connections = 0;
+  int requests = 0;
+  double seconds = 0.0;
+  double rps = 0.0;
+  long long cache_hits = 0;
+};
+
+// Each connection thread sends `per_connection` solve requests, seeds
+// chosen so the whole phase covers [seed_base, seed_base + requests).
+void RunPhase(int port, const std::string& graph, int connections,
+              int per_connection, uint64_t seed_base, PhaseRow* row) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::vector<int> failures(static_cast<std::size_t>(connections), 0);
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([=, &failures] {
+      auto client = ServeClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        failures[static_cast<std::size_t>(c)] = per_connection;
+        return;
+      }
+      for (int i = 0; i < per_connection; ++i) {
+        const uint64_t seed =
+            seed_base + static_cast<uint64_t>(c * per_connection + i);
+        const std::string request =
+            R"({"op":"solve","graph":")" + graph +
+            R"(","algorithm":"forest","k":3,"eps":0.3,"seed":)" +
+            std::to_string(seed) + "}";
+        if (!client->SendLine(request).ok() || !client->ReadLine().ok()) {
+          ++failures[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  row->connections = connections;
+  row->requests = connections * per_connection;
+  for (int f : failures) row->requests -= f;  // report successes only
+  row->seconds = seconds;
+  row->rps = seconds > 0 ? row->requests / seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  int connections = 4;
+  int per_connection = 32;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
+      connections = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      per_connection = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json <path>] [--connections C] "
+                   "[--requests N-per-connection]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) {
+    connections = 2;
+    per_connection = 8;
+  }
+
+  // Suite: one small and one mid-size graph (smoke keeps just karate).
+  std::vector<std::pair<std::string, std::string>> graphs = {
+      {"karate", "karate"}};
+  if (!smoke) graphs.emplace_back("ba2000", "ba:2000,4,1");
+
+  HandlerOptions handler_options;
+  ServeHandler handler{handler_options};
+  ServerOptions server_options;
+  server_options.num_workers = 4;
+  server_options.max_queue = 256;
+  Server server{&handler, server_options};
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "bench_serve: failed to start server\n");
+    return 1;
+  }
+
+  std::printf("# bench_serve: loopback serving throughput\n");
+  std::printf("# connections=%d requests_per_connection=%d workers=%d\n",
+              connections, per_connection, server_options.num_workers);
+  std::printf("%-8s %-5s %6s %8s %9s %10s %6s\n", "graph", "phase", "conns",
+              "requests", "seconds", "req/s", "hits");
+
+  std::vector<PhaseRow> rows;
+  for (const auto& [name, spec] : graphs) {
+    {
+      auto client = ServeClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) return 1;
+      const std::string load =
+          R"({"op":"load","graph":")" + name + R"(","source":")" + spec +
+          "\"}";
+      (void)client->SendLine(load);
+      (void)client->ReadLine();
+    }
+    for (const char* phase : {"cold", "hot"}) {
+      PhaseRow row;
+      row.graph = name;
+      row.phase = phase;
+      const auto before = handler.cache().stats();
+      // The hot phase replays the cold phase's seed range, so every
+      // request is answerable from the cache.
+      RunPhase(server.port(), name, connections, per_connection,
+               /*seed_base=*/1, &row);
+      const auto after = handler.cache().stats();
+      row.cache_hits = static_cast<long long>(after.hits - before.hits);
+      std::printf("%-8s %-5s %6d %8d %9.3f %10.1f %6lld\n", row.graph.c_str(),
+                  row.phase.c_str(), row.connections, row.requests,
+                  row.seconds, row.rps, row.cache_hits);
+      rows.push_back(row);
+    }
+  }
+  server.Shutdown();
+
+  if (json_path != nullptr) {
+    std::FILE* out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_serve: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"benchmark\": \"serve_loopback\",\n"
+                 "  \"smoke\": %s,\n  \"rows\": [\n",
+                 smoke ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const PhaseRow& r = rows[i];
+      std::fprintf(out,
+                   "    {\"graph\":\"%s\",\"phase\":\"%s\","
+                   "\"connections\":%d,\"requests\":%d,\"seconds\":%.6f,"
+                   "\"rps\":%.1f,\"cache_hits\":%lld}%s\n",
+                   r.graph.c_str(), r.phase.c_str(), r.connections,
+                   r.requests, r.seconds, r.rps, r.cache_hits,
+                   i + 1 == rows.size() ? "" : ",");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("# wrote %zu serving perf rows to %s\n", rows.size(),
+                json_path);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "common/parse.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace cfcm {
+
+std::vector<std::string> SplitString(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) end = s.size();
+    if (end > start) parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+bool ParseInt64(const std::string& s, long long* out) {
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end && *end == '\0' && !s.empty() && errno == 0;
+}
+
+bool ParseFloat64(const std::string& s, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtod(s.c_str(), &end);
+  return end && *end == '\0' && !s.empty() && errno == 0;
+}
+
+}  // namespace cfcm

@@ -1,0 +1,23 @@
+// Small string-parsing helpers shared by the graph spec loader and the
+// command-line tools (one implementation of strict number parsing and
+// separator splitting instead of per-tool copies).
+#ifndef CFCM_COMMON_PARSE_H_
+#define CFCM_COMMON_PARSE_H_
+
+#include <string>
+#include <vector>
+
+namespace cfcm {
+
+/// Splits on `sep`, dropping empty pieces ("a,,b" -> {"a","b"}).
+std::vector<std::string> SplitString(const std::string& s, char sep);
+
+/// Strict base-10 integer parse: the whole string must be the number.
+bool ParseInt64(const std::string& s, long long* out);
+
+/// Strict double parse: the whole string must be the number.
+bool ParseFloat64(const std::string& s, double* out);
+
+}  // namespace cfcm
+
+#endif  // CFCM_COMMON_PARSE_H_

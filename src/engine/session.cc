@@ -9,8 +9,28 @@
 
 namespace cfcm::engine {
 
+namespace {
+
+// FNV-1a, the standard 64-bit offset basis / prime.
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t hash, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
 GraphSession::GraphSession(Graph graph, int num_threads)
     : graph_(std::move(graph)), num_threads_(num_threads) {}
+
+GraphSession::GraphSession(Graph graph, ThreadPool* shared_pool)
+    : graph_(std::move(graph)), num_threads_(0), shared_pool_(shared_pool) {}
 
 bool GraphSession::is_connected() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -54,12 +74,49 @@ const CsrMatrix& GraphSession::laplacian() const {
 }
 
 ThreadPool& GraphSession::pool() const {
+  if (shared_pool_ != nullptr) return *shared_pool_;
   std::lock_guard<std::mutex> lock(mu_);
   if (!pool_) {
     pool_ = std::make_unique<ThreadPool>(
         num_threads_ > 0 ? static_cast<std::size_t>(num_threads_) : 0);
   }
   return *pool_;
+}
+
+uint64_t GraphSession::fingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fingerprint_.has_value()) {
+    const NodeId n = graph_.num_nodes();
+    const EdgeId m = graph_.num_edges();
+    uint64_t hash = kFnvOffset;
+    hash = FnvMix(hash, &n, sizeof(n));
+    hash = FnvMix(hash, &m, sizeof(m));
+    hash = FnvMix(hash, graph_.offsets().data(),
+                  graph_.offsets().size() * sizeof(EdgeId));
+    hash = FnvMix(hash, graph_.raw_neighbors().data(),
+                  graph_.raw_neighbors().size() * sizeof(NodeId));
+    hash = FnvMix(hash, graph_.raw_weights().data(),
+                  graph_.raw_weights().size() * sizeof(double));
+    fingerprint_ = hash;
+  }
+  return *fingerprint_;
+}
+
+std::size_t GraphSession::memory_bytes() const {
+  const auto n = static_cast<std::size_t>(graph_.num_nodes());
+  const std::size_t adjacency = graph_.raw_neighbors().size();  // 2m
+  // Graph CSR: offsets + neighbors (+ weights and weighted degrees when
+  // conductances are stored).
+  std::size_t bytes = (n + 1) * sizeof(EdgeId) + adjacency * sizeof(NodeId);
+  if (!graph_.is_unit_weighted()) {
+    bytes += adjacency * sizeof(double) + n * sizeof(double);
+  }
+  // Lazy caches at full materialization: CSR Laplacian (n + 2m entries of
+  // value + column index, n + 1 row offsets) and the degree order.
+  bytes += (n + adjacency) * (sizeof(double) + sizeof(int)) +
+           (n + 1) * sizeof(EdgeId);
+  bytes += n * sizeof(NodeId);
+  return bytes;
 }
 
 }  // namespace cfcm::engine

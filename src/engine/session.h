@@ -3,6 +3,8 @@
 #ifndef CFCM_ENGINE_SESSION_H_
 #define CFCM_ENGINE_SESSION_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -30,6 +32,12 @@ class GraphSession {
   /// (0 = hardware concurrency); the pool itself is created on first use.
   explicit GraphSession(Graph graph, int num_threads = 0);
 
+  /// Variant that runs on a borrowed pool instead of owning one — the
+  /// serving catalog creates every session with one shared pool so N
+  /// loaded graphs never hold N idle worker sets. `shared_pool` must
+  /// outlive the session.
+  GraphSession(Graph graph, ThreadPool* shared_pool);
+
   const Graph& graph() const { return graph_; }
   NodeId num_nodes() const { return graph_.num_nodes(); }
   EdgeId num_edges() const { return graph_.num_edges(); }
@@ -46,17 +54,39 @@ class GraphSession {
   /// (cached); the unweighted L = D - A when the graph is unit-weighted.
   const CsrMatrix& laplacian() const;
 
-  /// Shared worker pool, created on first use.
+  /// Shared worker pool, created on first use (or the borrowed pool when
+  /// the session was constructed with one).
   ThreadPool& pool() const;
+
+  /// \brief 64-bit content fingerprint of the session graph (FNV-1a over
+  /// the CSR arrays and conductances), computed once and cached.
+  ///
+  /// Two sessions over byte-identical graphs share a fingerprint, so it
+  /// is the graph component of serving-layer cache keys: per-seed
+  /// bitwise-deterministic solves make (fingerprint, algorithm, k, eps,
+  /// seed) fully identify a solve result (DESIGN.md §10).
+  uint64_t fingerprint() const;
+
+  /// \brief Deterministic resident footprint in bytes: the graph's CSR
+  /// arrays plus every lazy cache *as if materialized* (Laplacian,
+  /// degree order, connectivity flag).
+  ///
+  /// Counting caches up front makes the value a pure function of
+  /// (n, m, weighted) — the serving catalog charges it against its byte
+  /// budget at load time, before any cache is actually built, and the
+  /// charge never drifts as caches fill in.
+  std::size_t memory_bytes() const;
 
  private:
   const Graph graph_;
   const int num_threads_;
+  ThreadPool* const shared_pool_ = nullptr;  ///< borrowed; owns none
 
   mutable std::mutex mu_;
   mutable std::optional<bool> connected_;
   mutable std::optional<std::vector<NodeId>> degree_order_;
   mutable std::optional<CsrMatrix> laplacian_;
+  mutable std::optional<uint64_t> fingerprint_;
   mutable std::unique_ptr<ThreadPool> pool_;
 };
 

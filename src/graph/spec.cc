@@ -1,0 +1,78 @@
+#include "graph/spec.h"
+
+#include <vector>
+
+#include "common/parse.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace cfcm {
+namespace {
+
+// Hard ceiling on generator sizes: specs arrive over the wire, NodeId is
+// 32-bit, and the generators assert (Release builds compile the asserts
+// out) — so every count is bounds-checked *before* any narrowing cast.
+constexpr long long kMaxGeneratedNodes = 100'000'000;
+
+bool FitsNodeCount(long long n) { return n >= 0 && n <= kMaxGeneratedNodes; }
+
+}  // namespace
+
+StatusOr<Graph> LoadGraphFromSpec(const std::string& spec) {
+  if (spec.empty()) return Status::InvalidArgument("empty graph spec");
+  if (spec == "karate") return KarateClub();
+  if (spec == "karate-w") return KarateClubWeighted();
+  if (spec == "usa") return ContiguousUsa();
+  if (spec == "zebra") return ZebraSynthetic();
+  if (spec == "dolphins") return DolphinsSynthetic();
+  if (spec.rfind("ba:", 0) == 0) {
+    const auto args = SplitString(spec.substr(3), ',');
+    long long n = 0, m = 0, seed = 1;
+    if (args.size() < 2 || args.size() > 3 || !ParseInt64(args[0], &n) ||
+        !ParseInt64(args[1], &m) ||
+        (args.size() == 3 && !ParseInt64(args[2], &seed))) {
+      return Status::InvalidArgument("expected ba:<n>,<m>[,<seed>]");
+    }
+    if (m < 1 || n <= m || !FitsNodeCount(n)) {
+      return Status::InvalidArgument("ba spec requires 1 <= m < n <= " +
+                                     std::to_string(kMaxGeneratedNodes));
+    }
+    return BarabasiAlbert(static_cast<NodeId>(n), static_cast<NodeId>(m),
+                          static_cast<uint64_t>(seed));
+  }
+  if (spec.rfind("ws:", 0) == 0) {
+    const auto args = SplitString(spec.substr(3), ',');
+    long long n = 0, k = 0, seed = 1;
+    double beta = 0.0;
+    if (args.size() < 3 || args.size() > 4 || !ParseInt64(args[0], &n) ||
+        !ParseInt64(args[1], &k) || !ParseFloat64(args[2], &beta) ||
+        (args.size() == 4 && !ParseInt64(args[3], &seed))) {
+      return Status::InvalidArgument("expected ws:<n>,<k>,<beta>[,<seed>]");
+    }
+    if (k < 1 || n <= 2 * k || !FitsNodeCount(n) || beta < 0.0 ||
+        beta > 1.0) {
+      return Status::InvalidArgument(
+          "ws spec requires 2k < n <= " + std::to_string(kMaxGeneratedNodes) +
+          ", k >= 1 and beta in [0, 1]");
+    }
+    return WattsStrogatz(static_cast<NodeId>(n), static_cast<NodeId>(k), beta,
+                         static_cast<uint64_t>(seed));
+  }
+  if (spec.rfind("grid:", 0) == 0) {
+    const auto args = SplitString(spec.substr(5), 'x');
+    long long rows = 0, cols = 0;
+    if (args.size() != 2 || !ParseInt64(args[0], &rows) ||
+        !ParseInt64(args[1], &cols) || rows < 1 || cols < 1 ||
+        !FitsNodeCount(rows) || !FitsNodeCount(cols) ||
+        !FitsNodeCount(rows * cols)) {
+      return Status::InvalidArgument(
+          "expected grid:<rows>x<cols> with rows*cols <= " +
+          std::to_string(kMaxGeneratedNodes));
+    }
+    return GridGraph(static_cast<NodeId>(rows), static_cast<NodeId>(cols));
+  }
+  return LoadEdgeList(spec);
+}
+
+}  // namespace cfcm

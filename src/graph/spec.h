@@ -1,0 +1,30 @@
+// Textual graph sources: one string names a built-in dataset, a seeded
+// generator spec, or an edge-list file. Shared by cfcm_cli and the
+// serving layer's SessionCatalog so every front end accepts the same
+// graph vocabulary.
+#ifndef CFCM_GRAPH_SPEC_H_
+#define CFCM_GRAPH_SPEC_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// \brief Loads a graph from a source spec.
+///
+/// Accepted forms:
+///   - built-ins: "karate", "karate-w", "usa", "zebra", "dolphins"
+///   - generators: "ba:<n>,<m>[,<seed>]", "ws:<n>,<k>,<beta>[,<seed>]",
+///     "grid:<rows>x<cols>"
+///   - anything else is treated as an edge-list file path (optional
+///     third column = edge conductance, see LoadEdgeList)
+///
+/// Generator seeds default to 1, so the same spec string always yields
+/// the same graph — a load is reproducible from its spec alone.
+StatusOr<Graph> LoadGraphFromSpec(const std::string& spec);
+
+}  // namespace cfcm
+
+#endif  // CFCM_GRAPH_SPEC_H_

@@ -1,0 +1,186 @@
+#include "serve/catalog.h"
+
+#include <utility>
+
+#include "graph/spec.h"
+#include "runtime/shared_pool.h"
+
+namespace cfcm::serve {
+
+SessionCatalog::SessionCatalog(CatalogOptions options)
+    : options_(options), pool_(&SharedThreadPool(options.num_threads)) {}
+
+Status SessionCatalog::Define(const std::string& name,
+                              const std::string& source) {
+  if (name.empty()) return Status::InvalidArgument("graph name must be non-empty");
+  if (source.empty()) {
+    return Status::InvalidArgument("graph source must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.source != source) {
+      return Status::FailedPrecondition(
+          "graph '" + name + "' is already defined with source '" +
+          it->second.source + "'; unload it before redefining");
+    }
+    return Status::Ok();
+  }
+  Entry entry;
+  entry.source = source;
+  entry.generation = next_generation_++;
+  entries_.emplace(name, std::move(entry));
+  return Status::Ok();
+}
+
+StatusOr<std::shared_ptr<engine::GraphSession>> SessionCatalog::Acquire(
+    const std::string& name) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("graph '" + name +
+                            "' is not in the catalog; load it first");
+  }
+  // Wait out a concurrent load of the same name. The entry may be
+  // forgotten while we wait, so re-find each round.
+  while (it != entries_.end() && it->second.loading) {
+    cv_.wait(lock);
+    it = entries_.find(name);
+  }
+  if (it == entries_.end()) {
+    return Status::NotFound("graph '" + name +
+                            "' was removed while waiting for its load");
+  }
+  Entry& entry = it->second;
+  entry.last_use = ++tick_;
+  if (entry.session != nullptr) {
+    return entry.session;
+  }
+
+  // Load outside the lock: graph construction can be seconds for large
+  // specs and must not serialize the whole catalog.
+  entry.loading = true;
+  const std::string source = entry.source;
+  const uint64_t generation = entry.generation;
+  lock.unlock();
+  StatusOr<Graph> graph = LoadGraphFromSpec(source);
+  std::shared_ptr<engine::GraphSession> session;
+  if (graph.ok()) {
+    session =
+        std::make_shared<engine::GraphSession>(std::move(*graph), pool_);
+  }
+  lock.lock();
+  // The entry may have been forgotten — or forgotten and re-Defined
+  // under the same name — mid-load. The generation check makes sure we
+  // never install this load (or clear the loading flag) on an entry that
+  // is not the one we started from; Forget already woke our waiters.
+  it = entries_.find(name);
+  if (it == entries_.end() || it->second.generation != generation) {
+    cv_.notify_all();
+    return Status::NotFound("graph '" + name + "' was removed during load");
+  }
+  it->second.loading = false;
+  cv_.notify_all();
+  if (!graph.ok()) {
+    return Status(graph.status().code(), "loading graph '" + name +
+                                             "' from '" + source +
+                                             "': " + graph.status().message());
+  }
+  it->second.session = session;
+  it->second.bytes = session->memory_bytes();
+  it->second.last_use = ++tick_;
+  it->second.loads += 1;
+  loads_ += 1;
+  resident_bytes_ += it->second.bytes;
+  EvictOverBudgetLocked(name);
+  return session;
+}
+
+void SessionCatalog::EvictOverBudgetLocked(const std::string& keep) {
+  if (options_.memory_budget_bytes == 0) return;
+  while (resident_bytes_ > options_.memory_budget_bytes) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == keep || it->second.session == nullptr ||
+          it->second.loading) {
+        continue;
+      }
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // nothing evictable left
+    resident_bytes_ -= victim->second.bytes;
+    victim->second.session.reset();  // leases keep the graph alive
+    victim->second.bytes = 0;
+    evictions_ += 1;
+  }
+}
+
+Status SessionCatalog::Unload(const std::string& name) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("graph '" + name + "' is not in the catalog");
+  }
+  // An in-flight Acquire would install its session right after we
+  // return; wait it out so "unloaded" really means not resident.
+  // (The acquirer's lease stays valid — leases always outlive catalog
+  // residency.)
+  while (it != entries_.end() && it->second.loading) {
+    cv_.wait(lock);
+    it = entries_.find(name);
+  }
+  if (it == entries_.end()) {
+    return Status::NotFound("graph '" + name + "' is not in the catalog");
+  }
+  if (it->second.session != nullptr) {
+    resident_bytes_ -= it->second.bytes;
+    it->second.session.reset();
+    it->second.bytes = 0;
+  }
+  return Status::Ok();
+}
+
+Status SessionCatalog::Forget(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("graph '" + name + "' is not in the catalog");
+  }
+  if (it->second.session != nullptr) {
+    resident_bytes_ -= it->second.bytes;
+  }
+  entries_.erase(it);
+  cv_.notify_all();  // waiters on a concurrent load must re-check
+  return Status::Ok();
+}
+
+std::vector<std::string> SessionCatalog::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+CatalogStats SessionCatalog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CatalogStats stats;
+  stats.loads = loads_;
+  stats.evictions = evictions_;
+  stats.resident_bytes = resident_bytes_;
+  for (const auto& [name, entry] : entries_) {
+    CatalogSessionInfo info;
+    info.name = name;
+    info.source = entry.source;
+    info.resident = entry.session != nullptr;
+    info.bytes = entry.bytes;
+    info.loads = entry.loads;
+    stats.sessions.push_back(std::move(info));
+  }
+  return stats;
+}
+
+}  // namespace cfcm::serve

@@ -1,0 +1,95 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cfcm::serve {
+
+StatusOr<ServeClient> ServeClient::Connect(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::IoError("connect " + host + ":" +
+                                    std::to_string(port) + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return ServeClient(fd);
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status ServeClient::SendLine(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t wrote = ::send(fd_, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
+    if (wrote <= 0) {
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> ServeClient::ReadLine() {
+  char chunk[4096];
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0) {
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (got == 0) {
+      return Status::IoError("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+StatusOr<JsonValue> ServeClient::Call(const JsonValue& request) {
+  CFCM_RETURN_IF_ERROR(SendLine(request.Serialize()));
+  StatusOr<std::string> line = ReadLine();
+  if (!line.ok()) return line.status();
+  return JsonValue::Parse(*line);
+}
+
+}  // namespace cfcm::serve

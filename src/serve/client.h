@@ -1,0 +1,42 @@
+// Minimal blocking client for the serving protocol: one TCP connection,
+// line-delimited JSON request/response. Used by the cfcm_serve client
+// subcommand, the loopback bench and the end-to-end tests.
+#ifndef CFCM_SERVE_CLIENT_H_
+#define CFCM_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "serve/json.h"
+
+namespace cfcm::serve {
+
+class ServeClient {
+ public:
+  /// Connects to host:port (IPv4 dotted quad, e.g. "127.0.0.1").
+  static StatusOr<ServeClient> Connect(const std::string& host, int port);
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  /// Sends one request and blocks for the next response line. Only valid
+  /// for non-pipelined use (one Call at a time per client).
+  StatusOr<JsonValue> Call(const JsonValue& request);
+
+  /// Raw framing access, for pipelining tests.
+  Status SendLine(const std::string& line);
+  StatusOr<std::string> ReadLine();
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last returned line
+};
+
+}  // namespace cfcm::serve
+
+#endif  // CFCM_SERVE_CLIENT_H_

@@ -1,0 +1,336 @@
+#include "serve/protocol.h"
+
+#include <cstdio>
+#include <utility>
+#include <variant>
+
+namespace cfcm::serve {
+namespace {
+
+// Pulls an integer field with bounds [lo, hi]; `fallback` when absent.
+StatusOr<int64_t> GetInt(const JsonValue& request, const std::string& key,
+                         int64_t fallback, int64_t lo, int64_t hi) {
+  const JsonValue* field = request.Find(key);
+  if (field == nullptr) return fallback;
+  if (!field->is_number()) {
+    return Status::InvalidArgument("'" + key + "' must be a number");
+  }
+  const int64_t value = field->as_int();
+  if (value < lo || value > hi) {
+    return Status::InvalidArgument("'" + key + "' out of range");
+  }
+  return value;
+}
+
+StatusOr<std::string> GetString(const JsonValue& request,
+                                const std::string& key) {
+  const JsonValue* field = request.Find(key);
+  if (field == nullptr || !field->is_string() || field->as_string().empty()) {
+    return Status::InvalidArgument("request needs a non-empty string '" + key +
+                                   "'");
+  }
+  return field->as_string();
+}
+
+JsonValue::Array GroupToJson(const std::vector<NodeId>& group) {
+  JsonValue::Array array;
+  array.reserve(group.size());
+  for (NodeId u : group) array.emplace_back(static_cast<int64_t>(u));
+  return array;
+}
+
+void EchoId(const JsonValue& request, JsonValue::Object* response) {
+  if (const JsonValue* id = request.Find("id")) (*response)["id"] = *id;
+}
+
+JsonValue OkResponse(JsonValue::Object fields) {
+  fields["status"] = "ok";
+  return JsonValue(std::move(fields));
+}
+
+JsonValue ErrorResponseFor(const JsonValue& request, const Status& status) {
+  JsonValue::Object response;
+  response["status"] = "error";
+  response["error"] = StatusToJsonError(status);
+  EchoId(request, &response);
+  return JsonValue(std::move(response));
+}
+
+}  // namespace
+
+std::string StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kNumericalError: return "numerical_error";
+  }
+  return "unknown";
+}
+
+JsonValue StatusToJsonError(const Status& status) {
+  JsonValue::Object error;
+  error["code"] = StatusCodeName(status.code());
+  error["message"] = status.message();
+  return JsonValue(std::move(error));
+}
+
+JsonValue MakeErrorResponse(const Status& status, const JsonValue* id) {
+  JsonValue::Object response;
+  response["status"] = "error";
+  response["error"] = StatusToJsonError(status);
+  if (id != nullptr) response["id"] = *id;
+  return JsonValue(std::move(response));
+}
+
+JsonValue MakeOverCapacityResponse() {
+  return JsonValue(JsonValue::Object{
+      {"status", "error"},
+      {"error",
+       JsonValue(JsonValue::Object{
+           {"code", "over_capacity"},
+           {"message", "admission queue full; retry later (429)"},
+       })},
+  });
+}
+
+ServeHandler::ServeHandler(HandlerOptions options)
+    : options_(std::move(options)),
+      catalog_(options_.catalog),
+      cache_(options_.cache_capacity, options_.cache_shards) {}
+
+JsonValue ServeHandler::HandleLine(std::string_view line) {
+  StatusOr<JsonValue> request = JsonValue::Parse(line);
+  if (!request.ok()) return MakeErrorResponse(request.status(), nullptr);
+  return Handle(*request);
+}
+
+JsonValue ServeHandler::Handle(const JsonValue& request) {
+  if (!request.is_object()) {
+    return MakeErrorResponse(
+        Status::InvalidArgument("request must be a JSON object"), nullptr);
+  }
+  StatusOr<std::string> op = GetString(request, "op");
+  if (!op.ok()) return ErrorResponseFor(request, op.status());
+
+  JsonValue response = [&]() -> JsonValue {
+    if (*op == "load") return HandleLoad(request);
+    if (*op == "unload") return HandleUnload(request);
+    if (*op == "solve") return HandleSolve(request);
+    if (*op == "evaluate") return HandleEvaluate(request);
+    if (*op == "stats") return HandleStats();
+    if (*op == "shutdown") {
+      shutdown_.store(true, std::memory_order_release);
+      return OkResponse({{"op", "shutdown"}});
+    }
+    return ErrorResponseFor(
+        request,
+        Status::InvalidArgument(
+            "unknown op '" + *op +
+            "' (expected load/unload/solve/evaluate/stats/shutdown)"));
+  }();
+  if (response.is_object()) EchoId(request, &response.object());
+  return response;
+}
+
+JsonValue ServeHandler::HandleLoad(const JsonValue& request) {
+  StatusOr<std::string> name = GetString(request, "graph");
+  if (!name.ok()) return ErrorResponseFor(request, name.status());
+  StatusOr<std::string> source = GetString(request, "source");
+  if (!source.ok()) return ErrorResponseFor(request, source.status());
+
+  Status defined = catalog_.Define(*name, *source);
+  if (!defined.ok()) return ErrorResponseFor(request, defined);
+  // Acquire eagerly so load errors surface on the load response, not on
+  // the first solve.
+  auto session = catalog_.Acquire(*name);
+  if (!session.ok()) {
+    // A bad source would poison every future Acquire; drop it again.
+    (void)catalog_.Forget(*name);
+    return ErrorResponseFor(request, session.status());
+  }
+  char fingerprint[32];
+  std::snprintf(fingerprint, sizeof(fingerprint), "%016llx",
+                static_cast<unsigned long long>((*session)->fingerprint()));
+  return OkResponse({
+      {"op", "load"},
+      {"graph", *name},
+      {"nodes", static_cast<int64_t>((*session)->num_nodes())},
+      {"edges", static_cast<int64_t>((*session)->num_edges())},
+      {"weighted", (*session)->is_weighted()},
+      {"connected", (*session)->is_connected()},
+      {"bytes", static_cast<int64_t>((*session)->memory_bytes())},
+      {"fingerprint", std::string(fingerprint)},
+  });
+}
+
+JsonValue ServeHandler::HandleUnload(const JsonValue& request) {
+  StatusOr<std::string> name = GetString(request, "graph");
+  if (!name.ok()) return ErrorResponseFor(request, name.status());
+  Status forgotten = catalog_.Forget(*name);
+  if (!forgotten.ok()) return ErrorResponseFor(request, forgotten);
+  return OkResponse({{"op", "unload"}, {"graph", *name}});
+}
+
+JsonValue ServeHandler::HandleSolve(const JsonValue& request) {
+  StatusOr<std::string> name = GetString(request, "graph");
+  if (!name.ok()) return ErrorResponseFor(request, name.status());
+  StatusOr<int64_t> k = GetInt(request, "k", 1, 1, 1'000'000'000);
+  if (!k.ok()) return ErrorResponseFor(request, k.status());
+  StatusOr<int64_t> seed = GetInt(request, "seed", 1, 0, INT64_MAX);
+  if (!seed.ok()) return ErrorResponseFor(request, seed.status());
+
+  std::string algorithm = "forest";
+  if (const JsonValue* field = request.Find("algorithm")) {
+    if (!field->is_string()) {
+      return ErrorResponseFor(
+          request, Status::InvalidArgument("'algorithm' must be a string"));
+    }
+    algorithm = field->as_string();
+  }
+  double eps = 0.2;
+  if (const JsonValue* field = request.Find("eps")) {
+    if (!field->is_number()) {
+      return ErrorResponseFor(
+          request, Status::InvalidArgument("'eps' must be a number"));
+    }
+    eps = field->as_double();
+    if (!(eps > 0.0) || eps > 1.0) {
+      return ErrorResponseFor(
+          request, Status::InvalidArgument("'eps' must be in (0, 1]"));
+    }
+  }
+
+  auto session = catalog_.Acquire(*name);
+  if (!session.ok()) return ErrorResponseFor(request, session.status());
+
+  const ResultCacheKey key{(*session)->fingerprint(), algorithm,
+                           static_cast<int>(*k), eps,
+                           static_cast<uint64_t>(*seed)};
+  bool cache_hit = true;
+  std::optional<engine::SolveJobResult> solve = cache_.Lookup(key);
+  if (!solve.has_value()) {
+    cache_hit = false;
+    engine::Engine engine{*session, options_.engine};
+    engine::SolveJob job;
+    job.algorithm = algorithm;
+    job.k = static_cast<int>(*k);
+    job.eps = eps;
+    job.seed = static_cast<uint64_t>(*seed);
+    StatusOr<engine::JobResult> result = engine.Run(job);
+    if (!result.ok()) return ErrorResponseFor(request, result.status());
+    solve = std::get<engine::SolveJobResult>(std::move(*result));
+    cache_.Insert(key, *solve);
+  }
+
+  return OkResponse({
+      {"op", "solve"},
+      {"graph", *name},
+      {"algorithm", algorithm},
+      {"k", *k},
+      {"eps", eps},
+      {"seed", *seed},
+      {"cache", cache_hit ? "hit" : "miss"},
+      {"selection", JsonValue(GroupToJson(solve->output.selected))},
+      {"cfcc", solve->cfcc},
+      {"forests", solve->output.total_forests},
+      {"walk_steps", solve->output.total_walk_steps},
+      // Solver cost of the result; on a hit this is the original solve's
+      // time, not this request's latency.
+      {"seconds", solve->output.seconds},
+  });
+}
+
+JsonValue ServeHandler::HandleEvaluate(const JsonValue& request) {
+  StatusOr<std::string> name = GetString(request, "graph");
+  if (!name.ok()) return ErrorResponseFor(request, name.status());
+  StatusOr<int64_t> probes = GetInt(request, "probes", 0, 0, 1'000'000);
+  if (!probes.ok()) return ErrorResponseFor(request, probes.status());
+  StatusOr<int64_t> seed = GetInt(request, "seed", 1, 0, INT64_MAX);
+  if (!seed.ok()) return ErrorResponseFor(request, seed.status());
+
+  const JsonValue* group_field = request.Find("group");
+  if (group_field == nullptr || !group_field->is_array()) {
+    return ErrorResponseFor(
+        request, Status::InvalidArgument("'group' must be an array of node ids"));
+  }
+  std::vector<NodeId> group;
+  group.reserve(group_field->array().size());
+  for (const JsonValue& member : group_field->array()) {
+    if (!member.is_number()) {
+      return ErrorResponseFor(
+          request, Status::InvalidArgument("'group' members must be numbers"));
+    }
+    group.push_back(static_cast<NodeId>(member.as_int()));
+  }
+
+  auto session = catalog_.Acquire(*name);
+  if (!session.ok()) return ErrorResponseFor(request, session.status());
+
+  engine::Engine engine{*session, options_.engine};
+  engine::EvaluateJob job;
+  job.group = std::move(group);
+  job.probes = static_cast<int>(*probes);
+  job.seed = static_cast<uint64_t>(*seed);
+  StatusOr<engine::JobResult> result = engine.Run(job);
+  if (!result.ok()) return ErrorResponseFor(request, result.status());
+  const auto& eval = std::get<engine::EvaluateJobResult>(*result);
+
+  return OkResponse({
+      {"op", "evaluate"},
+      {"graph", *name},
+      {"cfcc", eval.cfcc},
+      {"trace", eval.trace},
+      {"trace_std_error", eval.trace_std_error},
+  });
+}
+
+JsonValue ServeHandler::HandleStats() {
+  const ResultCacheStats cache = cache_.stats();
+  JsonValue::Object cache_json{
+      {"hits", cache.hits},
+      {"misses", cache.misses},
+      {"evictions", cache.evictions},
+      {"entries", cache.entries},
+      {"capacity", cache.capacity},
+      {"shards", static_cast<int64_t>(cache.shards)},
+  };
+
+  const CatalogStats catalog = catalog_.stats();
+  JsonValue::Array sessions;
+  for (const CatalogSessionInfo& info : catalog.sessions) {
+    sessions.push_back(JsonValue(JsonValue::Object{
+        {"name", info.name},
+        {"source", info.source},
+        {"resident", info.resident},
+        {"bytes", static_cast<int64_t>(info.bytes)},
+        {"loads", info.loads},
+    }));
+  }
+  JsonValue::Object catalog_json{
+      {"loads", catalog.loads},
+      {"evictions", catalog.evictions},
+      {"resident_bytes", static_cast<int64_t>(catalog.resident_bytes)},
+      {"sessions", JsonValue(std::move(sessions))},
+  };
+
+  JsonValue::Object response{
+      {"op", "stats"},
+      {"cache", JsonValue(std::move(cache_json))},
+      {"catalog", JsonValue(std::move(catalog_json))},
+  };
+  if (admission_ != nullptr) {
+    response["server"] = JsonValue(JsonValue::Object{
+        {"connections", admission_->connections.load()},
+        {"accepted", admission_->accepted.load()},
+        {"rejected", admission_->rejected.load()},
+        {"served", admission_->served.load()},
+    });
+  }
+  return OkResponse(std::move(response));
+}
+
+}  // namespace cfcm::serve

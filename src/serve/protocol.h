@@ -1,0 +1,114 @@
+// Request/response protocol of the serving layer (DESIGN.md §10).
+//
+// One request or response per line, each a single JSON object. Ops:
+//   load     {"op":"load","graph":<name>,"source":<spec>}
+//   unload   {"op":"unload","graph":<name>}
+//   solve    {"op":"solve","graph":<name>,"algorithm":<reg name>,
+//             "k":<int>,"eps":<double>,"seed":<int>}
+//   evaluate {"op":"evaluate","graph":<name>,"group":[ids],
+//             "probes":<int>,"seed":<int>}
+//   stats    {"op":"stats"}
+//   shutdown {"op":"shutdown"}
+// Every request may carry an "id" member, echoed verbatim in the
+// response so pipelined clients can match replies. Responses carry
+// "status":"ok" or "status":"error" with {"error":{"code","message"}} —
+// the same error object shape cfcm_cli emits under --json.
+#ifndef CFCM_SERVE_PROTOCOL_H_
+#define CFCM_SERVE_PROTOCOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "engine/engine.h"
+#include "serve/catalog.h"
+#include "serve/json.h"
+#include "serve/result_cache.h"
+
+namespace cfcm::serve {
+
+/// Admission-control counters owned by the transport (Server) and
+/// surfaced through the handler's `stats` op.
+struct AdmissionStats {
+  std::atomic<uint64_t> connections{0};  ///< connections accepted
+  std::atomic<uint64_t> accepted{0};     ///< requests admitted to the queue
+  std::atomic<uint64_t> rejected{0};     ///< requests refused 429-style
+  std::atomic<uint64_t> served{0};       ///< responses written by workers
+};
+
+struct HandlerOptions {
+  CatalogOptions catalog;
+  std::size_t cache_capacity = 1024;
+  int cache_shards = 8;
+  engine::EngineOptions engine;
+};
+
+/// The wire name of a Status code, e.g. "not_found" — shared by server
+/// responses and cfcm_cli --json errors.
+std::string StatusCodeName(StatusCode code);
+
+/// `{"code":<name>,"message":<msg>}` for embedding under "error".
+JsonValue StatusToJsonError(const Status& status);
+
+/// A full error response line: status, error object, echoed id (may be
+/// null).
+JsonValue MakeErrorResponse(const Status& status, const JsonValue* id);
+
+/// The transport's 429-style backpressure rejection:
+/// {"status":"error","error":{"code":"over_capacity",...}}. Clients
+/// match error.code == "over_capacity" to decide to retry later.
+JsonValue MakeOverCapacityResponse();
+
+/// \brief Executes protocol requests against a SessionCatalog, a
+/// ResultCache and the Engine. Transport-agnostic: the TCP server, the
+/// selftest harness and unit tests all drive this one class.
+///
+/// Thread-safe — concurrent Handle calls are the normal serving mode
+/// (catalog and cache synchronize internally; engine jobs share only
+/// immutable session state).
+class ServeHandler {
+ public:
+  explicit ServeHandler(HandlerOptions options = {});
+
+  /// Executes one parsed request; never fails (errors become error
+  /// responses).
+  JsonValue Handle(const JsonValue& request);
+
+  /// Parses one protocol line and executes it; malformed JSON yields an
+  /// invalid_argument error response.
+  JsonValue HandleLine(std::string_view line);
+
+  /// True once a shutdown request was handled; the transport drains and
+  /// stops when it sees this.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Lets the transport surface its admission counters via `stats`.
+  /// `stats` must outlive the handler.
+  void set_admission_stats(const AdmissionStats* stats) {
+    admission_ = stats;
+  }
+
+  SessionCatalog& catalog() { return catalog_; }
+  ResultCache& cache() { return cache_; }
+
+ private:
+  JsonValue HandleLoad(const JsonValue& request);
+  JsonValue HandleUnload(const JsonValue& request);
+  JsonValue HandleSolve(const JsonValue& request);
+  JsonValue HandleEvaluate(const JsonValue& request);
+  JsonValue HandleStats();
+
+  HandlerOptions options_;
+  SessionCatalog catalog_;
+  ResultCache cache_;
+  const AdmissionStats* admission_ = nullptr;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace cfcm::serve
+
+#endif  // CFCM_SERVE_PROTOCOL_H_

@@ -1,0 +1,258 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cfcm::serve {
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(ServeHandler* handler, ServerOptions options)
+    : handler_(handler), options_(std::move(options)) {
+  handler_->set_admission_stats(&stats_);
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = Status::IoError(std::string("bind ") + options_.host + ":" +
+                                    std::to_string(options_.port) + ": " +
+                                    std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  started_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed during shutdown (or fatal error)
+    }
+    if (options_.write_timeout_seconds > 0) {
+      timeval timeout{};
+      timeout.tv_sec = options_.write_timeout_seconds;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    }
+    auto connection = std::make_shared<Connection>(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;  // raced with shutdown: Connection dtor closes fd
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    // Closed connections drop their weak_ptr entries here, so the vector
+    // tracks live connections, not all-time accepts.
+    std::erase_if(connections_,
+                  [](const std::weak_ptr<Connection>& w) { return w.expired(); });
+    connections_.push_back(connection);
+    {
+      std::lock_guard<std::mutex> reader_lock(reader_sync_->mu);
+      ++reader_sync_->active;
+    }
+    std::thread([this, sync = reader_sync_,
+                 connection = std::move(connection)]() mutable {
+      ReadConnection(std::move(connection));
+      std::lock_guard<std::mutex> reader_lock(sync->mu);
+      --sync->active;
+      sync->cv.notify_all();
+    }).detach();
+  }
+}
+
+void Server::ReadConnection(std::shared_ptr<Connection> connection) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t got = ::recv(connection->fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) return;  // EOF, peer reset, or fd shut down by Shutdown()
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    if (buffer.size() > options_.max_line_bytes) {
+      WriteResponse(*connection,
+                    MakeErrorResponse(
+                        Status::InvalidArgument("request line too long"),
+                        nullptr));
+      return;
+    }
+    std::size_t start = 0;
+    std::size_t newline;
+    while ((newline = buffer.find('\n', start)) != std::string::npos) {
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+
+      bool admitted = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!stopping_ && queue_.size() < options_.max_queue) {
+          queue_.push_back(Task{connection, std::move(line)});
+          admitted = true;
+        }
+      }
+      if (admitted) {
+        stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+        queue_cv_.notify_one();
+      } else {
+        // Explicit backpressure: reject now, never block the reader.
+        stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+        WriteResponse(*connection, MakeOverCapacityResponse());
+      }
+    }
+    buffer.erase(0, start);
+  }
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock,
+                     [this] { return !queue_.empty() || workers_stop_; });
+      if (queue_.empty()) return;  // workers_stop_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    const JsonValue response = handler_->HandleLine(task.line);
+    WriteResponse(*task.connection, response);
+    stats_.served.fetch_add(1, std::memory_order_relaxed);
+    const bool shutdown_op = handler_->shutdown_requested();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
+      if (shutdown_op && !shutdown_signal_) {
+        shutdown_signal_ = true;
+        shutdown_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void Server::WriteResponse(Connection& connection, const JsonValue& response) {
+  std::string line = response.Serialize();
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(connection.write_mu);
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    // MSG_NOSIGNAL: a peer that hung up must not SIGPIPE the server.
+    const ssize_t wrote = ::send(connection.fd, line.data() + sent,
+                                 line.size() - sent, MSG_NOSIGNAL);
+    if (wrote <= 0) return;  // peer gone; response is moot
+    sent += static_cast<std::size_t>(wrote);
+  }
+}
+
+void Server::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_cv_.wait(lock, [this] { return shutdown_signal_ || stopping_; });
+  }
+  Shutdown();
+}
+
+void Server::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!started_) {
+      finished_ = true;
+      return;
+    }
+    if (stopping_) {
+      // Another thread is already shutting down; wait for it to finish.
+      shutdown_cv_.wait(lock, [this] { return finished_; });
+      return;
+    }
+    stopping_ = true;  // readers stop admitting from here on
+    shutdown_signal_ = true;
+    shutdown_cv_.notify_all();
+  }
+
+  // 1. Stop accepting: close the listener to unblock accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  acceptor_.join();
+
+  // 2. Drain: every admitted request still gets executed and answered.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (workers_.empty()) {
+      queue_.clear();  // admit-only test mode: nothing will drain it
+    }
+    drained_cv_.wait(lock,
+                     [this] { return queue_.empty() && in_flight_ == 0; });
+    workers_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+
+  // 3. Unblock readers (they sit in recv) and wait for every detached
+  // reader to finish — after this no thread touches the server again.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& weak : connections_) {
+      if (auto connection = weak.lock()) {
+        ::shutdown(connection->fd, SHUT_RDWR);
+      }
+    }
+  }
+  {
+    std::unique_lock<std::mutex> reader_lock(reader_sync_->mu);
+    reader_sync_->cv.wait(reader_lock,
+                          [this] { return reader_sync_->active == 0; });
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  connections_.clear();
+  finished_ = true;
+  shutdown_cv_.notify_all();
+}
+
+}  // namespace cfcm::serve

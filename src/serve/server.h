@@ -1,0 +1,137 @@
+// Line-delimited JSON request/response daemon over loopback TCP
+// (DESIGN.md §10).
+//
+// Transport architecture:
+//   - an accept loop takes connections and starts one reader per
+//     connection;
+//   - readers frame newline-delimited requests and TryPush them onto a
+//     bounded admission queue — when the queue is full the reader
+//     immediately writes a 429-style {"error":{"code":"over_capacity"}}
+//     rejection instead of blocking (explicit backpressure, the client
+//     decides whether to retry);
+//   - a fixed worker pool pops requests and dispatches them concurrently
+//     onto the shared ServeHandler (catalog + cache + engine);
+//   - shutdown (Shutdown() or the protocol's "shutdown" op) is graceful:
+//     stop accepting, reject new requests, drain the admitted queue,
+//     then close connections and join every thread.
+//
+// Responses echo the request's "id" member; pipelined requests on one
+// connection may complete out of order (workers run concurrently), so
+// clients that pipeline must match on "id".
+#ifndef CFCM_SERVE_SERVER_H_
+#define CFCM_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace cfcm::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";  ///< bind address
+  int port = 0;                    ///< 0 = OS-assigned ephemeral port
+  int num_workers = 2;             ///< dispatch concurrency (0 = admit-only,
+                                   ///< for backpressure tests)
+  std::size_t max_queue = 64;      ///< admission queue bound
+  std::size_t max_line_bytes = 1 << 20;  ///< request framing limit
+
+  /// SO_SNDTIMEO on every accepted socket: a client that stops reading
+  /// its responses cannot wedge a worker (and with it the graceful
+  /// drain) forever — the send times out, the response is dropped, the
+  /// worker moves on. 0 disables the guard.
+  int write_timeout_seconds = 30;
+};
+
+/// \brief TCP front end over one ServeHandler.
+class Server {
+ public:
+  /// `handler` must outlive the server.
+  Server(ServeHandler* handler, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept loop and workers.
+  Status Start();
+
+  /// The bound port (the resolved one when options.port was 0).
+  int port() const { return port_; }
+
+  /// Blocks until Shutdown() is called or a worker executes the
+  /// protocol's "shutdown" op, then performs the graceful shutdown.
+  void Wait();
+
+  /// Graceful stop: stops accepting, drains admitted requests, joins
+  /// all threads. Idempotent.
+  void Shutdown();
+
+  const AdmissionStats& stats() const { return stats_; }
+
+ private:
+  // One client connection: the socket plus a write lock so concurrent
+  // workers never interleave response bytes.
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    int fd;
+    std::mutex write_mu;
+  };
+  struct Task {
+    std::shared_ptr<Connection> connection;
+    std::string line;
+  };
+
+  void AcceptLoop();
+  void ReadConnection(std::shared_ptr<Connection> connection);
+  void WorkerLoop();
+  /// Serializes `response` and writes it plus '\n' (SIGPIPE-safe).
+  static void WriteResponse(Connection& connection, const JsonValue& response);
+
+  ServeHandler* const handler_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;     // workers wait for tasks
+  std::condition_variable drained_cv_;   // shutdown waits for drain
+  std::condition_variable shutdown_cv_;  // Wait() waits for the signal
+  std::deque<Task> queue_;
+  std::size_t in_flight_ = 0;
+  // Reader threads are detached (a long-lived daemon must not accumulate
+  // one joinable thread handle per connection ever accepted); this
+  // shared block counts the live ones. It is captured by shared_ptr in
+  // every reader, so the final decrement can never touch a destroyed
+  // Server.
+  struct ReaderSync {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t active = 0;
+  };
+  const std::shared_ptr<ReaderSync> reader_sync_ =
+      std::make_shared<ReaderSync>();
+  std::vector<std::weak_ptr<Connection>> connections_;
+  bool stopping_ = false;       // no new connections / admissions
+  bool workers_stop_ = false;   // workers exit once the queue is empty
+  bool shutdown_signal_ = false;
+  bool started_ = false;
+  bool finished_ = false;
+
+  AdmissionStats stats_;
+};
+
+}  // namespace cfcm::serve
+
+#endif  // CFCM_SERVE_SERVER_H_

@@ -1,0 +1,152 @@
+// Engine edge cases the serving layer exposes to untrusted input:
+// k >= n solve requests, full-node-set evaluations, malformed groups,
+// and concurrent jobs against two different catalog sessions.
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/registry.h"
+#include "graph/datasets.h"
+#include "serve/catalog.h"
+
+namespace cfcm::engine {
+namespace {
+
+TEST(EngineEdgeCasesTest, KAtOrAboveNFailsCleanlyForEverySolver) {
+  Engine engine{KarateClub()};
+  const NodeId n = engine.session().num_nodes();
+  for (const auto& solver : SolverRegistry::Global().solvers()) {
+    for (int k : {static_cast<int>(n), static_cast<int>(n) + 5}) {
+      auto result = engine.Run(SolveJob{.algorithm = solver->name(), .k = k});
+      ASSERT_FALSE(result.ok()) << solver->name() << " k=" << k;
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+          << solver->name() << " k=" << k;
+    }
+  }
+}
+
+TEST(EngineEdgeCasesTest, KJustBelowNSolves) {
+  Engine engine{KarateClub()};
+  const NodeId n = engine.session().num_nodes();
+  // The largest legal k: every solver must cope with one free node left.
+  for (const std::string algorithm : {"degree", "exact"}) {
+    auto result =
+        engine.Run(SolveJob{.algorithm = algorithm, .k = static_cast<int>(n) - 1});
+    ASSERT_TRUE(result.ok()) << algorithm << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(std::get<SolveJobResult>(*result).output.selected.size(),
+              static_cast<std::size_t>(n - 1));
+  }
+}
+
+TEST(EngineEdgeCasesTest, FullNodeSetEvaluationIsRejected) {
+  Engine engine{KarateClub()};
+  const NodeId n = engine.session().num_nodes();
+  std::vector<NodeId> everyone(n);
+  for (NodeId u = 0; u < n; ++u) everyone[u] = u;
+  // C(S) with no free node is undefined (empty trace); must be a
+  // structured error, for exact and probed evaluation alike.
+  for (int probes : {0, 16}) {
+    auto result = engine.Run(EvaluateJob{.group = everyone, .probes = probes});
+    ASSERT_FALSE(result.ok()) << "probes=" << probes;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  // All but one node is the boundary case that must work.
+  everyone.pop_back();
+  auto result = engine.Run(EvaluateJob{.group = everyone});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(std::get<EvaluateJobResult>(*result).cfcc, 0.0);
+}
+
+TEST(EngineEdgeCasesTest, MalformedGroupsAreRejectedNotUndefined) {
+  Engine engine{KarateClub()};
+  const struct {
+    std::vector<NodeId> group;
+    StatusCode code;
+  } cases[] = {
+      {{}, StatusCode::kInvalidArgument},
+      {{0, 5, 0}, StatusCode::kInvalidArgument},   // duplicate
+      {{-1}, StatusCode::kOutOfRange},             // negative id
+      {{34}, StatusCode::kOutOfRange},             // == n
+      {{0, 1000}, StatusCode::kOutOfRange},        // far out of range
+  };
+  for (const auto& test_case : cases) {
+    // Both evaluation modes go through the same validation.
+    for (int probes : {0, 8}) {
+      auto result =
+          engine.Run(EvaluateJob{.group = test_case.group, .probes = probes});
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.status().code(), test_case.code);
+    }
+  }
+}
+
+// The serving scenario: one process, two catalog sessions, concurrent
+// job batches against both — results must match the sequential baseline
+// bit for bit on each graph.
+TEST(EngineEdgeCasesTest, ConcurrentJobsAgainstTwoCatalogSessions) {
+  serve::SessionCatalog catalog;
+  ASSERT_TRUE(catalog.Define("karate", "karate").ok());
+  ASSERT_TRUE(catalog.Define("grid", "grid:7x7").ok());
+  auto karate = catalog.Acquire("karate");
+  auto grid = catalog.Acquire("grid");
+  ASSERT_TRUE(karate.ok() && grid.ok());
+
+  auto make_jobs = [] {
+    std::vector<Job> jobs;
+    for (uint64_t seed : {1u, 9u}) {
+      jobs.push_back(SolveJob{.algorithm = "forest", .k = 3, .eps = 0.3,
+                              .seed = seed});
+      jobs.push_back(SolveJob{.algorithm = "schur", .k = 3, .eps = 0.3,
+                              .seed = seed});
+    }
+    jobs.push_back(EvaluateJob{.group = {0, 1}});
+    return jobs;
+  };
+
+  Engine karate_engine{*karate};
+  Engine grid_engine{*grid};
+  const std::vector<Job> jobs = make_jobs();
+
+  // Sequential baselines first.
+  const auto karate_baseline = karate_engine.RunBatch(jobs);
+  const auto grid_baseline = grid_engine.RunBatch(jobs);
+
+  // Now both batches at once, racing on the shared catalog pool.
+  std::vector<StatusOr<JobResult>> karate_concurrent, grid_concurrent;
+  std::thread karate_thread(
+      [&] { karate_concurrent = karate_engine.RunBatch(jobs); });
+  std::thread grid_thread(
+      [&] { grid_concurrent = grid_engine.RunBatch(jobs); });
+  karate_thread.join();
+  grid_thread.join();
+
+  auto expect_same = [](const std::vector<StatusOr<JobResult>>& actual,
+                        const std::vector<StatusOr<JobResult>>& expected,
+                        const std::string& context) {
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      ASSERT_TRUE(actual[i].ok() && expected[i].ok()) << context << " " << i;
+      if (const auto* solve = std::get_if<SolveJobResult>(&*actual[i])) {
+        const auto& baseline = std::get<SolveJobResult>(*expected[i]);
+        EXPECT_EQ(solve->output.selected, baseline.output.selected)
+            << context << " " << i;
+        EXPECT_EQ(solve->output.total_forests, baseline.output.total_forests)
+            << context << " " << i;
+        EXPECT_EQ(solve->cfcc, baseline.cfcc) << context << " " << i;
+      } else {
+        EXPECT_EQ(std::get<EvaluateJobResult>(*actual[i]).cfcc,
+                  std::get<EvaluateJobResult>(*expected[i]).cfcc)
+            << context << " " << i;
+      }
+    }
+  };
+  expect_same(karate_concurrent, karate_baseline, "karate");
+  expect_same(grid_concurrent, grid_baseline, "grid");
+}
+
+}  // namespace
+}  // namespace cfcm::engine

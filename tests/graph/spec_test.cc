@@ -1,0 +1,72 @@
+#include "graph/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/io.h"
+
+namespace cfcm {
+namespace {
+
+TEST(GraphSpecTest, LoadsBuiltins) {
+  for (const char* name : {"karate", "karate-w", "usa", "zebra", "dolphins"}) {
+    StatusOr<Graph> graph = LoadGraphFromSpec(name);
+    ASSERT_TRUE(graph.ok()) << name;
+    EXPECT_GT(graph->num_nodes(), 0) << name;
+  }
+  EXPECT_TRUE(LoadGraphFromSpec("karate-w")->is_unit_weighted() == false);
+}
+
+TEST(GraphSpecTest, GeneratorSpecsAreDeterministicPerString) {
+  StatusOr<Graph> a = LoadGraphFromSpec("ba:100,3,5");
+  StatusOr<Graph> b = LoadGraphFromSpec("ba:100,3,5");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->num_nodes(), 100);
+  EXPECT_EQ(a->Edges(), b->Edges());
+  // Default seed is 1: "ba:100,3" == "ba:100,3,1".
+  EXPECT_EQ(LoadGraphFromSpec("ba:100,3")->Edges(),
+            LoadGraphFromSpec("ba:100,3,1")->Edges());
+
+  StatusOr<Graph> ws = LoadGraphFromSpec("ws:60,3,0.2,9");
+  ASSERT_TRUE(ws.ok());
+  EXPECT_EQ(ws->num_nodes(), 60);
+  StatusOr<Graph> grid = LoadGraphFromSpec("grid:4x6");
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->num_nodes(), 24);
+}
+
+TEST(GraphSpecTest, RejectsMalformedAndOutOfRangeSpecs) {
+  // Parse failures and semantic range violations both come back as
+  // InvalidArgument instead of tripping generator asserts (which Release
+  // builds compile out — these specs arrive over the network).
+  for (const char* bad :
+       {"", "ba:", "ba:100", "ba:x,3", "ba:100,3,4,5", "ba:3,3", "ba:0,1",
+        "ba:100,0", "ws:60,3", "ws:60,0,0.2", "ws:6,3,0.2", "ws:60,3,1.5",
+        "ws:60,3,-0.1", "grid:4", "grid:4x", "grid:0x5", "grid:4x0",
+        "grid:4x5x6",
+        // Counts past the 32-bit-safe ceiling must be rejected, not
+        // silently truncated through the NodeId cast (2^32+34 would
+        // otherwise wrap to a 34-node graph) or overflowed (65536^2).
+        "ba:4294967330,2", "ws:4294967330,3,0.2", "grid:65536x65536",
+        "grid:200000000x1"}) {
+    StatusOr<Graph> graph = LoadGraphFromSpec(bad);
+    ASSERT_FALSE(graph.ok()) << "spec: " << bad;
+    EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument)
+        << "spec: " << bad;
+  }
+}
+
+TEST(GraphSpecTest, FallsBackToEdgeListPath) {
+  const std::string path = ::testing::TempDir() + "/spec_edges.txt";
+  ASSERT_TRUE(SaveEdgeList(KarateClub(), path).ok());
+  StatusOr<Graph> graph = LoadGraphFromSpec(path);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 34);
+  EXPECT_EQ(graph->num_edges(), 78);
+
+  StatusOr<Graph> missing = LoadGraphFromSpec("/no/such/file.txt");
+  EXPECT_FALSE(missing.ok());
+}
+
+}  // namespace
+}  // namespace cfcm

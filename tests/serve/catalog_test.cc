@@ -1,0 +1,174 @@
+#include "serve/catalog.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+
+namespace cfcm::serve {
+namespace {
+
+TEST(SessionCatalogTest, DefineThenAcquireLoadsLazily) {
+  SessionCatalog catalog;
+  ASSERT_TRUE(catalog.Define("k", "karate").ok());
+  {
+    const CatalogStats stats = catalog.stats();
+    ASSERT_EQ(stats.sessions.size(), 1u);
+    EXPECT_FALSE(stats.sessions[0].resident);
+    EXPECT_EQ(stats.loads, 0u);
+  }
+  auto session = catalog.Acquire("k");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->num_nodes(), 34);
+  const CatalogStats stats = catalog.stats();
+  EXPECT_TRUE(stats.sessions[0].resident);
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_EQ(stats.resident_bytes, (*session)->memory_bytes());
+
+  // Second acquire reuses the resident session (no reload).
+  auto again = catalog.Acquire("k");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(session->get(), again->get());
+  EXPECT_EQ(catalog.stats().loads, 1u);
+}
+
+TEST(SessionCatalogTest, UnknownNamesAndBadSources) {
+  SessionCatalog catalog;
+  EXPECT_EQ(catalog.Acquire("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.Unload("missing").code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.Forget("missing").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(catalog.Define("", "karate").ok());
+  EXPECT_FALSE(catalog.Define("g", "").ok());
+
+  ASSERT_TRUE(catalog.Define("bad", "ba:not-a-spec").ok());
+  auto session = catalog.Acquire("bad");
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+  // The error names the graph and its source for debuggability.
+  EXPECT_NE(session.status().message().find("bad"), std::string::npos);
+}
+
+TEST(SessionCatalogTest, RedefinitionRules) {
+  SessionCatalog catalog;
+  ASSERT_TRUE(catalog.Define("g", "karate").ok());
+  EXPECT_TRUE(catalog.Define("g", "karate").ok());  // same source: no-op
+  EXPECT_EQ(catalog.Define("g", "usa").code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(catalog.Forget("g").ok());
+  EXPECT_TRUE(catalog.Define("g", "usa").ok());
+}
+
+TEST(SessionCatalogTest, UnloadKeepsDefinitionForgetRemovesIt) {
+  SessionCatalog catalog;
+  ASSERT_TRUE(catalog.Define("g", "karate").ok());
+  ASSERT_TRUE(catalog.Acquire("g").ok());
+  ASSERT_TRUE(catalog.Unload("g").ok());
+  EXPECT_EQ(catalog.stats().resident_bytes, 0u);
+  EXPECT_FALSE(catalog.stats().sessions[0].resident);
+  // Still defined: acquire transparently reloads.
+  auto session = catalog.Acquire("g");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(catalog.stats().loads, 2u);
+
+  ASSERT_TRUE(catalog.Forget("g").ok());
+  EXPECT_TRUE(catalog.Names().empty());
+  EXPECT_EQ(catalog.Acquire("g").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SessionCatalogTest, EvictsLruUnderByteBudgetAndReloads) {
+  // Budget fits roughly one karate-sized session, so loading a second
+  // graph must evict the least recently used one.
+  SessionCatalog probe;
+  ASSERT_TRUE(probe.Define("k", "karate").ok());
+  const std::size_t karate_bytes = (*probe.Acquire("k"))->memory_bytes();
+
+  CatalogOptions options;
+  options.memory_budget_bytes = karate_bytes + karate_bytes / 2;
+  SessionCatalog catalog(options);
+  ASSERT_TRUE(catalog.Define("a", "karate").ok());
+  ASSERT_TRUE(catalog.Define("b", "grid:6x6").ok());
+  ASSERT_TRUE(catalog.Define("c", "usa").ok());
+
+  ASSERT_TRUE(catalog.Acquire("a").ok());
+  ASSERT_TRUE(catalog.Acquire("b").ok());  // over budget: evicts a
+  {
+    const CatalogStats stats = catalog.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_FALSE(stats.sessions[0].resident);  // "a" (sorted by name)
+    EXPECT_TRUE(stats.sessions[1].resident);   // "b"
+    EXPECT_LE(stats.resident_bytes, options.memory_budget_bytes);
+  }
+
+  // Load c on top; the newly acquired session is never its own victim.
+  ASSERT_TRUE(catalog.Acquire("b").ok());
+  ASSERT_TRUE(catalog.Acquire("c").ok());
+  {
+    const CatalogStats stats = catalog.stats();
+    EXPECT_GE(stats.evictions, 1u);
+    EXPECT_TRUE(stats.sessions[2].resident);  // "c" just loaded
+  }
+
+  // The evicted name transparently reloads on demand.
+  auto again = catalog.Acquire("a");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->num_nodes(), 34);
+  EXPECT_GE(catalog.stats().loads, 4u);
+}
+
+TEST(SessionCatalogTest, LeasesSurviveEviction) {
+  SessionCatalog probe;
+  ASSERT_TRUE(probe.Define("k", "karate").ok());
+  const std::size_t karate_bytes = (*probe.Acquire("k"))->memory_bytes();
+
+  CatalogOptions options;
+  options.memory_budget_bytes = karate_bytes + 1;
+  SessionCatalog catalog(options);
+  ASSERT_TRUE(catalog.Define("a", "karate").ok());
+  ASSERT_TRUE(catalog.Define("b", "usa").ok());
+  auto lease = catalog.Acquire("a");
+  ASSERT_TRUE(lease.ok());
+  std::weak_ptr<engine::GraphSession> weak = *lease;
+  ASSERT_TRUE(catalog.Acquire("b").ok());  // evicts a
+  ASSERT_EQ(catalog.stats().evictions, 1u);
+  // The lease still works: ref-counting keeps the evicted session alive.
+  EXPECT_EQ((*lease)->num_nodes(), 34);
+  EXPECT_TRUE((*lease)->is_connected());
+  lease = Status::NotFound("drop");  // release the lease
+  EXPECT_TRUE(weak.expired());       // now the memory is actually gone
+}
+
+TEST(SessionCatalogTest, SessionsShareOneWorkerPool) {
+  SessionCatalog catalog;
+  ASSERT_TRUE(catalog.Define("a", "karate").ok());
+  ASSERT_TRUE(catalog.Define("b", "usa").ok());
+  auto a = catalog.Acquire("a");
+  auto b = catalog.Acquire("b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(&(*a)->pool(), &(*b)->pool());
+  EXPECT_EQ(&(*a)->pool(), &catalog.pool());
+}
+
+TEST(SessionCatalogTest, ConcurrentAcquiresLoadEachGraphOnce) {
+  SessionCatalog catalog;
+  ASSERT_TRUE(catalog.Define("a", "karate").ok());
+  ASSERT_TRUE(catalog.Define("b", "grid:8x8").ok());
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<engine::GraphSession>> sessions(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&catalog, &sessions, t] {
+      auto session = catalog.Acquire(t % 2 == 0 ? "a" : "b");
+      ASSERT_TRUE(session.ok());
+      sessions[t] = *session;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // All even slots share one session object, all odd slots the other.
+  for (int t = 2; t < 8; t += 2) EXPECT_EQ(sessions[0].get(), sessions[t].get());
+  for (int t = 3; t < 8; t += 2) EXPECT_EQ(sessions[1].get(), sessions[t].get());
+  EXPECT_EQ(catalog.stats().loads, 2u);
+}
+
+}  // namespace
+}  // namespace cfcm::serve

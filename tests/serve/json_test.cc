@@ -1,0 +1,116 @@
+#include "serve/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cfcm::serve {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_EQ(JsonValue::Parse("true")->as_bool(), true);
+  EXPECT_EQ(JsonValue::Parse("false")->as_bool(), false);
+  EXPECT_EQ(JsonValue::Parse("42")->as_int(), 42);
+  EXPECT_EQ(JsonValue::Parse("-7")->as_int(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("0.25")->as_double(), 0.25);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("1e3")->as_double(), 1000.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonTest, IntegersKeepInt64Exactness) {
+  // 2^62 + 1 is not representable as a double.
+  const int64_t big = (int64_t{1} << 62) + 1;
+  StatusOr<JsonValue> parsed = JsonValue::Parse(std::to_string(big));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->is_int());
+  EXPECT_EQ(parsed->as_int(), big);
+  EXPECT_EQ(parsed->Serialize(), std::to_string(big));
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  StatusOr<JsonValue> parsed = JsonValue::Parse(
+      R"({"op":"solve","k":3,"group":[1,2,3],"opts":{"eps":0.2}})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("op")->as_string(), "solve");
+  EXPECT_EQ(parsed->Find("k")->as_int(), 3);
+  ASSERT_TRUE(parsed->Find("group")->is_array());
+  EXPECT_EQ(parsed->Find("group")->array().size(), 3u);
+  EXPECT_EQ(parsed->Find("group")->array()[1].as_int(), 2);
+  EXPECT_DOUBLE_EQ(parsed->Find("opts")->Find("eps")->as_double(), 0.2);
+  EXPECT_EQ(parsed->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, SerializeIsDeterministicAndSorted) {
+  JsonValue::Object object;
+  object["zebra"] = 1;
+  object["alpha"] = true;
+  object["mid"] = JsonValue(JsonValue::Array{1, "two", nullptr});
+  const JsonValue value{object};
+  EXPECT_EQ(value.Serialize(),
+            R"({"alpha":true,"mid":[1,"two",null],"zebra":1})");
+  EXPECT_EQ(value.Serialize(), value.Serialize());
+}
+
+TEST(JsonTest, RoundTripsThroughParse) {
+  const std::string text =
+      R"({"a":[1,2.5,true,null,"x"],"b":{"c":"line\nbreak","d":-3}})";
+  StatusOr<JsonValue> parsed = JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  StatusOr<JsonValue> reparsed = JsonValue::Parse(parsed->Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(parsed->Serialize(), reparsed->Serialize());
+}
+
+TEST(JsonTest, StringEscapes) {
+  StatusOr<JsonValue> parsed =
+      JsonValue::Parse(R"("quote\" back\\ slash\/ tab\t nl\n uA")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), "quote\" back\\ slash/ tab\t nl\n uA");
+  // Escaping must round-trip control characters and quotes.
+  const JsonValue value{std::string("a\"b\\c\nd\x01")};
+  StatusOr<JsonValue> back = JsonValue::Parse(value.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->as_string(), value.as_string());
+}
+
+TEST(JsonTest, SurrogatePairsDecodeToUtf8) {
+  StatusOr<JsonValue> parsed = JsonValue::Parse(R"("😀")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), "\xF0\x9F\x98\x80");  // U+1F600
+  EXPECT_FALSE(JsonValue::Parse(R"("\ud83d")").ok());    // lone high
+  EXPECT_FALSE(JsonValue::Parse(R"("\ude00")").ok());    // lone low
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "1.2.3", "\"unterm",
+        "{\"a\":1} trailing", "[1] 2", "nan", "{'a':1}", "\"bad\\escape\"",
+        "\x01"}) {
+    StatusOr<JsonValue> parsed = JsonValue::Parse(bad);
+    EXPECT_FALSE(parsed.ok()) << "input: " << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(JsonTest, RejectsPathologicalNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+  // 64 levels is within the documented limit.
+  std::string ok_depth(32, '[');
+  ok_depth += std::string(32, ']');
+  EXPECT_TRUE(JsonValue::Parse(ok_depth).ok());
+}
+
+TEST(JsonTest, DoubleSerializationRoundTripsExactly) {
+  for (double d : {0.2, 1.0 / 3.0, 2.6130066034611583, 1e-17, -0.0, 123.456}) {
+    const std::string text = JsonValue(d).Serialize();
+    StatusOr<JsonValue> back = JsonValue::Parse(text);
+    ASSERT_TRUE(back.ok()) << text;
+    EXPECT_EQ(back->as_double(), d) << text;
+  }
+}
+
+}  // namespace
+}  // namespace cfcm::serve

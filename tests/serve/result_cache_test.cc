@@ -1,0 +1,124 @@
+#include "serve/result_cache.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cfcm::serve {
+namespace {
+
+engine::SolveJobResult MakeResult(int tag) {
+  engine::SolveJobResult result;
+  result.algorithm = "forest";
+  result.output.selected = {tag, tag + 1};
+  result.cfcc = 1.0 + tag;
+  return result;
+}
+
+ResultCacheKey MakeKey(uint64_t seed) {
+  return ResultCacheKey{0xabcdef, "forest", 3, 0.2, seed};
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(8, 2);
+  EXPECT_FALSE(cache.Lookup(MakeKey(1)).has_value());
+  cache.Insert(MakeKey(1), MakeResult(7));
+  auto hit = cache.Lookup(MakeKey(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->output.selected, (std::vector<NodeId>{7, 8}));
+  EXPECT_EQ(hit->cfcc, 8.0);
+
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCacheTest, EveryKeyComponentDiscriminates) {
+  ResultCache cache(64, 4);
+  const ResultCacheKey base{1, "forest", 3, 0.2, 5};
+  cache.Insert(base, MakeResult(0));
+  ResultCacheKey other = base;
+  other.fingerprint = 2;
+  EXPECT_FALSE(cache.Lookup(other).has_value());
+  other = base;
+  other.algorithm = "schur";
+  EXPECT_FALSE(cache.Lookup(other).has_value());
+  other = base;
+  other.k = 4;
+  EXPECT_FALSE(cache.Lookup(other).has_value());
+  other = base;
+  other.eps = 0.3;
+  EXPECT_FALSE(cache.Lookup(other).has_value());
+  other = base;
+  other.seed = 6;
+  EXPECT_FALSE(cache.Lookup(other).has_value());
+  EXPECT_TRUE(cache.Lookup(base).has_value());
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedPerShard) {
+  // One shard makes LRU order observable.
+  ResultCache cache(3, 1);
+  cache.Insert(MakeKey(1), MakeResult(1));
+  cache.Insert(MakeKey(2), MakeResult(2));
+  cache.Insert(MakeKey(3), MakeResult(3));
+  // Touch 1 so 2 becomes LRU.
+  EXPECT_TRUE(cache.Lookup(MakeKey(1)).has_value());
+  cache.Insert(MakeKey(4), MakeResult(4));
+  EXPECT_FALSE(cache.Lookup(MakeKey(2)).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(1)).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(3)).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(4)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  ResultCache cache(2, 1);
+  cache.Insert(MakeKey(1), MakeResult(1));
+  cache.Insert(MakeKey(1), MakeResult(9));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.Lookup(MakeKey(1))->cfcc, 10.0);
+}
+
+TEST(ResultCacheTest, ClearDropsEntriesKeepsCounters) {
+  ResultCache cache(8, 2);
+  EXPECT_FALSE(cache.Lookup(MakeKey(1)).has_value());  // pre-insert miss
+  cache.Insert(MakeKey(1), MakeResult(1));
+  EXPECT_TRUE(cache.Lookup(MakeKey(1)).has_value());
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.Lookup(MakeKey(1)).has_value());  // post-clear miss
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(ResultCacheTest, CapacityIsSplitAcrossShards) {
+  ResultCache cache(16, 4);
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.shards, 4);
+  EXPECT_EQ(stats.capacity, 16u);
+}
+
+TEST(ResultCacheTest, ConcurrentMixedTrafficIsSafe) {
+  ResultCache cache(64, 4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const uint64_t seed = static_cast<uint64_t>((t * 97 + i) % 100);
+        if (i % 3 == 0) cache.Insert(MakeKey(seed), MakeResult(t));
+        else cache.Lookup(MakeKey(seed));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Per thread: 167 inserts (i % 3 == 0) and 333 lookups.
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 4u * 333u);
+  EXPECT_LE(stats.entries, 64u);
+}
+
+}  // namespace
+}  // namespace cfcm::serve

@@ -1,0 +1,286 @@
+// End-to-end loopback tests of the serving daemon: a real TCP socket,
+// the full protocol, and the acceptance contracts — deterministic cache
+// hits and transparent reload after catalog eviction.
+#include "serve/server.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/session.h"
+#include "graph/datasets.h"
+#include "serve/client.h"
+
+namespace cfcm::serve {
+namespace {
+
+// Starts a server over a fresh handler on an ephemeral port.
+struct TestServer {
+  explicit TestServer(HandlerOptions handler_options = {},
+                      ServerOptions server_options = {})
+      : handler(handler_options), server(&handler, [&] {
+          server_options.port = 0;
+          return server_options;
+        }()) {
+    Status started = server.Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+  ~TestServer() { server.Shutdown(); }
+
+  ServeClient Connect() {
+    auto client = ServeClient::Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  ServeHandler handler;
+  Server server;
+};
+
+JsonValue Call(ServeClient& client, const std::string& line) {
+  EXPECT_TRUE(client.SendLine(line).ok());
+  StatusOr<std::string> response = client.ReadLine();
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  StatusOr<JsonValue> parsed = JsonValue::Parse(*response);
+  EXPECT_TRUE(parsed.ok()) << *response;
+  return *parsed;
+}
+
+std::string Field(const JsonValue& response, const std::string& key) {
+  const JsonValue* field = response.Find(key);
+  return field != nullptr && field->is_string() ? field->as_string() : "";
+}
+
+TEST(ServerTest, LoadSolveEvaluateUnloadRoundTrip) {
+  TestServer fixture;
+  ServeClient client = fixture.Connect();
+
+  const JsonValue loaded =
+      Call(client, R"({"op":"load","graph":"g","source":"karate"})");
+  EXPECT_EQ(Field(loaded, "status"), "ok");
+  EXPECT_EQ(loaded.Find("nodes")->as_int(), 34);
+  EXPECT_EQ(loaded.Find("edges")->as_int(), 78);
+  EXPECT_EQ(Field(loaded, "fingerprint").size(), 16u);
+
+  const JsonValue solved = Call(
+      client,
+      R"({"op":"solve","graph":"g","algorithm":"forest","k":3,"seed":7})");
+  EXPECT_EQ(Field(solved, "status"), "ok");
+  EXPECT_EQ(Field(solved, "cache"), "miss");
+  EXPECT_EQ(solved.Find("selection")->array().size(), 3u);
+  EXPECT_GT(solved.Find("cfcc")->as_double(), 0.0);
+
+  const JsonValue evaluated =
+      Call(client, R"({"op":"evaluate","graph":"g","group":[0,33,2]})");
+  EXPECT_EQ(Field(evaluated, "status"), "ok");
+  EXPECT_GT(evaluated.Find("cfcc")->as_double(), 0.0);
+
+  const JsonValue unloaded = Call(client, R"({"op":"unload","graph":"g"})");
+  EXPECT_EQ(Field(unloaded, "status"), "ok");
+  const JsonValue gone = Call(client, R"({"op":"solve","graph":"g","k":2})");
+  EXPECT_EQ(Field(gone, "status"), "error");
+  EXPECT_EQ(Field(*gone.Find("error"), "code"), "not_found");
+}
+
+// Acceptance: the same request twice returns byte-identical selections,
+// with the second marked as a cache hit.
+TEST(ServerTest, RepeatedSolveIsByteIdenticalCacheHit) {
+  TestServer fixture;
+  ServeClient client = fixture.Connect();
+  Call(client, R"({"op":"load","graph":"g","source":"karate"})");
+
+  const std::string request =
+      R"({"op":"solve","graph":"g","algorithm":"forest","k":3,"eps":0.3,"seed":11})";
+  ASSERT_TRUE(client.SendLine(request).ok());
+  const std::string first = *client.ReadLine();
+  ASSERT_TRUE(client.SendLine(request).ok());
+  const std::string second = *client.ReadLine();
+
+  EXPECT_NE(first.find("\"cache\":\"miss\""), std::string::npos) << first;
+  EXPECT_NE(second.find("\"cache\":\"hit\""), std::string::npos) << second;
+  // Identical bytes apart from the hit/miss marker: selection, cfcc,
+  // forests, walk_steps and even seconds are replayed from the cache.
+  std::string normalized = first;
+  normalized.replace(normalized.find("\"cache\":\"miss\""), 14,
+                     "\"cache\":\"hit\"");
+  EXPECT_EQ(normalized, second);
+
+  // A different seed is a different request — miss, and (on karate with
+  // forest sampling) typically different bytes.
+  const JsonValue other = Call(
+      client,
+      R"({"op":"solve","graph":"g","algorithm":"forest","k":3,"eps":0.3,"seed":12})");
+  EXPECT_EQ(Field(other, "cache"), "miss");
+}
+
+// Acceptance: eviction under a small byte budget unloads the LRU session
+// and a subsequent request transparently reloads it, same bytes.
+TEST(ServerTest, EvictionThenTransparentReloadKeepsAnswersIdentical) {
+  const std::size_t karate_bytes =
+      engine::GraphSession(cfcm::KarateClub()).memory_bytes();
+
+  HandlerOptions options;
+  options.catalog.memory_budget_bytes = karate_bytes + karate_bytes / 2;
+  TestServer fixture{options};
+  ServeClient client = fixture.Connect();
+
+  Call(client, R"({"op":"load","graph":"a","source":"karate"})");
+  const std::string request =
+      R"({"op":"solve","graph":"a","algorithm":"schur","k":3,"seed":5})";
+  ASSERT_TRUE(client.SendLine(request).ok());
+  const std::string before = *client.ReadLine();
+
+  // Loading two more graphs pushes "a" (the LRU) out of the catalog.
+  Call(client, R"({"op":"load","graph":"b","source":"grid:6x6"})");
+  Call(client, R"({"op":"load","graph":"c","source":"usa"})");
+  const JsonValue stats = Call(client, R"({"op":"stats"})");
+  EXPECT_GE(stats.Find("catalog")->Find("evictions")->as_int(), 1);
+  bool a_resident = true;
+  for (const JsonValue& session :
+       stats.Find("catalog")->Find("sessions")->array()) {
+    if (Field(session, "name") == "a") {
+      a_resident = session.Find("resident")->as_bool();
+    }
+  }
+  EXPECT_FALSE(a_resident);
+
+  // Same request against the evicted graph: transparent reload, and the
+  // response is still the byte-identical cached answer.
+  ASSERT_TRUE(client.SendLine(request).ok());
+  const std::string after = *client.ReadLine();
+  std::string normalized = before;
+  normalized.replace(normalized.find("\"cache\":\"miss\""), 14,
+                     "\"cache\":\"hit\"");
+  EXPECT_EQ(normalized, after);
+
+  // And with the cache wiped the reloaded graph still recomputes the
+  // same answer — determinism end to end, not just cache replay. Only
+  // the wall-time field may differ from the original solve.
+  fixture.handler.cache().Clear();
+  ASSERT_TRUE(client.SendLine(request).ok());
+  const std::string recomputed = *client.ReadLine();
+  auto without_seconds = [](const std::string& response) {
+    JsonValue parsed = *JsonValue::Parse(response);
+    parsed.object().erase("seconds");
+    return parsed.Serialize();
+  };
+  EXPECT_EQ(without_seconds(recomputed), without_seconds(before));
+}
+
+TEST(ServerTest, ProtocolErrorsComeBackStructured) {
+  TestServer fixture;
+  ServeClient client = fixture.Connect();
+
+  const JsonValue bad_json = Call(client, "this is not json");
+  EXPECT_EQ(Field(bad_json, "status"), "error");
+  EXPECT_EQ(Field(*bad_json.Find("error"), "code"), "invalid_argument");
+
+  const JsonValue bad_op = Call(client, R"({"op":"fly"})");
+  EXPECT_EQ(Field(*bad_op.Find("error"), "code"), "invalid_argument");
+
+  const JsonValue no_graph = Call(client, R"({"op":"solve","graph":"nope"})");
+  EXPECT_EQ(Field(*no_graph.Find("error"), "code"), "not_found");
+
+  Call(client, R"({"op":"load","graph":"g","source":"karate"})");
+  const JsonValue bad_k =
+      Call(client, R"({"op":"solve","graph":"g","k":0})");
+  EXPECT_EQ(Field(bad_k, "status"), "error");
+  const JsonValue bad_group =
+      Call(client, R"({"op":"evaluate","graph":"g","group":[0,0]})");
+  EXPECT_EQ(Field(*bad_group.Find("error"), "code"), "invalid_argument");
+  const JsonValue bad_load =
+      Call(client, R"({"op":"load","graph":"x","source":"ba:nope"})");
+  EXPECT_EQ(Field(bad_load, "status"), "error");
+
+  // The id member is echoed on success and failure alike.
+  const JsonValue with_id =
+      Call(client, R"({"op":"stats","id":"req-1"})");
+  EXPECT_EQ(Field(with_id, "id"), "req-1");
+  const JsonValue err_id = Call(client, R"({"op":"fly","id":17})");
+  EXPECT_EQ(err_id.Find("id")->as_int(), 17);
+}
+
+TEST(ServerTest, BackpressureRejectsWhenAdmissionQueueIsFull) {
+  // Admit-only mode (no workers): the queue fills and stays full, so the
+  // overflow rejection is deterministic.
+  ServerOptions server_options;
+  server_options.num_workers = 0;
+  server_options.max_queue = 4;
+  TestServer fixture{{}, server_options};
+  ServeClient client = fixture.Connect();
+
+  std::string burst;
+  for (int i = 0; i < 5; ++i) burst += R"({"op":"stats"})" "\n";
+  ASSERT_TRUE(client.SendLine(burst.substr(0, burst.size() - 1)).ok());
+  // Exactly one response arrives: the 429-style rejection of request 5.
+  StatusOr<std::string> rejection = client.ReadLine();
+  ASSERT_TRUE(rejection.ok());
+  StatusOr<JsonValue> parsed = JsonValue::Parse(*rejection);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(Field(*parsed, "status"), "error");
+  EXPECT_EQ(Field(*parsed->Find("error"), "code"), "over_capacity");
+  EXPECT_NE(Field(*parsed->Find("error"), "message").find("429"),
+            std::string::npos);
+  EXPECT_EQ(fixture.server.stats().rejected.load(), 1u);
+  EXPECT_EQ(fixture.server.stats().accepted.load(), 4u);
+}
+
+TEST(ServerTest, ConcurrentClientsOnTwoGraphsStayDeterministic) {
+  TestServer fixture;
+  {
+    ServeClient setup = fixture.Connect();
+    Call(setup, R"({"op":"load","graph":"a","source":"karate"})");
+    Call(setup, R"({"op":"load","graph":"b","source":"grid:5x5"})");
+  }
+
+  constexpr int kClients = 4;
+  std::vector<std::string> responses(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&fixture, &responses, c] {
+      ServeClient client = fixture.Connect();
+      const std::string graph = c % 2 == 0 ? "a" : "b";
+      const std::string request = R"({"op":"solve","graph":")" + graph +
+                                  R"(","algorithm":"forest","k":2,"seed":3})";
+      EXPECT_TRUE(client.SendLine(request).ok());
+      responses[c] = *client.ReadLine();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Same graph -> identical payload regardless of scheduling, modulo the
+  // hit/miss marker and wall time: racing clients may each compute the
+  // miss independently (same bytes, different seconds) before one insert
+  // wins the cache slot.
+  auto normalize = [](const std::string& response) {
+    JsonValue parsed = *JsonValue::Parse(response);
+    parsed.object().erase("seconds");
+    parsed.object()["cache"] = "hit";
+    return parsed.Serialize();
+  };
+  EXPECT_EQ(normalize(responses[0]), normalize(responses[2]));
+  EXPECT_EQ(normalize(responses[1]), normalize(responses[3]));
+  EXPECT_NE(normalize(responses[0]), normalize(responses[1]));
+}
+
+TEST(ServerTest, GracefulShutdownViaProtocolOp) {
+  auto fixture = std::make_unique<TestServer>();
+  const int port = fixture->server.port();
+  ServeClient client = fixture->Connect();
+  Call(client, R"({"op":"load","graph":"g","source":"karate"})");
+
+  // Wait() must return once a worker executes the shutdown op.
+  std::thread waiter([&fixture] { fixture->server.Wait(); });
+  const JsonValue response = Call(client, R"({"op":"shutdown"})");
+  EXPECT_EQ(Field(response, "status"), "ok");
+  waiter.join();
+
+  // The listener is gone: new connections fail.
+  auto reconnect = ServeClient::Connect("127.0.0.1", port);
+  EXPECT_FALSE(reconnect.ok());
+}
+
+}  // namespace
+}  // namespace cfcm::serve

@@ -16,13 +16,15 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
 #include "common/status.h"
 #include "engine/engine.h"
 #include "engine/registry.h"
 #include "graph/components.h"
-#include "graph/datasets.h"
 #include "graph/generators.h"
-#include "graph/io.h"
+#include "graph/spec.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
 
 namespace {
 
@@ -73,61 +75,22 @@ void PrintUsage(std::FILE* out) {
                "                the registry) and exit; --list is an alias\n");
 }
 
-std::vector<std::string> Split(const std::string& s, char sep) {
-  std::vector<std::string> parts;
-  std::size_t start = 0;
-  while (start <= s.size()) {
-    std::size_t end = s.find(sep, start);
-    if (end == std::string::npos) end = s.size();
-    if (end > start) parts.push_back(s.substr(start, end - start));
-    start = end + 1;
-  }
-  return parts;
-}
+// Shared strict parsing helpers (same implementations the spec loader
+// and cfcm_serve use).
+using cfcm::ParseFloat64;
+using cfcm::ParseInt64;
+using cfcm::SplitString;
 
-bool ParseLong(const std::string& s, long long* out) {
-  char* end = nullptr;
-  *out = std::strtoll(s.c_str(), &end, 10);
-  return end && *end == '\0' && !s.empty();
-}
-
-bool ParseDouble(const std::string& s, double* out) {
-  char* end = nullptr;
-  *out = std::strtod(s.c_str(), &end);
-  return end && *end == '\0' && !s.empty();
-}
-
-// Escapes quotes, backslashes and control characters for JSON string
-// literals (algorithm names, file paths and Status messages are
-// user-influenced).
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
-}
+// Escaping for JSON string literals (algorithm names, file paths and
+// Status messages are user-influenced) — the serving codec's escaper,
+// so CLI output and server output stay byte-compatible.
+using cfcm::serve::JsonEscapeString;
 
 StatusOr<std::vector<NodeId>> ParseGroup(const std::string& spec) {
   std::vector<NodeId> group;
-  for (const std::string& part : Split(spec, ',')) {
+  for (const std::string& part : SplitString(spec, ',')) {
     long long value = 0;
-    if (!ParseLong(part, &value)) {
+    if (!ParseInt64(part, &value)) {
       return Status::InvalidArgument("bad node id '" + part + "' in --evaluate");
     }
     group.push_back(static_cast<NodeId>(value));
@@ -135,47 +98,21 @@ StatusOr<std::vector<NodeId>> ParseGroup(const std::string& spec) {
   return group;
 }
 
-StatusOr<Graph> LoadGraph(const std::string& source) {
-  if (source == "karate") return cfcm::KarateClub();
-  if (source == "karate-w") return cfcm::KarateClubWeighted();
-  if (source == "usa") return cfcm::ContiguousUsa();
-  if (source == "zebra") return cfcm::ZebraSynthetic();
-  if (source == "dolphins") return cfcm::DolphinsSynthetic();
-  if (source.rfind("ba:", 0) == 0) {
-    const auto args = Split(source.substr(3), ',');
-    long long n = 0, m = 0, seed = 1;
-    if (args.size() < 2 || args.size() > 3 || !ParseLong(args[0], &n) ||
-        !ParseLong(args[1], &m) ||
-        (args.size() == 3 && !ParseLong(args[2], &seed))) {
-      return Status::InvalidArgument("expected ba:<n>,<m>[,<seed>]");
-    }
-    return cfcm::BarabasiAlbert(static_cast<NodeId>(n),
-                                static_cast<NodeId>(m),
-                                static_cast<uint64_t>(seed));
+// Structured failure shared with the serving protocol: under --json a
+// top-level {"error":{"code","message"}} object goes to stdout (exit
+// stays nonzero) so scripted callers parse one error shape everywhere;
+// otherwise a human-readable line goes to stderr.
+int FailWith(const Status& status, bool json, int exit_code) {
+  if (json) {
+    cfcm::serve::JsonValue::Object error;
+    error["error"] = cfcm::serve::StatusToJsonError(status);
+    std::printf("%s\n", cfcm::serve::JsonValue(std::move(error))
+                            .Serialize()
+                            .c_str());
+  } else {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   }
-  if (source.rfind("ws:", 0) == 0) {
-    const auto args = Split(source.substr(3), ',');
-    long long n = 0, k = 0, seed = 1;
-    double beta = 0.0;
-    if (args.size() < 3 || args.size() > 4 || !ParseLong(args[0], &n) ||
-        !ParseLong(args[1], &k) || !ParseDouble(args[2], &beta) ||
-        (args.size() == 4 && !ParseLong(args[3], &seed))) {
-      return Status::InvalidArgument("expected ws:<n>,<k>,<beta>[,<seed>]");
-    }
-    return cfcm::WattsStrogatz(static_cast<NodeId>(n), static_cast<NodeId>(k),
-                               beta, static_cast<uint64_t>(seed));
-  }
-  if (source.rfind("grid:", 0) == 0) {
-    const auto args = Split(source.substr(5), 'x');
-    long long rows = 0, cols = 0;
-    if (args.size() != 2 || !ParseLong(args[0], &rows) ||
-        !ParseLong(args[1], &cols)) {
-      return Status::InvalidArgument("expected grid:<rows>x<cols>");
-    }
-    return cfcm::GridGraph(static_cast<NodeId>(rows),
-                           static_cast<NodeId>(cols));
-  }
-  return cfcm::LoadEdgeList(source);
+  return exit_code;
 }
 
 StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
@@ -210,9 +147,9 @@ StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
       } else if (arg == "--weighted") {
         options.weighted_spec = *value;
       } else if (arg == "--algo") {
-        options.algorithms = Split(*value, ',');
+        options.algorithms = SplitString(*value, ',');
       } else if (arg == "--eps") {
-        if (!ParseDouble(*value, &options.eps)) {
+        if (!ParseFloat64(*value, &options.eps)) {
           return Status::InvalidArgument("bad number for --eps: '" + *value +
                                          "'");
         }
@@ -222,7 +159,7 @@ StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
         options.evaluate_groups.push_back(std::move(*group));
       } else {
         long long number = 0;
-        if (!ParseLong(*value, &number)) {
+        if (!ParseInt64(*value, &number)) {
           return Status::InvalidArgument("bad integer for " + arg + ": '" +
                                          *value + "'");
         }
@@ -267,7 +204,7 @@ void PrintJsonJob(const cfcm::engine::Job& spec,
     std::printf(
         "\"type\":\"solve\",\"algorithm\":\"%s\",\"k\":%d,\"eps\":%g,"
         "\"seed\":%llu,",
-        JsonEscape(solve->algorithm).c_str(), solve->k, solve->eps,
+        JsonEscapeString(solve->algorithm).c_str(), solve->k, solve->eps,
         static_cast<unsigned long long>(solve->seed));
   } else {
     const auto& eval = std::get<cfcm::engine::EvaluateJob>(spec);
@@ -277,7 +214,7 @@ void PrintJsonJob(const cfcm::engine::Job& spec,
   }
   if (!result.ok()) {
     std::printf("\"status\":\"error\",\"error\":\"%s\"}%s\n",
-                JsonEscape(result.status().ToString()).c_str(),
+                JsonEscapeString(result.status().ToString()).c_str(),
                 last ? "" : ",");
     return;
   }
@@ -341,11 +278,17 @@ void PrintTextJob(const cfcm::engine::Job& spec,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Error formatting must work before ParseArgs succeeds, so detect
+  // --json directly.
+  bool json_errors = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_errors = true;
+  }
+
   StatusOr<CliOptions> parsed = ParseArgs(argc, argv);
   if (!parsed.ok()) {
-    std::fprintf(stderr, "error: %s\n\n", parsed.status().ToString().c_str());
-    PrintUsage(stderr);
-    return 2;
+    if (!json_errors) PrintUsage(stderr);
+    return FailWith(parsed.status(), json_errors, 2);
   }
   const CliOptions& cli = *parsed;
 
@@ -354,30 +297,37 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cli.graph_source.empty()) {
-    std::fprintf(stderr, "error: --graph is required\n\n");
-    PrintUsage(stderr);
-    return 2;
+    if (!json_errors) PrintUsage(stderr);
+    return FailWith(Status::InvalidArgument("--graph is required"),
+                    json_errors, 2);
+  }
+  // Unknown solvers fail up front with the shared error shape instead of
+  // surfacing later as one per-job failure among many.
+  for (const std::string& algorithm : cli.algorithms) {
+    if (!cfcm::engine::SolverRegistry::Global().Contains(algorithm)) {
+      return FailWith(
+          cfcm::engine::SolverRegistry::Global().Find(algorithm).status(),
+          cli.json, 1);
+    }
   }
 
-  StatusOr<Graph> loaded = LoadGraph(cli.graph_source);
+  StatusOr<Graph> loaded = cfcm::LoadGraphFromSpec(cli.graph_source);
   if (!loaded.ok()) {
-    std::fprintf(stderr, "error loading graph: %s\n",
-                 loaded.status().ToString().c_str());
-    return 1;
+    return FailWith(loaded.status(), cli.json, 1);
   }
   Graph graph = std::move(*loaded);
   if (!cli.weighted_spec.empty()) {
-    const auto args = Split(cli.weighted_spec, ',');
+    const auto args = SplitString(cli.weighted_spec, ',');
     double lo = 0, hi = 0;
     long long wseed = 1;
-    if (args.size() < 2 || args.size() > 3 || !ParseDouble(args[0], &lo) ||
-        !ParseDouble(args[1], &hi) ||
-        (args.size() == 3 && !ParseLong(args[2], &wseed)) ||
+    if (args.size() < 2 || args.size() > 3 || !ParseFloat64(args[0], &lo) ||
+        !ParseFloat64(args[1], &hi) ||
+        (args.size() == 3 && !ParseInt64(args[2], &wseed)) ||
         !std::isfinite(lo) || !std::isfinite(hi) || lo <= 0 || hi < lo) {
-      std::fprintf(stderr,
-                   "error: --weighted expects <lo>,<hi>[,<seed>] with "
-                   "0 < lo <= hi\n");
-      return 2;
+      return FailWith(
+          Status::InvalidArgument(
+              "--weighted expects <lo>,<hi>[,<seed>] with 0 < lo <= hi"),
+          cli.json, 2);
     }
     graph = cfcm::AssignUniformWeights(graph, lo, hi,
                                        static_cast<uint64_t>(wseed));
@@ -428,10 +378,10 @@ int main(int argc, char** argv) {
       for (NodeId& u : eval->group) {
         if (u < 0 || u >= static_cast<NodeId>(from_original.size()) ||
             from_original[u] < 0) {
-          std::fprintf(stderr,
-                       "error: --evaluate node %d is not in the largest "
-                       "connected component\n", u);
-          return 1;
+          return FailWith(
+              Status::OutOfRange("--evaluate node " + std::to_string(u) +
+                                 " is not in the largest connected component"),
+              cli.json, 1);
         }
         u = from_original[u];
       }
@@ -466,7 +416,7 @@ int main(int argc, char** argv) {
                 "\"total_weight\":%.9g,\"connected\":%s,\"lcc\":%s},\n"
                 "  \"threads\":%d,\n"
                 "  \"jobs\":[\n",
-                JsonEscape(cli.graph_source).c_str(), session.num_nodes(),
+                JsonEscapeString(cli.graph_source).c_str(), session.num_nodes(),
                 static_cast<long long>(session.num_edges()), dmax,
                 session.is_weighted() ? "true" : "false",
                 session.total_weight(),

@@ -1,0 +1,371 @@
+// cfcm_serve: network daemon and client for the CFCM serving layer.
+//
+//   # daemon (default subcommand); prints one JSON line with the bound
+//   # port, then serves until a client sends {"op":"shutdown"}:
+//   cfcm_serve --port 7471 --preload karate=karate
+//
+//   # scripted client: --op builder flags or raw JSON lines
+//   cfcm_serve client --port 7471 --op load --graph g --source karate
+//   cfcm_serve client --port 7471 --op solve --graph g --k 3 --seed 7
+//   echo '{"op":"stats"}' | cfcm_serve client --port 7471
+//
+//   # in-process end-to-end check (used by ctest): load, solve twice,
+//   # assert the second response is a byte-identical cache hit
+//   cfcm_serve selftest
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parse.h"
+#include "serve/client.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace {
+
+using cfcm::Status;
+using cfcm::StatusOr;
+using cfcm::serve::HandlerOptions;
+using cfcm::serve::JsonValue;
+using cfcm::serve::ServeClient;
+using cfcm::serve::ServeHandler;
+using cfcm::serve::Server;
+using cfcm::serve::ServerOptions;
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: cfcm_serve [serve] [options]        run the daemon\n"
+      "       cfcm_serve client [options] [json ...]  send requests\n"
+      "       cfcm_serve selftest                 in-process protocol check\n"
+      "\n"
+      "daemon options:\n"
+      "  --host A            bind address (default 127.0.0.1)\n"
+      "  --port N            TCP port; 0 = OS-assigned, printed on stdout\n"
+      "  --workers N         request dispatch threads (default 2)\n"
+      "  --queue N           admission queue bound (default 64)\n"
+      "  --cache N           result cache capacity in entries (default 1024)\n"
+      "  --memory-budget B   catalog byte budget; 0 = unlimited (default)\n"
+      "  --threads N         shared sampling pool size; 0 = hardware\n"
+      "  --preload NAME=SPEC define+load a graph at startup (repeatable)\n"
+      "\n"
+      "client options:\n"
+      "  --host A --port N   server address (port required)\n"
+      "  --op OP             build a request: load/unload/solve/evaluate/\n"
+      "                      stats/shutdown, with --graph --source --algo\n"
+      "                      --k --eps --seed --probes --group u1,u2,...\n"
+      "  [json ...]          raw request lines; with no --op and no json\n"
+      "                      arguments, lines are read from stdin\n"
+      "\n"
+      "Exit code: nonzero if any response has \"status\":\"error\".\n");
+}
+
+bool ParseLong(const std::string& s, long long* out) {
+  return cfcm::ParseInt64(s, out);
+}
+
+bool ParseDoubleArg(const std::string& s, double* out) {
+  return cfcm::ParseFloat64(s, out);
+}
+
+int RunServe(int argc, char** argv) {
+  ServerOptions server_options;
+  HandlerOptions handler_options;
+  std::vector<std::pair<std::string, std::string>> preloads;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    long long number = 0;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    } else if (arg == "--host") {
+      server_options.host = need_value();
+    } else if (arg == "--port" || arg == "--workers" || arg == "--queue" ||
+               arg == "--cache" || arg == "--memory-budget" ||
+               arg == "--threads") {
+      const char* value = need_value();
+      if (!ParseLong(value, &number) || number < 0) {
+        std::fprintf(stderr, "error: bad value for %s: '%s'\n", arg.c_str(),
+                     value);
+        return 2;
+      }
+      if (arg == "--port") {
+        if (number > 65535) {
+          std::fprintf(stderr, "error: --port must be in [0, 65535]\n");
+          return 2;
+        }
+        server_options.port = static_cast<int>(number);
+      }
+      if (arg == "--workers") {
+        server_options.num_workers = static_cast<int>(number);
+      }
+      if (arg == "--queue") {
+        server_options.max_queue = static_cast<std::size_t>(number);
+      }
+      if (arg == "--cache") {
+        handler_options.cache_capacity = static_cast<std::size_t>(number);
+      }
+      if (arg == "--memory-budget") {
+        handler_options.catalog.memory_budget_bytes =
+            static_cast<std::size_t>(number);
+      }
+      if (arg == "--threads") {
+        handler_options.catalog.num_threads = static_cast<int>(number);
+      }
+    } else if (arg == "--preload") {
+      const std::string spec = need_value();
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "error: --preload expects NAME=SPEC, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      preloads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else {
+      std::fprintf(stderr, "error: unknown daemon flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  ServeHandler handler{handler_options};
+  for (const auto& [name, spec] : preloads) {
+    const JsonValue response = handler.Handle(JsonValue(JsonValue::Object{
+        {"op", "load"}, {"graph", name}, {"source", spec}}));
+    const JsonValue* status = response.Find("status");
+    if (status == nullptr || status->as_string() != "ok") {
+      std::fprintf(stderr, "error preloading '%s': %s\n", name.c_str(),
+                   response.Serialize().c_str());
+      return 1;
+    }
+  }
+
+  Server server{&handler, server_options};
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // One machine-readable line so wrappers can discover the bound port.
+  std::printf("{\"serving\":true,\"host\":\"%s\",\"port\":%d,\"graphs\":%zu}\n",
+              server_options.host.c_str(), server.port(), preloads.size());
+  std::fflush(stdout);
+  server.Wait();
+  return 0;
+}
+
+// Builds one request from client --op flags; exits on malformed flags.
+StatusOr<JsonValue> BuildRequest(const std::string& op,
+                                 const std::vector<std::pair<std::string,
+                                                             std::string>>&
+                                     fields) {
+  JsonValue::Object request{{"op", op}};
+  for (const auto& [raw_key, value] : fields) {
+    const std::string key = raw_key == "algo" ? "algorithm" : raw_key;
+    if (key == "graph" || key == "source" || key == "algorithm") {
+      request[key] = value;
+    } else if (key == "k" || key == "seed" || key == "probes") {
+      long long number = 0;
+      if (!ParseLong(value.c_str(), &number)) {
+        return Status::InvalidArgument("bad integer for --" + key + ": '" +
+                                       value + "'");
+      }
+      request[key] = static_cast<int64_t>(number);
+    } else if (key == "eps") {
+      double number = 0;
+      if (!ParseDoubleArg(value.c_str(), &number)) {
+        return Status::InvalidArgument("bad number for --eps: '" + value +
+                                       "'");
+      }
+      request[key] = number;
+    } else if (key == "group") {
+      JsonValue::Array group;
+      std::size_t start = 0;
+      while (start <= value.size()) {
+        std::size_t end = value.find(',', start);
+        if (end == std::string::npos) end = value.size();
+        if (end > start) {
+          long long id = 0;
+          if (!ParseLong(value.substr(start, end - start).c_str(), &id)) {
+            return Status::InvalidArgument("bad node id in --group");
+          }
+          group.emplace_back(static_cast<int64_t>(id));
+        }
+        start = end + 1;
+      }
+      request[key] = JsonValue(std::move(group));
+    } else {
+      return Status::InvalidArgument("unknown client flag --" + raw_key);
+    }
+  }
+  return JsonValue(std::move(request));
+}
+
+int RunClient(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string op;
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::vector<std::string> raw_lines;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    } else if (arg == "--host") {
+      host = need_value();
+    } else if (arg == "--port") {
+      long long number = 0;
+      if (!ParseLong(need_value(), &number) || number <= 0 ||
+          number > 65535) {
+        std::fprintf(stderr, "error: bad --port\n");
+        return 2;
+      }
+      port = static_cast<int>(number);
+    } else if (arg == "--op") {
+      op = need_value();
+    } else if (arg.rfind("--", 0) == 0) {
+      fields.emplace_back(arg.substr(2), need_value());
+    } else {
+      raw_lines.push_back(arg);
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "error: client requires --port\n");
+    return 2;
+  }
+  if (op.empty() && !fields.empty()) {
+    // Request flags without --op would otherwise be dropped silently and
+    // the tool would block reading stdin.
+    std::fprintf(stderr, "error: request flags like --%s require --op\n",
+                 fields.front().first.c_str());
+    return 2;
+  }
+
+  std::vector<std::string> requests = raw_lines;
+  if (!op.empty()) {
+    StatusOr<JsonValue> request = BuildRequest(op, fields);
+    if (!request.ok()) {
+      std::fprintf(stderr, "error: %s\n", request.status().ToString().c_str());
+      return 2;
+    }
+    requests.push_back(request->Serialize());
+  }
+  if (requests.empty()) {
+    // Pipe mode: one request line per stdin line.
+    char line[1 << 16];
+    while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+      std::string text = line;
+      while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+        text.pop_back();
+      }
+      if (!text.empty()) requests.push_back(std::move(text));
+    }
+  }
+
+  StatusOr<ServeClient> client = ServeClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const std::string& request : requests) {
+    Status sent = client->SendLine(request);
+    if (!sent.ok()) {
+      std::fprintf(stderr, "error: %s\n", sent.ToString().c_str());
+      return 1;
+    }
+    StatusOr<std::string> response = client->ReadLine();
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", response->c_str());
+    if (response->find("\"status\":\"error\"") != std::string::npos) {
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// In-process protocol check: proves the cache-hit determinism contract
+// end to end over a real loopback socket, with no external orchestration.
+int RunSelftest() {
+  ServeHandler handler{{}};
+  Server server{&handler, ServerOptions{.port = 0, .num_workers = 2}};
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "selftest: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  StatusOr<ServeClient> client =
+      ServeClient::Connect("127.0.0.1", server.port());
+  if (!client.ok()) {
+    std::fprintf(stderr, "selftest: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  auto call = [&](const char* line) -> std::string {
+    if (!client->SendLine(line).ok()) return "";
+    StatusOr<std::string> response = client->ReadLine();
+    return response.ok() ? *response : "";
+  };
+
+  const std::string loaded =
+      call(R"({"op":"load","graph":"karate","source":"karate"})");
+  const std::string first =
+      call(R"({"op":"solve","graph":"karate","algorithm":"forest","k":3,"seed":7})");
+  const std::string second =
+      call(R"({"op":"solve","graph":"karate","algorithm":"forest","k":3,"seed":7})");
+  server.Shutdown();
+
+  std::printf("%s\n%s\n%s\n", loaded.c_str(), first.c_str(), second.c_str());
+  if (loaded.find("\"status\":\"ok\"") == std::string::npos ||
+      first.find("\"cache\":\"miss\"") == std::string::npos ||
+      second.find("\"cache\":\"hit\"") == std::string::npos) {
+    std::fprintf(stderr, "selftest: unexpected responses\n");
+    return 1;
+  }
+  // Byte-identical apart from the cache marker: the determinism contract.
+  std::string normalized_first = first;
+  const std::size_t miss = normalized_first.find("\"cache\":\"miss\"");
+  normalized_first.replace(miss, 14, "\"cache\":\"hit\"");
+  if (normalized_first != second) {
+    std::fprintf(stderr, "selftest: hit response differs from miss response\n");
+    return 1;
+  }
+  std::printf("selftest ok\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "client") == 0) {
+    return RunClient(argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "selftest") == 0) {
+    return RunSelftest();
+  }
+  const int skip = (argc > 1 && std::strcmp(argv[1], "serve") == 0) ? 2 : 1;
+  return RunServe(argc - skip, argv + skip);
+}
