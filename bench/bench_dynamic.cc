@@ -1,0 +1,177 @@
+// Dynamic-session throughput bench: the mutate + re-solve pipeline
+// through ServeHandler (catalog -> session -> snapshot -> solver ->
+// result cache), in-process so the numbers isolate the serving stack
+// from socket noise. Three phases per graph:
+//
+//   hit            repeated identical solve — pure cache-replay path
+//   mutate         mutation only — CSR rebuild + snapshot swap + budget
+//                  re-charge per round
+//   mutate+solve   mutation then the same solve line — every solve is a
+//                  guaranteed cache miss because each mutation produces
+//                  a fingerprint never seen before
+//
+//   bench_dynamic [--smoke] [--json BENCH_dynamic.json] [--rounds N]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using cfcm::serve::JsonValue;
+using cfcm::serve::ServeHandler;
+
+struct PhaseRow {
+  std::string graph;
+  std::string phase;
+  int rounds = 0;
+  double seconds = 0.0;
+  double rps = 0.0;  // rounds per second
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  long long epoch = 0;  // session epoch when the phase ended
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool IsOk(const JsonValue& response) {
+  const JsonValue* status = response.Find("status");
+  return status != nullptr && status->is_string() &&
+         status->as_string() == "ok";
+}
+
+long long SessionEpoch(ServeHandler& handler, const std::string& name) {
+  const JsonValue stats = handler.HandleLine(R"({"op":"stats"})");
+  for (const JsonValue& session :
+       stats.Find("catalog")->Find("sessions")->array()) {
+    const JsonValue* session_name = session.Find("name");
+    if (session_name != nullptr && session_name->as_string() == name) {
+      return session.Find("epoch")->as_int();
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  int rounds = 64;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>] [--rounds N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) rounds = 16;
+
+  std::vector<std::pair<std::string, std::string>> graphs = {
+      {"karate", "karate"}};
+  if (!smoke) graphs.emplace_back("ba2000", "ba:2000,4,1");
+
+  ServeHandler handler{{}};
+  std::printf("# bench_dynamic: mutate + re-solve pipeline throughput\n");
+  std::printf("# rounds=%d per phase\n", rounds);
+  std::printf("%-8s %-12s %7s %9s %10s %6s %7s %6s\n", "graph", "phase",
+              "rounds", "seconds", "rounds/s", "hits", "misses", "epoch");
+
+  std::vector<PhaseRow> rows;
+  for (const auto& [name, spec] : graphs) {
+    const JsonValue loaded = handler.HandleLine(
+        R"({"op":"load","graph":")" + name + R"(","source":")" + spec +
+        "\"}");
+    if (!IsOk(loaded)) {
+      std::fprintf(stderr, "bench_dynamic: load failed: %s\n",
+                   loaded.Serialize().c_str());
+      return 1;
+    }
+    const std::string solve_line =
+        R"({"op":"solve","graph":")" + name +
+        R"(","algorithm":"forest","k":3,"eps":0.3,"seed":1})";
+    // Each round adds 0.001 conductance to this edge, so the running sum
+    // — and therefore the fingerprint — is new every round: every
+    // post-mutation solve is a structural cache miss.
+    const std::string mutate_line = R"({"op":"mutate","graph":")" + name +
+                                    R"(","add":[[0,1,0.001]]})";
+
+    (void)handler.HandleLine(solve_line);  // warm: one cold solve + insert
+
+    for (const char* phase : {"hit", "mutate", "mutate+solve"}) {
+      PhaseRow row;
+      row.graph = name;
+      row.phase = phase;
+      row.rounds = rounds;
+      const auto before = handler.cache().stats();
+      const double start = Now();
+      for (int i = 0; i < rounds; ++i) {
+        if (std::strcmp(phase, "hit") != 0) {
+          if (!IsOk(handler.HandleLine(mutate_line))) {
+            std::fprintf(stderr, "bench_dynamic: mutate failed\n");
+            return 1;
+          }
+        }
+        if (std::strcmp(phase, "mutate") != 0) {
+          if (!IsOk(handler.HandleLine(solve_line))) {
+            std::fprintf(stderr, "bench_dynamic: solve failed\n");
+            return 1;
+          }
+        }
+      }
+      row.seconds = Now() - start;
+      const auto after = handler.cache().stats();
+      row.rps = row.seconds > 0 ? rounds / row.seconds : 0.0;
+      row.cache_hits = static_cast<long long>(after.hits - before.hits);
+      row.cache_misses = static_cast<long long>(after.misses - before.misses);
+      row.epoch = SessionEpoch(handler, name);
+      std::printf("%-8s %-12s %7d %9.4f %10.1f %6lld %7lld %6lld\n",
+                  row.graph.c_str(), row.phase.c_str(), row.rounds,
+                  row.seconds, row.rps, row.cache_hits, row.cache_misses,
+                  row.epoch);
+      rows.push_back(row);
+    }
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_dynamic: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"benchmark\": \"dynamic_sessions\",\n"
+                 "  \"smoke\": %s,\n  \"rows\": [\n",
+                 smoke ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const PhaseRow& r = rows[i];
+      std::fprintf(out,
+                   "    {\"graph\":\"%s\",\"phase\":\"%s\",\"rounds\":%d,"
+                   "\"seconds\":%.6f,\"rps\":%.1f,\"cache_hits\":%lld,"
+                   "\"cache_misses\":%lld,\"epoch\":%lld}%s\n",
+                   r.graph.c_str(), r.phase.c_str(), r.rounds, r.seconds,
+                   r.rps, r.cache_hits, r.cache_misses, r.epoch,
+                   i + 1 == rows.size() ? "" : ",");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("# wrote %zu dynamic perf rows to %s\n", rows.size(),
+                json_path);
+  }
+  return 0;
+}

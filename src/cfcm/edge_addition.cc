@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+#include <unordered_set>
 
 #include "cfcm/cfcc.h"
 #include "common/timer.h"
@@ -52,10 +54,11 @@ StatusOr<EdgeAdditionResult> GreedyEdgeAddition(
   double trace = m.Trace();
 
   // Track the evolving edge set for candidate enumeration.
-  std::vector<std::vector<char>> adjacent(
-      static_cast<std::size_t>(n), std::vector<char>(static_cast<std::size_t>(n), 0));
+  std::unordered_set<uint64_t> adjacent;
+  adjacent.reserve(static_cast<std::size_t>(graph.num_edges()) +
+                   static_cast<std::size_t>(k));
   for (const auto& [a, b] : graph.Edges()) {
-    adjacent[a][b] = adjacent[b][a] = 1;
+    adjacent.insert(UndirectedEdgeKey(a, b));
   }
 
   EdgeAdditionResult result;
@@ -69,7 +72,7 @@ StatusOr<EdgeAdditionResult> GreedyEdgeAddition(
       const auto mu = m.Row(u);
       // (u, s) candidates: x = e_u.
       for (NodeId s : group) {
-        if (adjacent[orig_u][s]) continue;
+        if (adjacent.count(UndirectedEdgeKey(orig_u, s)) != 0) continue;
         double nrm = 0;
         for (int j = 0; j < dim; ++j) nrm += mu[j] * mu[j];
         const double gain = nrm / (1.0 + m(u, u));
@@ -83,7 +86,7 @@ StatusOr<EdgeAdditionResult> GreedyEdgeAddition(
         const auto mu_row = m.Row(u);
         for (int v = u + 1; v < dim; ++v) {
           const NodeId orig_v = index.kept[v];
-          if (adjacent[orig_u][orig_v]) continue;
+          if (adjacent.count(UndirectedEdgeKey(orig_u, orig_v)) != 0) continue;
           const auto mv = m.Row(v);
           double nrm = 0, xmx = 0;
           for (int j = 0; j < dim; ++j) {
@@ -121,8 +124,7 @@ StatusOr<EdgeAdditionResult> GreedyEdgeAddition(
       for (int j = 0; j < dim; ++j) mi[j] -= f * mx[j];
     }
     trace -= best.gain;
-    adjacent[best.orig_u][best.orig_v] = 1;
-    adjacent[best.orig_v][best.orig_u] = 1;
+    adjacent.insert(UndirectedEdgeKey(best.orig_u, best.orig_v));
     result.added.emplace_back(std::min(best.orig_u, best.orig_v),
                               std::max(best.orig_u, best.orig_v));
     result.trace_after.push_back(trace);

@@ -9,85 +9,11 @@
 
 namespace cfcm::engine {
 
-Engine::Engine(Graph graph, EngineOptions options)
-    : session_(std::make_shared<GraphSession>(std::move(graph),
-                                              options.num_threads)),
-      options_(std::move(options)) {}
+namespace {
 
-Engine::Engine(std::shared_ptr<GraphSession> session, EngineOptions options)
-    : session_(std::move(session)), options_(std::move(options)) {}
-
-StatusOr<JobResult> Engine::Run(const Job& job) const {
-  if (const auto* solve = std::get_if<SolveJob>(&job)) return RunSolve(*solve);
-  return RunEvaluate(std::get<EvaluateJob>(job));
-}
-
-std::vector<StatusOr<JobResult>> Engine::RunBatch(
-    const std::vector<Job>& jobs) const {
-  // Fill per-index slots from the pool, then move into the result vector
-  // (StatusOr is not default-constructible, so resize() is unavailable).
-  std::vector<std::optional<StatusOr<JobResult>>> slots(jobs.size());
-  session_->pool().ParallelFor(jobs.size(), [&](std::size_t i) {
-    slots[i].emplace(Run(jobs[i]));
-  });
-  std::vector<StatusOr<JobResult>> results;
-  results.reserve(jobs.size());
-  for (auto& slot : slots) results.push_back(std::move(*slot));
-  return results;
-}
-
-StatusOr<JobResult> Engine::RunSolve(const SolveJob& job) const {
-  if (!session_->is_connected()) {
-    return Status::FailedPrecondition(
-        "session graph must be connected and non-empty");
-  }
-  StatusOr<const Solver*> solver = SolverRegistry::Global().Find(job.algorithm);
-  if (!solver.ok()) return solver.status();
-
-  CfcmOptions options = options_.solver_defaults;
-  options.eps = job.eps;
-  options.seed = job.seed;
-  // Sampling reuses the cached session pool; nested ParallelFor is safe
-  // (see ThreadPool) and results are invariant to the pool size.
-  options.pool = &session_->pool();
-
-  StatusOr<SolveOutput> output =
-      (*solver)->Solve(session_->graph(), job.k, options);
-  if (!output.ok()) return output.status();
-
-  SolveJobResult result;
-  result.algorithm = job.algorithm;
-  result.output = std::move(*output);
-
-  // Policy: exact scoring below the ceiling, probed above. At least one
-  // probe when probing is required, so a misconfigured eval_probes never
-  // turns a finished solve into an evaluation error.
-  const NodeId remaining =
-      session_->num_nodes() - static_cast<NodeId>(result.output.selected.size());
-  const int probes = remaining <= options_.exact_eval_max_n
-                         ? 0
-                         : std::max(1, options_.eval_probes);
-  StatusOr<EvaluateJobResult> eval =
-      EvaluateGroup(result.output.selected, probes, job.seed);
-  if (!eval.ok()) return eval.status();
-  result.cfcc = eval->cfcc;
-  return JobResult(std::move(result));
-}
-
-StatusOr<JobResult> Engine::RunEvaluate(const EvaluateJob& job) const {
-  if (!session_->is_connected()) {
-    return Status::FailedPrecondition(
-        "session graph must be connected and non-empty");
-  }
-  StatusOr<EvaluateJobResult> eval =
-      EvaluateGroup(job.group, job.probes, job.seed);
-  if (!eval.ok()) return eval.status();
-  return JobResult(std::move(*eval));
-}
-
-StatusOr<EvaluateJobResult> Engine::EvaluateGroup(
-    const std::vector<NodeId>& group, int probes, uint64_t seed) const {
-  const NodeId n = session_->num_nodes();
+// Group sanity shared by evaluate and augment jobs: in-range, distinct
+// ids leaving at least one free node.
+Status ValidateGroup(NodeId n, const std::vector<NodeId>& group) {
   if (group.empty()) {
     return Status::InvalidArgument("group must be non-empty");
   }
@@ -105,6 +31,150 @@ StatusOr<EvaluateJobResult> Engine::EvaluateGroup(
   if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
     return Status::InvalidArgument("group contains duplicate node ids");
   }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Engine::Engine(Graph graph, EngineOptions options)
+    : session_(std::make_shared<GraphSession>(std::move(graph),
+                                              options.num_threads)),
+      options_(std::move(options)) {}
+
+Engine::Engine(std::shared_ptr<GraphSession> session, EngineOptions options)
+    : session_(std::move(session)), options_(std::move(options)) {}
+
+StatusOr<JobResult> Engine::Run(const Job& job) const {
+  // Pin the snapshot: a concurrent Mutate swaps the session's current
+  // snapshot but cannot change (or free) the graph this job runs on.
+  return Run(job, session_->snapshot());
+}
+
+StatusOr<JobResult> Engine::Run(
+    const Job& job,
+    const std::shared_ptr<const GraphSnapshot>& snapshot) const {
+  if (const auto* solve = std::get_if<SolveJob>(&job)) {
+    return RunSolve(*solve, *snapshot);
+  }
+  if (const auto* augment = std::get_if<AugmentJob>(&job)) {
+    return RunAugment(*augment, *snapshot);
+  }
+  return RunEvaluate(std::get<EvaluateJob>(job), *snapshot);
+}
+
+std::vector<StatusOr<JobResult>> Engine::RunBatch(
+    const std::vector<Job>& jobs) const {
+  // Fill per-index slots from the pool, then move into the result vector
+  // (StatusOr is not default-constructible, so resize() is unavailable).
+  std::vector<std::optional<StatusOr<JobResult>>> slots(jobs.size());
+  session_->pool().ParallelFor(jobs.size(), [&](std::size_t i) {
+    slots[i].emplace(Run(jobs[i]));
+  });
+  std::vector<StatusOr<JobResult>> results;
+  results.reserve(jobs.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+StatusOr<JobResult> Engine::RunSolve(const SolveJob& job,
+                                     const GraphSnapshot& snapshot) const {
+  if (!snapshot.is_connected()) {
+    return Status::FailedPrecondition(
+        "session graph must be connected and non-empty");
+  }
+  StatusOr<const Solver*> solver = SolverRegistry::Global().Find(job.algorithm);
+  if (!solver.ok()) return solver.status();
+
+  CfcmOptions options = options_.solver_defaults;
+  options.eps = job.eps;
+  options.seed = job.seed;
+  // Sampling reuses the cached session pool; nested ParallelFor is safe
+  // (see ThreadPool) and results are invariant to the pool size.
+  options.pool = &session_->pool();
+
+  StatusOr<SolveOutput> output =
+      (*solver)->Solve(snapshot.graph(), job.k, options);
+  if (!output.ok()) return output.status();
+
+  SolveJobResult result;
+  result.algorithm = job.algorithm;
+  result.output = std::move(*output);
+
+  // Policy: exact scoring below the ceiling, probed above. At least one
+  // probe when probing is required, so a misconfigured eval_probes never
+  // turns a finished solve into an evaluation error.
+  const NodeId remaining =
+      snapshot.num_nodes() -
+      static_cast<NodeId>(result.output.selected.size());
+  const int probes = remaining <= options_.exact_eval_max_n
+                         ? 0
+                         : std::max(1, options_.eval_probes);
+  StatusOr<EvaluateJobResult> eval =
+      EvaluateGroup(snapshot, result.output.selected, probes, job.seed);
+  if (!eval.ok()) return eval.status();
+  result.cfcc = eval->cfcc;
+  return JobResult(std::move(result));
+}
+
+StatusOr<JobResult> Engine::RunEvaluate(const EvaluateJob& job,
+                                        const GraphSnapshot& snapshot) const {
+  if (!snapshot.is_connected()) {
+    return Status::FailedPrecondition(
+        "session graph must be connected and non-empty");
+  }
+  StatusOr<EvaluateJobResult> eval =
+      EvaluateGroup(snapshot, job.group, job.probes, job.seed);
+  if (!eval.ok()) return eval.status();
+  return JobResult(std::move(*eval));
+}
+
+StatusOr<JobResult> Engine::RunAugment(const AugmentJob& job,
+                                       const GraphSnapshot& snapshot) const {
+  // GreedyEdgeAddition re-checks connectivity, but rejecting here keeps
+  // the error identical to the other job kinds.
+  if (!snapshot.is_connected()) {
+    return Status::FailedPrecondition(
+        "session graph must be connected and non-empty");
+  }
+  // Validate the group BEFORE the size gate: duplicate ids would shrink
+  // `remaining` below the true kept-node count and bypass the dense-
+  // allocation ceiling.
+  const NodeId n = snapshot.num_nodes();
+  Status group_ok = ValidateGroup(n, job.group);
+  if (!group_ok.ok()) return group_ok;
+  const NodeId remaining = n - static_cast<NodeId>(job.group.size());
+  if (remaining > options_.augment_max_n ||
+      job.k > static_cast<int>(options_.augment_max_n)) {
+    return Status::InvalidArgument(
+        "augment needs a dense " + std::to_string(remaining) +
+        "^2 inverse over " + std::to_string(job.k) +
+        " rounds (ceiling " + std::to_string(options_.augment_max_n) +
+        " for both); the sampled augment analogue is future work");
+  }
+  StatusOr<EdgeAdditionResult> added = GreedyEdgeAddition(
+      snapshot.graph(), job.group, job.k, job.candidates);
+  if (!added.ok()) return added.status();
+
+  AugmentJobResult result;
+  result.added = std::move(added->added);
+  result.trace_after = std::move(added->trace_after);
+  result.initial_trace = added->initial_trace;
+  const double nodes = static_cast<double>(n);
+  result.cfcc_before =
+      result.initial_trace > 0 ? nodes / result.initial_trace : 0.0;
+  result.cfcc_after = !result.trace_after.empty() && result.trace_after.back() > 0
+                          ? nodes / result.trace_after.back()
+                          : result.cfcc_before;
+  result.seconds = added->seconds;
+  return JobResult(std::move(result));
+}
+
+StatusOr<EvaluateJobResult> Engine::EvaluateGroup(
+    const GraphSnapshot& snapshot, const std::vector<NodeId>& group,
+    int probes, uint64_t seed) const {
+  const NodeId n = snapshot.num_nodes();
+  Status group_ok = ValidateGroup(n, group);
+  if (!group_ok.ok()) return group_ok;
 
   EvaluateJobResult result;
   if (probes <= 0) {
@@ -115,11 +185,11 @@ StatusOr<EvaluateJobResult> Engine::EvaluateGroup(
           "^2 inverse (ceiling " + std::to_string(options_.exact_eval_max_n) +
           "); set probes > 0 for Hutchinson estimation");
     }
-    result.trace = ExactTraceInverseSubmatrix(session_->graph(), group);
+    result.trace = ExactTraceInverseSubmatrix(snapshot.graph(), group);
     result.cfcc = static_cast<double>(n) / result.trace;
   } else {
     const ApproxCfcc approx =
-        ApproximateGroupCfcc(session_->graph(), group, probes, seed);
+        ApproximateGroupCfcc(snapshot.graph(), group, probes, seed);
     result.cfcc = approx.cfcc;
     result.trace = approx.trace;
     result.trace_std_error = approx.trace_std_error;

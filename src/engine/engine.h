@@ -9,6 +9,7 @@
 #include <variant>
 #include <vector>
 
+#include "cfcm/edge_addition.h"
 #include "cfcm/options.h"
 #include "common/status.h"
 #include "engine/registry.h"
@@ -39,7 +40,18 @@ struct EvaluateJob {
   uint64_t seed = 1;  ///< probe RNG seed (probes > 0 only)
 };
 
-using Job = std::variant<SolveJob, EvaluateJob>;
+/// Greedy edge addition for a fixed group: which k edges, added to the
+/// graph, maximize C(S) — the paper's §VI open problem served as a
+/// first-class job. Purely computational: the session graph is not
+/// modified (the serving layer turns the result into a GraphDelta when
+/// the caller asks for it to be applied).
+struct AugmentJob {
+  std::vector<NodeId> group;
+  int k = 1;  ///< number of edges to add
+  EdgeCandidates candidates = EdgeCandidates::kToGroup;
+};
+
+using Job = std::variant<SolveJob, EvaluateJob, AugmentJob>;
 
 /// Result of a SolveJob: what the solver returned plus the evaluated
 /// group centrality.
@@ -57,7 +69,18 @@ struct EvaluateJobResult {
   double trace_std_error = 0.0;   ///< 0 for exact evaluation
 };
 
-using JobResult = std::variant<SolveJobResult, EvaluateJobResult>;
+/// Result of an AugmentJob.
+struct AugmentJobResult {
+  std::vector<std::pair<NodeId, NodeId>> added;  ///< greedy order, u < v
+  std::vector<double> trace_after;  ///< Tr(L'_{-S}^{-1}) after each edge
+  double initial_trace = 0.0;       ///< before any addition
+  double cfcc_before = 0.0;         ///< n / initial_trace
+  double cfcc_after = 0.0;          ///< n / trace_after.back()
+  double seconds = 0.0;
+};
+
+using JobResult = std::variant<SolveJobResult, EvaluateJobResult,
+                               AugmentJobResult>;
 
 /// Engine-wide policy knobs.
 struct EngineOptions {
@@ -68,6 +91,16 @@ struct EngineOptions {
   NodeId exact_eval_max_n = 512;
   int eval_probes = 64;  ///< probes used above the exact ceiling
                          ///< (values < 1 are clamped to 1 there)
+
+  /// AugmentJobs are rejected when the remaining matrix (n - |S|)
+  /// exceeds this, or when k does: GreedyEdgeAddition maintains a
+  /// dense (n - |S|)^2 inverse and spends O((n-|S|)^3 + k (n-|S|)^2)
+  /// time, and a serving daemon must not let one wire request allocate
+  /// or compute unboundedly (the Monte-Carlo augment analogue is
+  /// future work, mirroring the paper's §VI). Direct
+  /// GreedyEdgeAddition callers are deliberately unlimited; cfcm_cli
+  /// raises the ceiling to 4096 as a trusted local caller.
+  NodeId augment_max_n = 1024;
 
   /// Base sampling options for every SolveJob; the job's eps / seed
   /// fields override the corresponding members, and the session pool
@@ -80,6 +113,11 @@ struct EngineOptions {
 /// Jobs in a batch run concurrently on the session pool, yet every
 /// result is identical to running that job alone: solvers are
 /// deterministic per seed and jobs share only immutable state.
+///
+/// Every job pins the session's current GraphSnapshot for its whole
+/// run, so a concurrent GraphSession::Mutate never changes what an
+/// in-flight job computes on — results are bit-for-bit those of the
+/// snapshot the job started from (DESIGN.md §11).
 class Engine {
  public:
   /// Owns a fresh session over `graph`.
@@ -93,8 +131,20 @@ class Engine {
   const GraphSession& session() const { return *session_; }
   const EngineOptions& options() const { return options_; }
 
-  /// Runs one job synchronously on the calling thread.
+  /// Runs one job synchronously on the calling thread, pinned to the
+  /// session's current snapshot.
   StatusOr<JobResult> Run(const Job& job) const;
+
+  /// \brief Runs one job against an explicitly pinned snapshot.
+  ///
+  /// Callers that derive other state from the graph version (the serve
+  /// layer keys its result cache by the content fingerprint) pin once
+  /// and pass the snapshot here, so the key and the computation are
+  /// guaranteed to describe the same graph even while mutations land
+  /// concurrently.
+  StatusOr<JobResult> Run(const Job& job,
+                          const std::shared_ptr<const GraphSnapshot>&
+                              snapshot) const;
 
   /// \brief Runs all jobs concurrently on the session pool.
   ///
@@ -105,12 +155,17 @@ class Engine {
   std::vector<StatusOr<JobResult>> RunBatch(const std::vector<Job>& jobs) const;
 
  private:
-  StatusOr<JobResult> RunSolve(const SolveJob& job) const;
-  StatusOr<JobResult> RunEvaluate(const EvaluateJob& job) const;
+  StatusOr<JobResult> RunSolve(const SolveJob& job,
+                               const GraphSnapshot& snapshot) const;
+  StatusOr<JobResult> RunEvaluate(const EvaluateJob& job,
+                                  const GraphSnapshot& snapshot) const;
+  StatusOr<JobResult> RunAugment(const AugmentJob& job,
+                                 const GraphSnapshot& snapshot) const;
 
-  /// C(S) plus trace diagnostics for `group`; exact or probed per
-  /// EngineOptions (see SolveJobResult::cfcc).
-  StatusOr<EvaluateJobResult> EvaluateGroup(const std::vector<NodeId>& group,
+  /// C(S) plus trace diagnostics for `group` on the pinned `snapshot`;
+  /// exact or probed per EngineOptions (see SolveJobResult::cfcc).
+  StatusOr<EvaluateJobResult> EvaluateGroup(const GraphSnapshot& snapshot,
+                                            const std::vector<NodeId>& group,
                                             int probes, uint64_t seed) const;
 
   std::shared_ptr<GraphSession> session_;

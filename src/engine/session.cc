@@ -26,19 +26,15 @@ uint64_t FnvMix(uint64_t hash, const void* data, std::size_t bytes) {
 
 }  // namespace
 
-GraphSession::GraphSession(Graph graph, int num_threads)
-    : graph_(std::move(graph)), num_threads_(num_threads) {}
+GraphSnapshot::GraphSnapshot(Graph graph) : graph_(std::move(graph)) {}
 
-GraphSession::GraphSession(Graph graph, ThreadPool* shared_pool)
-    : graph_(std::move(graph)), num_threads_(0), shared_pool_(shared_pool) {}
-
-bool GraphSession::is_connected() const {
+bool GraphSnapshot::is_connected() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (!connected_.has_value()) connected_ = IsConnected(graph_);
   return *connected_;
 }
 
-const std::vector<NodeId>& GraphSession::degree_order() const {
+const std::vector<NodeId>& GraphSnapshot::degree_order() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (!degree_order_.has_value()) {
     std::vector<NodeId> order(graph_.num_nodes());
@@ -53,7 +49,7 @@ const std::vector<NodeId>& GraphSession::degree_order() const {
   return *degree_order_;
 }
 
-const CsrMatrix& GraphSession::laplacian() const {
+const CsrMatrix& GraphSnapshot::laplacian() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (!laplacian_.has_value()) {
     const NodeId n = graph_.num_nodes();
@@ -73,17 +69,7 @@ const CsrMatrix& GraphSession::laplacian() const {
   return *laplacian_;
 }
 
-ThreadPool& GraphSession::pool() const {
-  if (shared_pool_ != nullptr) return *shared_pool_;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!pool_) {
-    pool_ = std::make_unique<ThreadPool>(
-        num_threads_ > 0 ? static_cast<std::size_t>(num_threads_) : 0);
-  }
-  return *pool_;
-}
-
-uint64_t GraphSession::fingerprint() const {
+uint64_t GraphSnapshot::fingerprint() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (!fingerprint_.has_value()) {
     const NodeId n = graph_.num_nodes();
@@ -102,13 +88,14 @@ uint64_t GraphSession::fingerprint() const {
   return *fingerprint_;
 }
 
-std::size_t GraphSession::memory_bytes() const {
-  const auto n = static_cast<std::size_t>(graph_.num_nodes());
-  const std::size_t adjacency = graph_.raw_neighbors().size();  // 2m
+std::size_t EstimateSessionBytes(NodeId n_nodes, EdgeId m_edges,
+                                 bool weighted) {
+  const auto n = static_cast<std::size_t>(n_nodes);
+  const std::size_t adjacency = 2 * static_cast<std::size_t>(m_edges);
   // Graph CSR: offsets + neighbors (+ weights and weighted degrees when
   // conductances are stored).
   std::size_t bytes = (n + 1) * sizeof(EdgeId) + adjacency * sizeof(NodeId);
-  if (!graph_.is_unit_weighted()) {
+  if (weighted) {
     bytes += adjacency * sizeof(double) + n * sizeof(double);
   }
   // Lazy caches at full materialization: CSR Laplacian (n + 2m entries of
@@ -117,6 +104,61 @@ std::size_t GraphSession::memory_bytes() const {
            (n + 1) * sizeof(EdgeId);
   bytes += n * sizeof(NodeId);
   return bytes;
+}
+
+std::size_t GraphSnapshot::memory_bytes() const {
+  return EstimateSessionBytes(graph_.num_nodes(), graph_.num_edges(),
+                              !graph_.is_unit_weighted());
+}
+
+GraphSession::GraphSession(Graph graph, int num_threads)
+    : num_threads_(num_threads),
+      snapshot_(std::make_shared<const GraphSnapshot>(std::move(graph))) {}
+
+GraphSession::GraphSession(Graph graph, ThreadPool* shared_pool)
+    : num_threads_(0),
+      shared_pool_(shared_pool),
+      snapshot_(std::make_shared<const GraphSnapshot>(std::move(graph))) {}
+
+std::shared_ptr<const GraphSnapshot> GraphSession::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+uint64_t GraphSession::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+GraphSession::VersionedSnapshot GraphSession::versioned_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {snapshot_, epoch_};
+}
+
+StatusOr<GraphSession::VersionedSnapshot> GraphSession::Mutate(
+    const GraphDelta& delta) {
+  // Mutators serialize on mutate_mu_ so concurrent deltas compose
+  // (second applies to first's result, no lost update); readers only
+  // contend on mu_ for the pointer swap, never the CSR rebuild.
+  std::lock_guard<std::mutex> mutate_lock(mutate_mu_);
+  const std::shared_ptr<const GraphSnapshot> current = snapshot();
+  StatusOr<Graph> next = current->graph().Apply(delta);
+  if (!next.ok()) return next.status();
+  auto fresh = std::make_shared<const GraphSnapshot>(std::move(*next));
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_ = fresh;
+  ++epoch_;
+  return VersionedSnapshot{std::move(fresh), epoch_};
+}
+
+ThreadPool& GraphSession::pool() const {
+  if (shared_pool_ != nullptr) return *shared_pool_;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!pool_) {
+    pool_ = std::make_unique<ThreadPool>(
+        num_threads_ > 0 ? static_cast<std::size_t>(num_threads_) : 0);
+  }
+  return *pool_;
 }
 
 }  // namespace cfcm::engine

@@ -1,0 +1,173 @@
+#include "graph/delta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "graph/builder.h"
+
+namespace cfcm {
+
+namespace {
+
+std::string EdgeName(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return "{" + std::to_string(u) + ", " + std::to_string(v) + "}";
+}
+
+// Shared endpoint validation: ids must name a base node or one of the
+// nodes this delta appends. `op` labels the error.
+Status CheckEndpoints(NodeId u, NodeId v, NodeId num_nodes, const char* op) {
+  if (u < 0 || v < 0) {
+    return Status::InvalidArgument(std::string(op) + " edge " +
+                                   EdgeName(u, v) +
+                                   " has a negative node id");
+  }
+  if (u >= num_nodes || v >= num_nodes) {
+    return Status::OutOfRange(
+        std::string(op) + " edge " + EdgeName(u, v) + " endpoint outside [0, " +
+        std::to_string(num_nodes) + ") — AddNodes first to grow the graph");
+  }
+  if (u == v) {
+    return Status::InvalidArgument(std::string(op) + " edge " +
+                                   EdgeName(u, v) +
+                                   " is a self-loop (no resistance "
+                                   "information; rejected)");
+  }
+  return Status::Ok();
+}
+
+Status CheckWeight(double weight, NodeId u, NodeId v, const char* op) {
+  if (!std::isfinite(weight) || weight <= 0.0) {
+    return Status::InvalidArgument(
+        std::string(op) + " edge " + EdgeName(u, v) +
+        ": conductance must be positive and finite, got " +
+        std::to_string(weight));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Graph> Graph::Apply(const GraphDelta& delta) const {
+  if (delta.add_nodes() < 0 || delta.has_negative_add_nodes()) {
+    return Status::InvalidArgument(
+        "AddNodes counts must be non-negative (accumulated " +
+        std::to_string(delta.add_nodes()) + ")");
+  }
+  const int64_t n_total =
+      static_cast<int64_t>(num_nodes()) + delta.add_nodes();
+  if (n_total > std::numeric_limits<NodeId>::max()) {
+    return Status::OutOfRange("AddNodes would overflow the node id space (" +
+                              std::to_string(n_total) + " total nodes)");
+  }
+  const NodeId n_new = static_cast<NodeId>(n_total);
+
+  // Working copy of the undirected edge set with conductances. The map
+  // carries the mutation phase; the deterministic CSR layout comes from
+  // the final GraphBuilder pass, which sorts regardless of visit order.
+  std::vector<WeightedEdge> edges = WeightedEdges();
+  std::unordered_map<uint64_t, std::size_t> index;  // key -> edges slot
+  index.reserve(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    index.emplace(UndirectedEdgeKey(edges[i].u, edges[i].v), i);
+  }
+  // Removed slots are tombstoned with weight 0 (never a valid
+  // conductance) instead of erased, keeping the pass O(m + |delta|).
+  constexpr double kRemoved = 0.0;
+
+  // Phase 1: removals.
+  for (const auto& [u, v] : delta.remove_edges()) {
+    Status valid = CheckEndpoints(u, v, n_new, "remove");
+    if (!valid.ok()) return valid;
+    auto it = index.find(UndirectedEdgeKey(u, v));
+    if (it == index.end()) {
+      return Status::NotFound("remove edge " + EdgeName(u, v) +
+                              ": not an edge of the graph");
+    }
+    edges[it->second].weight = kRemoved;
+    index.erase(it);
+  }
+
+  // Phase 2: reweights.
+  for (const GraphDelta::Edge& e : delta.reweight_edges()) {
+    Status valid = CheckEndpoints(e.u, e.v, n_new, "reweight");
+    if (!valid.ok()) return valid;
+    Status weight_ok = CheckWeight(e.weight, e.u, e.v, "reweight");
+    if (!weight_ok.ok()) return weight_ok;
+    auto it = index.find(UndirectedEdgeKey(e.u, e.v));
+    if (it == index.end()) {
+      return Status::NotFound("reweight edge " + EdgeName(e.u, e.v) +
+                              ": not an edge of the graph (removals in the "
+                              "same delta apply first)");
+    }
+    edges[it->second].weight = e.weight;
+  }
+
+  // Phase 3: additions — duplicates (against the base or within the
+  // delta) sum conductances, the GraphBuilder parallel-conductor rule.
+  for (const GraphDelta::Edge& e : delta.add_edges()) {
+    Status valid = CheckEndpoints(e.u, e.v, n_new, "add");
+    if (!valid.ok()) return valid;
+    Status weight_ok = CheckWeight(e.weight, e.u, e.v, "add");
+    if (!weight_ok.ok()) return weight_ok;
+    auto [it, inserted] = index.emplace(UndirectedEdgeKey(e.u, e.v), edges.size());
+    if (inserted) {
+      edges.push_back({std::min(e.u, e.v), std::max(e.u, e.v), e.weight});
+    } else {
+      edges[it->second].weight += e.weight;
+    }
+  }
+
+  // Shared-nothing rebuild. Weighted AddEdge keeps builder semantics:
+  // validation already happened above, and a surviving all-1.0 weight
+  // set degrades back to a unit-weighted graph.
+  GraphBuilder builder(n_new);
+  for (const WeightedEdge& e : edges) {
+    if (e.weight == kRemoved) continue;
+    builder.AddEdge(e.u, e.v, e.weight);
+  }
+  return std::move(builder).Build();
+}
+
+StatusOr<GraphDelta> InverseOf(const Graph& base, const GraphDelta& delta) {
+  if (delta.add_nodes() != 0) {
+    return Status::InvalidArgument(
+        "a delta that adds nodes has no inverse (nodes cannot be removed)");
+  }
+  StatusOr<Graph> applied = base.Apply(delta);
+  if (!applied.ok()) return applied.status();
+
+  // Diff the two sorted edge sets; WeightedEdges() is ordered by (u, v).
+  const std::vector<WeightedEdge> before = base.WeightedEdges();
+  const std::vector<WeightedEdge> after = applied->WeightedEdges();
+  auto precedes = [](const WeightedEdge& a, const WeightedEdge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  };
+  GraphDelta inverse;
+  std::size_t i = 0, j = 0;
+  while (i < before.size() || j < after.size()) {
+    if (j == after.size() ||
+        (i < before.size() && precedes(before[i], after[j]))) {
+      // Removed by the delta: the inverse restores the original bits.
+      inverse.AddEdge(before[i].u, before[i].v, before[i].weight);
+      ++i;
+    } else if (i == before.size() || precedes(after[j], before[i])) {
+      // Introduced by the delta: the inverse removes it.
+      inverse.RemoveEdge(after[j].u, after[j].v);
+      ++j;
+    } else {
+      if (before[i].weight != after[j].weight) {
+        inverse.ReweightEdge(before[i].u, before[i].v, before[i].weight);
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return inverse;
+}
+
+}  // namespace cfcm

@@ -8,7 +8,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace cfcm {
+
+class GraphDelta;
 
 using NodeId = int32_t;
 using EdgeId = int64_t;
@@ -19,6 +23,15 @@ struct WeightedEdge {
   NodeId v = -1;
   double weight = 1.0;
 };
+
+/// Canonical 64-bit key of the undirected edge {u, v}: endpoint order
+/// does not matter. Shared by everything that hash-indexes edge sets
+/// (delta application, greedy edge addition).
+inline uint64_t UndirectedEdgeKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint32_t>(v);
+}
 
 /// \brief Simple undirected graph in compressed sparse row form.
 ///
@@ -109,6 +122,19 @@ class Graph {
 
   /// All undirected edges with conductances, u < v.
   std::vector<WeightedEdge> WeightedEdges() const;
+
+  /// \brief Applies `delta` and returns a NEW immutable graph; this
+  /// graph is untouched (copy-on-write snapshot semantics).
+  ///
+  /// The result is rebuilt shared-nothing through GraphBuilder, so every
+  /// builder invariant carries over: sorted adjacency lists, duplicate
+  /// additions summing conductances, and degradation to a unit-weighted
+  /// graph whenever every surviving conductance is exactly 1.0.
+  /// Validation errors (missing edge removal/reweight, non-positive or
+  /// non-finite weight, self-loop, endpoint outside the post-delta node
+  /// range) reject the whole delta — Apply is all-or-nothing.
+  /// Defined in graph/delta.cc.
+  StatusOr<Graph> Apply(const GraphDelta& delta) const;
 
   /// Raw CSR access for kernels that iterate all adjacencies.
   const std::vector<EdgeId>& offsets() const { return offsets_; }

@@ -1,11 +1,42 @@
 #include "serve/catalog.h"
 
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
 #include <utility>
 
 #include "graph/spec.h"
 #include "runtime/shared_pool.h"
 
 namespace cfcm::serve {
+
+namespace {
+
+// Whether the post-delta graph can carry explicit conductances. True
+// when the base is already weighted, the delta reweights anything or
+// adds a non-unit edge — and also when a UNIT add merges with an
+// existing or duplicate edge: the parallel-conductor rule sums the
+// conductances to 2.0, de-degrading the graph to weighted, so its real
+// footprint includes the weight arrays. Over-projects (never under-)
+// for deltas that happen to degrade back to unit.
+bool ProjectsWeighted(const Graph& graph, const GraphDelta& delta) {
+  if (!graph.is_unit_weighted() || !delta.reweight_edges().empty()) {
+    return true;
+  }
+  std::unordered_set<uint64_t> seen;
+  const NodeId n = graph.num_nodes();
+  for (const GraphDelta::Edge& e : delta.add_edges()) {
+    if (e.weight != 1.0) return true;
+    if (e.u >= 0 && e.u < n && e.v >= 0 && e.v < n &&
+        graph.HasEdge(e.u, e.v)) {
+      return true;
+    }
+    if (!seen.insert(UndirectedEdgeKey(e.u, e.v)).second) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 SessionCatalog::SessionCatalog(CatalogOptions options)
     : options_(options), pool_(&SharedThreadPool(options.num_threads)) {}
@@ -96,13 +127,142 @@ StatusOr<std::shared_ptr<engine::GraphSession>> SessionCatalog::Acquire(
   return session;
 }
 
+StatusOr<SessionCatalog::MutateResult> SessionCatalog::Mutate(
+    const std::string& name, const GraphDelta& delta) {
+  // The (rare) retry covers one narrow race: another Acquire evicting
+  // this session between our Acquire and the pin below.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    StatusOr<std::shared_ptr<engine::GraphSession>> lease = Acquire(name);
+    if (!lease.ok()) return lease.status();
+
+    uint64_t generation = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto it = entries_.find(name);
+      // Mutations of one graph serialize here (they would serialize on
+      // the session's rebuild mutex anyway): the budget projection
+      // below therefore always measures the LATEST snapshot — two
+      // concurrent deltas cannot both be admitted against the same
+      // pre-mutation size.
+      while (it != entries_.end() &&
+             (it->second.loading || it->second.mutating)) {
+        cv_.wait(lock);
+        it = entries_.find(name);
+      }
+      if (it == entries_.end()) {
+        return Status::NotFound("graph '" + name +
+                                "' was removed before the mutation applied");
+      }
+      if (it->second.session != *lease) continue;  // evicted meanwhile; retry
+      generation = it->second.generation;
+
+      // Project the post-mutation footprint against the byte budget and
+      // reject BEFORE rebuilding. Loads may exceed the budget (an
+      // oversized session is still evictable, so the overage is
+      // transient) — a mutated session is pinned and cannot be evicted,
+      // so the projection must fit alongside every OTHER pinned
+      // session's charge or the budget becomes unenforceable.
+      std::size_t projected = 0;
+      if (options_.memory_budget_bytes > 0) {
+        const std::shared_ptr<const engine::GraphSnapshot> current =
+            (*lease)->snapshot();
+        const int64_t nodes =
+            std::min<int64_t>(static_cast<int64_t>(current->num_nodes()) +
+                                  delta.add_nodes(),
+                              std::numeric_limits<NodeId>::max());
+        // Removals shrink the projection: a successful Apply removes
+        // exactly remove_edges() (a missing edge fails the whole
+        // delta), so an over-budget session CAN be mutated smaller.
+        const int64_t edges = std::max<int64_t>(
+            0, current->num_edges() +
+                   static_cast<int64_t>(delta.add_edges().size()) -
+                   static_cast<int64_t>(delta.remove_edges().size()));
+        projected = engine::EstimateSessionBytes(
+            static_cast<NodeId>(nodes), edges,
+            ProjectsWeighted(current->graph(), delta));
+        std::size_t pinned_other = 0;
+        for (const auto& [other_name, other] : entries_) {
+          if (other_name == name || other.session == nullptr) continue;
+          if (!other.mutated && !other.mutating) continue;  // evictable
+          pinned_other += std::max(other.bytes, other.projected_bytes);
+        }
+        if (projected + pinned_other > options_.memory_budget_bytes) {
+          return Status::FailedPrecondition(
+              "mutation of graph '" + name + "' would need ~" +
+              std::to_string(projected) + " resident bytes (plus " +
+              std::to_string(pinned_other) +
+              " in other pinned sessions), over the catalog budget of " +
+              std::to_string(options_.memory_budget_bytes) +
+              " (mutated sessions are pinned from eviction, so they "
+              "must fit the budget)");
+        }
+      }
+      // Pin the entry from eviction while the rebuild runs, so the
+      // catalog can never drop-and-reload the session — silently
+      // undoing a delta — between the rebuild and the byte re-charge.
+      it->second.mutating = true;
+      it->second.projected_bytes = projected;
+    }
+
+    // The CSR rebuild runs outside the catalog lock.
+    StatusOr<engine::GraphSession::VersionedSnapshot> applied =
+        (*lease)->Mutate(delta);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    // Release the mutation slot whenever the entry we pinned still
+    // exists (the session pointer may have been cleared by an explicit
+    // Unload; the pin must not outlive our call either way).
+    const bool entry_alive =
+        it != entries_.end() && it->second.generation == generation;
+    if (entry_alive) {
+      it->second.mutating = false;
+      it->second.projected_bytes = 0;
+      cv_.notify_all();
+    }
+    const bool tracked = entry_alive && it->second.session == *lease;
+    if (!applied.ok()) {
+      // The permanent pin reflects whether the session truly holds
+      // mutations; the ground truth is the session epoch (a concurrent
+      // Mutate may have succeeded while we were rebuilding).
+      if (tracked) it->second.mutated = (*lease)->epoch() > 0;
+      return applied.status();
+    }
+    if (tracked) {
+      it->second.mutated = true;
+      // Re-charge the byte budget with the post-mutation footprint so
+      // the catalog and budget never see pre-mutation values; growth
+      // may evict *other* sessions.
+      const std::size_t bytes = (*lease)->memory_bytes();
+      resident_bytes_ += bytes;
+      resident_bytes_ -= it->second.bytes;
+      it->second.bytes = bytes;
+      it->second.last_use = ++tick_;
+      mutations_ += 1;
+      EvictOverBudgetLocked(name);
+    }
+    // If the entry was Forgotten mid-mutation the delta still applied to
+    // the leased session (the caller observes it); the catalog simply no
+    // longer tracks that session.
+    return MutateResult{std::move(*lease), std::move(*applied)};
+  }
+  return Status::FailedPrecondition(
+      "graph '" + name +
+      "' kept being evicted concurrently; retry the mutation");
+}
+
 void SessionCatalog::EvictOverBudgetLocked(const std::string& keep) {
   if (options_.memory_budget_bytes == 0) return;
   while (resident_bytes_ > options_.memory_budget_bytes) {
     auto victim = entries_.end();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      // Mutated sessions are pinned: their source spec no longer
+      // describes their contents, so an eviction-reload would silently
+      // undo the mutations. In-flight mutations (mutating) pin too — a
+      // rebuild may be about to land on that session.
       if (it->first == keep || it->second.session == nullptr ||
-          it->second.loading) {
+          it->second.loading || it->second.mutated ||
+          it->second.mutating) {
         continue;
       }
       if (victim == entries_.end() ||
@@ -140,6 +300,9 @@ Status SessionCatalog::Unload(const std::string& name) {
     it->second.session.reset();
     it->second.bytes = 0;
   }
+  // Unloading a mutated session explicitly discards its mutations; the
+  // next Acquire reloads the pristine source spec.
+  it->second.mutated = false;
   return Status::Ok();
 }
 
@@ -170,14 +333,17 @@ CatalogStats SessionCatalog::stats() const {
   CatalogStats stats;
   stats.loads = loads_;
   stats.evictions = evictions_;
+  stats.mutations = mutations_;
   stats.resident_bytes = resident_bytes_;
   for (const auto& [name, entry] : entries_) {
     CatalogSessionInfo info;
     info.name = name;
     info.source = entry.source;
     info.resident = entry.session != nullptr;
+    info.mutated = entry.mutated;
     info.bytes = entry.bytes;
     info.loads = entry.loads;
+    info.epoch = entry.session != nullptr ? entry.session->epoch() : 0;
     stats.sessions.push_back(std::move(info));
   }
   return stats;

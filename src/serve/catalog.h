@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/session.h"
+#include "graph/delta.h"
 
 namespace cfcm::serve {
 
@@ -35,13 +36,16 @@ struct CatalogSessionInfo {
   std::string name;
   std::string source;
   bool resident = false;
+  bool mutated = false;   ///< diverged from its source spec via Mutate
   std::size_t bytes = 0;  ///< memory_bytes() of the loaded session
   uint64_t loads = 0;     ///< times this name was (re)loaded
+  uint64_t epoch = 0;     ///< session mutation epoch (0 = as loaded)
 };
 
 struct CatalogStats {
   uint64_t loads = 0;      ///< graph loads, including eviction reloads
   uint64_t evictions = 0;  ///< sessions dropped by the byte budget
+  uint64_t mutations = 0;  ///< deltas applied through Mutate
   std::size_t resident_bytes = 0;
   std::vector<CatalogSessionInfo> sessions;  ///< sorted by name
 };
@@ -54,6 +58,11 @@ struct CatalogStats {
 /// Acquire hands out shared_ptr leases, so eviction only drops the
 /// catalog's reference: jobs running on an evicted session finish
 /// safely, and the memory is reclaimed when the last lease ends.
+///
+/// Sessions are mutable through Mutate (DESIGN.md §11): the delta
+/// rebuilds the graph as a new immutable snapshot inside the session,
+/// the byte budget is re-charged, and the entry is pinned from eviction
+/// because its source spec no longer describes its contents.
 ///
 /// All sessions run on one shared worker pool (CatalogOptions::
 /// num_threads); loading happens outside the catalog lock, and two
@@ -77,6 +86,35 @@ class SessionCatalog {
   /// the budget is exceeded.
   StatusOr<std::shared_ptr<engine::GraphSession>> Acquire(
       const std::string& name);
+
+  /// A successful mutation: the session lease plus the exact
+  /// (snapshot, epoch) this delta installed — response builders report
+  /// it instead of re-reading the session, which a concurrent mutation
+  /// may already have moved past.
+  struct MutateResult {
+    std::shared_ptr<engine::GraphSession> session;
+    engine::GraphSession::VersionedSnapshot installed;
+  };
+
+  /// \brief Applies `delta` to the named session (loading it first if
+  /// needed).
+  ///
+  /// The byte budget is re-charged with the post-mutation
+  /// memory_bytes() — growth can trigger eviction of *other* sessions.
+  /// A mutated session is pinned resident: its source spec no longer
+  /// describes its contents, so an eviction-reload would silently undo
+  /// the mutation. Because the pin makes it unevictable, a mutation is
+  /// REJECTED up front when its projected post-delta footprint plus
+  /// every other pinned session's charge exceeds the byte budget
+  /// (unlike loads, whose overage is evictable and therefore
+  /// transient); mutations of one graph serialize, so the projection
+  /// always measures the latest snapshot. Unload/Forget still drop it
+  /// (explicitly
+  /// discarding the mutations; a later Acquire reloads the pristine
+  /// source). In-flight jobs pinned to the pre-mutation snapshot are
+  /// unaffected.
+  StatusOr<MutateResult> Mutate(const std::string& name,
+                                const GraphDelta& delta);
 
   /// Drops the resident session (if any) but keeps the definition; a
   /// later Acquire reloads from the source spec. NotFound for unknown
@@ -105,6 +143,13 @@ class SessionCatalog {
                               // install into a Forget+re-Define'd entry
                               // that merely reuses the name
     bool loading = false;  // one Acquire is loading; others wait on cv_
+    bool mutated = false;  // diverged from source; pinned from eviction
+    bool mutating = false;  // one Mutate is rebuilding; others wait on
+                            // cv_, and the entry is pinned from
+                            // eviction meanwhile
+    std::size_t projected_bytes = 0;  // in-flight mutation's projected
+                                      // post-delta footprint (budget
+                                      // admission for OTHER mutators)
   };
 
   /// Evicts LRU resident entries (skipping `keep`) until the budget
@@ -121,6 +166,7 @@ class SessionCatalog {
   uint64_t tick_ = 0;
   uint64_t loads_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t mutations_ = 0;
   uint64_t next_generation_ = 1;
 };
 

@@ -1,6 +1,7 @@
 #include "serve/protocol.h"
 
 #include <cstdio>
+#include <limits>
 #include <utility>
 #include <variant>
 
@@ -8,12 +9,15 @@ namespace cfcm::serve {
 namespace {
 
 // Pulls an integer field with bounds [lo, hi]; `fallback` when absent.
+// Requires an exact JSON integer: a double-stored number would reach
+// as_int() through a float->int cast that is UB outside int64 range
+// (1e300) and silently truncating inside it (3.7 -> 3).
 StatusOr<int64_t> GetInt(const JsonValue& request, const std::string& key,
                          int64_t fallback, int64_t lo, int64_t hi) {
   const JsonValue* field = request.Find(key);
   if (field == nullptr) return fallback;
-  if (!field->is_number()) {
-    return Status::InvalidArgument("'" + key + "' must be a number");
+  if (!field->is_int()) {
+    return Status::InvalidArgument("'" + key + "' must be an integer");
   }
   const int64_t value = field->as_int();
   if (value < lo || value > hi) {
@@ -37,6 +41,105 @@ JsonValue::Array GroupToJson(const std::vector<NodeId>& group) {
   array.reserve(group.size());
   for (NodeId u : group) array.emplace_back(static_cast<int64_t>(u));
   return array;
+}
+
+// A wire node id must fit NodeId exactly — a silent int64 -> int32 (or
+// 0.9 -> 0) truncation would address a DIFFERENT, valid node or edge.
+// Requiring the codec's exact-int64 storage also keeps huge doubles
+// (1e300) away from any UB float->int cast.
+StatusOr<NodeId> GetNodeId(const JsonValue& value, const std::string& field) {
+  if (!value.is_int() || value.as_int() < 0 ||
+      value.as_int() > std::numeric_limits<NodeId>::max()) {
+    return Status::InvalidArgument(
+        "'" + field + "' node ids must be integers in [0, " +
+        std::to_string(std::numeric_limits<NodeId>::max()) + "]");
+  }
+  return static_cast<NodeId>(value.as_int());
+}
+
+StatusOr<std::vector<NodeId>> GetGroup(const JsonValue& request) {
+  const JsonValue* field = request.Find("group");
+  if (field == nullptr || !field->is_array()) {
+    return Status::InvalidArgument("'group' must be an array of node ids");
+  }
+  std::vector<NodeId> group;
+  group.reserve(field->array().size());
+  for (const JsonValue& member : field->array()) {
+    StatusOr<NodeId> id = GetNodeId(member, "group");
+    if (!id.ok()) return id.status();
+    group.push_back(*id);
+  }
+  return group;
+}
+
+// Edge-tuple lists for the mutate op: each element is [u, v] or
+// [u, v, w]. `arity` fixes the accepted lengths — removals take no
+// weight, reweights require one, additions accept either (default 1).
+enum class EdgeArity { kPair, kPairOrWeighted, kWeighted };
+
+StatusOr<std::vector<GraphDelta::Edge>> GetEdgeList(const JsonValue& request,
+                                                    const std::string& key,
+                                                    EdgeArity arity) {
+  std::vector<GraphDelta::Edge> edges;
+  const JsonValue* field = request.Find(key);
+  if (field == nullptr) return edges;
+  if (!field->is_array()) {
+    return Status::InvalidArgument("'" + key +
+                                   "' must be an array of [u,v] / [u,v,w]");
+  }
+  for (const JsonValue& member : field->array()) {
+    if (!member.is_array()) {
+      return Status::InvalidArgument("'" + key +
+                                     "' entries must be arrays");
+    }
+    const JsonValue::Array& tuple = member.array();
+    const bool pair_ok = arity != EdgeArity::kWeighted && tuple.size() == 2;
+    const bool weighted_ok =
+        arity != EdgeArity::kPair && tuple.size() == 3;
+    if (!pair_ok && !weighted_ok) {
+      return Status::InvalidArgument(
+          "'" + key + "' entries must have " +
+          (arity == EdgeArity::kPair
+               ? std::string("2")
+               : arity == EdgeArity::kWeighted ? std::string("3")
+                                               : std::string("2 or 3")) +
+          " elements");
+    }
+    GraphDelta::Edge edge;
+    StatusOr<NodeId> u = GetNodeId(tuple[0], key);
+    if (!u.ok()) return u.status();
+    StatusOr<NodeId> v = GetNodeId(tuple[1], key);
+    if (!v.ok()) return v.status();
+    edge.u = *u;
+    edge.v = *v;
+    if (tuple.size() == 3) {
+      if (!tuple[2].is_number()) {
+        return Status::InvalidArgument("'" + key +
+                                       "' weights must be numbers");
+      }
+      edge.weight = tuple[2].as_double();
+    }
+    edges.push_back(edge);
+  }
+  return edges;
+}
+
+// Graph identity block shared by load / mutate / augment responses,
+// built from ONE (snapshot, epoch) pair so the fields are mutually
+// consistent even while mutations land concurrently.
+void AppendSessionSummary(const engine::GraphSession::VersionedSnapshot& pinned,
+                          JsonValue::Object* response) {
+  const engine::GraphSnapshot& snapshot = *pinned.snapshot;
+  char fingerprint[32];
+  std::snprintf(fingerprint, sizeof(fingerprint), "%016llx",
+                static_cast<unsigned long long>(snapshot.fingerprint()));
+  (*response)["nodes"] = static_cast<int64_t>(snapshot.num_nodes());
+  (*response)["edges"] = static_cast<int64_t>(snapshot.num_edges());
+  (*response)["weighted"] = !snapshot.graph().is_unit_weighted();
+  (*response)["connected"] = snapshot.is_connected();
+  (*response)["bytes"] = static_cast<int64_t>(snapshot.memory_bytes());
+  (*response)["fingerprint"] = std::string(fingerprint);
+  (*response)["epoch"] = static_cast<int64_t>(pinned.epoch);
 }
 
 void EchoId(const JsonValue& request, JsonValue::Object* response) {
@@ -121,6 +224,8 @@ JsonValue ServeHandler::Handle(const JsonValue& request) {
     if (*op == "unload") return HandleUnload(request);
     if (*op == "solve") return HandleSolve(request);
     if (*op == "evaluate") return HandleEvaluate(request);
+    if (*op == "mutate") return HandleMutate(request);
+    if (*op == "augment") return HandleAugment(request);
     if (*op == "stats") return HandleStats();
     if (*op == "shutdown") {
       shutdown_.store(true, std::memory_order_release);
@@ -130,7 +235,8 @@ JsonValue ServeHandler::Handle(const JsonValue& request) {
         request,
         Status::InvalidArgument(
             "unknown op '" + *op +
-            "' (expected load/unload/solve/evaluate/stats/shutdown)"));
+            "' (expected load/unload/solve/evaluate/mutate/augment/stats/"
+            "shutdown)"));
   }();
   if (response.is_object()) EchoId(request, &response.object());
   return response;
@@ -152,19 +258,9 @@ JsonValue ServeHandler::HandleLoad(const JsonValue& request) {
     (void)catalog_.Forget(*name);
     return ErrorResponseFor(request, session.status());
   }
-  char fingerprint[32];
-  std::snprintf(fingerprint, sizeof(fingerprint), "%016llx",
-                static_cast<unsigned long long>((*session)->fingerprint()));
-  return OkResponse({
-      {"op", "load"},
-      {"graph", *name},
-      {"nodes", static_cast<int64_t>((*session)->num_nodes())},
-      {"edges", static_cast<int64_t>((*session)->num_edges())},
-      {"weighted", (*session)->is_weighted()},
-      {"connected", (*session)->is_connected()},
-      {"bytes", static_cast<int64_t>((*session)->memory_bytes())},
-      {"fingerprint", std::string(fingerprint)},
-  });
+  JsonValue::Object response{{"op", "load"}, {"graph", *name}};
+  AppendSessionSummary((*session)->versioned_snapshot(), &response);
+  return OkResponse(std::move(response));
 }
 
 JsonValue ServeHandler::HandleUnload(const JsonValue& request) {
@@ -207,7 +303,13 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request) {
   auto session = catalog_.Acquire(*name);
   if (!session.ok()) return ErrorResponseFor(request, session.status());
 
-  const ResultCacheKey key{(*session)->fingerprint(), algorithm,
+  // Pin ONE snapshot for the whole request: the cache key's fingerprint
+  // and the solve computation are guaranteed to describe the same graph
+  // version even if a mutate lands mid-request — the cache-soundness
+  // invariant under mutation (DESIGN.md §11).
+  const std::shared_ptr<const engine::GraphSnapshot> snapshot =
+      (*session)->snapshot();
+  const ResultCacheKey key{snapshot->fingerprint(), algorithm,
                            static_cast<int>(*k), eps,
                            static_cast<uint64_t>(*seed)};
   bool cache_hit = true;
@@ -220,7 +322,7 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request) {
     job.k = static_cast<int>(*k);
     job.eps = eps;
     job.seed = static_cast<uint64_t>(*seed);
-    StatusOr<engine::JobResult> result = engine.Run(job);
+    StatusOr<engine::JobResult> result = engine.Run(job, snapshot);
     if (!result.ok()) return ErrorResponseFor(request, result.status());
     solve = std::get<engine::SolveJobResult>(std::move(*result));
     cache_.Insert(key, *solve);
@@ -252,27 +354,15 @@ JsonValue ServeHandler::HandleEvaluate(const JsonValue& request) {
   StatusOr<int64_t> seed = GetInt(request, "seed", 1, 0, INT64_MAX);
   if (!seed.ok()) return ErrorResponseFor(request, seed.status());
 
-  const JsonValue* group_field = request.Find("group");
-  if (group_field == nullptr || !group_field->is_array()) {
-    return ErrorResponseFor(
-        request, Status::InvalidArgument("'group' must be an array of node ids"));
-  }
-  std::vector<NodeId> group;
-  group.reserve(group_field->array().size());
-  for (const JsonValue& member : group_field->array()) {
-    if (!member.is_number()) {
-      return ErrorResponseFor(
-          request, Status::InvalidArgument("'group' members must be numbers"));
-    }
-    group.push_back(static_cast<NodeId>(member.as_int()));
-  }
+  StatusOr<std::vector<NodeId>> group = GetGroup(request);
+  if (!group.ok()) return ErrorResponseFor(request, group.status());
 
   auto session = catalog_.Acquire(*name);
   if (!session.ok()) return ErrorResponseFor(request, session.status());
 
   engine::Engine engine{*session, options_.engine};
   engine::EvaluateJob job;
-  job.group = std::move(group);
+  job.group = std::move(*group);
   job.probes = static_cast<int>(*probes);
   job.seed = static_cast<uint64_t>(*seed);
   StatusOr<engine::JobResult> result = engine.Run(job);
@@ -286,6 +376,139 @@ JsonValue ServeHandler::HandleEvaluate(const JsonValue& request) {
       {"trace", eval.trace},
       {"trace_std_error", eval.trace_std_error},
   });
+}
+
+JsonValue ServeHandler::HandleMutate(const JsonValue& request) {
+  StatusOr<std::string> name = GetString(request, "graph");
+  if (!name.ok()) return ErrorResponseFor(request, name.status());
+  // Bounded per request: node additions allocate CSR arrays up front,
+  // before the catalog's post-mutation byte re-charge can evict.
+  StatusOr<int64_t> add_nodes =
+      GetInt(request, "add_nodes", 0, 0, 1'000'000);
+  if (!add_nodes.ok()) return ErrorResponseFor(request, add_nodes.status());
+  StatusOr<std::vector<GraphDelta::Edge>> removes =
+      GetEdgeList(request, "remove", EdgeArity::kPair);
+  if (!removes.ok()) return ErrorResponseFor(request, removes.status());
+  StatusOr<std::vector<GraphDelta::Edge>> reweights =
+      GetEdgeList(request, "reweight", EdgeArity::kWeighted);
+  if (!reweights.ok()) return ErrorResponseFor(request, reweights.status());
+  StatusOr<std::vector<GraphDelta::Edge>> adds =
+      GetEdgeList(request, "add", EdgeArity::kPairOrWeighted);
+  if (!adds.ok()) return ErrorResponseFor(request, adds.status());
+
+  GraphDelta delta;
+  delta.AddNodes(static_cast<NodeId>(*add_nodes));
+  for (const GraphDelta::Edge& e : *removes) delta.RemoveEdge(e.u, e.v);
+  for (const GraphDelta::Edge& e : *reweights) {
+    delta.ReweightEdge(e.u, e.v, e.weight);
+  }
+  for (const GraphDelta::Edge& e : *adds) delta.AddEdge(e.u, e.v, e.weight);
+  if (delta.empty()) {
+    return ErrorResponseFor(
+        request, Status::InvalidArgument(
+                     "mutate needs at least one of add_nodes/add/remove/"
+                     "reweight"));
+  }
+
+  auto mutated = catalog_.Mutate(*name, delta);
+  if (!mutated.ok()) return ErrorResponseFor(request, mutated.status());
+
+  JsonValue::Object response{
+      {"op", "mutate"},
+      {"graph", *name},
+      {"applied",
+       JsonValue(JsonValue::Object{
+           {"add_nodes", *add_nodes},
+           {"add", static_cast<int64_t>(adds->size())},
+           {"remove", static_cast<int64_t>(removes->size())},
+           {"reweight", static_cast<int64_t>(reweights->size())},
+       })},
+  };
+  // Summarize the exact snapshot THIS delta installed — not the
+  // session's current one, which a concurrent mutation may have
+  // already replaced.
+  AppendSessionSummary(mutated->installed, &response);
+  return OkResponse(std::move(response));
+}
+
+JsonValue ServeHandler::HandleAugment(const JsonValue& request) {
+  StatusOr<std::string> name = GetString(request, "graph");
+  if (!name.ok()) return ErrorResponseFor(request, name.status());
+  StatusOr<std::vector<NodeId>> group = GetGroup(request);
+  if (!group.ok()) return ErrorResponseFor(request, group.status());
+  StatusOr<int64_t> k = GetInt(request, "k", 1, 1, 1'000'000);
+  if (!k.ok()) return ErrorResponseFor(request, k.status());
+
+  EdgeCandidates candidates = EdgeCandidates::kToGroup;
+  if (const JsonValue* field = request.Find("candidates")) {
+    if (!field->is_string() ||
+        (field->as_string() != "group" && field->as_string() != "any")) {
+      return ErrorResponseFor(
+          request,
+          Status::InvalidArgument("'candidates' must be \"group\" or "
+                                  "\"any\""));
+    }
+    if (field->as_string() == "any") candidates = EdgeCandidates::kAny;
+  }
+  bool apply = false;
+  if (const JsonValue* field = request.Find("apply")) {
+    if (!field->is_bool()) {
+      return ErrorResponseFor(
+          request, Status::InvalidArgument("'apply' must be a boolean"));
+    }
+    apply = field->as_bool();
+  }
+
+  auto session = catalog_.Acquire(*name);
+  if (!session.ok()) return ErrorResponseFor(request, session.status());
+
+  engine::Engine engine{*session, options_.engine};
+  engine::AugmentJob job;
+  job.group = std::move(*group);
+  job.k = static_cast<int>(*k);
+  job.candidates = candidates;
+  StatusOr<engine::JobResult> result = engine.Run(job);
+  if (!result.ok()) return ErrorResponseFor(request, result.status());
+  const auto& augment = std::get<engine::AugmentJobResult>(*result);
+
+  JsonValue::Array added;
+  added.reserve(augment.added.size());
+  for (const auto& [u, v] : augment.added) {
+    added.push_back(JsonValue(JsonValue::Array{
+        JsonValue(static_cast<int64_t>(u)),
+        JsonValue(static_cast<int64_t>(v)),
+    }));
+  }
+  JsonValue::Array trace_after;
+  trace_after.reserve(augment.trace_after.size());
+  for (double trace : augment.trace_after) trace_after.emplace_back(trace);
+
+  JsonValue::Object response{
+      {"op", "augment"},
+      {"graph", *name},
+      {"k", *k},
+      {"candidates", candidates == EdgeCandidates::kAny ? "any" : "group"},
+      {"added", JsonValue(std::move(added))},
+      {"initial_trace", augment.initial_trace},
+      {"trace_after", JsonValue(std::move(trace_after))},
+      {"cfcc_before", augment.cfcc_before},
+      {"cfcc_after", augment.cfcc_after},
+      {"seconds", augment.seconds},
+      // Mirrors the guard below: "applied" is true only when a
+      // mutation actually lands (and the summary fields appear).
+      {"applied", apply && !augment.added.empty()},
+  };
+  if (apply && !augment.added.empty()) {
+    // Feed the chosen edges back through the mutation pipeline. A delta
+    // racing in between merges by the parallel-conductor rule; the
+    // summary below reflects the snapshot this apply installed.
+    GraphDelta delta;
+    for (const auto& [u, v] : augment.added) delta.AddEdge(u, v);
+    auto mutated = catalog_.Mutate(*name, delta);
+    if (!mutated.ok()) return ErrorResponseFor(request, mutated.status());
+    AppendSessionSummary(mutated->installed, &response);
+  }
+  return OkResponse(std::move(response));
 }
 
 JsonValue ServeHandler::HandleStats() {
@@ -306,13 +529,16 @@ JsonValue ServeHandler::HandleStats() {
         {"name", info.name},
         {"source", info.source},
         {"resident", info.resident},
+        {"mutated", info.mutated},
         {"bytes", static_cast<int64_t>(info.bytes)},
         {"loads", info.loads},
+        {"epoch", static_cast<int64_t>(info.epoch)},
     }));
   }
   JsonValue::Object catalog_json{
       {"loads", catalog.loads},
       {"evictions", catalog.evictions},
+      {"mutations", catalog.mutations},
       {"resident_bytes", static_cast<int64_t>(catalog.resident_bytes)},
       {"sessions", JsonValue(std::move(sessions))},
   };

@@ -7,6 +7,19 @@
 //             "k":<int>,"eps":<double>,"seed":<int>}
 //   evaluate {"op":"evaluate","graph":<name>,"group":[ids],
 //             "probes":<int>,"seed":<int>}
+//   mutate   {"op":"mutate","graph":<name>,"add_nodes":<int>,
+//             "add":[[u,v],[u,v,w],...],"remove":[[u,v],...],
+//             "reweight":[[u,v,w],...]} — applies a GraphDelta
+//             (removals, then reweights, then additions); the response
+//             carries the new fingerprint/epoch/bytes. Result-cache
+//             entries stay sound for free: the cache key is the content
+//             fingerprint, which the mutation changes.
+//   augment  {"op":"augment","graph":<name>,"group":[ids],"k":<int>,
+//             "candidates":"group"|"any","apply":<bool>} — greedy edge
+//             addition maximizing C(S) (paper §VI); with "apply":true
+//             the chosen edges are applied as a mutation afterwards.
+//             Dense algorithm: rejected when n - |group| or k exceeds
+//             EngineOptions::augment_max_n.
 //   stats    {"op":"stats"}
 //   shutdown {"op":"shutdown"}
 // Every request may carry an "id" member, echoed verbatim in the
@@ -100,6 +113,8 @@ class ServeHandler {
   JsonValue HandleUnload(const JsonValue& request);
   JsonValue HandleSolve(const JsonValue& request);
   JsonValue HandleEvaluate(const JsonValue& request);
+  JsonValue HandleMutate(const JsonValue& request);
+  JsonValue HandleAugment(const JsonValue& request);
   JsonValue HandleStats();
 
   HandlerOptions options_;

@@ -8,11 +8,13 @@
 //   cfcm_cli --graph ba:2000,4 --algo schur --k 10 --eps 0.1 --seed 3
 //   cfcm_cli --graph path/to/edges.txt --lcc --algo forest --k 8
 //   cfcm_cli --graph karate --evaluate 0,33,2
+//   cfcm_cli --graph karate --group 0,33 --augment 2 --candidates any
 //   cfcm_cli --list
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -43,6 +45,10 @@ struct CliOptions {
   uint64_t seed = 1;
   int probes = 0;       // EvaluateJob probes (0 = exact)
   int threads = 0;      // engine pool size; 0 = hardware concurrency
+  int augment = 0;      // edges to add greedily (0 = no augment job)
+  std::vector<NodeId> augment_group;          // --group, for --augment
+  cfcm::EdgeCandidates candidates = cfcm::EdgeCandidates::kToGroup;
+  bool candidates_set = false;  // --candidates given explicitly
   bool take_lcc = false;
   bool json = false;
   bool list = false;
@@ -65,6 +71,14 @@ void PrintUsage(std::FILE* out) {
                "  --seed N      base RNG seed (default 1)\n"
                "  --evaluate G  evaluate C(S) of group 'u1,u2,...' (repeatable)\n"
                "  --probes N    Hutchinson probes for --evaluate (0 = exact)\n"
+               "  --augment N   greedily add the N edges maximizing C(S) of\n"
+               "                the --group nodes (paper §VI edge selection);\n"
+               "                prints the chosen edges and the trace after\n"
+               "                each addition. Dense algorithm: up to 4096\n"
+               "                free nodes\n"
+               "  --group G     fixed group 'u1,u2,...' for --augment\n"
+               "  --candidates C  'group' (non-edges into the group, default)\n"
+               "                or 'any' (any non-edge) for --augment\n"
                "  --threads N   worker pool size shared by the job batch and\n"
                "                the sampling inside each job; 0 = hardware\n"
                "                concurrency (default). Results never depend\n"
@@ -86,12 +100,17 @@ using cfcm::SplitString;
 // so CLI output and server output stay byte-compatible.
 using cfcm::serve::JsonEscapeString;
 
-StatusOr<std::vector<NodeId>> ParseGroup(const std::string& spec) {
+StatusOr<std::vector<NodeId>> ParseGroup(const std::string& spec,
+                                         const char* flag) {
   std::vector<NodeId> group;
   for (const std::string& part : SplitString(spec, ',')) {
     long long value = 0;
-    if (!ParseInt64(part, &value)) {
-      return Status::InvalidArgument("bad node id '" + part + "' in --evaluate");
+    if (!ParseInt64(part, &value) || value < 0 ||
+        value > std::numeric_limits<NodeId>::max()) {
+      // Narrowing without the range check would silently address a
+      // DIFFERENT valid node (2^32 -> 0).
+      return Status::InvalidArgument("bad node id '" + part + "' in " +
+                                     flag);
     }
     group.push_back(static_cast<NodeId>(value));
   }
@@ -138,7 +157,8 @@ StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--graph" || arg == "--algo" || arg == "--k" ||
                arg == "--eps" || arg == "--seed" || arg == "--probes" ||
                arg == "--threads" || arg == "--evaluate" ||
-               arg == "--weighted") {
+               arg == "--weighted" || arg == "--augment" ||
+               arg == "--group" || arg == "--candidates") {
       StatusOr<std::string> value = need_value(i);
       if (!value.ok()) return value.status();
       ++i;
@@ -154,9 +174,23 @@ StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
                                          "'");
         }
       } else if (arg == "--evaluate") {
-        StatusOr<std::vector<NodeId>> group = ParseGroup(*value);
+        StatusOr<std::vector<NodeId>> group = ParseGroup(*value, "--evaluate");
         if (!group.ok()) return group.status();
         options.evaluate_groups.push_back(std::move(*group));
+      } else if (arg == "--group") {
+        StatusOr<std::vector<NodeId>> group = ParseGroup(*value, "--group");
+        if (!group.ok()) return group.status();
+        options.augment_group = std::move(*group);
+      } else if (arg == "--candidates") {
+        options.candidates_set = true;
+        if (*value == "group") {
+          options.candidates = cfcm::EdgeCandidates::kToGroup;
+        } else if (*value == "any") {
+          options.candidates = cfcm::EdgeCandidates::kAny;
+        } else {
+          return Status::InvalidArgument(
+              "--candidates must be 'group' or 'any', got '" + *value + "'");
+        }
       } else {
         long long number = 0;
         if (!ParseInt64(*value, &number)) {
@@ -167,6 +201,16 @@ StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
         if (arg == "--seed") options.seed = static_cast<uint64_t>(number);
         if (arg == "--probes") options.probes = static_cast<int>(number);
         if (arg == "--threads") options.threads = static_cast<int>(number);
+        if (arg == "--augment") {
+          // Range-check BEFORE narrowing: a wrapped value would either
+          // silently drop the request (<= 0: no augment job AND no
+          // default solve) or run with an unintended k.
+          if (number < 1 || number > std::numeric_limits<int>::max()) {
+            return Status::InvalidArgument(
+                "--augment must be a positive int, got " + *value);
+          }
+          options.augment = static_cast<int>(number);
+        }
       }
     } else {
       return Status::InvalidArgument("unknown flag '" + arg + "'");
@@ -196,6 +240,14 @@ void PrintJsonGroup(const std::vector<NodeId>& group) {
   std::printf("]");
 }
 
+void PrintJsonEdges(const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  std::printf("[");
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    std::printf("%s[%d,%d]", i ? "," : "", edges[i].first, edges[i].second);
+  }
+  std::printf("]");
+}
+
 // Writes one JSON object per job result; `spec` describes the request.
 void PrintJsonJob(const cfcm::engine::Job& spec,
                   const StatusOr<cfcm::engine::JobResult>& result, bool last) {
@@ -206,6 +258,15 @@ void PrintJsonJob(const cfcm::engine::Job& spec,
         "\"seed\":%llu,",
         JsonEscapeString(solve->algorithm).c_str(), solve->k, solve->eps,
         static_cast<unsigned long long>(solve->seed));
+  } else if (const auto* augment =
+                 std::get_if<cfcm::engine::AugmentJob>(&spec)) {
+    std::printf("\"type\":\"augment\",\"k\":%d,\"candidates\":\"%s\","
+                "\"group\":",
+                augment->k,
+                augment->candidates == cfcm::EdgeCandidates::kAny ? "any"
+                                                                  : "group");
+    PrintJsonGroup(augment->group);
+    std::printf(",");
   } else {
     const auto& eval = std::get<cfcm::engine::EvaluateJob>(spec);
     std::printf("\"type\":\"evaluate\",\"group\":");
@@ -228,6 +289,18 @@ void PrintJsonJob(const cfcm::engine::Job& spec,
         solve->cfcc, static_cast<long long>(solve->output.total_forests),
         static_cast<long long>(solve->output.total_walk_steps),
         solve->output.seconds);
+  } else if (const auto* augment =
+                 std::get_if<cfcm::engine::AugmentJobResult>(&*result)) {
+    std::printf("\"status\":\"ok\",\"added\":");
+    PrintJsonEdges(augment->added);
+    std::printf(",\"initial_trace\":%.9g,\"trace_after\":[",
+                augment->initial_trace);
+    for (std::size_t i = 0; i < augment->trace_after.size(); ++i) {
+      std::printf("%s%.9g", i ? "," : "", augment->trace_after[i]);
+    }
+    std::printf("],\"cfcc_before\":%.9g,\"cfcc_after\":%.9g,"
+                "\"seconds\":%.6f}",
+                augment->cfcc_before, augment->cfcc_after, augment->seconds);
   } else {
     const auto& eval = std::get<cfcm::engine::EvaluateJobResult>(*result);
     std::printf(
@@ -243,12 +316,25 @@ void PrintTextJob(const cfcm::engine::Job& spec,
   std::string label;
   if (const auto* solve = std::get_if<cfcm::engine::SolveJob>(&spec)) {
     label = solve->algorithm;
+  } else if (std::holds_alternative<cfcm::engine::AugmentJob>(spec)) {
+    label = "augment";
   } else {
     label = "evaluate";
   }
   if (!result.ok()) {
     std::printf("%-10s FAILED: %s\n", label.c_str(),
                 result.status().ToString().c_str());
+    return;
+  }
+  if (const auto* augment =
+          std::get_if<cfcm::engine::AugmentJobResult>(&*result)) {
+    std::printf("%-10s C(S) %.6f -> %.6f  added = {", label.c_str(),
+                augment->cfcc_before, augment->cfcc_after);
+    for (std::size_t i = 0; i < augment->added.size(); ++i) {
+      std::printf("%s(%d, %d)", i ? ", " : "", augment->added[i].first,
+                  augment->added[i].second);
+    }
+    std::printf("}  (%.3fs)\n", augment->seconds);
     return;
   }
   if (const auto* solve =
@@ -347,9 +433,22 @@ int main(int argc, char** argv) {
     graph = std::move(lcc.graph);
   }
 
+  if (cli.augment > 0 && cli.augment_group.empty()) {
+    return FailWith(
+        Status::InvalidArgument("--augment requires --group u1,u2,..."),
+        cli.json, 2);
+  }
+  if (cli.augment == 0 && (!cli.augment_group.empty() || cli.candidates_set)) {
+    // Silently ignoring these and running a default solve would answer
+    // a question the user did not ask.
+    return FailWith(
+        Status::InvalidArgument("--group/--candidates require --augment N"),
+        cli.json, 2);
+  }
+
   std::vector<cfcm::engine::Job> jobs;
   std::vector<std::string> algorithms = cli.algorithms;
-  if (algorithms.empty() && cli.evaluate_groups.empty()) {
+  if (algorithms.empty() && cli.evaluate_groups.empty() && cli.augment == 0) {
     algorithms.push_back("forest");
   }
   for (const std::string& algorithm : algorithms) {
@@ -367,19 +466,35 @@ int main(int argc, char** argv) {
     job.seed = cli.seed;
     jobs.emplace_back(std::move(job));
   }
+  if (cli.augment > 0) {
+    cfcm::engine::AugmentJob job;
+    job.group = cli.augment_group;
+    job.k = cli.augment;
+    job.candidates = cli.candidates;
+    jobs.emplace_back(std::move(job));
+  }
 
   // `jobs` keeps the user's numbering for display; `exec_jobs` carries
   // the LCC-translated ids actually run.
   std::vector<cfcm::engine::Job> exec_jobs = jobs;
   if (!to_original.empty()) {
     for (cfcm::engine::Job& job : exec_jobs) {
-      auto* eval = std::get_if<cfcm::engine::EvaluateJob>(&job);
-      if (!eval) continue;
-      for (NodeId& u : eval->group) {
+      std::vector<NodeId>* group = nullptr;
+      const char* flag = "--evaluate";
+      if (auto* eval = std::get_if<cfcm::engine::EvaluateJob>(&job)) {
+        group = &eval->group;
+      } else if (auto* augment =
+                     std::get_if<cfcm::engine::AugmentJob>(&job)) {
+        group = &augment->group;
+        flag = "--group";
+      }
+      if (!group) continue;
+      for (NodeId& u : *group) {
         if (u < 0 || u >= static_cast<NodeId>(from_original.size()) ||
             from_original[u] < 0) {
           return FailWith(
-              Status::OutOfRange("--evaluate node " + std::to_string(u) +
+              Status::OutOfRange(std::string(flag) + " node " +
+                                 std::to_string(u) +
                                  " is not in the largest connected component"),
               cli.json, 1);
         }
@@ -390,15 +505,28 @@ int main(int argc, char** argv) {
 
   cfcm::engine::EngineOptions engine_options;
   engine_options.num_threads = cli.threads;  // 0 = hardware concurrency
+  // The CLI is a trusted local caller: raise the serving daemon's
+  // conservative augment ceiling. 4096 free nodes is a ~134 MB dense
+  // inverse and minutes of O(n^3) work — a sane local limit; beyond it
+  // the engine's rejection names the ceiling.
+  engine_options.augment_max_n = 4096;
   cfcm::engine::Engine engine{std::move(graph), engine_options};
   std::vector<StatusOr<cfcm::engine::JobResult>> results =
       engine.RunBatch(exec_jobs);
   if (!to_original.empty()) {
-    // Translate selected groups back into the input numbering.
+    // Translate selected groups / added edges back into the input
+    // numbering.
     for (auto& result : results) {
       if (!result.ok()) continue;
       if (auto* solve = std::get_if<cfcm::engine::SolveJobResult>(&*result)) {
         for (NodeId& u : solve->output.selected) u = to_original[u];
+      } else if (auto* augment =
+                     std::get_if<cfcm::engine::AugmentJobResult>(&*result)) {
+        for (auto& [u, v] : augment->added) {
+          u = to_original[u];
+          v = to_original[v];
+          if (u > v) std::swap(u, v);
+        }
       }
     }
   }

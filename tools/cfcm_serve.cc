@@ -7,10 +7,14 @@
 //   # scripted client: --op builder flags or raw JSON lines
 //   cfcm_serve client --port 7471 --op load --graph g --source karate
 //   cfcm_serve client --port 7471 --op solve --graph g --k 3 --seed 7
+//   cfcm_serve client --port 7471 --op mutate --graph g --remove 0,1
+//   cfcm_serve client --port 7471 --op augment --graph g --group 0,33 --k 2
 //   echo '{"op":"stats"}' | cfcm_serve client --port 7471
 //
 //   # in-process end-to-end check (used by ctest): load, solve twice,
-//   # assert the second response is a byte-identical cache hit
+//   # assert the second response is a byte-identical cache hit, then
+//   # mutate -> guaranteed miss -> inverse delta -> hit again, and an
+//   # augment round-trip
 //   cfcm_serve selftest
 #include <cstdio>
 #include <cstdlib>
@@ -55,8 +59,14 @@ void PrintUsage(std::FILE* out) {
       "client options:\n"
       "  --host A --port N   server address (port required)\n"
       "  --op OP             build a request: load/unload/solve/evaluate/\n"
-      "                      stats/shutdown, with --graph --source --algo\n"
-      "                      --k --eps --seed --probes --group u1,u2,...\n"
+      "                      mutate/augment/stats/shutdown, with --graph\n"
+      "                      --source --algo --k --eps --seed --probes\n"
+      "                      --group u1,u2,...\n"
+      "                      mutate: --add u,v[,w] --remove u,v\n"
+      "                      --reweight u,v,w (each repeatable) and\n"
+      "                      --add-nodes N\n"
+      "                      augment: --group --k --candidates group|any\n"
+      "                      --apply true|false\n"
       "  [json ...]          raw request lines; with no --op and no json\n"
       "                      arguments, lines are read from stdin\n"
       "\n"
@@ -164,6 +174,40 @@ int RunServe(int argc, char** argv) {
   return 0;
 }
 
+// Parses "u,v" or "u,v,w" into a JSON edge tuple for the mutate op.
+// `arity` is 2 (remove), 3 (reweight) or -3 (add: 2 or 3 elements).
+StatusOr<JsonValue> ParseEdgeTuple(const std::string& key,
+                                   const std::string& value, int arity) {
+  const std::vector<std::string> parts = cfcm::SplitString(value, ',');
+  const bool size_ok = arity < 0 ? parts.size() == 2 || parts.size() == 3
+                                 : parts.size() == static_cast<std::size_t>(arity);
+  if (!size_ok) {
+    return Status::InvalidArgument(
+        "--" + key + " expects " +
+        (arity == 2 ? "u,v" : arity == 3 ? "u,v,w" : "u,v or u,v,w") +
+        ", got '" + value + "'");
+  }
+  JsonValue::Array tuple;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i < 2) {
+      long long id = 0;
+      if (!ParseLong(parts[i], &id)) {
+        return Status::InvalidArgument("bad node id in --" + key + ": '" +
+                                       parts[i] + "'");
+      }
+      tuple.emplace_back(static_cast<int64_t>(id));
+    } else {
+      double weight = 0;
+      if (!ParseDoubleArg(parts[i], &weight)) {
+        return Status::InvalidArgument("bad weight in --" + key + ": '" +
+                                       parts[i] + "'");
+      }
+      tuple.emplace_back(weight);
+    }
+  }
+  return JsonValue(std::move(tuple));
+}
+
 // Builds one request from client --op flags; exits on malformed flags.
 StatusOr<JsonValue> BuildRequest(const std::string& op,
                                  const std::vector<std::pair<std::string,
@@ -172,8 +216,31 @@ StatusOr<JsonValue> BuildRequest(const std::string& op,
   JsonValue::Object request{{"op", op}};
   for (const auto& [raw_key, value] : fields) {
     const std::string key = raw_key == "algo" ? "algorithm" : raw_key;
-    if (key == "graph" || key == "source" || key == "algorithm") {
+    if (key == "graph" || key == "source" || key == "algorithm" ||
+        key == "candidates") {
       request[key] = value;
+    } else if (key == "add" || key == "remove" || key == "reweight") {
+      // Repeatable edge flags accumulate into the op's array field.
+      const int arity = key == "remove" ? 2 : key == "reweight" ? 3 : -3;
+      StatusOr<JsonValue> tuple = ParseEdgeTuple(key, value, arity);
+      if (!tuple.ok()) return tuple.status();
+      if (request.find(key) == request.end()) {
+        request[key] = JsonValue(JsonValue::Array{});
+      }
+      request[key].array().push_back(std::move(*tuple));
+    } else if (key == "add-nodes") {
+      long long number = 0;
+      if (!ParseLong(value, &number) || number < 0) {
+        return Status::InvalidArgument("bad count for --add-nodes: '" +
+                                       value + "'");
+      }
+      request["add_nodes"] = static_cast<int64_t>(number);
+    } else if (key == "apply") {
+      if (value != "true" && value != "false") {
+        return Status::InvalidArgument("--apply expects true or false, got '" +
+                                       value + "'");
+      }
+      request["apply"] = value == "true";
     } else if (key == "k" || key == "seed" || key == "probes") {
       long long number = 0;
       if (!ParseLong(value.c_str(), &number)) {
@@ -330,13 +397,12 @@ int RunSelftest() {
     return response.ok() ? *response : "";
   };
 
+  const std::string solve_line =
+      R"({"op":"solve","graph":"karate","algorithm":"forest","k":3,"seed":7})";
   const std::string loaded =
       call(R"({"op":"load","graph":"karate","source":"karate"})");
-  const std::string first =
-      call(R"({"op":"solve","graph":"karate","algorithm":"forest","k":3,"seed":7})");
-  const std::string second =
-      call(R"({"op":"solve","graph":"karate","algorithm":"forest","k":3,"seed":7})");
-  server.Shutdown();
+  const std::string first = call(solve_line.c_str());
+  const std::string second = call(solve_line.c_str());
 
   std::printf("%s\n%s\n%s\n", loaded.c_str(), first.c_str(), second.c_str());
   if (loaded.find("\"status\":\"ok\"") == std::string::npos ||
@@ -351,6 +417,39 @@ int RunSelftest() {
   normalized_first.replace(miss, 14, "\"cache\":\"hit\"");
   if (normalized_first != second) {
     std::fprintf(stderr, "selftest: hit response differs from miss response\n");
+    return 1;
+  }
+
+  // Dynamic sessions: a mutation changes the content fingerprint, so
+  // the identical request line re-solves (cache miss); the inverse
+  // delta restores the bytes and the original cached answer hits again.
+  const std::string mutated =
+      call(R"({"op":"mutate","graph":"karate","remove":[[0,1]]})");
+  const std::string resolved = call(solve_line.c_str());
+  const std::string reverted =
+      call(R"({"op":"mutate","graph":"karate","add":[[0,1]]})");
+  const std::string restored = call(solve_line.c_str());
+  std::printf("%s\n%s\n%s\n%s\n", mutated.c_str(), resolved.c_str(),
+              reverted.c_str(), restored.c_str());
+  if (mutated.find("\"status\":\"ok\"") == std::string::npos ||
+      mutated.find("\"epoch\":1") == std::string::npos ||
+      resolved.find("\"cache\":\"miss\"") == std::string::npos ||
+      reverted.find("\"status\":\"ok\"") == std::string::npos ||
+      restored != second) {
+    std::fprintf(stderr,
+                 "selftest: mutate -> miss -> revert -> hit loop failed\n");
+    server.Shutdown();
+    return 1;
+  }
+
+  // Augment: the §VI edge-selection answer is servable.
+  const std::string augmented =
+      call(R"({"op":"augment","graph":"karate","group":[0,33],"k":1})");
+  server.Shutdown();
+  std::printf("%s\n", augmented.c_str());
+  if (augmented.find("\"status\":\"ok\"") == std::string::npos ||
+      augmented.find("\"added\":[[") == std::string::npos) {
+    std::fprintf(stderr, "selftest: augment round-trip failed\n");
     return 1;
   }
   std::printf("selftest ok\n");
