@@ -10,19 +10,27 @@
 //                  guaranteed cache miss because each mutation produces
 //                  a fingerprint never seen before
 //
+// Per-phase round latencies go into a log2 histogram; the table and
+// BENCH_dynamic.json report p50/p99/max per phase.
+//
 //   bench_dynamic [--smoke] [--json BENCH_dynamic.json] [--rounds N]
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_support.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
 
 namespace {
 
+using cfcm::Timer;
+using cfcm::bench::LatencyJson;
+using cfcm::obs::LatencyHistogram;
 using cfcm::serve::JsonValue;
 using cfcm::serve::ServeHandler;
 
@@ -35,13 +43,8 @@ struct PhaseRow {
   long long cache_hits = 0;
   long long cache_misses = 0;
   long long epoch = 0;  // session epoch when the phase ended
+  LatencyHistogram::Snapshot latency;  // per-round latency
 };
-
-double Now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 bool IsOk(const JsonValue& response) {
   const JsonValue* status = response.Find("status");
@@ -89,8 +92,9 @@ int main(int argc, char** argv) {
   ServeHandler handler{{}};
   std::printf("# bench_dynamic: mutate + re-solve pipeline throughput\n");
   std::printf("# rounds=%d per phase\n", rounds);
-  std::printf("%-8s %-12s %7s %9s %10s %6s %7s %6s\n", "graph", "phase",
-              "rounds", "seconds", "rounds/s", "hits", "misses", "epoch");
+  std::printf("%-8s %-12s %7s %9s %10s %6s %7s %6s %8s %8s\n", "graph",
+              "phase", "rounds", "seconds", "rounds/s", "hits", "misses",
+              "epoch", "p50_us", "p99_us");
 
   std::vector<PhaseRow> rows;
   for (const auto& [name, spec] : graphs) {
@@ -119,8 +123,10 @@ int main(int argc, char** argv) {
       row.phase = phase;
       row.rounds = rounds;
       const auto before = handler.cache().stats();
-      const double start = Now();
+      LatencyHistogram latency;  // one full round = mutate and/or solve
+      Timer phase_timer;
       for (int i = 0; i < rounds; ++i) {
+        Timer round_timer;
         if (std::strcmp(phase, "hit") != 0) {
           if (!IsOk(handler.HandleLine(mutate_line))) {
             std::fprintf(stderr, "bench_dynamic: mutate failed\n");
@@ -133,17 +139,22 @@ int main(int argc, char** argv) {
             return 1;
           }
         }
+        latency.Record(round_timer.Micros());
       }
-      row.seconds = Now() - start;
+      row.seconds = phase_timer.Seconds();
       const auto after = handler.cache().stats();
       row.rps = row.seconds > 0 ? rounds / row.seconds : 0.0;
       row.cache_hits = static_cast<long long>(after.hits - before.hits);
       row.cache_misses = static_cast<long long>(after.misses - before.misses);
       row.epoch = SessionEpoch(handler, name);
-      std::printf("%-8s %-12s %7d %9.4f %10.1f %6lld %7lld %6lld\n",
+      row.latency = latency.snapshot();
+      std::printf("%-8s %-12s %7d %9.4f %10.1f %6lld %7lld %6lld %8lld "
+                  "%8lld\n",
                   row.graph.c_str(), row.phase.c_str(), row.rounds,
                   row.seconds, row.rps, row.cache_hits, row.cache_misses,
-                  row.epoch);
+                  row.epoch,
+                  static_cast<long long>(row.latency.Percentile(0.50)),
+                  static_cast<long long>(row.latency.Percentile(0.99)));
       rows.push_back(row);
     }
   }
@@ -163,9 +174,11 @@ int main(int argc, char** argv) {
       std::fprintf(out,
                    "    {\"graph\":\"%s\",\"phase\":\"%s\",\"rounds\":%d,"
                    "\"seconds\":%.6f,\"rps\":%.1f,\"cache_hits\":%lld,"
-                   "\"cache_misses\":%lld,\"epoch\":%lld}%s\n",
+                   "\"cache_misses\":%lld,\"epoch\":%lld,"
+                   "\"latency\":%s}%s\n",
                    r.graph.c_str(), r.phase.c_str(), r.rounds, r.seconds,
                    r.rps, r.cache_hits, r.cache_misses, r.epoch,
+                   LatencyJson(r.latency).c_str(),
                    i + 1 == rows.size() ? "" : ",");
     }
     std::fprintf(out, "  ]\n}\n");

@@ -3,11 +3,17 @@
 // requests. Two phases per graph — a cold phase of distinct seeds
 // (every request computes) and a hot phase replaying the same seeds
 // (every request is a cache hit) — so the JSON rows separate solver
-// throughput from serving-stack overhead.
+// throughput from serving-stack overhead. Each phase also records every
+// request's client-visible latency into a log2 histogram and reports
+// p50/p95/p99/max alongside throughput.
+//
+// A final overhead phase replays the hot (cache-hit) path twice — once
+// with the global instrumentation kill switch off, once on — and
+// reports the relative cost of the observability layer itself; the
+// budget is <= 2% (DESIGN.md §12).
 //
 //   bench_serve [--smoke] [--json BENCH_serve.json]
 //               [--connections C] [--requests N]
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,12 +21,18 @@
 #include <thread>
 #include <vector>
 
+#include "bench_support.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 
 namespace {
 
+using cfcm::Timer;
+using cfcm::bench::LatencyJson;
+using cfcm::obs::LatencyHistogram;
 using cfcm::serve::HandlerOptions;
 using cfcm::serve::JsonValue;
 using cfcm::serve::ServeClient;
@@ -36,13 +48,20 @@ struct PhaseRow {
   double seconds = 0.0;
   double rps = 0.0;
   long long cache_hits = 0;
+  LatencyHistogram::Snapshot latency;  // client-visible request latency
 };
 
 // Each connection thread sends `per_connection` solve requests, seeds
 // chosen so the whole phase covers [seed_base, seed_base + requests).
+// Per-request round-trip times are recorded into `latency` (the
+// histogram's lock-free Record makes one shared instance safe across
+// connection threads); pass nullptr to skip recording — the overhead
+// phases do, because the kill switch they are pricing would gate the
+// recording itself.
 void RunPhase(int port, const std::string& graph, int connections,
-              int per_connection, uint64_t seed_base, PhaseRow* row) {
-  const auto start = std::chrono::steady_clock::now();
+              int per_connection, uint64_t seed_base,
+              LatencyHistogram* latency, PhaseRow* row) {
+  Timer phase_timer;
   std::vector<std::thread> threads;
   std::vector<int> failures(static_cast<std::size_t>(connections), 0);
   for (int c = 0; c < connections; ++c) {
@@ -59,21 +78,23 @@ void RunPhase(int port, const std::string& graph, int connections,
             R"({"op":"solve","graph":")" + graph +
             R"(","algorithm":"forest","k":3,"eps":0.3,"seed":)" +
             std::to_string(seed) + "}";
+        Timer request_timer;
         if (!client->SendLine(request).ok() || !client->ReadLine().ok()) {
           ++failures[static_cast<std::size_t>(c)];
+        } else if (latency != nullptr) {
+          latency->Record(request_timer.Micros());
         }
       }
     });
   }
   for (std::thread& thread : threads) thread.join();
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double seconds = phase_timer.Seconds();
   row->connections = connections;
   row->requests = connections * per_connection;
   for (int f : failures) row->requests -= f;  // report successes only
   row->seconds = seconds;
   row->rps = seconds > 0 ? row->requests / seconds : 0.0;
+  if (latency != nullptr) row->latency = latency->snapshot();
 }
 
 }  // namespace
@@ -124,8 +145,9 @@ int main(int argc, char** argv) {
   std::printf("# bench_serve: loopback serving throughput\n");
   std::printf("# connections=%d requests_per_connection=%d workers=%d\n",
               connections, per_connection, server_options.num_workers);
-  std::printf("%-8s %-5s %6s %8s %9s %10s %6s\n", "graph", "phase", "conns",
-              "requests", "seconds", "req/s", "hits");
+  std::printf("%-8s %-5s %6s %8s %9s %10s %6s %8s %8s %8s\n", "graph",
+              "phase", "conns", "requests", "seconds", "req/s", "hits",
+              "p50_us", "p99_us", "max_us");
 
   std::vector<PhaseRow> rows;
   for (const auto& [name, spec] : graphs) {
@@ -145,17 +167,45 @@ int main(int argc, char** argv) {
       const auto before = handler.cache().stats();
       // The hot phase replays the cold phase's seed range, so every
       // request is answerable from the cache.
+      LatencyHistogram latency;
       RunPhase(server.port(), name, connections, per_connection,
-               /*seed_base=*/1, &row);
+               /*seed_base=*/1, &latency, &row);
       const auto after = handler.cache().stats();
       row.cache_hits = static_cast<long long>(after.hits - before.hits);
-      std::printf("%-8s %-5s %6d %8d %9.3f %10.1f %6lld\n", row.graph.c_str(),
-                  row.phase.c_str(), row.connections, row.requests,
-                  row.seconds, row.rps, row.cache_hits);
+      std::printf(
+          "%-8s %-5s %6d %8d %9.3f %10.1f %6lld %8lld %8lld %8lld\n",
+          row.graph.c_str(), row.phase.c_str(), row.connections,
+          row.requests, row.seconds, row.rps, row.cache_hits,
+          static_cast<long long>(row.latency.Percentile(0.50)),
+          static_cast<long long>(row.latency.Percentile(0.99)),
+          static_cast<long long>(row.latency.max));
       rows.push_back(row);
     }
   }
+
+  // Overhead phase: the same hot cache-hit replay on the first graph,
+  // first with every Counter::Add / Histogram::Record turned into a
+  // no-op by the global kill switch, then with instrumentation live.
+  // Both runs hit only the cache path, so the delta prices the
+  // observability layer itself. The instrumented run goes second so it
+  // cannot benefit from warming the first run paid for.
+  const std::string& overhead_graph = graphs.front().first;
+  PhaseRow off_row, on_row;
+  cfcm::obs::SetMetricsEnabled(false);
+  RunPhase(server.port(), overhead_graph, connections, per_connection,
+           /*seed_base=*/1, nullptr, &off_row);
+  cfcm::obs::SetMetricsEnabled(true);
+  RunPhase(server.port(), overhead_graph, connections, per_connection,
+           /*seed_base=*/1, nullptr, &on_row);
   server.Shutdown();
+
+  const double overhead_pct =
+      off_row.rps > 0 ? (off_row.rps - on_row.rps) / off_row.rps * 100.0
+                      : 0.0;
+  std::printf(
+      "# instrumentation overhead (hot path, %s): off=%.1f req/s "
+      "on=%.1f req/s overhead=%.2f%% (budget 2%%)\n",
+      overhead_graph.c_str(), off_row.rps, on_row.rps, overhead_pct);
 
   if (json_path != nullptr) {
     std::FILE* out = std::fopen(json_path, "w");
@@ -172,12 +222,19 @@ int main(int argc, char** argv) {
       std::fprintf(out,
                    "    {\"graph\":\"%s\",\"phase\":\"%s\","
                    "\"connections\":%d,\"requests\":%d,\"seconds\":%.6f,"
-                   "\"rps\":%.1f,\"cache_hits\":%lld}%s\n",
+                   "\"rps\":%.1f,\"cache_hits\":%lld,\"latency\":%s}%s\n",
                    r.graph.c_str(), r.phase.c_str(), r.connections,
                    r.requests, r.seconds, r.rps, r.cache_hits,
+                   LatencyJson(r.latency).c_str(),
                    i + 1 == rows.size() ? "" : ",");
     }
-    std::fprintf(out, "  ]\n}\n");
+    std::fprintf(out,
+                 "  ],\n  \"instrumentation_overhead\": "
+                 "{\"graph\":\"%s\",\"rps_disabled\":%.1f,"
+                 "\"rps_enabled\":%.1f,\"overhead_pct\":%.2f,"
+                 "\"budget_pct\":2.0}\n}\n",
+                 overhead_graph.c_str(), off_row.rps, on_row.rps,
+                 overhead_pct);
     std::fclose(out);
     std::printf("# wrote %zu serving perf rows to %s\n", rows.size(),
                 json_path);

@@ -165,6 +165,20 @@ CfcmOptions BenchOptions(double eps, uint64_t seed) {
   return opts;
 }
 
+std::string LatencyJson(const obs::LatencyHistogram::Snapshot& snapshot) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"count\":%llu,\"mean_us\":%.1f,\"p50_us\":%lld,"
+                "\"p95_us\":%lld,\"p99_us\":%lld,\"max_us\":%lld}",
+                static_cast<unsigned long long>(snapshot.count),
+                snapshot.Mean(),
+                static_cast<long long>(snapshot.Percentile(0.50)),
+                static_cast<long long>(snapshot.Percentile(0.95)),
+                static_cast<long long>(snapshot.Percentile(0.99)),
+                static_cast<long long>(snapshot.max));
+  return buffer;
+}
+
 void PrintOptions(const CfcmOptions& options) {
   std::printf(
       "# options: eps=%.2f seed=%llu forest_factor=%.2f max_forests=%d "

@@ -13,6 +13,7 @@
 #include "cfcm/cfcc.h"
 #include "cfcm/options.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 
 namespace cfcm::bench {
 
@@ -56,6 +57,12 @@ CfcmOptions BenchOptions(double eps, uint64_t seed = 1);
 /// Prints "name=value" config lines so every bench output is
 /// self-describing.
 void PrintOptions(const CfcmOptions& options);
+
+/// JSON object fragment for one latency distribution:
+/// {"count":N,"mean_us":X,"p50_us":N,"p95_us":N,"p99_us":N,"max_us":N}.
+/// Shared by the bench binaries so every BENCH_*.json reports
+/// percentiles in the same shape the serving daemon's `stats` op uses.
+std::string LatencyJson(const obs::LatencyHistogram::Snapshot& snapshot);
 
 }  // namespace cfcm::bench
 

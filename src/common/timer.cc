@@ -9,4 +9,16 @@ double Timer::Seconds() const {
   return std::chrono::duration<double>(now - start_).count();
 }
 
+int64_t Timer::Nanos() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+      .count();
+}
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace cfcm

@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "cfcm/cfcc.h"
+#include "common/timer.h"
 #include "linalg/laplacian.h"
+#include "obs/metrics.h"
 
 namespace cfcm::engine {
 
@@ -53,13 +55,35 @@ StatusOr<JobResult> Engine::Run(const Job& job) const {
 StatusOr<JobResult> Engine::Run(
     const Job& job,
     const std::shared_ptr<const GraphSnapshot>& snapshot) const {
+  return Run(job, snapshot, nullptr);
+}
+
+StatusOr<JobResult> Engine::Run(
+    const Job& job, const std::shared_ptr<const GraphSnapshot>& snapshot,
+    obs::TraceContext* trace) const {
+  // Per-kind latency histograms, resolved once per process. Values are
+  // microseconds; observation only, never fed back into the job.
+  static obs::LatencyHistogram* const solve_us =
+      &obs::MetricsRegistry::Global().histogram("engine.solve_us");
+  static obs::LatencyHistogram* const evaluate_us =
+      &obs::MetricsRegistry::Global().histogram("engine.evaluate_us");
+  static obs::LatencyHistogram* const augment_us =
+      &obs::MetricsRegistry::Global().histogram("engine.augment_us");
+
+  Timer timer;
   if (const auto* solve = std::get_if<SolveJob>(&job)) {
-    return RunSolve(*solve, *snapshot);
+    auto result = RunSolve(*solve, *snapshot, trace);
+    solve_us->Record(timer.Micros());
+    return result;
   }
   if (const auto* augment = std::get_if<AugmentJob>(&job)) {
-    return RunAugment(*augment, *snapshot);
+    auto result = RunAugment(*augment, *snapshot, trace);
+    augment_us->Record(timer.Micros());
+    return result;
   }
-  return RunEvaluate(std::get<EvaluateJob>(job), *snapshot);
+  auto result = RunEvaluate(std::get<EvaluateJob>(job), *snapshot, trace);
+  evaluate_us->Record(timer.Micros());
+  return result;
 }
 
 std::vector<StatusOr<JobResult>> Engine::RunBatch(
@@ -77,7 +101,8 @@ std::vector<StatusOr<JobResult>> Engine::RunBatch(
 }
 
 StatusOr<JobResult> Engine::RunSolve(const SolveJob& job,
-                                     const GraphSnapshot& snapshot) const {
+                                     const GraphSnapshot& snapshot,
+                                     obs::TraceContext* trace) const {
   if (!snapshot.is_connected()) {
     return Status::FailedPrecondition(
         "session graph must be connected and non-empty");
@@ -92,8 +117,18 @@ StatusOr<JobResult> Engine::RunSolve(const SolveJob& job,
   // (see ThreadPool) and results are invariant to the pool size.
   options.pool = &session_->pool();
 
+  std::size_t span = 0;
+  if (trace != nullptr) span = trace->BeginSpan("solver");
   StatusOr<SolveOutput> output =
       (*solver)->Solve(snapshot.graph(), job.k, options);
+  if (trace != nullptr) {
+    if (output.ok()) {
+      trace->Annotate("forests", output->total_forests);
+      trace->Annotate("walk_steps", output->total_walk_steps);
+      trace->Annotate("solver_calls", output->solver_calls);
+    }
+    trace->EndSpan(span);
+  }
   if (!output.ok()) return output.status();
 
   SolveJobResult result;
@@ -109,27 +144,35 @@ StatusOr<JobResult> Engine::RunSolve(const SolveJob& job,
   const int probes = remaining <= options_.exact_eval_max_n
                          ? 0
                          : std::max(1, options_.eval_probes);
+  std::size_t score_span = 0;
+  if (trace != nullptr) score_span = trace->BeginSpan("score");
   StatusOr<EvaluateJobResult> eval =
       EvaluateGroup(snapshot, result.output.selected, probes, job.seed);
+  if (trace != nullptr) trace->EndSpan(score_span);
   if (!eval.ok()) return eval.status();
   result.cfcc = eval->cfcc;
   return JobResult(std::move(result));
 }
 
 StatusOr<JobResult> Engine::RunEvaluate(const EvaluateJob& job,
-                                        const GraphSnapshot& snapshot) const {
+                                        const GraphSnapshot& snapshot,
+                                        obs::TraceContext* trace) const {
   if (!snapshot.is_connected()) {
     return Status::FailedPrecondition(
         "session graph must be connected and non-empty");
   }
+  std::size_t span = 0;
+  if (trace != nullptr) span = trace->BeginSpan("evaluate");
   StatusOr<EvaluateJobResult> eval =
       EvaluateGroup(snapshot, job.group, job.probes, job.seed);
+  if (trace != nullptr) trace->EndSpan(span);
   if (!eval.ok()) return eval.status();
   return JobResult(std::move(*eval));
 }
 
 StatusOr<JobResult> Engine::RunAugment(const AugmentJob& job,
-                                       const GraphSnapshot& snapshot) const {
+                                       const GraphSnapshot& snapshot,
+                                       obs::TraceContext* trace) const {
   // GreedyEdgeAddition re-checks connectivity, but rejecting here keeps
   // the error identical to the other job kinds.
   if (!snapshot.is_connected()) {
@@ -151,8 +194,17 @@ StatusOr<JobResult> Engine::RunAugment(const AugmentJob& job,
         " rounds (ceiling " + std::to_string(options_.augment_max_n) +
         " for both); the sampled augment analogue is future work");
   }
+  std::size_t span = 0;
+  if (trace != nullptr) span = trace->BeginSpan("augment");
   StatusOr<EdgeAdditionResult> added = GreedyEdgeAddition(
       snapshot.graph(), job.group, job.k, job.candidates);
+  if (trace != nullptr) {
+    if (added.ok()) {
+      trace->Annotate("edges_added",
+                      static_cast<int64_t>(added->added.size()));
+    }
+    trace->EndSpan(span);
+  }
   if (!added.ok()) return added.status();
 
   AugmentJobResult result;

@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "engine/registry.h"
 #include "engine/session.h"
+#include "obs/trace.h"
 
 namespace cfcm::engine {
 
@@ -146,6 +147,18 @@ class Engine {
                           const std::shared_ptr<const GraphSnapshot>&
                               snapshot) const;
 
+  /// \brief Same as Run(job, snapshot), optionally traced.
+  ///
+  /// With a non-null `trace`, per-phase spans ("solver", "score",
+  /// "evaluate", "augment") and sampling annotations (forests,
+  /// walk_steps) are recorded into it; a null trace costs one branch.
+  /// Every Run also feeds the engine.<job>_us latency histograms in the
+  /// global metrics registry. Neither path touches the solver's inputs,
+  /// so results stay bitwise identical per seed, traced or not.
+  StatusOr<JobResult> Run(const Job& job,
+                          const std::shared_ptr<const GraphSnapshot>& snapshot,
+                          obs::TraceContext* trace) const;
+
   /// \brief Runs all jobs concurrently on the session pool.
   ///
   /// results[i] corresponds to jobs[i]; apart from wall-time fields each
@@ -156,11 +169,14 @@ class Engine {
 
  private:
   StatusOr<JobResult> RunSolve(const SolveJob& job,
-                               const GraphSnapshot& snapshot) const;
+                               const GraphSnapshot& snapshot,
+                               obs::TraceContext* trace) const;
   StatusOr<JobResult> RunEvaluate(const EvaluateJob& job,
-                                  const GraphSnapshot& snapshot) const;
+                                  const GraphSnapshot& snapshot,
+                                  obs::TraceContext* trace) const;
   StatusOr<JobResult> RunAugment(const AugmentJob& job,
-                                 const GraphSnapshot& snapshot) const;
+                                 const GraphSnapshot& snapshot,
+                                 obs::TraceContext* trace) const;
 
   /// C(S) plus trace diagnostics for `group` on the pinned `snapshot`;
   /// exact or probed per EngineOptions (see SolveJobResult::cfcc).

@@ -1,0 +1,55 @@
+// Structured single-line JSON logging to stderr (DESIGN.md §12).
+//
+// One line per event: {"ts":"...","level":"info","event":"request",...}.
+// Fields are emitted in insertion order after ts/level/event, values are
+// JSON-escaped, and the whole line is written with a single fwrite so
+// concurrent workers never interleave mid-line. Timestamps use the wall
+// clock (system_clock) because log lines are correlated with the outside
+// world; all latency *measurement* elsewhere uses the monotonic clock.
+#ifndef CFCM_OBS_LOG_H_
+#define CFCM_OBS_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cfcm::obs {
+
+enum class LogLevel { kDebug = 0, kError = 3, kInfo = 1, kOff = 4, kWarn = 2 };
+
+/// Parses "debug"/"info"/"warn"/"error"/"off"; returns false on anything
+/// else and leaves *out untouched.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+std::string_view LogLevelName(LogLevel level);
+
+/// Process-wide minimum level; events below it are dropped before any
+/// formatting happens. Defaults to kWarn so library users and tests see
+/// nothing unless something is actually wrong.
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// \brief One log event under construction. Usage:
+///   LogEvent(LogLevel::kInfo, "request").Str("op", op).Int("us", us);
+/// The line is emitted by the destructor; a dropped level makes every
+/// method a no-op.
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, std::string_view event);
+  ~LogEvent();
+
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& Str(std::string_view key, std::string_view value);
+  LogEvent& Int(std::string_view key, int64_t value);
+  LogEvent& Bool(std::string_view key, bool value);
+  LogEvent& Double(std::string_view key, double value);
+
+ private:
+  bool enabled_;
+  std::string line_;
+};
+
+}  // namespace cfcm::obs
+
+#endif  // CFCM_OBS_LOG_H_

@@ -1,0 +1,204 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+
+namespace cfcm::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+// Shard index for the calling thread: hash the thread id once per thread.
+std::size_t ThisThreadShard() {
+  static thread_local const std::size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      LatencyHistogram::kShards;
+  return shard;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Record(int64_t value) {
+  if (!MetricsEnabled()) return;
+  if (value < 0) value = 0;
+  const int bucket = std::bit_width(static_cast<uint64_t>(value));
+  Shard& shard = shards_[ThisThreadShard()];
+  shard.buckets[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  int64_t seen = shard.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !shard.max.compare_exchange_weak(seen, value,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot merged;
+  for (const Shard& shard : shards_) {
+    for (int b = 0; b < kBuckets; ++b) {
+      merged.buckets[static_cast<std::size_t>(b)] +=
+          shard.buckets[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+    }
+    merged.sum += shard.sum.load(std::memory_order_relaxed);
+    merged.max = std::max(merged.max,
+                          shard.max.load(std::memory_order_relaxed));
+  }
+  for (uint64_t c : merged.buckets) merged.count += c;
+  return merged;
+}
+
+int64_t LatencyHistogram::Snapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the order statistic we bound, 1-based; ceil without floats
+  // drifting: rank q*count rounded up, at least 1.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    if (seen >= rank) {
+      // Upper edge of bucket b: 0 for b == 0, else 2^b - 1; never report
+      // past the exact max.
+      const int64_t edge =
+          b == 0 ? 0
+                 : static_cast<int64_t>((uint64_t{1} << b) - 1);
+      return std::min(edge, max);
+    }
+  }
+  return max;
+}
+
+double LatencyHistogram::Snapshot::Mean() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms.emplace_back(name, histogram->snapshot());
+  }
+  return out;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+// scheme maps onto it by replacing every other character with '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[160];
+  for (const auto& [name, value] : snapshot.counters) {
+    std::snprintf(line, sizeof(line), "# TYPE %s counter\n%s %" PRIu64 "\n",
+                  PrometheusName(name).c_str(), PrometheusName(name).c_str(),
+                  value);
+    out += line;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::snprintf(line, sizeof(line), "# TYPE %s gauge\n%s %" PRId64 "\n",
+                  PrometheusName(name).c_str(), PrometheusName(name).c_str(),
+                  value);
+    out += line;
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string p = PrometheusName(name);
+    std::snprintf(line, sizeof(line), "# TYPE %s histogram\n", p.c_str());
+    out += line;
+    uint64_t cumulative = 0;
+    for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      const uint64_t in_bucket = h.buckets[static_cast<std::size_t>(b)];
+      if (in_bucket == 0) continue;  // sparse: only emit occupied edges
+      cumulative += in_bucket;
+      const uint64_t edge = b == 0 ? 0 : (uint64_t{1} << b) - 1;
+      std::snprintf(line, sizeof(line),
+                    "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", p.c_str(),
+                    edge, cumulative);
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                  p.c_str(), h.count);
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_sum %" PRId64 "\n", p.c_str(),
+                  h.sum);
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_count %" PRIu64 "\n", p.c_str(),
+                  h.count);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace cfcm::obs

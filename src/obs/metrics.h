@@ -1,0 +1,163 @@
+// Process-wide observability metrics core (DESIGN.md §12).
+//
+// Three primitives — Counter, Gauge, LatencyHistogram — owned by a
+// MetricsRegistry that maps stable dotted names ("serve.solve.latency_us")
+// to instances. The hot path is lock-free: recording is a handful of
+// relaxed atomic adds on cache-line-separated shards, and the registry
+// mutex is only taken when a call site first resolves a name (call sites
+// cache the returned reference). Snapshots are deterministic: names come
+// back sorted, and every derived total (histogram count, percentile) is
+// computed from the one snapshot rather than from separately maintained
+// counters, so the parts of a snapshot always add up.
+//
+// Dependency-free by design: nothing here knows about graphs, solvers or
+// the serving layer, so every layer (runtime -> engine -> serve) can
+// record into the same registry without cycles.
+#ifndef CFCM_OBS_METRICS_H_
+#define CFCM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cfcm::obs {
+
+/// Global instrumentation kill switch. When false, Counter::Add and
+/// LatencyHistogram::Record become single relaxed-load no-ops — the
+/// overhead bench flips this to price the instrumentation itself.
+/// Defaults to enabled.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonic event counter. Thread-safe, lock-free.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, resident bytes).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Log2-bucketed latency histogram with lock-free recording and
+/// mergeable shards.
+///
+/// Bucket b holds values v with std::bit_width(v) == b, i.e. bucket 0 is
+/// exactly {0} and bucket b >= 1 covers [2^(b-1), 2^b - 1] — so a
+/// percentile read off the bucket upper edge over-estimates the true
+/// order statistic by strictly less than 2x. 64 buckets cover the whole
+/// non-negative int64 range (negative values clamp to 0); values are
+/// conventionally microseconds but the histogram is unit-agnostic.
+///
+/// Recording picks a shard from the caller's thread id and does two
+/// relaxed atomic RMWs (bucket, sum) plus a CAS loop for the exact max;
+/// shards are cache-line aligned so concurrent recorders do not false-
+/// share. snapshot() merges the shards; the total count is derived from
+/// the merged buckets (there is no separately maintained count that
+/// could disagree), which is what makes the conservation test exact.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr int kShards = 8;
+
+  void Record(int64_t value);
+
+  /// Merged, immutable view of the histogram at one point in time.
+  struct Snapshot {
+    std::array<uint64_t, kBuckets> buckets{};
+    int64_t sum = 0;  ///< sum of recorded (clamped) values
+    int64_t max = 0;  ///< exact largest recorded value; 0 when empty
+    uint64_t count = 0;  ///< derived: sum over buckets
+
+    /// Upper bound of the bucket containing the q-quantile (q in [0,1]),
+    /// clamped to the exact max. 0 when empty. Deterministic: a pure
+    /// function of the snapshot.
+    int64_t Percentile(double q) const;
+    /// sum / count; 0 when empty.
+    double Mean() const;
+  };
+
+  Snapshot snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> max{0};
+  };
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// One registry entry kind in a snapshot.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;  ///< sorted by name
+  std::vector<std::pair<std::string, int64_t>> gauges;     ///< sorted by name
+  std::vector<std::pair<std::string, LatencyHistogram::Snapshot>>
+      histograms;  ///< sorted by name
+};
+
+/// \brief Named metric registry.
+///
+/// counter()/gauge()/histogram() return a reference that stays valid for
+/// the registry's lifetime (instances are heap-allocated and never
+/// removed), so call sites resolve once and record lock-free thereafter.
+/// Thread-safe.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every built-in instrumentation point
+  /// records into.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyHistogram& histogram(std::string_view name);
+
+  /// One coherent, deterministically ordered view of every metric. Each
+  /// histogram snapshot is internally consistent (count derived from its
+  /// buckets); distinct metrics are read in one pass in name order.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+};
+
+/// Prometheus text-exposition rendering of a snapshot: counters and
+/// gauges as untyped samples, histograms as cumulative `_bucket{le=...}`
+/// series plus `_sum`/`_count` (dots in names become underscores).
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace cfcm::obs
+
+#endif  // CFCM_OBS_METRICS_H_

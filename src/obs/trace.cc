@@ -1,0 +1,100 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace cfcm::obs {
+
+namespace {
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string NextTraceId() {
+  static std::atomic<uint64_t> sequence{0};
+  const uint64_t raw =
+      SplitMix64(sequence.fetch_add(1, std::memory_order_relaxed) + 1);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(raw));
+  return std::string(buf);
+}
+
+TraceContext::TraceContext()
+    : trace_id_(NextTraceId()), epoch_ns_(MonotonicNowNs()) {}
+
+std::size_t TraceContext::BeginSpan(std::string name) {
+  const std::size_t index = spans_.size();
+  TraceSpan span;
+  span.name = std::move(name);
+  span.start_ns = MonotonicNowNs() - epoch_ns_;
+  span.duration_ns = -1;  // open
+  spans_.push_back(std::move(span));
+  nested_.push_back(!open_.empty());
+  open_.push_back(index);
+  return index;
+}
+
+void TraceContext::EndSpan(std::size_t token) {
+  // Tolerate mismatched tokens (close whatever is innermost) — a trace
+  // must never crash the request it observes.
+  if (open_.empty()) return;
+  std::size_t index = open_.back();
+  if (token < spans_.size() && spans_[token].duration_ns < 0) index = token;
+  // Pop through the stack until the span we closed is gone; any spans
+  // left open inside it are force-closed at the same instant.
+  const int64_t now = MonotonicNowNs() - epoch_ns_;
+  while (!open_.empty()) {
+    const std::size_t top = open_.back();
+    open_.pop_back();
+    if (spans_[top].duration_ns < 0) {
+      spans_[top].duration_ns = now - spans_[top].start_ns;
+    }
+    if (top == index) break;
+  }
+}
+
+void TraceContext::AddSpan(std::string name, int64_t start_ns,
+                           int64_t duration_ns) {
+  TraceSpan span;
+  span.name = std::move(name);
+  span.start_ns = start_ns;
+  span.duration_ns = duration_ns < 0 ? 0 : duration_ns;
+  spans_.push_back(std::move(span));
+  nested_.push_back(false);
+}
+
+void TraceContext::Annotate(std::string key, int64_t value) {
+  if (spans_.empty()) return;
+  TraceSpan& target =
+      open_.empty() ? spans_.back() : spans_[open_.back()];
+  target.annotations.emplace_back(std::move(key), value);
+}
+
+int64_t TraceContext::ElapsedNs() const {
+  return MonotonicNowNs() - epoch_ns_;
+}
+
+int64_t TraceContext::SpanTotalNs() const {
+  int64_t total = 0;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    if (nested_[i]) continue;
+    if (spans_[i].duration_ns > 0) total += spans_[i].duration_ns;
+  }
+  return total;
+}
+
+}  // namespace cfcm::obs

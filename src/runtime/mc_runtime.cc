@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace cfcm {
 
 namespace {
@@ -82,6 +84,22 @@ McRunStats RunForestBatch(ThreadPool& pool, const McRunOptions& options,
   });
 
   stats.walk_steps = walk_steps.load(std::memory_order_relaxed);
+
+  // Observability only: these counters never feed back into scheduling,
+  // so the per-seed bitwise determinism of the batch is untouched.
+  // Name resolution happens once per process; recording is relaxed adds.
+  static obs::Counter* const batches =
+      &obs::MetricsRegistry::Global().counter("runtime.batches");
+  static obs::Counter* const forests =
+      &obs::MetricsRegistry::Global().counter("runtime.forests");
+  static obs::Counter* const steps =
+      &obs::MetricsRegistry::Global().counter("runtime.walk_steps");
+  static obs::Counter* const chunks =
+      &obs::MetricsRegistry::Global().counter("runtime.chunks");
+  batches->Add(1);
+  forests->Add(static_cast<uint64_t>(stats.forests));
+  steps->Add(static_cast<uint64_t>(stats.walk_steps));
+  chunks->Add(static_cast<uint64_t>(stats.chunks));
   return stats;
 }
 

@@ -6,11 +6,30 @@
 #include <utility>
 
 #include "graph/spec.h"
+#include "obs/metrics.h"
 #include "runtime/shared_pool.h"
 
 namespace cfcm::serve {
 
 namespace {
+
+// Process-wide mirrors of the per-instance counters (see result_cache.cc
+// for the split's rationale).
+obs::Counter& CatalogLoads() {
+  static obs::Counter* const c =
+      &obs::MetricsRegistry::Global().counter("serve.catalog.loads");
+  return *c;
+}
+obs::Counter& CatalogEvictions() {
+  static obs::Counter* const c =
+      &obs::MetricsRegistry::Global().counter("serve.catalog.evictions");
+  return *c;
+}
+obs::Counter& CatalogMutations() {
+  static obs::Counter* const c =
+      &obs::MetricsRegistry::Global().counter("serve.catalog.mutations");
+  return *c;
+}
 
 // Whether the post-delta graph can carry explicit conductances. True
 // when the base is already weighted, the delta reweights anything or
@@ -122,6 +141,7 @@ StatusOr<std::shared_ptr<engine::GraphSession>> SessionCatalog::Acquire(
   it->second.last_use = ++tick_;
   it->second.loads += 1;
   loads_ += 1;
+  CatalogLoads().Add(1);
   resident_bytes_ += it->second.bytes;
   EvictOverBudgetLocked(name);
   return session;
@@ -239,6 +259,7 @@ StatusOr<SessionCatalog::MutateResult> SessionCatalog::Mutate(
       it->second.bytes = bytes;
       it->second.last_use = ++tick_;
       mutations_ += 1;
+      CatalogMutations().Add(1);
       EvictOverBudgetLocked(name);
     }
     // If the entry was Forgotten mid-mutation the delta still applied to
@@ -275,6 +296,7 @@ void SessionCatalog::EvictOverBudgetLocked(const std::string& keep) {
     victim->second.session.reset();  // leases keep the graph alive
     victim->second.bytes = 0;
     evictions_ += 1;
+    CatalogEvictions().Add(1);
   }
 }
 

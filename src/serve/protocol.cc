@@ -2,8 +2,12 @@
 
 #include <cstdio>
 #include <limits>
+#include <optional>
 #include <utility>
 #include <variant>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace cfcm::serve {
 namespace {
@@ -144,6 +148,15 @@ void AppendSessionSummary(const engine::GraphSession::VersionedSnapshot& pinned,
 
 void EchoId(const JsonValue& request, JsonValue::Object* response) {
   if (const JsonValue* id = request.Find("id")) (*response)["id"] = *id;
+  // A request-supplied trace id is echoed like "id" (a traced request
+  // already wrote its own — possibly generated — trace_id; don't clobber
+  // it).
+  if (response->find("trace_id") == response->end()) {
+    const JsonValue* trace_id = request.Find("trace_id");
+    if (trace_id != nullptr && trace_id->is_string()) {
+      (*response)["trace_id"] = *trace_id;
+    }
+  }
 }
 
 JsonValue OkResponse(JsonValue::Object fields) {
@@ -157,6 +170,134 @@ JsonValue ErrorResponseFor(const JsonValue& request, const Status& status) {
   response["error"] = StatusToJsonError(status);
   EchoId(request, &response);
   return JsonValue(std::move(response));
+}
+
+// Always-on per-op instrumentation, resolved once per op per process so
+// the request hot path never takes the registry mutex.
+struct OpMetrics {
+  obs::Counter* requests;
+  obs::Counter* errors;
+  obs::LatencyHistogram* latency_us;
+};
+
+OpMetrics ResolveOpMetrics(const char* op) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const std::string prefix = std::string("serve.") + op;
+  return OpMetrics{&registry.counter(prefix + ".requests"),
+                   &registry.counter(prefix + ".errors"),
+                   &registry.histogram(prefix + ".latency_us")};
+}
+
+const OpMetrics& MetricsFor(const std::string& op) {
+  if (op == "solve") {
+    static const OpMetrics m = ResolveOpMetrics("solve");
+    return m;
+  }
+  if (op == "evaluate") {
+    static const OpMetrics m = ResolveOpMetrics("evaluate");
+    return m;
+  }
+  if (op == "mutate") {
+    static const OpMetrics m = ResolveOpMetrics("mutate");
+    return m;
+  }
+  if (op == "augment") {
+    static const OpMetrics m = ResolveOpMetrics("augment");
+    return m;
+  }
+  if (op == "load") {
+    static const OpMetrics m = ResolveOpMetrics("load");
+    return m;
+  }
+  if (op == "unload") {
+    static const OpMetrics m = ResolveOpMetrics("unload");
+    return m;
+  }
+  if (op == "stats") {
+    static const OpMetrics m = ResolveOpMetrics("stats");
+    return m;
+  }
+  if (op == "metrics") {
+    static const OpMetrics m = ResolveOpMetrics("metrics");
+    return m;
+  }
+  if (op == "shutdown") {
+    static const OpMetrics m = ResolveOpMetrics("shutdown");
+    return m;
+  }
+  static const OpMetrics m = ResolveOpMetrics("other");
+  return m;
+}
+
+// {"count","mean_us","p50_us","p95_us","p99_us","max_us"} for the stats
+// latency block; pure function of one histogram snapshot.
+JsonValue PercentilesJson(const obs::LatencyHistogram::Snapshot& h) {
+  return JsonValue(JsonValue::Object{
+      {"count", static_cast<int64_t>(h.count)},
+      {"mean_us", h.Mean()},
+      {"p50_us", h.Percentile(0.50)},
+      {"p95_us", h.Percentile(0.95)},
+      {"p99_us", h.Percentile(0.99)},
+      {"max_us", h.max},
+  });
+}
+
+// Full histogram rendering for the metrics op: percentiles plus the
+// occupied [upper_edge, count] buckets.
+JsonValue HistogramJson(const obs::LatencyHistogram::Snapshot& h) {
+  JsonValue::Array buckets;
+  for (int b = 0; b < obs::LatencyHistogram::kBuckets; ++b) {
+    const uint64_t in_bucket = h.buckets[static_cast<std::size_t>(b)];
+    if (in_bucket == 0) continue;
+    const int64_t edge =
+        b == 0 ? 0 : static_cast<int64_t>((uint64_t{1} << b) - 1);
+    buckets.push_back(JsonValue(JsonValue::Array{
+        JsonValue(edge), JsonValue(static_cast<int64_t>(in_bucket))}));
+  }
+  return JsonValue(JsonValue::Object{
+      {"count", static_cast<int64_t>(h.count)},
+      {"sum", h.sum},
+      {"max", h.max},
+      {"mean", h.Mean()},
+      {"p50", h.Percentile(0.50)},
+      {"p95", h.Percentile(0.95)},
+      {"p99", h.Percentile(0.99)},
+      {"buckets", JsonValue(std::move(buckets))},
+  });
+}
+
+uint64_t CounterValue(const obs::MetricsSnapshot& snapshot,
+                      std::string_view name) {
+  for (const auto& [n, v] : snapshot.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+// Renders the collected spans into the response. `pre_ns` is the time
+// spent before the context existed (socket read + queue wait + parse),
+// already present as AddSpan entries — it extends total_us, which spans
+// are compared against, so "span sum ≈ total" holds across the whole
+// request.
+void AttachTrace(const obs::TraceContext& trace, int64_t pre_ns,
+                 JsonValue::Object* response) {
+  (*response)["trace_id"] = trace.trace_id();
+  JsonValue::Array spans;
+  for (const obs::TraceSpan& span : trace.spans()) {
+    JsonValue::Object entry{
+        {"name", span.name},
+        {"start_us", span.start_ns / 1000},
+        {"duration_us",
+         (span.duration_ns < 0 ? int64_t{0} : span.duration_ns) / 1000},
+    };
+    for (const auto& [key, value] : span.annotations) entry[key] = value;
+    spans.push_back(JsonValue(std::move(entry)));
+  }
+  (*response)["trace"] = JsonValue(JsonValue::Object{
+      {"total_us", (pre_ns + trace.ElapsedNs()) / 1000},
+      {"span_total_us", trace.SpanTotalNs() / 1000},
+      {"spans", JsonValue(std::move(spans))},
+  });
 }
 
 }  // namespace
@@ -206,27 +347,84 @@ ServeHandler::ServeHandler(HandlerOptions options)
       cache_(options_.cache_capacity, options_.cache_shards) {}
 
 JsonValue ServeHandler::HandleLine(std::string_view line) {
+  return HandleLine(line, RequestInfo{}, nullptr);
+}
+
+JsonValue ServeHandler::HandleLine(std::string_view line,
+                                   const RequestInfo& info,
+                                   RequestOutcome* outcome) {
+  Timer parse_timer;
   StatusOr<JsonValue> request = JsonValue::Parse(line);
-  if (!request.ok()) return MakeErrorResponse(request.status(), nullptr);
-  return Handle(*request);
+  RequestInfo timed = info;
+  timed.parse_ns += parse_timer.Nanos();
+  if (!request.ok()) {
+    if (outcome != nullptr) {
+      outcome->ok = false;
+      outcome->error_code = StatusCodeName(request.status().code());
+    }
+    return MakeErrorResponse(request.status(), nullptr);
+  }
+  return Handle(*request, timed, outcome);
 }
 
 JsonValue ServeHandler::Handle(const JsonValue& request) {
+  return Handle(request, RequestInfo{}, nullptr);
+}
+
+JsonValue ServeHandler::Handle(const JsonValue& request,
+                               const RequestInfo& info,
+                               RequestOutcome* outcome) {
   if (!request.is_object()) {
+    if (outcome != nullptr) {
+      outcome->ok = false;
+      outcome->error_code = "invalid_argument";
+    }
     return MakeErrorResponse(
         Status::InvalidArgument("request must be a JSON object"), nullptr);
   }
   StatusOr<std::string> op = GetString(request, "op");
-  if (!op.ok()) return ErrorResponseFor(request, op.status());
+  if (!op.ok()) {
+    if (outcome != nullptr) {
+      outcome->ok = false;
+      outcome->error_code = StatusCodeName(op.status().code());
+    }
+    return ErrorResponseFor(request, op.status());
+  }
 
+  // Opt-in tracing: spans only materialize when the request asks. The
+  // always-on path below (histogram + two counters) is the one priced
+  // by the ≤2% overhead budget.
+  const int64_t pre_ns = info.read_ns + info.queue_wait_ns + info.parse_ns;
+  std::optional<obs::TraceContext> trace;
+  if (const JsonValue* field = request.Find("trace");
+      field != nullptr && field->is_bool() && field->as_bool()) {
+    trace.emplace();
+    if (const JsonValue* id = request.Find("trace_id");
+        id != nullptr && id->is_string()) {
+      trace->set_trace_id(id->as_string());
+    }
+    // Transport phases finished before this context existed; place them
+    // before its epoch so span offsets reflect the real timeline.
+    if (info.read_ns > 0) trace->AddSpan("read", -pre_ns, info.read_ns);
+    if (info.queue_wait_ns > 0) {
+      trace->AddSpan("queue_wait", -(info.queue_wait_ns + info.parse_ns),
+                     info.queue_wait_ns);
+    }
+    if (info.parse_ns > 0) trace->AddSpan("parse", -info.parse_ns,
+                                          info.parse_ns);
+  }
+  obs::TraceContext* trace_ptr = trace.has_value() ? &*trace : nullptr;
+
+  Timer timer;
   JsonValue response = [&]() -> JsonValue {
-    if (*op == "load") return HandleLoad(request);
+    if (*op == "load") return HandleLoad(request, trace_ptr);
     if (*op == "unload") return HandleUnload(request);
-    if (*op == "solve") return HandleSolve(request);
-    if (*op == "evaluate") return HandleEvaluate(request);
-    if (*op == "mutate") return HandleMutate(request);
-    if (*op == "augment") return HandleAugment(request);
+    if (*op == "solve") return HandleSolve(request, trace_ptr);
+    if (*op == "evaluate") return HandleEvaluate(request, trace_ptr);
+    if (*op == "mutate") return HandleMutate(request, trace_ptr);
+    if (*op == "augment") return HandleAugment(request, trace_ptr);
     if (*op == "stats") return HandleStats();
+    if (*op == "metrics") return HandleMetrics(request);
     if (*op == "shutdown") {
       shutdown_.store(true, std::memory_order_release);
       return OkResponse({{"op", "shutdown"}});
@@ -236,13 +434,45 @@ JsonValue ServeHandler::Handle(const JsonValue& request) {
         Status::InvalidArgument(
             "unknown op '" + *op +
             "' (expected load/unload/solve/evaluate/mutate/augment/stats/"
-            "shutdown)"));
+            "metrics/shutdown)"));
   }();
+
+  // Whole-request latency: transport phases plus the handler itself.
+  const OpMetrics& metrics = MetricsFor(*op);
+  metrics.requests->Add(1);
+  metrics.latency_us->Record(pre_ns / 1000 + timer.Micros());
+
+  const JsonValue* status = response.is_object() ? response.Find("status")
+                                                 : nullptr;
+  const bool ok = status != nullptr && status->is_string() &&
+                  status->as_string() == "ok";
+  if (!ok) metrics.errors->Add(1);
+
+  if (trace_ptr != nullptr && response.is_object()) {
+    AttachTrace(*trace_ptr, pre_ns, &response.object());
+  }
   if (response.is_object()) EchoId(request, &response.object());
+
+  if (outcome != nullptr) {
+    outcome->op = *op;
+    outcome->ok = ok;
+    if (!ok) {
+      const JsonValue* error = response.is_object() ? response.Find("error")
+                                                    : nullptr;
+      const JsonValue* code =
+          error != nullptr && error->is_object() ? error->Find("code")
+                                                 : nullptr;
+      if (code != nullptr && code->is_string()) {
+        outcome->error_code = code->as_string();
+      }
+    }
+    if (trace_ptr != nullptr) outcome->trace_id = trace_ptr->trace_id();
+  }
   return response;
 }
 
-JsonValue ServeHandler::HandleLoad(const JsonValue& request) {
+JsonValue ServeHandler::HandleLoad(const JsonValue& request,
+                                   obs::TraceContext* trace) {
   StatusOr<std::string> name = GetString(request, "graph");
   if (!name.ok()) return ErrorResponseFor(request, name.status());
   StatusOr<std::string> source = GetString(request, "source");
@@ -252,7 +482,10 @@ JsonValue ServeHandler::HandleLoad(const JsonValue& request) {
   if (!defined.ok()) return ErrorResponseFor(request, defined);
   // Acquire eagerly so load errors surface on the load response, not on
   // the first solve.
+  std::size_t span = 0;
+  if (trace != nullptr) span = trace->BeginSpan("load_graph");
   auto session = catalog_.Acquire(*name);
+  if (trace != nullptr) trace->EndSpan(span);
   if (!session.ok()) {
     // A bad source would poison every future Acquire; drop it again.
     (void)catalog_.Forget(*name);
@@ -271,7 +504,8 @@ JsonValue ServeHandler::HandleUnload(const JsonValue& request) {
   return OkResponse({{"op", "unload"}, {"graph", *name}});
 }
 
-JsonValue ServeHandler::HandleSolve(const JsonValue& request) {
+JsonValue ServeHandler::HandleSolve(const JsonValue& request,
+                                    obs::TraceContext* trace) {
   StatusOr<std::string> name = GetString(request, "graph");
   if (!name.ok()) return ErrorResponseFor(request, name.status());
   StatusOr<int64_t> k = GetInt(request, "k", 1, 1, 1'000'000'000);
@@ -300,13 +534,18 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request) {
     }
   }
 
+  std::size_t span = 0;
+  if (trace != nullptr) span = trace->BeginSpan("acquire");
   auto session = catalog_.Acquire(*name);
+  if (trace != nullptr) trace->EndSpan(span);
   if (!session.ok()) return ErrorResponseFor(request, session.status());
 
   // Pin ONE snapshot for the whole request: the cache key's fingerprint
   // and the solve computation are guaranteed to describe the same graph
   // version even if a mutate lands mid-request — the cache-soundness
-  // invariant under mutation (DESIGN.md §11).
+  // invariant under mutation (DESIGN.md §11). The "cache_lookup" span
+  // covers the pin, the (lazily computed) fingerprint, and the probe.
+  if (trace != nullptr) span = trace->BeginSpan("cache_lookup");
   const std::shared_ptr<const engine::GraphSnapshot> snapshot =
       (*session)->snapshot();
   const ResultCacheKey key{snapshot->fingerprint(), algorithm,
@@ -314,6 +553,10 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request) {
                            static_cast<uint64_t>(*seed)};
   bool cache_hit = true;
   std::optional<engine::SolveJobResult> solve = cache_.Lookup(key);
+  if (trace != nullptr) {
+    trace->Annotate("hit", solve.has_value() ? 1 : 0);
+    trace->EndSpan(span);
+  }
   if (!solve.has_value()) {
     cache_hit = false;
     engine::Engine engine{*session, options_.engine};
@@ -322,10 +565,12 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request) {
     job.k = static_cast<int>(*k);
     job.eps = eps;
     job.seed = static_cast<uint64_t>(*seed);
-    StatusOr<engine::JobResult> result = engine.Run(job, snapshot);
+    StatusOr<engine::JobResult> result = engine.Run(job, snapshot, trace);
     if (!result.ok()) return ErrorResponseFor(request, result.status());
     solve = std::get<engine::SolveJobResult>(std::move(*result));
+    if (trace != nullptr) span = trace->BeginSpan("commit");
     cache_.Insert(key, *solve);
+    if (trace != nullptr) trace->EndSpan(span);
   }
 
   return OkResponse({
@@ -346,7 +591,8 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request) {
   });
 }
 
-JsonValue ServeHandler::HandleEvaluate(const JsonValue& request) {
+JsonValue ServeHandler::HandleEvaluate(const JsonValue& request,
+                                       obs::TraceContext* trace) {
   StatusOr<std::string> name = GetString(request, "graph");
   if (!name.ok()) return ErrorResponseFor(request, name.status());
   StatusOr<int64_t> probes = GetInt(request, "probes", 0, 0, 1'000'000);
@@ -357,7 +603,10 @@ JsonValue ServeHandler::HandleEvaluate(const JsonValue& request) {
   StatusOr<std::vector<NodeId>> group = GetGroup(request);
   if (!group.ok()) return ErrorResponseFor(request, group.status());
 
+  std::size_t span = 0;
+  if (trace != nullptr) span = trace->BeginSpan("acquire");
   auto session = catalog_.Acquire(*name);
+  if (trace != nullptr) trace->EndSpan(span);
   if (!session.ok()) return ErrorResponseFor(request, session.status());
 
   engine::Engine engine{*session, options_.engine};
@@ -365,7 +614,8 @@ JsonValue ServeHandler::HandleEvaluate(const JsonValue& request) {
   job.group = std::move(*group);
   job.probes = static_cast<int>(*probes);
   job.seed = static_cast<uint64_t>(*seed);
-  StatusOr<engine::JobResult> result = engine.Run(job);
+  StatusOr<engine::JobResult> result =
+      engine.Run(job, (*session)->snapshot(), trace);
   if (!result.ok()) return ErrorResponseFor(request, result.status());
   const auto& eval = std::get<engine::EvaluateJobResult>(*result);
 
@@ -378,7 +628,8 @@ JsonValue ServeHandler::HandleEvaluate(const JsonValue& request) {
   });
 }
 
-JsonValue ServeHandler::HandleMutate(const JsonValue& request) {
+JsonValue ServeHandler::HandleMutate(const JsonValue& request,
+                                     obs::TraceContext* trace) {
   StatusOr<std::string> name = GetString(request, "graph");
   if (!name.ok()) return ErrorResponseFor(request, name.status());
   // Bounded per request: node additions allocate CSR arrays up front,
@@ -410,7 +661,10 @@ JsonValue ServeHandler::HandleMutate(const JsonValue& request) {
                      "reweight"));
   }
 
+  std::size_t span = 0;
+  if (trace != nullptr) span = trace->BeginSpan("commit");
   auto mutated = catalog_.Mutate(*name, delta);
+  if (trace != nullptr) trace->EndSpan(span);
   if (!mutated.ok()) return ErrorResponseFor(request, mutated.status());
 
   JsonValue::Object response{
@@ -431,7 +685,8 @@ JsonValue ServeHandler::HandleMutate(const JsonValue& request) {
   return OkResponse(std::move(response));
 }
 
-JsonValue ServeHandler::HandleAugment(const JsonValue& request) {
+JsonValue ServeHandler::HandleAugment(const JsonValue& request,
+                                      obs::TraceContext* trace) {
   StatusOr<std::string> name = GetString(request, "graph");
   if (!name.ok()) return ErrorResponseFor(request, name.status());
   StatusOr<std::vector<NodeId>> group = GetGroup(request);
@@ -459,7 +714,10 @@ JsonValue ServeHandler::HandleAugment(const JsonValue& request) {
     apply = field->as_bool();
   }
 
+  std::size_t span = 0;
+  if (trace != nullptr) span = trace->BeginSpan("acquire");
   auto session = catalog_.Acquire(*name);
+  if (trace != nullptr) trace->EndSpan(span);
   if (!session.ok()) return ErrorResponseFor(request, session.status());
 
   engine::Engine engine{*session, options_.engine};
@@ -467,7 +725,8 @@ JsonValue ServeHandler::HandleAugment(const JsonValue& request) {
   job.group = std::move(*group);
   job.k = static_cast<int>(*k);
   job.candidates = candidates;
-  StatusOr<engine::JobResult> result = engine.Run(job);
+  StatusOr<engine::JobResult> result =
+      engine.Run(job, (*session)->snapshot(), trace);
   if (!result.ok()) return ErrorResponseFor(request, result.status());
   const auto& augment = std::get<engine::AugmentJobResult>(*result);
 
@@ -504,7 +763,9 @@ JsonValue ServeHandler::HandleAugment(const JsonValue& request) {
     // summary below reflects the snapshot this apply installed.
     GraphDelta delta;
     for (const auto& [u, v] : augment.added) delta.AddEdge(u, v);
+    if (trace != nullptr) span = trace->BeginSpan("commit");
     auto mutated = catalog_.Mutate(*name, delta);
+    if (trace != nullptr) trace->EndSpan(span);
     if (!mutated.ok()) return ErrorResponseFor(request, mutated.status());
     AppendSessionSummary(mutated->installed, &response);
   }
@@ -543,10 +804,64 @@ JsonValue ServeHandler::HandleStats() {
       {"sessions", JsonValue(std::move(sessions))},
   };
 
+  // The coherence fix (ISSUE 6 bugfix): everything below comes from ONE
+  // metrics-registry snapshot, and every total is derived from the parts
+  // of that snapshot ("lookups" := hits + misses, never a third counter)
+  // — so this block can't report hits+misses inconsistent with request
+  // totals the way the independently locked per-instance reads above
+  // can. Registry counters are process-wide; in the daemon (one handler
+  // per process) the two views describe the same traffic.
+  const obs::MetricsSnapshot observed = obs::MetricsRegistry::Global()
+                                            .snapshot();
+  const uint64_t cache_hits = CounterValue(observed, "serve.cache.hits");
+  const uint64_t cache_misses = CounterValue(observed, "serve.cache.misses");
+  JsonValue::Object requests_json;
+  JsonValue::Object latency_json;
+  for (const char* op : {"solve", "evaluate", "mutate", "augment"}) {
+    const std::string prefix = std::string("serve.") + op;
+    requests_json[op] = JsonValue(JsonValue::Object{
+        {"total",
+         static_cast<int64_t>(CounterValue(observed, prefix + ".requests"))},
+        {"errors",
+         static_cast<int64_t>(CounterValue(observed, prefix + ".errors"))},
+    });
+    for (const auto& [name, histogram] : observed.histograms) {
+      if (name == prefix + ".latency_us") {
+        latency_json[op] = PercentilesJson(histogram);
+      }
+    }
+  }
+  JsonValue::Object observed_json{
+      {"cache",
+       JsonValue(JsonValue::Object{
+           {"hits", static_cast<int64_t>(cache_hits)},
+           {"misses", static_cast<int64_t>(cache_misses)},
+           {"lookups", static_cast<int64_t>(cache_hits + cache_misses)},
+           {"evictions",
+            static_cast<int64_t>(
+                CounterValue(observed, "serve.cache.evictions"))},
+       })},
+      {"catalog",
+       JsonValue(JsonValue::Object{
+           {"loads",
+            static_cast<int64_t>(
+                CounterValue(observed, "serve.catalog.loads"))},
+           {"evictions",
+            static_cast<int64_t>(
+                CounterValue(observed, "serve.catalog.evictions"))},
+           {"mutations",
+            static_cast<int64_t>(
+                CounterValue(observed, "serve.catalog.mutations"))},
+       })},
+      {"requests", JsonValue(std::move(requests_json))},
+      {"latency", JsonValue(std::move(latency_json))},
+  };
+
   JsonValue::Object response{
       {"op", "stats"},
       {"cache", JsonValue(std::move(cache_json))},
       {"catalog", JsonValue(std::move(catalog_json))},
+      {"observed", JsonValue(std::move(observed_json))},
   };
   if (admission_ != nullptr) {
     response["server"] = JsonValue(JsonValue::Object{
@@ -557,6 +872,47 @@ JsonValue ServeHandler::HandleStats() {
     });
   }
   return OkResponse(std::move(response));
+}
+
+JsonValue ServeHandler::HandleMetrics(const JsonValue& request) {
+  std::string format = "json";
+  if (const JsonValue* field = request.Find("format")) {
+    if (!field->is_string() || (field->as_string() != "json" &&
+                                field->as_string() != "prometheus")) {
+      return ErrorResponseFor(
+          request, Status::InvalidArgument(
+                       "'format' must be \"json\" or \"prometheus\""));
+    }
+    format = field->as_string();
+  }
+
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().snapshot();
+  if (format == "prometheus") {
+    return OkResponse({
+        {"op", "metrics"},
+        {"format", "prometheus"},
+        {"text", RenderPrometheus(snapshot)},
+    });
+  }
+
+  JsonValue::Object counters;
+  for (const auto& [name, value] : snapshot.counters) {
+    counters[name] = static_cast<int64_t>(value);
+  }
+  JsonValue::Object gauges;
+  for (const auto& [name, value] : snapshot.gauges) gauges[name] = value;
+  JsonValue::Object histograms;
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    histograms[name] = HistogramJson(histogram);
+  }
+  return OkResponse({
+      {"op", "metrics"},
+      {"format", "json"},
+      {"counters", JsonValue(std::move(counters))},
+      {"gauges", JsonValue(std::move(gauges))},
+      {"histograms", JsonValue(std::move(histograms))},
+  });
 }
 
 }  // namespace cfcm::serve

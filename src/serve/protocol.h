@@ -20,10 +20,19 @@
 //             the chosen edges are applied as a mutation afterwards.
 //             Dense algorithm: rejected when n - |group| or k exceeds
 //             EngineOptions::augment_max_n.
-//   stats    {"op":"stats"}
+//   stats    {"op":"stats"} — cache/catalog/server counters plus, from
+//             one coherent metrics snapshot, per-op request totals and
+//             latency percentiles (DESIGN.md §12).
+//   metrics  {"op":"metrics"} — full registry snapshot as JSON;
+//             {"format":"prometheus"} returns a text-exposition
+//             rendering in a "text" member instead.
 //   shutdown {"op":"shutdown"}
 // Every request may carry an "id" member, echoed verbatim in the
-// response so pipelined clients can match replies. Responses carry
+// response so pipelined clients can match replies; a string "trace_id"
+// member is echoed the same way. Any solve/evaluate/mutate/augment/load
+// request may carry "trace":true, which adds a "trace_id" (generated
+// when the request did not supply one) and a "trace" object with the
+// per-phase span breakdown to the response. Responses carry
 // "status":"ok" or "status":"error" with {"error":{"code","message"}} —
 // the same error object shape cfcm_cli emits under --json.
 #ifndef CFCM_SERVE_PROTOCOL_H_
@@ -36,6 +45,7 @@
 #include <string_view>
 
 #include "engine/engine.h"
+#include "obs/trace.h"
 #include "serve/catalog.h"
 #include "serve/json.h"
 #include "serve/result_cache.h"
@@ -74,6 +84,24 @@ JsonValue MakeErrorResponse(const Status& status, const JsonValue* id);
 /// match error.code == "over_capacity" to decide to retry later.
 JsonValue MakeOverCapacityResponse();
 
+/// Transport-measured phases of a request, handed to the handler so the
+/// per-op latency histograms and traces cover the whole request, not
+/// just the handler's slice. All nanoseconds; zero when unknown.
+struct RequestInfo {
+  int64_t read_ns = 0;        ///< socket read of the request line
+  int64_t queue_wait_ns = 0;  ///< admission-queue wait before a worker
+  int64_t parse_ns = 0;       ///< JSON parse (filled by HandleLine)
+};
+
+/// What the handler observed about a request, reported back so the
+/// transport can log it without re-parsing the response.
+struct RequestOutcome {
+  std::string op;          ///< dispatched op; empty if unparseable
+  bool ok = true;          ///< response carried status "ok"
+  std::string error_code;  ///< error.code when !ok
+  std::string trace_id;    ///< set when the request was traced
+};
+
 /// \brief Executes protocol requests against a SessionCatalog, a
 /// ResultCache and the Engine. Transport-agnostic: the TCP server, the
 /// selftest harness and unit tests all drive this one class.
@@ -89,9 +117,20 @@ class ServeHandler {
   /// responses).
   JsonValue Handle(const JsonValue& request);
 
+  /// Same, with transport timing folded into the request's latency
+  /// histogram/trace and the outcome reported back (both optional — the
+  /// plain overload is Handle(request, {}, nullptr)).
+  JsonValue Handle(const JsonValue& request, const RequestInfo& info,
+                   RequestOutcome* outcome);
+
   /// Parses one protocol line and executes it; malformed JSON yields an
   /// invalid_argument error response.
   JsonValue HandleLine(std::string_view line);
+
+  /// Line-level variant of the instrumented Handle; measures the JSON
+  /// parse into info.parse_ns itself.
+  JsonValue HandleLine(std::string_view line, const RequestInfo& info,
+                       RequestOutcome* outcome);
 
   /// True once a shutdown request was handled; the transport drains and
   /// stops when it sees this.
@@ -109,13 +148,14 @@ class ServeHandler {
   ResultCache& cache() { return cache_; }
 
  private:
-  JsonValue HandleLoad(const JsonValue& request);
+  JsonValue HandleLoad(const JsonValue& request, obs::TraceContext* trace);
   JsonValue HandleUnload(const JsonValue& request);
-  JsonValue HandleSolve(const JsonValue& request);
-  JsonValue HandleEvaluate(const JsonValue& request);
-  JsonValue HandleMutate(const JsonValue& request);
-  JsonValue HandleAugment(const JsonValue& request);
+  JsonValue HandleSolve(const JsonValue& request, obs::TraceContext* trace);
+  JsonValue HandleEvaluate(const JsonValue& request, obs::TraceContext* trace);
+  JsonValue HandleMutate(const JsonValue& request, obs::TraceContext* trace);
+  JsonValue HandleAugment(const JsonValue& request, obs::TraceContext* trace);
   JsonValue HandleStats();
+  JsonValue HandleMetrics(const JsonValue& request);
 
   HandlerOptions options_;
   SessionCatalog catalog_;

@@ -3,8 +3,29 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/metrics.h"
+
 namespace cfcm::serve {
 namespace {
+
+// Process-wide mirrors of the per-instance counters. The instance
+// atomics keep each cache's own story (unit tests, multiple caches);
+// the registry copies are what `stats`/`metrics` snapshot coherently.
+obs::Counter& CacheHits() {
+  static obs::Counter* const c =
+      &obs::MetricsRegistry::Global().counter("serve.cache.hits");
+  return *c;
+}
+obs::Counter& CacheMisses() {
+  static obs::Counter* const c =
+      &obs::MetricsRegistry::Global().counter("serve.cache.misses");
+  return *c;
+}
+obs::Counter& CacheEvictions() {
+  static obs::Counter* const c =
+      &obs::MetricsRegistry::Global().counter("serve.cache.evictions");
+  return *c;
+}
 
 constexpr uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr uint64_t kFnvPrime = 1099511628211ull;
@@ -49,10 +70,12 @@ std::optional<engine::SolveJobResult> ResultCache::Lookup(
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    CacheMisses().Add(1);
     return std::nullopt;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
+  CacheHits().Add(1);
   return it->second->result;
 }
 
@@ -70,6 +93,7 @@ void ResultCache::Insert(const ResultCacheKey& key,
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    CacheEvictions().Add(1);
   }
   shard.lru.push_front(Entry{key, result});
   shard.index.emplace(key, shard.lru.begin());

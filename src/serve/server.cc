@@ -10,6 +10,10 @@
 #include <cstring>
 #include <utility>
 
+#include "common/timer.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
 namespace cfcm::serve {
 
 Server::Connection::~Connection() {
@@ -67,6 +71,10 @@ Status Server::Start() {
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  obs::LogEvent(obs::LogLevel::kInfo, "listening")
+      .Str("host", options_.host)
+      .Int("port", port_)
+      .Int("workers", options_.num_workers);
   return Status::Ok();
 }
 
@@ -109,8 +117,12 @@ void Server::ReadConnection(std::shared_ptr<Connection> connection) {
   std::string buffer;
   char chunk[4096];
   while (true) {
+    Timer recv_timer;
     const ssize_t got = ::recv(connection->fd, chunk, sizeof(chunk), 0);
     if (got <= 0) return;  // EOF, peer reset, or fd shut down by Shutdown()
+    // Attributed to every line this chunk completes; includes the wait
+    // for the client to send, so it is the client-visible read phase.
+    const int64_t read_ns = recv_timer.Nanos();
     buffer.append(chunk, static_cast<std::size_t>(got));
     if (buffer.size() > options_.max_line_bytes) {
       WriteResponse(*connection,
@@ -131,7 +143,8 @@ void Server::ReadConnection(std::shared_ptr<Connection> connection) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (!stopping_ && queue_.size() < options_.max_queue) {
-          queue_.push_back(Task{connection, std::move(line)});
+          queue_.push_back(
+              Task{connection, std::move(line), read_ns, MonotonicNanos()});
           admitted = true;
         }
       }
@@ -141,6 +154,8 @@ void Server::ReadConnection(std::shared_ptr<Connection> connection) {
       } else {
         // Explicit backpressure: reject now, never block the reader.
         stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+        obs::LogEvent(obs::LogLevel::kWarn, "over_capacity")
+            .Int("queue", static_cast<int64_t>(options_.max_queue));
         WriteResponse(*connection, MakeOverCapacityResponse());
       }
     }
@@ -160,9 +175,33 @@ void Server::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    const JsonValue response = handler_->HandleLine(task.line);
+    static obs::LatencyHistogram* const queue_wait_us =
+        &obs::MetricsRegistry::Global().histogram("serve.queue_wait_us");
+    RequestInfo info;
+    info.read_ns = task.read_ns;
+    info.queue_wait_ns = MonotonicNanos() - task.enqueued_ns;
+    queue_wait_us->Record(info.queue_wait_ns / 1000);
+
+    RequestOutcome outcome;
+    Timer handle_timer;
+    const JsonValue response = handler_->HandleLine(task.line, info, &outcome);
+    const int64_t total_us =
+        (info.read_ns + info.queue_wait_ns) / 1000 + handle_timer.Micros();
     WriteResponse(*task.connection, response);
     stats_.served.fetch_add(1, std::memory_order_relaxed);
+
+    const bool slow = options_.slow_request_ms > 0 &&
+                      total_us >= options_.slow_request_ms * 1000;
+    if (slow || obs::MinLogLevel() <= obs::LogLevel::kDebug) {
+      obs::LogEvent event(slow ? obs::LogLevel::kWarn : obs::LogLevel::kDebug,
+                          slow ? "slow_request" : "request");
+      event.Str("op", outcome.op)
+          .Bool("ok", outcome.ok)
+          .Int("total_us", total_us)
+          .Int("queue_us", info.queue_wait_ns / 1000);
+      if (!outcome.ok) event.Str("error", outcome.error_code);
+      if (!outcome.trace_id.empty()) event.Str("trace_id", outcome.trace_id);
+    }
     const bool shutdown_op = handler_->shutdown_requested();
     {
       std::lock_guard<std::mutex> lock(mu_);

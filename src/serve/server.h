@@ -48,6 +48,11 @@ struct ServerOptions {
   /// drain) forever — the send times out, the response is dropped, the
   /// worker moves on. 0 disables the guard.
   int write_timeout_seconds = 30;
+
+  /// Requests whose total latency (read + queue wait + handling) meets
+  /// this threshold are logged at warn level with their op and timing.
+  /// 0 disables slow-request logging.
+  int64_t slow_request_ms = 0;
 };
 
 /// \brief TCP front end over one ServeHandler.
@@ -88,6 +93,8 @@ class Server {
   struct Task {
     std::shared_ptr<Connection> connection;
     std::string line;
+    int64_t read_ns = 0;      ///< duration of the recv that completed it
+    int64_t enqueued_ns = 0;  ///< MonotonicNanos() at admission
   };
 
   void AcceptLoop();

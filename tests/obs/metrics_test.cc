@@ -1,0 +1,187 @@
+// Metrics core: conservation under concurrency, log2 bucket edges,
+// percentile bounds, the kill switch, and Prometheus rendering.
+//
+// Histograms and counters here are standalone instances (not the global
+// registry) wherever possible, so the assertions are exact regardless of
+// what other tests in the process recorded.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace cfcm::obs {
+namespace {
+
+TEST(Counter, AddsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Set(-5);
+  EXPECT_EQ(gauge.value(), -5);
+}
+
+TEST(LatencyHistogram, BucketEdges) {
+  // Bucket b holds exactly the values with bit_width == b: bucket 0 is
+  // {0}, bucket b >= 1 is [2^(b-1), 2^b - 1]. Probe both sides of every
+  // edge the serving latencies actually cross.
+  LatencyHistogram histogram;
+  const int64_t values[] = {0, 1, 2, 3, 4, 7, 8, 1023, 1024, (1 << 20) - 1};
+  for (int64_t v : values) histogram.Record(v);
+  const auto snap = histogram.snapshot();
+  ASSERT_EQ(snap.count, 10u);
+  EXPECT_EQ(snap.buckets[0], 1u);  // 0
+  EXPECT_EQ(snap.buckets[1], 1u);  // 1
+  EXPECT_EQ(snap.buckets[2], 2u);  // 2, 3
+  EXPECT_EQ(snap.buckets[3], 2u);  // 4, 7
+  EXPECT_EQ(snap.buckets[4], 1u);  // 8
+  EXPECT_EQ(snap.buckets[10], 1u);  // 1023 = 2^10 - 1
+  EXPECT_EQ(snap.buckets[11], 1u);  // 1024 = 2^10
+  EXPECT_EQ(snap.buckets[20], 1u);  // 2^20 - 1
+  EXPECT_EQ(snap.max, (1 << 20) - 1);
+}
+
+TEST(LatencyHistogram, NegativeValuesClampToZero) {
+  LatencyHistogram histogram;
+  histogram.Record(-17);
+  const auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.sum, 0);
+}
+
+TEST(LatencyHistogram, PercentileBoundsAndMax) {
+  LatencyHistogram histogram;
+  for (int64_t v = 1; v <= 100; ++v) histogram.Record(v);
+  const auto snap = histogram.snapshot();
+  ASSERT_EQ(snap.count, 100u);
+  // A percentile is the containing bucket's upper edge clamped to the
+  // exact max: never below the true order statistic, and strictly less
+  // than 2x above it.
+  for (double q : {0.5, 0.95, 0.99}) {
+    const auto true_rank = static_cast<int64_t>(q * 100);
+    const int64_t p = snap.Percentile(q);
+    EXPECT_GE(p, true_rank) << "q=" << q;
+    EXPECT_LT(p, 2 * true_rank) << "q=" << q;
+  }
+  EXPECT_EQ(snap.Percentile(1.0), 100);  // clamped to exact max
+  EXPECT_EQ(snap.max, 100);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 50.5);
+}
+
+TEST(LatencyHistogram, EmptySnapshotIsZero) {
+  LatencyHistogram histogram;
+  const auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.Percentile(0.5), 0);
+  EXPECT_EQ(snap.Mean(), 0.0);
+  EXPECT_EQ(snap.max, 0);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordConservesEveryValue) {
+  // 8 threads x 10k records race into the sharded histogram; the merged
+  // snapshot must conserve the exact count, sum, and per-bucket totals.
+  // count is derived from the merged buckets, so this also proves no
+  // record landed in the wrong bucket.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  LatencyHistogram histogram;
+  std::vector<std::thread> threads;
+  std::atomic<int64_t> expected_sum{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, &expected_sum, t] {
+      int64_t local_sum = 0;
+      for (int i = 0; i < kPerThread; ++i) {
+        const int64_t value = (t * kPerThread + i) % 2048;
+        histogram.Record(value);
+        local_sum += value;
+      }
+      expected_sum.fetch_add(local_sum);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.sum, expected_sum.load());
+  // Recompute the per-bucket expectation from the value pattern.
+  std::array<uint64_t, LatencyHistogram::kBuckets> expected{};
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const auto value = static_cast<uint64_t>((t * kPerThread + i) % 2048);
+      ++expected[std::bit_width(value)];
+    }
+  }
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    EXPECT_EQ(snap.buckets[b], expected[b]) << "bucket " << b;
+  }
+}
+
+TEST(MetricsEnabled, KillSwitchGatesRecording) {
+  LatencyHistogram histogram;
+  Counter counter;
+  SetMetricsEnabled(false);
+  histogram.Record(5);
+  counter.Add(5);
+  SetMetricsEnabled(true);
+  histogram.Record(7);
+  counter.Add(7);
+  EXPECT_EQ(histogram.snapshot().count, 1u);
+  EXPECT_EQ(histogram.snapshot().sum, 7);
+  EXPECT_EQ(counter.value(), 7u);
+}
+
+TEST(MetricsRegistry, StableReferencesAndSortedSnapshot) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("zzz.last");
+  Counter& b = registry.counter("aaa.first");
+  EXPECT_EQ(&registry.counter("zzz.last"), &a);  // same instance by name
+  a.Add(2);
+  b.Add(1);
+  registry.histogram("mid.hist").Record(9);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "aaa.first");  // deterministic order
+  EXPECT_EQ(snap.counters[1].first, "zzz.last");
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+}
+
+TEST(MetricsRegistry, GlobalIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+TEST(RenderPrometheus, EmitsBucketsSumCount) {
+  MetricsRegistry registry;
+  registry.counter("serve.test.requests").Add(3);
+  auto& histogram = registry.histogram("serve.test.latency_us");
+  histogram.Record(5);
+  histogram.Record(100);
+  const std::string text = RenderPrometheus(registry.snapshot());
+  // Dots become underscores; histograms render cumulative le-buckets
+  // plus _sum/_count; the +Inf bucket must equal the count.
+  EXPECT_NE(text.find("serve_test_requests 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("serve_test_latency_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_test_latency_us_sum 105"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_test_latency_us_count 2"), std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace cfcm::obs

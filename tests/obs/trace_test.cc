@@ -1,0 +1,139 @@
+// TraceContext: span lifecycle, pre-epoch AddSpan, annotation routing,
+// top-level span summation, and trace-id uniqueness.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cfcm::obs {
+namespace {
+
+TEST(TraceContext, BeginEndRecordsDuration) {
+  TraceContext trace;
+  const std::size_t span = trace.BeginSpan("phase");
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  trace.EndSpan(span);
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.spans()[0].name, "phase");
+  EXPECT_GE(trace.spans()[0].start_ns, 0);
+  EXPECT_GT(trace.spans()[0].duration_ns, 0);
+  EXPECT_GE(trace.ElapsedNs(), trace.spans()[0].duration_ns);
+}
+
+TEST(TraceContext, NestedSpansExcludedFromSpanTotal) {
+  // SpanTotalNs sums only top-level spans: an inner span's time is
+  // already inside its parent, and double-counting would break the
+  // "phase sum ~ total" contract the serve layer exposes.
+  TraceContext trace;
+  const std::size_t outer = trace.BeginSpan("outer");
+  const std::size_t inner = trace.BeginSpan("inner");
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  trace.EndSpan(inner);
+  trace.EndSpan(outer);
+  ASSERT_EQ(trace.spans().size(), 2u);
+  const int64_t outer_ns = trace.spans()[0].duration_ns;
+  const int64_t inner_ns = trace.spans()[1].duration_ns;
+  EXPECT_GE(outer_ns, inner_ns);
+  EXPECT_EQ(trace.SpanTotalNs(), outer_ns);
+}
+
+TEST(TraceContext, EndSpanForceClosesOpenChildren) {
+  // A must-not-crash guarantee: closing a parent with children still
+  // open closes the children too instead of corrupting the stack.
+  TraceContext trace;
+  const std::size_t outer = trace.BeginSpan("outer");
+  (void)trace.BeginSpan("leaked_inner");
+  trace.EndSpan(outer);
+  ASSERT_EQ(trace.spans().size(), 2u);
+  for (const TraceSpan& span : trace.spans()) {
+    EXPECT_GE(span.duration_ns, 0) << span.name << " left open";
+  }
+  // Everything is closed: a new top-level span works normally.
+  const std::size_t next = trace.BeginSpan("next");
+  trace.EndSpan(next);
+  EXPECT_EQ(trace.spans().size(), 3u);
+}
+
+TEST(TraceContext, AddSpanPlacesPreEpochPhases) {
+  // Socket read and queue wait finish before the handler constructs the
+  // context; they are injected with negative start offsets and still
+  // count as top-level phases.
+  TraceContext trace;
+  trace.AddSpan("read", -5000, 4000);
+  trace.AddSpan("queue_wait", -1000, 1000);
+  const std::size_t handle = trace.BeginSpan("handle");
+  trace.EndSpan(handle);
+  ASSERT_EQ(trace.spans().size(), 3u);
+  EXPECT_EQ(trace.spans()[0].start_ns, -5000);
+  EXPECT_EQ(trace.SpanTotalNs(),
+            4000 + 1000 + trace.spans()[2].duration_ns);
+}
+
+TEST(TraceContext, AddSpanClampsNegativeDuration) {
+  TraceContext trace;
+  trace.AddSpan("weird", 0, -123);
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.spans()[0].duration_ns, 0);
+}
+
+TEST(TraceContext, AnnotateTargetsInnermostOpenSpan) {
+  TraceContext trace;
+  const std::size_t outer = trace.BeginSpan("outer");
+  const std::size_t inner = trace.BeginSpan("inner");
+  trace.Annotate("walk_steps", 123);  // innermost open: inner
+  trace.EndSpan(inner);
+  trace.Annotate("forests", 7);  // innermost open is now outer
+  trace.EndSpan(outer);
+  trace.Annotate("post", 1);  // nothing open: the last recorded span
+  ASSERT_EQ(trace.spans().size(), 2u);
+  const auto& outer_notes = trace.spans()[0].annotations;
+  ASSERT_EQ(outer_notes.size(), 1u);
+  EXPECT_EQ(outer_notes[0].first, "forests");
+  EXPECT_EQ(outer_notes[0].second, 7);
+  const auto& inner_notes = trace.spans()[1].annotations;
+  ASSERT_EQ(inner_notes.size(), 2u);
+  EXPECT_EQ(inner_notes[0].first, "walk_steps");
+  EXPECT_EQ(inner_notes[0].second, 123);
+  EXPECT_EQ(inner_notes[1].first, "post");
+}
+
+TEST(TraceContext, TraceIdDefaultsNonEmptyAndOverridable) {
+  TraceContext trace;
+  EXPECT_FALSE(trace.trace_id().empty());
+  trace.set_trace_id("client-supplied");
+  EXPECT_EQ(trace.trace_id(), "client-supplied");
+}
+
+TEST(NextTraceId, UniqueAcrossThreads) {
+  // Ids come from an atomic sequence mixed through splitmix64: 16 hex
+  // chars, no collisions even when minted concurrently.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 256;
+  std::vector<std::vector<std::string>> minted(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&minted, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        minted[static_cast<std::size_t>(t)].push_back(NextTraceId());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::set<std::string> unique;
+  for (const auto& batch : minted) {
+    for (const std::string& id : batch) {
+      EXPECT_EQ(id.size(), 16u);
+      unique.insert(id);
+    }
+  }
+  EXPECT_EQ(unique.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace cfcm::obs

@@ -25,6 +25,7 @@
 #include "graph/components.h"
 #include "graph/generators.h"
 #include "graph/spec.h"
+#include "obs/trace.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
 
@@ -52,6 +53,7 @@ struct CliOptions {
   bool take_lcc = false;
   bool json = false;
   bool list = false;
+  bool verbose = false;
 };
 
 void PrintUsage(std::FILE* out) {
@@ -84,6 +86,11 @@ void PrintUsage(std::FILE* out) {
                "                concurrency (default). Results never depend\n"
                "                on this value\n"
                "  --lcc         reduce the input to its largest component\n"
+               "  --verbose     per-phase timing breakdown on stderr (load,\n"
+               "                derived-state build, solver / score phases\n"
+               "                with forest and walk-step counts); jobs run\n"
+               "                sequentially so phases never interleave.\n"
+               "                Results are unchanged\n"
                "  --json        machine-readable output\n"
                "  --list-solvers  list registered solvers (capabilities from\n"
                "                the registry) and exit; --list is an alias\n");
@@ -154,6 +161,8 @@ StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
       options.list = true;
     } else if (arg == "--lcc") {
       options.take_lcc = true;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
     } else if (arg == "--graph" || arg == "--algo" || arg == "--k" ||
                arg == "--eps" || arg == "--seed" || arg == "--probes" ||
                arg == "--threads" || arg == "--evaluate" ||
@@ -361,6 +370,27 @@ void PrintTextJob(const cfcm::engine::Job& spec,
   }
 }
 
+// --verbose breakdown: prints every span recorded since `first`, one
+// stderr line each, so the timing never mixes with the stdout table or
+// JSON. The spans come from the same obs::TraceContext machinery the
+// daemon's "trace":true path fills — CLI and server report through one
+// code path.
+void PrintSpans(const cfcm::obs::TraceContext& trace, std::size_t first,
+                const std::string& prefix) {
+  const auto& spans = trace.spans();
+  for (std::size_t i = first; i < spans.size(); ++i) {
+    const cfcm::obs::TraceSpan& span = spans[i];
+    std::fprintf(stderr, "verbose: %s%-14s %10.3f ms", prefix.c_str(),
+                 span.name.c_str(),
+                 static_cast<double>(span.duration_ns) / 1e6);
+    for (const auto& [key, value] : span.annotations) {
+      std::fprintf(stderr, "  %s=%lld", key.c_str(),
+                   static_cast<long long>(value));
+    }
+    std::fprintf(stderr, "\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -397,6 +427,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  // One trace carries every phase of the run under --verbose; without it
+  // the context sits unused (BeginSpan is never called).
+  cfcm::obs::TraceContext trace;
+  std::size_t load_span = 0;
+  if (cli.verbose) load_span = trace.BeginSpan("load");
+
   StatusOr<Graph> loaded = cfcm::LoadGraphFromSpec(cli.graph_source);
   if (!loaded.ok()) {
     return FailWith(loaded.status(), cli.json, 1);
@@ -431,6 +467,11 @@ int main(int argc, char** argv) {
     }
     to_original = std::move(lcc.to_original);
     graph = std::move(lcc.graph);
+  }
+  if (cli.verbose) {
+    // Load covers parse/generate + optional reweight + LCC reduction.
+    trace.EndSpan(load_span);
+    PrintSpans(trace, trace.spans().size() - 1, "");
   }
 
   if (cli.augment > 0 && cli.augment_group.empty()) {
@@ -510,9 +551,35 @@ int main(int argc, char** argv) {
   // inverse and minutes of O(n^3) work — a sane local limit; beyond it
   // the engine's rejection names the ceiling.
   engine_options.augment_max_n = 4096;
+  std::size_t build_span = 0;
+  if (cli.verbose) build_span = trace.BeginSpan("derived_state");
   cfcm::engine::Engine engine{std::move(graph), engine_options};
-  std::vector<StatusOr<cfcm::engine::JobResult>> results =
-      engine.RunBatch(exec_jobs);
+  if (cli.verbose) {
+    // Touch the Laplacian so the derived-state phase is charged here
+    // rather than lazily inside the first job's solver span.
+    (void)engine.session().laplacian();
+    trace.EndSpan(build_span);
+    PrintSpans(trace, trace.spans().size() - 1, "");
+  }
+
+  std::vector<StatusOr<cfcm::engine::JobResult>> results;
+  if (cli.verbose) {
+    // Sequential traced execution: one job at a time against a single
+    // pinned snapshot, so the span stream reads as a clean per-job
+    // breakdown. Per-seed results are scheduling-invariant, so the
+    // output matches the concurrent batch exactly.
+    const auto snapshot = engine.session().snapshot();
+    results.reserve(exec_jobs.size());
+    for (std::size_t i = 0; i < exec_jobs.size(); ++i) {
+      const std::size_t first = trace.spans().size();
+      results.push_back(engine.Run(exec_jobs[i], snapshot, &trace));
+      PrintSpans(trace, first, "job" + std::to_string(i) + " ");
+    }
+    std::fprintf(stderr, "verbose: %-18s %10.3f ms\n", "total",
+                 static_cast<double>(trace.ElapsedNs()) / 1e6);
+  } else {
+    results = engine.RunBatch(exec_jobs);
+  }
   if (!to_original.empty()) {
     // Translate selected groups / added edges back into the input
     // numbering.

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/parse.h"
+#include "obs/log.h"
 #include "serve/client.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
@@ -55,18 +56,23 @@ void PrintUsage(std::FILE* out) {
       "  --memory-budget B   catalog byte budget; 0 = unlimited (default)\n"
       "  --threads N         shared sampling pool size; 0 = hardware\n"
       "  --preload NAME=SPEC define+load a graph at startup (repeatable)\n"
+      "  --log-level L       structured stderr logging: debug/info/warn/\n"
+      "                      error/off (default warn)\n"
+      "  --slow-request-ms N warn-log requests slower than N ms (0 = off)\n"
       "\n"
       "client options:\n"
       "  --host A --port N   server address (port required)\n"
       "  --op OP             build a request: load/unload/solve/evaluate/\n"
-      "                      mutate/augment/stats/shutdown, with --graph\n"
-      "                      --source --algo --k --eps --seed --probes\n"
-      "                      --group u1,u2,...\n"
+      "                      mutate/augment/stats/metrics/shutdown, with\n"
+      "                      --graph --source --algo --k --eps --seed\n"
+      "                      --probes --group u1,u2,...\n"
       "                      mutate: --add u,v[,w] --remove u,v\n"
       "                      --reweight u,v,w (each repeatable) and\n"
       "                      --add-nodes N\n"
       "                      augment: --group --k --candidates group|any\n"
       "                      --apply true|false\n"
+      "                      metrics: --format json|prometheus\n"
+      "  --trace true|false  request an inline span breakdown (any op)\n"
       "  [json ...]          raw request lines; with no --op and no json\n"
       "                      arguments, lines are read from stdin\n"
       "\n"
@@ -133,6 +139,25 @@ int RunServe(int argc, char** argv) {
       if (arg == "--threads") {
         handler_options.catalog.num_threads = static_cast<int>(number);
       }
+    } else if (arg == "--log-level") {
+      const char* value = need_value();
+      cfcm::obs::LogLevel level = cfcm::obs::LogLevel::kWarn;
+      if (!cfcm::obs::ParseLogLevel(value, &level)) {
+        std::fprintf(stderr,
+                     "error: --log-level expects debug/info/warn/error/off, "
+                     "got '%s'\n",
+                     value);
+        return 2;
+      }
+      cfcm::obs::SetMinLogLevel(level);
+    } else if (arg == "--slow-request-ms") {
+      const char* value = need_value();
+      if (!ParseLong(value, &number) || number < 0) {
+        std::fprintf(stderr, "error: bad value for --slow-request-ms: '%s'\n",
+                     value);
+        return 2;
+      }
+      server_options.slow_request_ms = number;
     } else if (arg == "--preload") {
       const std::string spec = need_value();
       const std::size_t eq = spec.find('=');
@@ -217,8 +242,14 @@ StatusOr<JsonValue> BuildRequest(const std::string& op,
   for (const auto& [raw_key, value] : fields) {
     const std::string key = raw_key == "algo" ? "algorithm" : raw_key;
     if (key == "graph" || key == "source" || key == "algorithm" ||
-        key == "candidates") {
-      request[key] = value;
+        key == "candidates" || key == "format" || key == "trace-id") {
+      request[key == "trace-id" ? "trace_id" : key] = value;
+    } else if (key == "trace") {
+      if (value != "true" && value != "false") {
+        return Status::InvalidArgument("--trace expects true or false, got '" +
+                                       value + "'");
+      }
+      request["trace"] = value == "true";
     } else if (key == "add" || key == "remove" || key == "reweight") {
       // Repeatable edge flags accumulate into the op's array field.
       const int arity = key == "remove" ? 2 : key == "reweight" ? 3 : -3;
@@ -445,11 +476,33 @@ int RunSelftest() {
   // Augment: the §VI edge-selection answer is servable.
   const std::string augmented =
       call(R"({"op":"augment","graph":"karate","group":[0,33],"k":1})");
-  server.Shutdown();
   std::printf("%s\n", augmented.c_str());
   if (augmented.find("\"status\":\"ok\"") == std::string::npos ||
       augmented.find("\"added\":[[") == std::string::npos) {
     std::fprintf(stderr, "selftest: augment round-trip failed\n");
+    server.Shutdown();
+    return 1;
+  }
+
+  // Observability: a traced solve carries its span breakdown and echoes
+  // the requested trace id; the metrics op has recorded solve latency.
+  const std::string traced = call(
+      R"({"op":"solve","graph":"karate","algorithm":"forest","k":3,"seed":7,)"
+      R"("trace":true,"trace_id":"selftest-trace"})");
+  const std::string metrics = call(R"({"op":"metrics"})");
+  server.Shutdown();
+  std::printf("%s\n%s\n", traced.c_str(), metrics.c_str());
+  if (traced.find("\"trace_id\":\"selftest-trace\"") == std::string::npos ||
+      traced.find("\"spans\":[") == std::string::npos ||
+      traced.find("\"queue_wait\"") == std::string::npos) {
+    std::fprintf(stderr, "selftest: traced solve missing span breakdown\n");
+    return 1;
+  }
+  // Non-empty bucket list == at least one recorded solve latency sample.
+  if (metrics.find("\"serve.solve.latency_us\":{\"buckets\":[[") ==
+          std::string::npos ||
+      metrics.find("\"serve.cache.hits\"") == std::string::npos) {
+    std::fprintf(stderr, "selftest: metrics op missing solve latency\n");
     return 1;
   }
   std::printf("selftest ok\n");
