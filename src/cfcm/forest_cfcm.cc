@@ -3,17 +3,21 @@
 #include <algorithm>
 
 #include "cfcm/cfcc.h"
+#include "cfcm/lazy_greedy.h"
 #include "common/timer.h"
 #include "estimators/first_pick.h"
 #include "estimators/forest_delta.h"
 
 namespace cfcm {
 
-StatusOr<CfcmResult> ForestCfcmMaximize(const Graph& graph, int k,
-                                        const CfcmOptions& options) {
-  CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
-  Timer timer;
-  ThreadPool& pool = ResolveSamplingPool(options);
+namespace {
+
+// The paper's literal Alg. 3 loop: every remaining candidate re-scored
+// every round. Kept verbatim as the reference the lazy path is pinned
+// against (tests/cfcm/lazy_greedy_test.cc).
+StatusOr<CfcmResult> ForestCfcmExhaustive(const Graph& graph, int k,
+                                          const CfcmOptions& options,
+                                          ThreadPool& pool) {
   EstimatorOptions est = ToEstimatorOptions(options);
 
   CfcmResult result;
@@ -35,6 +39,7 @@ StatusOr<CfcmResult> ForestCfcmMaximize(const Graph& graph, int k,
     result.forests_per_iteration.push_back(delta.forests);
     result.total_forests += delta.forests;
     result.total_walk_steps += delta.walk_steps;
+    result.rescored_candidates += graph.num_nodes() - i;
 
     NodeId best = -1;
     double best_delta = -1;
@@ -48,7 +53,33 @@ StatusOr<CfcmResult> ForestCfcmMaximize(const Graph& graph, int k,
     result.selected.push_back(best);
     in_s[best] = 1;
   }
-  result.seconds = timer.Seconds();
+  RecordSelectionCounters(result.rescored_candidates, result.heap_pops,
+                          result.forests_reused);
+  return result;
+}
+
+}  // namespace
+
+StatusOr<CfcmResult> ForestCfcmMaximize(const Graph& graph, int k,
+                                        const CfcmOptions& options) {
+  CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
+  Timer timer;
+  ThreadPool& pool = ResolveSamplingPool(options);
+
+  StatusOr<CfcmResult> result =
+      options.selection == SelectionMode::kExhaustive
+          ? ForestCfcmExhaustive(graph, k, options, pool)
+          : LazyGreedySelect(
+                graph, k, options, pool,
+                [&graph, &options, &pool](const std::vector<NodeId>& s_nodes,
+                                          uint64_t seed,
+                                          const DeltaScope& scope) {
+                  EstimatorOptions est = ToEstimatorOptions(options);
+                  est.seed = seed;
+                  return ForestDelta(graph, s_nodes, est, pool, scope);
+                },
+                /*allow_forest_reuse=*/true);
+  if (result.ok()) result->seconds = timer.Seconds();
   return result;
 }
 

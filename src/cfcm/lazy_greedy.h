@@ -1,0 +1,134 @@
+// Lazy-greedy (CELF) selection for the sampled solvers (DESIGN.md §13).
+//
+// The exact marginal gains are monotone non-increasing as S grows, so
+// in exact arithmetic a gain scored in an earlier round upper-bounds
+// the current gain of the same node. The *sampled* gains are not upper
+// bounds: each round draws an independent forest set and JL sketch, so
+// a stale key is a noisy sample of the current gain (measured
+// multiplicative spread 2-3x on small graphs that never hit the
+// Bernstein stop). The heap therefore keys candidates on
+// gain * (1 + rel), where rel is the estimator's own per-node
+// empirical-Bernstein relative half-width, and the survival test adds
+// a further (1 + lazy_inflation) drift margin on top. The loop
+// re-scores the top candidates per round through subset-restricted
+// ForestDelta/SchurDelta calls (one predictive batch plus geometric
+// escalation, so a round costs ~one estimator schedule) until the
+// refreshed top beats every remaining stale key. Selections are
+// bitwise identical for every thread count (the heap order is a pure
+// function of (key, node id), and every estimate goes through the
+// ordered MC runtime) and are pinned equal to the exhaustive path on
+// the regression suite.
+#ifndef CFCM_CFCM_LAZY_GREEDY_H_
+#define CFCM_CFCM_LAZY_GREEDY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cfcm/options.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "estimators/forest_delta.h"
+#include "graph/graph.h"
+
+namespace cfcm {
+
+/// One heap slot: a candidate with its most recent gain estimate and
+/// the greedy round (1-based; round 0 = first-pick seed) it was scored.
+/// `key` orders the heap (the width-inflated gain); `gain` keeps the
+/// raw point estimate so a refresh can measure the round's decay ratio.
+struct LazyHeapEntry {
+  NodeId id = -1;
+  double key = 0.0;
+  double gain = 0.0;
+  int round = 0;
+};
+
+/// \brief Address-free indexed binary max-heap over candidate node ids.
+///
+/// Array-backed sift-up/sift-down with a position index per node id, so
+/// keys can be updated in place (decrease- or increase-key) in
+/// O(log n). Ordering is deterministic: larger key first, ties broken
+/// by the LOWER node id — exactly the argmax rule of the exhaustive
+/// scan (first strict improvement wins), so a heap-driven selection can
+/// never disagree with the scan on tie-breaks.
+class LazyHeap {
+ public:
+  /// Empties the heap and sizes the position index for ids [0, n).
+  void Reset(NodeId n);
+
+  /// Inserts `id` (must not be present). O(log size).
+  void Push(NodeId id, double key, double gain, int round);
+
+  /// Re-keys `id` (must be present), restoring heap order. O(log size).
+  void Update(NodeId id, double key, double gain, int round);
+
+  bool Contains(NodeId id) const;
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Largest entry by (key desc, id asc). Heap must be non-empty.
+  const LazyHeapEntry& Top() const { return heap_.front(); }
+
+  /// Second-largest entry (the better of the root's children); nullptr
+  /// when fewer than two entries are present. Used by the reuse
+  /// pre-screen's domination gate.
+  const LazyHeapEntry* Second() const {
+    if (heap_.size() < 2) return nullptr;
+    if (heap_.size() == 2) return &heap_[1];
+    if (heap_[1].key != heap_[2].key) {
+      return heap_[1].key > heap_[2].key ? &heap_[1] : &heap_[2];
+    }
+    return heap_[1].id < heap_[2].id ? &heap_[1] : &heap_[2];
+  }
+
+  /// Removes and returns the top entry.
+  LazyHeapEntry Pop();
+
+  /// Unordered view of the live entries (for O(size) scans such as the
+  /// batch predictor's frontier count).
+  const std::vector<LazyHeapEntry>& entries() const { return heap_; }
+
+ private:
+  // True when `a` must sit above `b`.
+  static bool Precedes(const LazyHeapEntry& a, const LazyHeapEntry& b) {
+    if (a.key != b.key) return a.key > b.key;
+    return a.id < b.id;
+  }
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+  void Place(std::size_t i, LazyHeapEntry entry);
+
+  std::vector<LazyHeapEntry> heap_;
+  std::vector<int> pos_;  // node id -> heap index; -1 = absent
+};
+
+/// Scores rounds 2..k: Delta estimates for the current root set
+/// `s_nodes` under `seed`, restricted by `scope`. ForestCFCM binds this
+/// to ForestDelta; SchurCFCM adds the T-root bookkeeping and dispatches
+/// to SchurDelta.
+using LazyDeltaFn = std::function<DeltaEstimate(
+    const std::vector<NodeId>& s_nodes, uint64_t seed,
+    const DeltaScope& scope)>;
+
+/// \brief Runs the full greedy selection (first pick + lazy rounds
+/// 2..k) and returns the same CfcmResult shape as the exhaustive loop.
+///
+/// `allow_forest_reuse` enables the cross-round reuse pre-screen
+/// (ForestCFCM only: it replays plain S-rooted forests). Timing
+/// (result.seconds) is left at 0 for the caller to stamp.
+StatusOr<CfcmResult> LazyGreedySelect(const Graph& graph, int k,
+                                      const CfcmOptions& options,
+                                      ThreadPool& pool,
+                                      const LazyDeltaFn& delta_fn,
+                                      bool allow_forest_reuse);
+
+/// Records the engine.selection.{rescored_candidates,heap_pops,
+/// forests_reused} process counters; called by both selection modes so
+/// --trace and the metrics endpoint can compare their work directly.
+void RecordSelectionCounters(std::int64_t rescored, std::int64_t pops,
+                             std::int64_t reused);
+
+}  // namespace cfcm
+
+#endif  // CFCM_CFCM_LAZY_GREEDY_H_

@@ -4,6 +4,16 @@
 
 namespace cfcm {
 
+const char* SelectionModeName(SelectionMode mode) {
+  return mode == SelectionMode::kLazy ? "lazy" : "exhaustive";
+}
+
+std::optional<SelectionMode> ParseSelectionMode(std::string_view name) {
+  if (name == "lazy") return SelectionMode::kLazy;
+  if (name == "exhaustive") return SelectionMode::kExhaustive;
+  return std::nullopt;
+}
+
 EstimatorOptions ToEstimatorOptions(const CfcmOptions& options) {
   EstimatorOptions est;
   est.eps = options.eps;

@@ -1,9 +1,11 @@
 #include "cfcm/schur_cfcm.h"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "cfcm/cfcc.h"
+#include "cfcm/lazy_greedy.h"
 #include "common/timer.h"
 #include "estimators/first_pick.h"
 #include "estimators/forest_delta.h"
@@ -14,17 +16,22 @@ namespace cfcm {
 namespace {
 
 // Shared implementation: removal order plus the remaining-graph dmax
-// after each removal.
+// after each removal. Hubs rank by *weighted* degree — on a weighted
+// graph the escape probability of a walk is governed by conductance,
+// not edge count — with ties going to the higher node id (the pair
+// comparison), so unit graphs keep their historical order exactly:
+// weighted_degree() is the integer degree there and the decrements
+// below are exact in floating point.
 void HubOrderWithDmax(const Graph& graph, int cap, std::vector<NodeId>* order,
-                      std::vector<NodeId>* dmax_after) {
+                      std::vector<double>* dmax_after) {
   const NodeId n = graph.num_nodes();
   cap = std::min<int>(cap, n - 2);  // leave at least 2 non-root nodes
-  std::vector<NodeId> degree(static_cast<std::size_t>(n));
-  for (NodeId u = 0; u < n; ++u) degree[u] = graph.degree(u);
+  std::vector<double> degree(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) degree[u] = graph.weighted_degree(u);
   std::vector<char> removed(static_cast<std::size_t>(n), 0);
 
   // Lazy max-heap of (degree, node); stale entries are skipped.
-  std::priority_queue<std::pair<NodeId, NodeId>> heap;
+  std::priority_queue<std::pair<double, NodeId>> heap;
   for (NodeId u = 0; u < n; ++u) heap.emplace(degree[u], u);
 
   while (static_cast<int>(order->size()) < cap && !heap.empty()) {
@@ -33,9 +40,12 @@ void HubOrderWithDmax(const Graph& graph, int cap, std::vector<NodeId>* order,
     if (removed[u] || d != degree[u]) continue;  // stale
     removed[u] = 1;
     order->push_back(u);
-    for (NodeId v : graph.neighbors(u)) {
+    const auto adj = graph.neighbors(u);
+    const auto wts = graph.weights(u);
+    for (std::size_t e = 0; e < adj.size(); ++e) {
+      const NodeId v = adj[e];
       if (!removed[v]) {
-        --degree[v];
+        degree[v] -= wts.empty() ? 1.0 : wts[e];
         heap.emplace(degree[v], v);
       }
     }
@@ -48,7 +58,7 @@ void HubOrderWithDmax(const Graph& graph, int cap, std::vector<NodeId>* order,
       }
       break;
     }
-    dmax_after->push_back(heap.empty() ? 0 : heap.top().first);
+    dmax_after->push_back(heap.empty() ? 0.0 : heap.top().first);
   }
 }
 
@@ -56,14 +66,14 @@ void HubOrderWithDmax(const Graph& graph, int cap, std::vector<NodeId>* order,
 
 std::vector<NodeId> HubRemovalOrder(const Graph& graph, int count) {
   std::vector<NodeId> order;
-  std::vector<NodeId> dmax_after;
+  std::vector<double> dmax_after;
   HubOrderWithDmax(graph, count, &order, &dmax_after);
   return order;
 }
 
 std::vector<NodeId> SelectAuxiliaryRoots(const Graph& graph, int cap) {
   std::vector<NodeId> order;
-  std::vector<NodeId> dmax_after;
+  std::vector<double> dmax_after;
   HubOrderWithDmax(graph, cap, &order, &dmax_after);
 
   // |T*| = argmin_{|T|>=1} |{|T| - dmax(T)}|: the balance point where the
@@ -73,9 +83,9 @@ std::vector<NodeId> SelectAuxiliaryRoots(const Graph& graph, int cap) {
   // the balance is its zero crossing — an h-index of the degree
   // sequence, matching the |T*| magnitudes of the paper's Table II).
   int best_size = 1;
-  NodeId best_value = std::abs(1 - (dmax_after.empty() ? 0 : dmax_after[0]));
+  double best_value = std::abs(1.0 - (dmax_after.empty() ? 0.0 : dmax_after[0]));
   for (int size = 2; size <= static_cast<int>(order.size()); ++size) {
-    const NodeId value = std::abs(size - dmax_after[size - 1]);
+    const double value = std::abs(size - dmax_after[size - 1]);
     if (value < best_value) {
       best_value = value;
       best_size = size;
@@ -85,17 +95,15 @@ std::vector<NodeId> SelectAuxiliaryRoots(const Graph& graph, int cap) {
   return order;
 }
 
-StatusOr<CfcmResult> SchurCfcmMaximize(const Graph& graph, int k,
-                                       const CfcmOptions& options) {
-  CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
-  Timer timer;
-  ThreadPool& pool = ResolveSamplingPool(options);
-  EstimatorOptions est = ToEstimatorOptions(options);
+namespace {
 
-  // Auxiliary root set T of hubs (Alg. 5 line 1).
-  const std::vector<NodeId> t_all =
-      options.t_size > 0 ? HubRemovalOrder(graph, options.t_size)
-                         : SelectAuxiliaryRoots(graph, options.t_cap);
+// The paper's literal Alg. 5 loop, kept as the lazy path's pinned
+// reference (see ForestCfcmExhaustive).
+StatusOr<CfcmResult> SchurCfcmExhaustive(const Graph& graph, int k,
+                                         const CfcmOptions& options,
+                                         ThreadPool& pool,
+                                         const std::vector<NodeId>& t_all) {
+  EstimatorOptions est = ToEstimatorOptions(options);
 
   CfcmResult result;
   result.auxiliary_roots = static_cast<int>(t_all.size());
@@ -129,6 +137,7 @@ StatusOr<CfcmResult> SchurCfcmMaximize(const Graph& graph, int k,
     result.forests_per_iteration.push_back(delta.forests);
     result.total_forests += delta.forests;
     result.total_walk_steps += delta.walk_steps;
+    result.rescored_candidates += graph.num_nodes() - i;
 
     NodeId best = -1;
     double best_delta = -1;
@@ -142,7 +151,57 @@ StatusOr<CfcmResult> SchurCfcmMaximize(const Graph& graph, int k,
     result.selected.push_back(best);
     in_s[best] = 1;
   }
-  result.seconds = timer.Seconds();
+  RecordSelectionCounters(result.rescored_candidates, result.heap_pops,
+                          result.forests_reused);
+  return result;
+}
+
+}  // namespace
+
+StatusOr<CfcmResult> SchurCfcmMaximize(const Graph& graph, int k,
+                                       const CfcmOptions& options) {
+  CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
+  Timer timer;
+  ThreadPool& pool = ResolveSamplingPool(options);
+
+  // Auxiliary root set T of hubs (Alg. 5 line 1).
+  const std::vector<NodeId> t_all =
+      options.t_size > 0 ? HubRemovalOrder(graph, options.t_size)
+                         : SelectAuxiliaryRoots(graph, options.t_cap);
+
+  StatusOr<CfcmResult> result = [&]() -> StatusOr<CfcmResult> {
+    if (options.selection == SelectionMode::kExhaustive) {
+      return SchurCfcmExhaustive(graph, k, options, pool, t_all);
+    }
+    // Lazy mode: the delta binding recomputes T \ S per call (S grows
+    // between rounds). Cross-round forest reuse stays off — the arena
+    // holds (S ∪ T)-rooted forests, and the reuse replay is only sound
+    // for plain S-rooted ones.
+    StatusOr<CfcmResult> r = LazyGreedySelect(
+        graph, k, options, pool,
+        [&graph, &options, &pool, &t_all](
+            const std::vector<NodeId>& s_nodes, uint64_t seed,
+            const DeltaScope& scope) -> DeltaEstimate {
+          EstimatorOptions est = ToEstimatorOptions(options);
+          est.seed = seed;
+          std::vector<char> in_s(static_cast<std::size_t>(graph.num_nodes()),
+                                 0);
+          for (NodeId s : s_nodes) in_s[s] = 1;
+          std::vector<NodeId> t_nodes;
+          t_nodes.reserve(t_all.size());
+          for (NodeId t : t_all) {
+            if (!in_s[t]) t_nodes.push_back(t);
+          }
+          if (t_nodes.empty()) {
+            return ForestDelta(graph, s_nodes, est, pool, scope);
+          }
+          return SchurDelta(graph, s_nodes, t_nodes, est, pool, scope);
+        },
+        /*allow_forest_reuse=*/false);
+    if (r.ok()) r->auxiliary_roots = static_cast<int>(t_all.size());
+    return r;
+  }();
+  if (result.ok()) result->seconds = timer.Seconds();
   return result;
 }
 

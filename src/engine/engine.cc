@@ -113,6 +113,7 @@ StatusOr<JobResult> Engine::RunSolve(const SolveJob& job,
   CfcmOptions options = options_.solver_defaults;
   options.eps = job.eps;
   options.seed = job.seed;
+  options.selection = job.selection;
   // Sampling reuses the cached session pool; nested ParallelFor is safe
   // (see ThreadPool) and results are invariant to the pool size.
   options.pool = &session_->pool();
@@ -126,6 +127,12 @@ StatusOr<JobResult> Engine::RunSolve(const SolveJob& job,
       trace->Annotate("forests", output->total_forests);
       trace->Annotate("walk_steps", output->total_walk_steps);
       trace->Annotate("solver_calls", output->solver_calls);
+      // Selection-layer work (DESIGN.md §13): 1 = lazy, 0 = exhaustive.
+      trace->Annotate("selection",
+                      job.selection == SelectionMode::kLazy ? 1 : 0);
+      trace->Annotate("rescored_candidates", output->rescored_candidates);
+      trace->Annotate("heap_pops", output->heap_pops);
+      trace->Annotate("forests_reused", output->forests_reused);
     }
     trace->EndSpan(span);
   }

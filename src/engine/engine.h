@@ -30,6 +30,9 @@ struct SolveJob {
   int k = 1;
   double eps = 0.2;      ///< error parameter (randomized solvers)
   uint64_t seed = 1;     ///< full determinism per seed
+  /// Greedy argmax strategy for solvers with the lazy_selection
+  /// capability (DESIGN.md §13); others ignore it.
+  SelectionMode selection = SelectionMode::kLazy;
 };
 
 /// Evaluate C(S) for a caller-provided group.

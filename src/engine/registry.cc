@@ -29,6 +29,7 @@ class ForestSolver final : public Solver {
                 .deterministic = false,
                 .randomized = true,
                 .approximation_guarantee = true,
+                .lazy_selection = true,
                 .complexity = "~O(k m eps^-2 log n) expected",
                 .max_recommended_n = 0}) {}
 
@@ -42,6 +43,9 @@ class ForestSolver final : public Solver {
     out.total_forests = result->total_forests;
     out.total_walk_steps = result->total_walk_steps;
     out.jl_rows = result->jl_rows;
+    out.rescored_candidates = result->rescored_candidates;
+    out.heap_pops = result->heap_pops;
+    out.forests_reused = result->forests_reused;
     return out;
   }
 };
@@ -56,6 +60,7 @@ class SchurSolver final : public Solver {
                 .deterministic = false,
                 .randomized = true,
                 .approximation_guarantee = true,
+                .lazy_selection = true,
                 .complexity = "~O(k m eps^-2 log n) expected, smaller "
                               "constants on scale-free graphs",
                 .max_recommended_n = 0}) {}
@@ -71,6 +76,9 @@ class SchurSolver final : public Solver {
     out.total_walk_steps = result->total_walk_steps;
     out.jl_rows = result->jl_rows;
     out.auxiliary_roots = result->auxiliary_roots;
+    out.rescored_candidates = result->rescored_candidates;
+    out.heap_pops = result->heap_pops;
+    out.forests_reused = result->forests_reused;
     return out;
   }
 };

@@ -23,6 +23,8 @@ struct SolverCapabilities {
   bool deterministic = false;  ///< output independent of options.seed
   bool randomized = false;   ///< Monte-Carlo; deterministic per seed
   bool approximation_guarantee = false;  ///< (1 - k/((k-1)e) - eps) w.h.p.
+  bool lazy_selection = false;  ///< supports CfcmOptions::selection (CELF
+                                ///< lazy greedy, DESIGN.md §13)
   std::string complexity;    ///< human-readable cost, e.g. "O(n^3 + k n^2)"
   NodeId max_recommended_n = 0;  ///< soft size ceiling; 0 = no limit
 };
@@ -38,6 +40,12 @@ struct SolveOutput {
   int jl_rows = 0;                 ///< JL sketch rows (samplers only)
   int auxiliary_roots = 0;         ///< SchurCFCM |T|
   int solver_calls = 0;            ///< APPROXGREEDY Laplacian systems
+
+  // Selection-layer work counters (lazy_selection solvers; DESIGN.md
+  // §13). Exhaustive runs fill rescored_candidates only.
+  std::int64_t rescored_candidates = 0;
+  std::int64_t heap_pops = 0;
+  std::int64_t forests_reused = 0;
 };
 
 /// \brief Interface implemented by every maximization algorithm.

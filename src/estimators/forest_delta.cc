@@ -14,16 +14,33 @@ namespace cfcm {
 DeltaEstimate ForestDelta(const Graph& graph,
                           const std::vector<NodeId>& s_nodes,
                           const EstimatorOptions& options, ThreadPool& pool) {
+  return ForestDelta(graph, s_nodes, options, pool, DeltaScope{});
+}
+
+DeltaEstimate ForestDelta(const Graph& graph,
+                          const std::vector<NodeId>& s_nodes,
+                          const EstimatorOptions& options, ThreadPool& pool,
+                          const DeltaScope& scope) {
   const NodeId n = graph.num_nodes();
   assert(!s_nodes.empty());
   const TreeScaffold scaffold = MakeTreeScaffold(graph, s_nodes);
   const int w = ResolveJlRows(options, n);
-  const int target = ResolveTargetForests(options, n);
+  int target = ResolveTargetForests(options, n);
+  if (scope.forest_scale < 1.0) {
+    target = std::max(std::max(1, options.min_batch),
+                      static_cast<int>(target * scope.forest_scale));
+  }
   const double delta_fail = ResolveBernsteinDelta(options, n);
   const JlSketch sketch(w, n, options.seed ^ 0x9d2c5680a76b3f01ULL);
+  const std::vector<char>* subset = scope.subset;
 
   JlForestKernel kernel(graph, scaffold, sketch, options.seed, w,
                         McScratchSlots(pool));
+  kernel.set_subset(subset);
+  if (scope.arena != nullptr) {
+    scope.arena->BeginRound(n, s_nodes, options.seed, target);
+    kernel.set_arena(scope.arena);
+  }
   McRunOptions run;
   run.num_nodes = n;
 
@@ -38,9 +55,13 @@ DeltaEstimate ForestDelta(const Graph& graph,
   result.delta.assign(static_cast<std::size_t>(n), 0.0);
   result.z.assign(static_cast<std::size_t>(n), 0.0);
   result.numerator.assign(static_cast<std::size_t>(n), 0.0);
+  result.rel.assign(static_cast<std::size_t>(n), 0.0);
 
   // Evaluates point estimates and (optionally) the Bernstein stop rule.
-  auto assemble_and_check = [&](int r) {
+  // `fill_rel` additionally stores each node's relative half-width (the
+  // final assembly does; the per-batch stop checks skip the extra work
+  // once a node has failed the cap).
+  auto assemble_and_check = [&](int r, bool fill_rel) {
     const double inv_r = 1.0 / static_cast<double>(r);
     bool all_converged = options.adaptive;
     const double rel_cap = options.eps / (1.0 + options.eps);
@@ -49,6 +70,7 @@ DeltaEstimate ForestDelta(const Graph& graph,
         result.delta[u] = result.z[u] = result.numerator[u] = 0.0;
         continue;
       }
+      if (subset != nullptr && !(*subset)[u]) continue;  // stays 0
       const double zu = sum_x[u] * inv_r;
       double raw_num = 0;
       const double* yu = sum_y.data() + static_cast<std::size_t>(u) * w;
@@ -74,7 +96,7 @@ DeltaEstimate ForestDelta(const Graph& graph,
       const double z_floor = 1.0 / (graph.weighted_degree(u) + 1.0);
       result.delta[u] = num / std::max(zu, z_floor);
 
-      if (all_converged) {
+      if (all_converged || fill_rel) {
         const double sup_x = 2.0 * scaffold.resistance_depth[u];
         const double hz = EmpiricalBernsteinHalfWidth(r, sum_x[u], sum_sq_x[u],
                                                       sup_x, delta_fail);
@@ -83,6 +105,7 @@ DeltaEstimate ForestDelta(const Graph& graph,
         const double h_num = 2.0 * std::sqrt(num * h_base) + h_base;
         const double rel =
             h_num / std::max(num, 1e-300) + hz / std::max(zu, z_floor);
+        if (fill_rel) result.rel[u] = rel;
         if (rel > rel_cap) all_converged = false;
       }
     }
@@ -101,13 +124,22 @@ DeltaEstimate ForestDelta(const Graph& graph,
     batch = NextBatchSize(batch, target);
 
     if (total >= target) break;
-    if (options.adaptive && assemble_and_check(total)) {
+    // Subset-restricted calls run the FULL fixed-target schedule: letting
+    // the stop rule fire on subset convergence alone would exit earlier
+    // than the equivalent full call, and the lazy selection layer needs
+    // subset estimates bitwise exchangeable with full-batch ones
+    // (DESIGN.md §13). The subset still skips the O(w) moment folds and
+    // assembly for excluded nodes.
+    if (options.adaptive && subset == nullptr &&
+        assemble_and_check(total, /*fill_rel=*/false)) {
       result.converged = true;
       break;
     }
   }
-  assemble_and_check(total);
+  assemble_and_check(total, /*fill_rel=*/true);
   result.forests = total;
+  result.reused_forests = kernel.reused_forests();
+  if (scope.arena != nullptr) scope.arena->Commit(total);
   return result;
 }
 

@@ -28,19 +28,36 @@ JlForestKernel::JlForestKernel(const Graph& graph, const TreeScaffold& scaffold,
 std::int64_t JlForestKernel::ProcessForest(std::size_t slot,
                                            std::uint64_t forest_index) {
   Scratch& ws = *scratch_[slot];
-  Rng rng(seed_, forest_index);
-  ws.forest = &ws.sampler.Sample(scaffold_.is_root, &rng);
+  std::int64_t walk_steps = 0;
+  if (arena_ != nullptr &&
+      forest_index < static_cast<std::uint64_t>(arena_->committed())) {
+    // Replay: same (seed, index) stream would resample the identical
+    // forest, so the copied slabs feed the passes bit-for-bit — only
+    // the loop-erased walks are skipped.
+    arena_->LoadInto(static_cast<int>(forest_index), &ws.replay);
+    ws.forest = &ws.replay;
+    reused_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    Rng rng(seed_, forest_index);
+    ws.forest = &ws.sampler.Sample(scaffold_.is_root, &rng);
+    walk_steps = ws.sampler.last_walk_steps();
+    if (arena_ != nullptr &&
+        forest_index < static_cast<std::uint64_t>(arena_->capacity())) {
+      arena_->Store(static_cast<int>(forest_index), *ws.forest);
+    }
+  }
   SubtreeJlSums(*ws.forest, scaffold_.is_root, sketch_, ws.sub.data());
   DiagPrefixPass(scaffold_, *ws.forest, &ws.xbuf);
   JlPrefixPass(scaffold_, *ws.forest, ws.sub.data(), jl_rows_,
                ws.ybuf.data());
-  return ws.sampler.last_walk_steps();
+  return walk_steps;
 }
 
 void JlForestKernel::Accumulate(std::size_t slot, NodeId begin, NodeId end) {
   const Scratch& ws = *scratch_[slot];
   const int w = jl_rows_;
   for (NodeId u = begin; u < end; ++u) {
+    if (subset_ != nullptr && !(*subset_)[u]) continue;
     if (scaffold_.is_root[u]) continue;
     const double x = ws.xbuf[u];
     partial_sum_x_[u] += x;

@@ -9,6 +9,7 @@
 #ifndef CFCM_ESTIMATORS_JL_KERNEL_H_
 #define CFCM_ESTIMATORS_JL_KERNEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "forest/bfs_tree.h"
 #include "forest/wilson.h"
 #include "linalg/jl.h"
+#include "runtime/forest_arena.h"
 #include "runtime/mc_runtime.h"
 
 namespace cfcm {
@@ -27,6 +29,24 @@ class JlForestKernel : public ForestKernel {
   JlForestKernel(const Graph& graph, const TreeScaffold& scaffold,
                  const JlSketch& sketch, uint64_t seed, int jl_rows,
                  std::size_t slots);
+
+  /// Restricts the X/Y moment accumulation to nodes with mask[u] != 0
+  /// (null = every non-root node). The per-forest passes stay global —
+  /// prefix recursions need every ancestor — but the O(w)-per-node fold
+  /// and therefore the accumulator contract shrink to the subset.
+  /// A node's accumulated moments at forest count r are bitwise
+  /// identical with or without a mask covering it.
+  void set_subset(const std::vector<char>* mask) { subset_ = mask; }
+
+  /// Wires in a forest arena: ProcessForest replays forests below the
+  /// arena's committed count (no walks, bitwise-identical statistics)
+  /// and stores freshly sampled ones for later calls.
+  void set_arena(ForestArena* arena) { arena_ = arena; }
+
+  /// Forests replayed from the arena instead of sampled.
+  int reused_forests() const {
+    return reused_.load(std::memory_order_relaxed);
+  }
 
   std::int64_t ProcessForest(std::size_t slot,
                              std::uint64_t forest_index) override;
@@ -47,6 +67,7 @@ class JlForestKernel : public ForestKernel {
 
     ForestSampler sampler;
     const RootedForest* forest = nullptr;  ///< last sampled forest
+    RootedForest replay;       ///< arena-replayed forest (when used)
     std::vector<double> xbuf;
     std::vector<double> sub;   ///< JL subtree sums, node-major n x w
     std::vector<double> ybuf;  ///< Y_f, node-major n x w
@@ -70,6 +91,9 @@ class JlForestKernel : public ForestKernel {
   const JlSketch& sketch_;
   const uint64_t seed_;
   const int jl_rows_;
+  const std::vector<char>* subset_ = nullptr;
+  ForestArena* arena_ = nullptr;
+  std::atomic<int> reused_{0};
   std::vector<std::unique_ptr<Scratch>> scratch_;
   // Batch partials — exactly one copy regardless of thread count.
   std::vector<double> partial_sum_x_;

@@ -1,0 +1,53 @@
+// Cross-round forest reuse: Delta(u, S ∪ {v}) estimated from forests
+// that were sampled for root set S, by cutting v's up-edge.
+//
+// Cutting the forest edge (v, pi_v) turns an S-rooted forest F into an
+// (S ∪ {v})-rooted forest F' = cut(F). The map is measure-tilted: F
+// lands on F' with probability proportional to mu(F') * W_out(F'),
+// where W_out(F') = sum of conductances from v to nodes outside v's
+// tree in F' (each such edge reconnects F' to a distinct preimage).
+// Self-normalized importance sampling with weight 1/W_out therefore
+// re-targets the (S ∪ {v})-forest measure — up to the support gap of
+// forests whose v-tree swallows every neighbor of v (W_out = 0, never
+// produced by cutting). Those drop out with weight 0, which biases the
+// estimate by the missing mass; the caller must treat the result as a
+// *pre-screen* and only act on it when the Bernstein-style width check
+// separates the top candidates (DESIGN.md §13).
+#ifndef CFCM_ESTIMATORS_REUSE_DELTA_H_
+#define CFCM_ESTIMATORS_REUSE_DELTA_H_
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "estimators/options.h"
+#include "graph/graph.h"
+#include "runtime/forest_arena.h"
+
+namespace cfcm {
+
+/// Importance-weighted gain estimates from replayed forests.
+struct ReuseEstimate {
+  bool usable = false;        ///< weight mass sufficed to evaluate at all
+  std::vector<double> gain;   ///< Delta'(u, S ∪ {v}); 0 off-candidates
+  std::vector<double> rel;    ///< relative half-width per candidate
+  int forests = 0;            ///< forests replayed from the arena
+  int zero_weight = 0;        ///< dropped forests (W_out = 0)
+  double ess = 0.0;           ///< effective sample size (sum w)^2/sum w^2
+};
+
+/// \brief Re-scores `candidates` (size-n mask) against root set `s_new`
+/// (which must already contain `v_new`) by replaying the arena's
+/// forests — sampled for s_new \ {v_new} — with v_new's up-edge cut.
+///
+/// No random walks run; the cost is the per-forest O(n w) passes over
+/// arena.committed() forests. Deterministic: replay order is the forest
+/// index order, and accumulation goes through the ordered MC runtime.
+ReuseEstimate ReuseDelta(const Graph& graph,
+                         const std::vector<NodeId>& s_new, NodeId v_new,
+                         const std::vector<char>& candidates,
+                         const ForestArena& arena,
+                         const EstimatorOptions& options, ThreadPool& pool);
+
+}  // namespace cfcm
+
+#endif  // CFCM_ESTIMATORS_REUSE_DELTA_H_

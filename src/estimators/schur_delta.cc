@@ -114,6 +114,14 @@ SchurDeltaEstimate SchurDelta(const Graph& graph,
                               const std::vector<NodeId>& t_nodes,
                               const EstimatorOptions& options,
                               ThreadPool& pool) {
+  return SchurDelta(graph, s_nodes, t_nodes, options, pool, DeltaScope{});
+}
+
+SchurDeltaEstimate SchurDelta(const Graph& graph,
+                              const std::vector<NodeId>& s_nodes,
+                              const std::vector<NodeId>& t_nodes,
+                              const EstimatorOptions& options,
+                              ThreadPool& pool, const DeltaScope& scope) {
   const NodeId n = graph.num_nodes();
   const int nt = static_cast<int>(t_nodes.size());
   assert(!s_nodes.empty() && nt > 0);
@@ -126,7 +134,11 @@ SchurDeltaEstimate SchurDelta(const Graph& graph,
          "S and T must be disjoint");
 
   const int w = ResolveJlRows(options, n);
-  const int target = ResolveTargetForests(options, n);
+  int target = ResolveTargetForests(options, n);
+  if (scope.forest_scale < 1.0) {
+    target = std::max(std::max(1, options.min_batch),
+                      static_cast<int>(target * scope.forest_scale));
+  }
   const double delta_fail = ResolveBernsteinDelta(options, n);
   const JlSketch sketch(w, n, options.seed ^ 0xc4ceb9fe1a85ec53ULL);
 
@@ -144,8 +156,14 @@ SchurDeltaEstimate SchurDelta(const Graph& graph,
   std::vector<char> in_s(static_cast<std::size_t>(n), 0);
   for (NodeId s : s_nodes) in_s[s] = 1;
 
+  const std::vector<char>* subset = scope.subset;
   SchurKernel kernel(graph, scaffold, sketch, options.seed, w,
                      McScratchSlots(pool), t_nodes, t_index);
+  kernel.set_subset(subset);
+  if (scope.arena != nullptr) {
+    scope.arena->BeginRound(n, roots, options.seed, target);
+    kernel.set_arena(scope.arena);
+  }
   McRunOptions run;
   run.num_nodes = n;
 
@@ -163,6 +181,7 @@ SchurDeltaEstimate SchurDelta(const Graph& graph,
   result.delta.assign(static_cast<std::size_t>(n), 0.0);
   result.z.assign(static_cast<std::size_t>(n), 0.0);
   result.numerator.assign(static_cast<std::size_t>(n), 0.0);
+  result.rel.assign(static_cast<std::size_t>(n), 0.0);
 
   // Cheap adaptive criterion on the forest-sampled parts only (no Schur
   // algebra): the sampled z and numerator under-estimate their corrected
@@ -175,6 +194,7 @@ SchurDeltaEstimate SchurDelta(const Graph& graph,
     const double log_term = std::log(3.0 / delta_fail);
     for (NodeId u = 0; u < n; ++u) {
       if (scaffold.is_root[u]) continue;  // S and T checked via assembly
+      if (subset != nullptr && !(*subset)[u]) continue;
       const double zu = sum_x[u] * inv_r;
       const double* yu = sum_y.data() + static_cast<std::size_t>(u) * w;
       double num = 0;
@@ -245,6 +265,7 @@ SchurDeltaEstimate SchurDelta(const Graph& graph,
         result.delta[u] = result.z[u] = result.numerator[u] = 0.0;
         continue;
       }
+      if (subset != nullptr && !(*subset)[u]) continue;  // stays 0
       const int tu = t_index[u];
       double zu = 0, num = 0;
       if (tu >= 0) {
@@ -295,7 +316,7 @@ SchurDeltaEstimate SchurDelta(const Graph& graph,
       const double z_floor = 1.0 / (graph.weighted_degree(u) + 1.0);
       result.delta[u] = num / std::max(zu, z_floor);
 
-      if (all_converged) {
+      {
         const double sup_x = 2.0 * scaffold.resistance_depth[u];
         const double hz = EmpiricalBernsteinHalfWidth(r, sum_x[u], sum_sq_x[u],
                                                       sup_x, delta_fail);
@@ -304,8 +325,18 @@ SchurDeltaEstimate SchurDelta(const Graph& graph,
         const double h_num = 2.0 * std::sqrt(num * h_base) + h_base;
         const double rel =
             h_num / std::max(num, 1e-300) + hz / std::max(zu, z_floor);
+        result.rel[u] = rel;
         if (rel > rel_cap) all_converged = false;
       }
+    }
+    // T nodes carry no Bernstein stream of their own (their values come
+    // out of the Schur algebra); give them the widest U width so the
+    // lazy layer never under-inflates a T candidate's stale key.
+    double max_rel = 0.0;
+    for (NodeId u = 0; u < n; ++u) max_rel = std::max(max_rel, result.rel[u]);
+    for (NodeId t : t_nodes) {
+      if (subset != nullptr && !(*subset)[t]) continue;
+      result.rel[t] = max_rel;
     }
     return all_converged;
   };
@@ -323,13 +354,18 @@ SchurDeltaEstimate SchurDelta(const Graph& graph,
     batch = NextBatchSize(batch, target);
 
     if (total >= target) break;
-    if (options.adaptive && cheap_converged(total)) {
+    // Subset-restricted calls run the full fixed-target schedule so the
+    // estimates stay bitwise exchangeable with a full call's (see
+    // ForestDelta; DESIGN.md §13).
+    if (options.adaptive && subset == nullptr && cheap_converged(total)) {
       result.converged = true;
       break;
     }
   }
   assemble_and_check(total);
   result.forests = total;
+  result.reused_forests = kernel.reused_forests();
+  if (scope.arena != nullptr) scope.arena->Commit(total);
   return result;
 }
 

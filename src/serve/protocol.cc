@@ -533,6 +533,18 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request,
           request, Status::InvalidArgument("'eps' must be in (0, 1]"));
     }
   }
+  SelectionMode selection = SelectionMode::kLazy;
+  if (const JsonValue* field = request.Find("selection")) {
+    const std::optional<SelectionMode> parsed =
+        field->is_string() ? ParseSelectionMode(field->as_string())
+                           : std::nullopt;
+    if (!parsed.has_value()) {
+      return ErrorResponseFor(
+          request, Status::InvalidArgument(
+                       "'selection' must be \"lazy\" or \"exhaustive\""));
+    }
+    selection = *parsed;
+  }
 
   std::size_t span = 0;
   if (trace != nullptr) span = trace->BeginSpan("acquire");
@@ -550,7 +562,7 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request,
       (*session)->snapshot();
   const ResultCacheKey key{snapshot->fingerprint(), algorithm,
                            static_cast<int>(*k), eps,
-                           static_cast<uint64_t>(*seed)};
+                           static_cast<uint64_t>(*seed), selection};
   bool cache_hit = true;
   std::optional<engine::SolveJobResult> solve = cache_.Lookup(key);
   if (trace != nullptr) {
@@ -565,6 +577,7 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request,
     job.k = static_cast<int>(*k);
     job.eps = eps;
     job.seed = static_cast<uint64_t>(*seed);
+    job.selection = selection;
     StatusOr<engine::JobResult> result = engine.Run(job, snapshot, trace);
     if (!result.ok()) return ErrorResponseFor(request, result.status());
     solve = std::get<engine::SolveJobResult>(std::move(*result));
@@ -581,10 +594,15 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request,
       {"eps", eps},
       {"seed", *seed},
       {"cache", cache_hit ? "hit" : "miss"},
+      // "selection" (the chosen group) predates the mode field; the
+      // strategy rides alongside as "selection_mode".
       {"selection", JsonValue(GroupToJson(solve->output.selected))},
+      {"selection_mode", SelectionModeName(selection)},
       {"cfcc", solve->cfcc},
       {"forests", solve->output.total_forests},
       {"walk_steps", solve->output.total_walk_steps},
+      {"rescored_candidates", solve->output.rescored_candidates},
+      {"forests_reused", solve->output.forests_reused},
       // Solver cost of the result; on a hit this is the original solve's
       // time, not this request's latency.
       {"seconds", solve->output.seconds},

@@ -49,6 +49,8 @@ std::size_t ResultCache::KeyHash::operator()(const ResultCacheKey& key) const {
   const uint64_t eps_bits = std::bit_cast<uint64_t>(key.eps);
   hash = FnvMix(hash, &eps_bits, sizeof(eps_bits));
   hash = FnvMix(hash, &key.seed, sizeof(key.seed));
+  const int selection = static_cast<int>(key.selection);
+  hash = FnvMix(hash, &selection, sizeof(selection));
   return static_cast<std::size_t>(hash);
 }
 

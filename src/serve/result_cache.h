@@ -23,13 +23,18 @@
 namespace cfcm::serve {
 
 /// Identity of one solve: the graph content plus every input that can
-/// change the (deterministic) output.
+/// change the (deterministic) output. Selection mode is part of the
+/// identity even though lazy and exhaustive are pinned to the same
+/// groups on the regression suite: their work counters (and, off the
+/// pinned graphs, conceivably the groups) differ, and a cache must
+/// never conflate two request shapes that the engine treats as inputs.
 struct ResultCacheKey {
   uint64_t fingerprint = 0;  ///< GraphSession::fingerprint()
   std::string algorithm;
   int k = 0;
   double eps = 0.0;  ///< compared exactly (requests carry literal eps)
   uint64_t seed = 0;
+  SelectionMode selection = SelectionMode::kLazy;
 
   bool operator==(const ResultCacheKey&) const = default;
 };

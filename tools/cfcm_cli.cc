@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,7 @@ struct CliOptions {
   int k = 5;
   double eps = 0.2;
   uint64_t seed = 1;
+  cfcm::SelectionMode selection = cfcm::SelectionMode::kLazy;
   int probes = 0;       // EvaluateJob probes (0 = exact)
   int threads = 0;      // engine pool size; 0 = hardware concurrency
   int augment = 0;      // edges to add greedily (0 = no augment job)
@@ -71,6 +73,10 @@ void PrintUsage(std::FILE* out) {
                "  --k N         group size (default 5)\n"
                "  --eps X       error parameter (default 0.2)\n"
                "  --seed N      base RNG seed (default 1)\n"
+               "  --selection M greedy argmax strategy for the sampled\n"
+               "                solvers: 'lazy' (CELF heap, default) or\n"
+               "                'exhaustive' (re-score every candidate each\n"
+               "                round); both select identical groups per seed\n"
                "  --evaluate G  evaluate C(S) of group 'u1,u2,...' (repeatable)\n"
                "  --probes N    Hutchinson probes for --evaluate (0 = exact)\n"
                "  --augment N   greedily add the N edges maximizing C(S) of\n"
@@ -167,7 +173,8 @@ StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
                arg == "--eps" || arg == "--seed" || arg == "--probes" ||
                arg == "--threads" || arg == "--evaluate" ||
                arg == "--weighted" || arg == "--augment" ||
-               arg == "--group" || arg == "--candidates") {
+               arg == "--group" || arg == "--candidates" ||
+               arg == "--selection") {
       StatusOr<std::string> value = need_value(i);
       if (!value.ok()) return value.status();
       ++i;
@@ -190,6 +197,15 @@ StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
         StatusOr<std::vector<NodeId>> group = ParseGroup(*value, "--group");
         if (!group.ok()) return group.status();
         options.augment_group = std::move(*group);
+      } else if (arg == "--selection") {
+        const std::optional<cfcm::SelectionMode> parsed =
+            cfcm::ParseSelectionMode(*value);
+        if (!parsed.has_value()) {
+          return Status::InvalidArgument(
+              "--selection must be 'lazy' or 'exhaustive', got '" + *value +
+              "'");
+        }
+        options.selection = *parsed;
       } else if (arg == "--candidates") {
         options.candidates_set = true;
         if (*value == "group") {
@@ -264,9 +280,10 @@ void PrintJsonJob(const cfcm::engine::Job& spec,
   if (const auto* solve = std::get_if<cfcm::engine::SolveJob>(&spec)) {
     std::printf(
         "\"type\":\"solve\",\"algorithm\":\"%s\",\"k\":%d,\"eps\":%g,"
-        "\"seed\":%llu,",
+        "\"seed\":%llu,\"selection\":\"%s\",",
         JsonEscapeString(solve->algorithm).c_str(), solve->k, solve->eps,
-        static_cast<unsigned long long>(solve->seed));
+        static_cast<unsigned long long>(solve->seed),
+        cfcm::SelectionModeName(solve->selection));
   } else if (const auto* augment =
                  std::get_if<cfcm::engine::AugmentJob>(&spec)) {
     std::printf("\"type\":\"augment\",\"k\":%d,\"candidates\":\"%s\","
@@ -294,9 +311,12 @@ void PrintJsonJob(const cfcm::engine::Job& spec,
     PrintJsonGroup(solve->output.selected);
     std::printf(
         ",\"cfcc\":%.9g,\"forests\":%lld,\"walk_steps\":%lld,"
+        "\"rescored_candidates\":%lld,\"forests_reused\":%lld,"
         "\"seconds\":%.6f}",
         solve->cfcc, static_cast<long long>(solve->output.total_forests),
         static_cast<long long>(solve->output.total_walk_steps),
+        static_cast<long long>(solve->output.rescored_candidates),
+        static_cast<long long>(solve->output.forests_reused),
         solve->output.seconds);
   } else if (const auto* augment =
                  std::get_if<cfcm::engine::AugmentJobResult>(&*result)) {
@@ -498,6 +518,7 @@ int main(int argc, char** argv) {
     job.k = cli.k;
     job.eps = cli.eps;
     job.seed = cli.seed;
+    job.selection = cli.selection;
     jobs.emplace_back(std::move(job));
   }
   for (const std::vector<NodeId>& group : cli.evaluate_groups) {

@@ -65,6 +65,7 @@ void PrintUsage(std::FILE* out) {
       "  --op OP             build a request: load/unload/solve/evaluate/\n"
       "                      mutate/augment/stats/metrics/shutdown, with\n"
       "                      --graph --source --algo --k --eps --seed\n"
+      "                      --selection lazy|exhaustive (solve)\n"
       "                      --probes --group u1,u2,...\n"
       "                      mutate: --add u,v[,w] --remove u,v\n"
       "                      --reweight u,v,w (each repeatable) and\n"
@@ -242,7 +243,8 @@ StatusOr<JsonValue> BuildRequest(const std::string& op,
   for (const auto& [raw_key, value] : fields) {
     const std::string key = raw_key == "algo" ? "algorithm" : raw_key;
     if (key == "graph" || key == "source" || key == "algorithm" ||
-        key == "candidates" || key == "format" || key == "trace-id") {
+        key == "candidates" || key == "format" || key == "trace-id" ||
+        key == "selection") {
       request[key == "trace-id" ? "trace_id" : key] = value;
     } else if (key == "trace") {
       if (value != "true" && value != "false") {
