@@ -1,0 +1,208 @@
+// Sparse-solver-core bench (DESIGN.md §14): dense LDL^T vs RCM-ordered
+// sparse LDL^T vs Jacobi-CG on grounded Laplacians of growing size.
+// For each (graph, backend) it times the factorization, a batch of
+// right-hand-side solves and the trace of the inverse, and records the
+// resident bytes of the factorization state — the two axes the sparse
+// core is supposed to win on beyond the dense ceiling.
+//
+//   bench_sparse_solver [--smoke] [--json BENCH_sparse.json]
+//
+// The JSON carries a "sparse_beats_dense" verdict: on every graph with
+// n >= 2048 where both backends ran, sparse_ldlt must beat dense on
+// factor+solve time AND on memory. CI greps for it.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "linalg/solver.h"
+
+namespace {
+
+using cfcm::Graph;
+using cfcm::LaplacianSolver;
+using cfcm::MakeGroundedSolver;
+using cfcm::NodeId;
+using cfcm::SolverBackend;
+using cfcm::SolverBackendName;
+using cfcm::Timer;
+using cfcm::Vector;
+
+// Above this n the dense O(n^3) factorization (and O(n^2) memory) is
+// minutes of work for no information: the crossover is long decided.
+constexpr NodeId kDenseCapN = 4096;
+
+// The trace phase (diag of the inverse) is the quadratic tail of every
+// backend — O(fill^2) selected inverse, O(n^3) dense, n CG solves. It
+// is timed as a cross-check on small graphs only; the headline numbers
+// are factor + solve.
+constexpr NodeId kTraceMaxN = 1024;
+
+struct Row {
+  std::string graph;
+  NodeId n = 0;
+  long long m = 0;
+  SolverBackend backend = SolverBackend::kDense;
+  double factor_s = 0.0;
+  double solve_s = 0.0;  // kSolves right-hand sides
+  double trace_s = 0.0;  // InverseDiagonal
+  double trace = 0.0;
+  long long memory_bytes = 0;
+};
+
+constexpr int kSolves = 16;
+
+struct BenchGraph {
+  std::string name;
+  Graph graph;
+};
+
+std::vector<BenchGraph> Suite(bool smoke) {
+  std::vector<BenchGraph> suite;
+  const std::vector<NodeId> sizes =
+      smoke ? std::vector<NodeId>{512, 2048}
+            : std::vector<NodeId>{512, 2048, 8192, 20000, 50000};
+  for (NodeId n : sizes) {
+    suite.push_back({"ba:" + std::to_string(n) + ",4",
+                     cfcm::BarabasiAlbert(n, 4, 1)});
+  }
+  // One mesh-like and one small-world graph at the crossover size:
+  // fill-in behaves very differently on meshes than on scale-free
+  // graphs, so the verdict should not rest on one topology.
+  const NodeId side = smoke ? 48 : 144;  // 48^2 = 2304, 144^2 = 20736
+  suite.push_back({"grid:" + std::to_string(side) + "x" + std::to_string(side),
+                   cfcm::GridGraph(side, side)});
+  const NodeId ws_n = smoke ? 2048 : 20000;
+  suite.push_back({"ws:" + std::to_string(ws_n) + ",6,0.1",
+                   cfcm::WattsStrogatz(ws_n, 6, 0.1, 1)});
+  return suite;
+}
+
+bool RunBackend(const BenchGraph& bg, SolverBackend backend, Row* row) {
+  const std::vector<NodeId> removed = {0};
+  Timer factor_timer;
+  auto solver = MakeGroundedSolver(bg.graph, removed, backend);
+  if (!solver.ok()) {
+    std::fprintf(stderr, "factor failed on %s/%s: %s\n", bg.name.c_str(),
+                 SolverBackendName(backend), solver.status().ToString().c_str());
+    return false;
+  }
+  row->factor_s = factor_timer.Seconds();
+
+  const int dim = (*solver)->dim();
+  Timer solve_timer;
+  double checksum = 0.0;
+  for (int i = 0; i < kSolves; ++i) {
+    Vector b(dim, 0.0);
+    b[i % dim] = 1.0;
+    checksum += (*solver)->Solve(b)[i % dim];
+  }
+  row->solve_s = solve_timer.Seconds();
+  (void)checksum;
+
+  if (bg.graph.num_nodes() <= kTraceMaxN) {
+    Timer trace_timer;
+    row->trace = (*solver)->TraceInverse();
+    row->trace_s = trace_timer.Seconds();
+  }
+  row->memory_bytes = (*solver)->MemoryBytes();
+  row->backend = backend;
+  row->n = bg.graph.num_nodes();
+  row->m = static_cast<long long>(bg.graph.num_edges());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("# bench_sparse_solver: grounded-Laplacian backends "
+              "(factor + %d solves + trace)\n", kSolves);
+  std::printf("%-14s %7s %9s %-11s %10s %10s %10s %12s\n", "graph", "n", "m",
+              "backend", "factor_s", "solve_s", "trace_s", "mem_bytes");
+
+  std::vector<Row> rows;
+  bool sparse_beats_dense = true;
+  bool any_crossover_pair = false;
+  for (const BenchGraph& bg : Suite(smoke)) {
+    const NodeId n = bg.graph.num_nodes();
+    Row dense_row, sparse_row, cg_row;
+    const bool ran_dense =
+        n <= kDenseCapN && RunBackend(bg, SolverBackend::kDense, &dense_row);
+    const bool ran_sparse =
+        RunBackend(bg, SolverBackend::kSparseLdlt, &sparse_row);
+    const bool ran_cg = RunBackend(bg, SolverBackend::kCg, &cg_row);
+    for (const auto* row :
+         {ran_dense ? &dense_row : nullptr, ran_sparse ? &sparse_row : nullptr,
+          ran_cg ? &cg_row : nullptr}) {
+      if (row == nullptr) continue;
+      Row printed = *row;
+      printed.graph = bg.name;
+      std::printf("%-14s %7d %9lld %-11s %10.4f %10.4f %10.4f %12lld\n",
+                  printed.graph.c_str(), printed.n, printed.m,
+                  SolverBackendName(printed.backend), printed.factor_s,
+                  printed.solve_s, printed.trace_s, printed.memory_bytes);
+      rows.push_back(std::move(printed));
+    }
+    if (ran_dense && ran_sparse && n >= 2048) {
+      any_crossover_pair = true;
+      const double dense_time = dense_row.factor_s + dense_row.solve_s;
+      const double sparse_time = sparse_row.factor_s + sparse_row.solve_s;
+      if (sparse_time >= dense_time ||
+          sparse_row.memory_bytes >= dense_row.memory_bytes) {
+        sparse_beats_dense = false;
+        std::fprintf(stderr,
+                     "crossover violated on %s: sparse %.4fs/%lldB vs dense "
+                     "%.4fs/%lldB\n",
+                     bg.name.c_str(), sparse_time, sparse_row.memory_bytes,
+                     dense_time, dense_row.memory_bytes);
+      }
+    }
+  }
+  sparse_beats_dense = sparse_beats_dense && any_crossover_pair;
+  std::printf("# sparse_beats_dense (n >= 2048): %s\n",
+              sparse_beats_dense ? "true" : "false");
+
+  if (json_path != nullptr) {
+    std::FILE* out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\":\"sparse_solver\",\"smoke\":%s,"
+                 "\"solves_per_backend\":%d,\n  \"rows\":[\n",
+                 smoke ? "true" : "false", kSolves);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(out,
+                   "    {\"graph\":\"%s\",\"n\":%d,\"m\":%lld,"
+                   "\"backend\":\"%s\",\"factor_s\":%.6f,\"solve_s\":%.6f,"
+                   "\"trace_s\":%.6f,\"trace\":%.9g,\"memory_bytes\":%lld}%s\n",
+                   row.graph.c_str(), row.n, row.m,
+                   SolverBackendName(row.backend), row.factor_s, row.solve_s,
+                   row.trace_s, row.trace, row.memory_bytes,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"sparse_beats_dense\":%s\n}\n",
+                 sparse_beats_dense ? "true" : "false");
+    std::fclose(out);
+    std::printf("# wrote %s\n", json_path);
+  }
+  return sparse_beats_dense ? 0 : 1;
+}

@@ -57,9 +57,17 @@ std::vector<double> ExactPrefixTraces(const Graph& graph,
 ApproxCfcc ApproximateGroupCfcc(const Graph& graph,
                                 const std::vector<NodeId>& group, int probes,
                                 uint64_t seed, const CgOptions& cg) {
+  return ApproximateGroupCfcc(graph, group, probes, seed, SolverBackend::kCg,
+                              cg);
+}
+
+ApproxCfcc ApproximateGroupCfcc(const Graph& graph,
+                                const std::vector<NodeId>& group, int probes,
+                                uint64_t seed, SolverBackend backend,
+                                const CgOptions& cg) {
   assert(!group.empty());
   const TraceEstimate est =
-      HutchinsonTraceInverse(graph, group, probes, seed, cg);
+      HutchinsonTraceInverse(graph, group, probes, seed, backend, cg);
   ApproxCfcc out;
   out.trace = est.trace;
   out.trace_std_error = est.std_error;

@@ -4,11 +4,13 @@
 #include <cassert>
 #include <cstdint>
 #include <unordered_set>
+#include <vector>
 
 #include "cfcm/cfcc.h"
 #include "common/timer.h"
 #include "graph/components.h"
 #include "linalg/laplacian.h"
+#include "linalg/solver.h"
 
 namespace cfcm {
 
@@ -24,11 +26,9 @@ struct Candidate {
   double gain = -1;
 };
 
-}  // namespace
-
-StatusOr<EdgeAdditionResult> GreedyEdgeAddition(
-    const Graph& graph, const std::vector<NodeId>& group, int k,
-    EdgeCandidates candidates) {
+Status ValidateEdgeAdditionArguments(const Graph& graph,
+                                     const std::vector<NodeId>& group, int k,
+                                     std::vector<char>* in_s) {
   if (group.empty()) {
     return Status::InvalidArgument("group must be non-empty");
   }
@@ -39,29 +39,42 @@ StatusOr<EdgeAdditionResult> GreedyEdgeAddition(
     return Status::FailedPrecondition("graph must be connected");
   }
   const NodeId n = graph.num_nodes();
-  std::vector<char> in_s(static_cast<std::size_t>(n), 0);
+  in_s->assign(static_cast<std::size_t>(n), 0);
   for (NodeId s : group) {
     if (s < 0 || s >= n) {
       return Status::InvalidArgument("group node out of range");
     }
-    in_s[s] = 1;
+    (*in_s)[s] = 1;
   }
+  return Status::Ok();
+}
 
-  Timer timer;
-  const SubmatrixIndex index = MakeSubmatrixIndex(n, group);
-  DenseMatrix m = ExactLaplacianSubmatrixInverse(graph, group);
-  const int dim = m.rows();
-  double trace = m.Trace();
-
-  // Track the evolving edge set for candidate enumeration.
+std::unordered_set<uint64_t> EdgeSet(const Graph& graph, int k) {
   std::unordered_set<uint64_t> adjacent;
   adjacent.reserve(static_cast<std::size_t>(graph.num_edges()) +
                    static_cast<std::size_t>(k));
   for (const auto& [a, b] : graph.Edges()) {
     adjacent.insert(UndirectedEdgeKey(a, b));
   }
+  return adjacent;
+}
+
+// The pinned dense reference (pre-backend implementation, unchanged):
+// materializes M and updates it in place. Handles both candidate sets.
+StatusOr<EdgeAdditionResult> DenseEdgeAddition(
+    const Graph& graph, const std::vector<NodeId>& group, int k,
+    EdgeCandidates candidates) {
+  Timer timer;
+  const SubmatrixIndex index = MakeSubmatrixIndex(graph.num_nodes(), group);
+  DenseMatrix m = ExactLaplacianSubmatrixInverse(graph, group);
+  const int dim = m.rows();
+  double trace = m.Trace();
+
+  // Track the evolving edge set for candidate enumeration.
+  std::unordered_set<uint64_t> adjacent = EdgeSet(graph, k);
 
   EdgeAdditionResult result;
+  result.backend = SolverBackend::kDense;
   result.initial_trace = trace;
   Vector mx(static_cast<std::size_t>(dim));
   for (int round = 0; round < k; ++round) {
@@ -131,6 +144,132 @@ StatusOr<EdgeAdditionResult> GreedyEdgeAddition(
   }
   result.seconds = timer.Seconds();
   return result;
+}
+
+// Factor-based kToGroup path: never materializes M. The inverse after t
+// added edges is M_t = M_0 - sum_t f^(t) f^(t)^T / b_t with
+// f^(t) = M_{t-1} e_{u_t} and b_t = 1 + f^(t)[u_t], so each round needs
+// two solves against the fixed base factor of L_{-S} plus the stored
+// correction history; the candidate scan runs on maintained col_norm
+// and diag scalars exactly as in the dense reference.
+StatusOr<EdgeAdditionResult> FactoredEdgeAddition(
+    const Graph& graph, const std::vector<NodeId>& group, int k,
+    const CfcmOptions& options, SolverBackend backend) {
+  Timer timer;
+  const NodeId n = graph.num_nodes();
+  const SubmatrixIndex index = MakeSubmatrixIndex(n, group);
+  auto solver_or = MakeGroundedSolver(graph, group, backend);
+  CFCM_RETURN_IF_ERROR(solver_or.status());
+  const LaplacianSolver& solver = **solver_or;
+  const int dim = solver.dim();
+
+  // col_norm_u = ||M e_u||^2 and diag_u = M_uu via dim independent
+  // solves (deterministic under any pool size).
+  std::vector<double> col_norm(static_cast<std::size_t>(dim));
+  std::vector<double> diag(static_cast<std::size_t>(dim));
+  ResolveSamplingPool(options).ParallelFor(
+      static_cast<std::size_t>(dim), [&](std::size_t u) {
+        Vector e(static_cast<std::size_t>(dim), 0.0);
+        e[u] = 1.0;
+        const Vector col = solver.Solve(e);
+        double nrm = 0;
+        for (double v : col) nrm += v * v;
+        col_norm[u] = nrm;
+        diag[u] = col[u];
+      });
+  double trace = 0;
+  for (double d : diag) trace += d;
+
+  std::unordered_set<uint64_t> adjacent = EdgeSet(graph, k);
+
+  EdgeAdditionResult result;
+  result.backend = backend;
+  result.initial_trace = trace;
+
+  std::vector<Vector> history;       // f^(t)
+  std::vector<double> history_beta;  // b_t = 1 + f^(t)[u_t]
+  const auto apply_corrections = [&](const Vector& x, Vector& y) {
+    for (std::size_t t = 0; t < history.size(); ++t) {
+      const Vector& f = history[t];
+      double dot = 0;
+      for (int i = 0; i < dim; ++i) dot += f[i] * x[i];
+      const double scale = dot / history_beta[t];
+      if (scale == 0.0) continue;
+      for (int i = 0; i < dim; ++i) y[i] -= scale * f[i];
+    }
+  };
+
+  Vector e(static_cast<std::size_t>(dim), 0.0);
+  for (int round = 0; round < k; ++round) {
+    Candidate best;
+    for (int u = 0; u < dim; ++u) {
+      const NodeId orig_u = index.kept[u];
+      for (NodeId s : group) {
+        if (adjacent.count(UndirectedEdgeKey(orig_u, s)) != 0) continue;
+        const double gain = col_norm[u] / (1.0 + diag[u]);
+        if (gain > best.gain) {
+          best = {static_cast<NodeId>(u), -1, orig_u, s, gain};
+        }
+        break;  // gain is identical for every s in S; pick the first
+      }
+    }
+    if (best.gain < 0) {
+      return Status::FailedPrecondition(
+          "no candidate non-edges left to add");
+    }
+    // f = M_t e_best; apply the rank-1 correction to the tracked scalars.
+    e[best.u] = 1.0;
+    Vector f = solver.Solve(e);
+    apply_corrections(e, f);
+    e[best.u] = 0.0;
+    const double beta = 1.0 + f[best.u];
+
+    Vector g = solver.Solve(f);
+    apply_corrections(f, g);
+    double f_norm2 = 0;
+    for (int i = 0; i < dim; ++i) f_norm2 += f[i] * f[i];
+
+    for (int i = 0; i < dim; ++i) {
+      const double r = f[i] / beta;
+      col_norm[i] += r * (r * f_norm2 - 2.0 * g[i]);
+      diag[i] -= f[i] * r;
+    }
+    trace -= f_norm2 / beta;
+    adjacent.insert(UndirectedEdgeKey(best.orig_u, best.orig_v));
+    result.added.emplace_back(std::min(best.orig_u, best.orig_v),
+                              std::max(best.orig_u, best.orig_v));
+    result.trace_after.push_back(trace);
+    history.push_back(std::move(f));
+    history_beta.push_back(beta);
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace
+
+StatusOr<EdgeAdditionResult> GreedyEdgeAddition(
+    const Graph& graph, const std::vector<NodeId>& group, int k,
+    EdgeCandidates candidates, const CfcmOptions& options) {
+  std::vector<char> in_s;
+  CFCM_RETURN_IF_ERROR(
+      ValidateEdgeAdditionArguments(graph, group, k, &in_s));
+  const NodeId kept_dim = static_cast<NodeId>(
+      MakeSubmatrixIndex(graph.num_nodes(), group).kept.size());
+  SolverBackend backend =
+      ResolveSolverBackend(options.solver_backend, kept_dim);
+  // kAny needs arbitrary off-diagonal M_uv entries: dense only.
+  if (candidates == EdgeCandidates::kAny) backend = SolverBackend::kDense;
+  if (backend == SolverBackend::kDense) {
+    return DenseEdgeAddition(graph, group, k, candidates);
+  }
+  return FactoredEdgeAddition(graph, group, k, options, backend);
+}
+
+StatusOr<EdgeAdditionResult> GreedyEdgeAddition(
+    const Graph& graph, const std::vector<NodeId>& group, int k,
+    EdgeCandidates candidates) {
+  return GreedyEdgeAddition(graph, group, k, candidates, CfcmOptions{});
 }
 
 }  // namespace cfcm

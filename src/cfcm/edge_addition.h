@@ -10,8 +10,10 @@
 #include <utility>
 #include <vector>
 
+#include "cfcm/options.h"
 #include "common/status.h"
 #include "graph/graph.h"
+#include "linalg/solver.h"
 
 namespace cfcm {
 
@@ -27,19 +29,31 @@ struct EdgeAdditionResult {
   std::vector<double> trace_after;  ///< Tr(L'_{-S}^{-1}) after each edge
   double initial_trace = 0.0;      ///< before any addition
   double seconds = 0.0;
+  /// Backend that ran the exact algebra (resolved, never kAuto).
+  SolverBackend backend = SolverBackend::kDense;
 };
 
 /// \brief Adds `k` edges maximizing C(S) greedily, exactly.
 ///
-/// Maintains M = L_{-S}^{-1} densely. Adding edge (u, v) inside V\S is
-/// the rank-1 update L += x x^T with x = e_u - e_v, so by
-/// Sherman–Morrison the trace drops by ||M x||^2 / (1 + x^T M x); adding
-/// (u, s) with s in S grounded is x = e_u. Each round scans all
-/// candidates in O(n^2) using row norms of the symmetric M.
+/// Adding edge (u, v) inside V\S is the rank-1 update L += x x^T with
+/// x = e_u - e_v, so by Sherman–Morrison the trace drops by
+/// ||M x||^2 / (1 + x^T M x) with M = L_{-S}^{-1}; adding (u, s) with
+/// s in S grounded is x = e_u.
 ///
-/// O(n^3 + k n^2) total; small/medium graphs (the Monte-Carlo analogue
-/// is future work, mirroring the paper). Requires connected graph,
-/// non-empty S, k >= 1, and enough non-edges.
+/// The dense backend maintains M explicitly (O(n^3 + k n^2) time,
+/// O(n^2) memory — the pinned reference). For kToGroup candidates the
+/// sparse_ldlt/cg backends never form M: column norms are initialized
+/// with n solves against the factored L_{-S} and every added edge is a
+/// stored rank-1 correction, so each round costs two solves. kAny needs
+/// arbitrary off-diagonal entries M_uv and always runs dense.
+///
+/// options.solver_backend picks the kernel (kAuto: by kept dimension).
+/// Requires connected graph, non-empty S, k >= 1, and enough non-edges.
+StatusOr<EdgeAdditionResult> GreedyEdgeAddition(
+    const Graph& graph, const std::vector<NodeId>& group, int k,
+    EdgeCandidates candidates, const CfcmOptions& options);
+
+/// Backward-compatible overload: default options (auto backend).
 StatusOr<EdgeAdditionResult> GreedyEdgeAddition(
     const Graph& graph, const std::vector<NodeId>& group, int k,
     EdgeCandidates candidates = EdgeCandidates::kToGroup);

@@ -2,18 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <vector>
 
 #include "cfcm/cfcc.h"
 #include "common/timer.h"
 #include "linalg/laplacian.h"
+#include "linalg/solver.h"
 
 namespace cfcm {
+namespace {
 
-StatusOr<ExactGreedyResult> ExactGreedyMaximize(const Graph& graph, int k) {
-  CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
+// The pinned dense reference: materializes M = L_{-S}^{-1} and applies
+// the Sherman-Morrison downdate in place. O(n^3 + k n^2) time, O(n^2)
+// memory. Kept byte-identical to the pre-backend implementation.
+StatusOr<ExactGreedyResult> DenseGreedy(const Graph& graph, int k) {
   Timer timer;
   const NodeId n = graph.num_nodes();
   ExactGreedyResult result;
+  result.backend = SolverBackend::kDense;
 
   // Pick 1: argmin_u L†_uu  (Eq. 4: sum_v R(u,v) = Tr(L†) + n L†_uu).
   NodeId first = 0;
@@ -75,6 +82,172 @@ StatusOr<ExactGreedyResult> ExactGreedyMaximize(const Graph& graph, int k) {
   }
   result.seconds = timer.Seconds();
   return result;
+}
+
+// Factor-based greedy: same argmins/argmaxes and (up to roundoff) the
+// same scalars as DenseGreedy without ever materializing an inverse.
+//
+// Invariant: after t picks beyond the first, the current inverse is
+//   M_t = M_0 - sum_t f^(t) f^(t)^T / a_t,   M_0 = L_{-first}^{-1},
+// where f^(t) = M_{t-1} e_{b_t} and a_t = f^(t)[b_t]. Dead rows/columns
+// of M_t are exactly zero in exact arithmetic, so storing f^(t) with
+// dead entries zeroed and summing full inner products reproduces the
+// alive-restricted sums of the dense scan. Per round this needs two
+// solves against the fixed base factor (f and g = M_t f) plus O(t n)
+// correction work.
+StatusOr<ExactGreedyResult> FactoredGreedy(const Graph& graph, int k,
+                                           const CfcmOptions& options,
+                                           SolverBackend backend) {
+  Timer timer;
+  const NodeId n = graph.num_nodes();
+  ExactGreedyResult result;
+  result.backend = backend;
+
+  // Pick 1: argmin_u L†_uu without the dense pseudoinverse. Ground an
+  // arbitrary node g (0) and let H = L_{-g}^{-1} zero-padded at g; then
+  // L† = P H P with P = I - 11^T/n, so
+  //   L†_uu = H_uu - (2/n)(H1)_u + (1^T H 1)/n^2.
+  // One factorization, one selected-inverse diagonal, one solve.
+  NodeId first = 0;
+  {
+    const NodeId ground = 0;
+    auto solver = MakeGroundedSolver(graph, {ground}, backend);
+    CFCM_RETURN_IF_ERROR(solver.status());
+    const SubmatrixIndex gidx = MakeSubmatrixIndex(n, {ground});
+    const Vector h_diag = (*solver)->InverseDiagonal();
+    Vector ones(static_cast<std::size_t>((*solver)->dim()), 1.0);
+    const Vector h_row_sum = (*solver)->Solve(ones);
+    double total = 0;
+    for (double v : h_row_sum) total += v;
+
+    const double inv_n = 1.0 / static_cast<double>(n);
+    double best = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      const int pos = gidx.pos[u];
+      const double huu = pos >= 0 ? h_diag[pos] : 0.0;
+      const double h1u = pos >= 0 ? h_row_sum[pos] : 0.0;
+      const double diag_u = huu - 2.0 * inv_n * h1u + total * inv_n * inv_n;
+      if (u == 0 || diag_u < best) {
+        best = diag_u;
+        first = u;
+      }
+    }
+  }
+  result.selected.push_back(first);
+
+  const SubmatrixIndex index = MakeSubmatrixIndex(n, {first});
+  auto solver_or = MakeGroundedSolver(graph, {first}, backend);
+  CFCM_RETURN_IF_ERROR(solver_or.status());
+  const LaplacianSolver& solver = **solver_or;
+  const int dim = solver.dim();
+
+  if (k == 1) {
+    result.trace_after.push_back(solver.TraceInverse());
+    result.seconds = timer.Seconds();
+    return result;
+  }
+
+  // Initialize diag(M_0) and col_norm_u = ||M_0 e_u||^2 with dim
+  // independent solves (the dominant cost; deterministic under any pool
+  // size since every column is its own solve).
+  std::vector<double> col_norm(static_cast<std::size_t>(dim));
+  std::vector<double> diag(static_cast<std::size_t>(dim));
+  ResolveSamplingPool(options).ParallelFor(
+      static_cast<std::size_t>(dim), [&](std::size_t u) {
+        Vector e(static_cast<std::size_t>(dim), 0.0);
+        e[u] = 1.0;
+        const Vector col = solver.Solve(e);
+        double nrm = 0;
+        for (double v : col) nrm += v * v;
+        col_norm[u] = nrm;
+        diag[u] = col[u];
+      });
+  double trace = 0;
+  for (double d : diag) trace += d;
+  result.trace_after.push_back(trace);
+
+  std::vector<char> alive(static_cast<std::size_t>(dim), 1);
+  std::vector<Vector> history;       // f^(t), dead entries zeroed
+  std::vector<double> history_beta;  // a_t = f^(t)[b_t]
+
+  // Applies the stored rank-1 corrections: y <- y - sum_t f^(t) *
+  // (f^(t) . x) / a_t, where x is the vector the base solve was run on.
+  const auto apply_corrections = [&](const Vector& x, Vector& y) {
+    for (std::size_t t = 0; t < history.size(); ++t) {
+      const Vector& f = history[t];
+      double dot = 0;
+      for (int i = 0; i < dim; ++i) dot += f[i] * x[i];
+      const double scale = dot / history_beta[t];
+      if (scale == 0.0) continue;
+      for (int i = 0; i < dim; ++i) y[i] -= scale * f[i];
+    }
+  };
+
+  Vector e(static_cast<std::size_t>(dim), 0.0);
+  for (int pick = 1; pick < k; ++pick) {
+    int best = -1;
+    double best_gain = -1;
+    for (int u = 0; u < dim; ++u) {
+      if (!alive[u]) continue;
+      const double gain = col_norm[u] / diag[u];
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = u;
+      }
+    }
+    assert(best >= 0);
+
+    // f = M_t e_best: one base solve plus the correction history.
+    e[best] = 1.0;
+    Vector f = solver.Solve(e);
+    apply_corrections(e, f);
+    e[best] = 0.0;
+    for (int i = 0; i < dim; ++i) {
+      if (!alive[i]) f[i] = 0.0;  // exact zeros of M_t (fp hygiene)
+    }
+    const double alpha = f[best];
+
+    // g = M_t f, needed for the col_norm recurrence.
+    Vector g = solver.Solve(f);
+    apply_corrections(f, g);
+    double f_norm2 = 0;
+    for (int i = 0; i < dim; ++i) f_norm2 += f[i] * f[i];
+
+    // Downdate the tracked scalars:
+    //   col_norm'_u = col_norm_u - 2 r g_u + r^2 ||f||^2, r = f_u/alpha
+    //   diag'_u = diag_u - f_u^2/alpha
+    //   trace'  = trace - ||f||^2/alpha
+    for (int i = 0; i < dim; ++i) {
+      if (!alive[i] || i == best) continue;
+      const double r = f[i] / alpha;
+      col_norm[i] += r * (r * f_norm2 - 2.0 * g[i]);
+      diag[i] -= f[i] * r;
+    }
+    alive[best] = 0;
+    trace -= f_norm2 / alpha;
+    result.trace_after.push_back(trace);
+    result.selected.push_back(index.kept[best]);
+    history.push_back(std::move(f));
+    history_beta.push_back(alpha);
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace
+
+StatusOr<ExactGreedyResult> ExactGreedyMaximize(const Graph& graph, int k,
+                                                const CfcmOptions& options) {
+  CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
+  // Backend choice is driven by the kept dimension the run factors.
+  const SolverBackend backend =
+      ResolveSolverBackend(options.solver_backend, graph.num_nodes() - 1);
+  if (backend == SolverBackend::kDense) return DenseGreedy(graph, k);
+  return FactoredGreedy(graph, k, options, backend);
+}
+
+StatusOr<ExactGreedyResult> ExactGreedyMaximize(const Graph& graph, int k) {
+  return ExactGreedyMaximize(graph, k, CfcmOptions{});
 }
 
 }  // namespace cfcm

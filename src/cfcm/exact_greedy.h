@@ -1,11 +1,13 @@
-// EXACT baseline: greedy CFCM via dense matrix inversion (paper §V-A).
+// EXACT baseline: greedy CFCM via exact Laplacian algebra (paper §V-A).
 #ifndef CFCM_CFCM_EXACT_GREEDY_H_
 #define CFCM_CFCM_EXACT_GREEDY_H_
 
 #include <vector>
 
+#include "cfcm/options.h"
 #include "common/status.h"
 #include "graph/graph.h"
+#include "linalg/solver.h"
 
 namespace cfcm {
 
@@ -14,14 +16,35 @@ struct ExactGreedyResult {
   std::vector<NodeId> selected;     ///< greedy order
   std::vector<double> trace_after;  ///< Tr(L_{-S_i}^{-1}) after each pick
   double seconds = 0.0;
+  /// Backend that ran the exact algebra (resolved, never kAuto).
+  SolverBackend backend = SolverBackend::kDense;
 };
 
-/// \brief Exact greedy: first pick argmin L†_uu from the dense
-/// pseudoinverse; then maintain M = L_{-S}^{-1} explicitly and select
-/// argmax (M^2)_uu / M_uu (Eq. 5), downdating M with the submatrix-
-/// inverse identity M' = M - M e_u e_u^T M / M_uu after each pick.
+/// \brief Exact greedy: first pick argmin L†_uu; then select
+/// argmax (M^2)_uu / M_uu with M = L_{-S}^{-1} (Eq. 5), applying the
+/// rank-1 downdate M' = M - M e_u e_u^T M / M_uu after each pick.
 ///
-/// O(n^3 + k n^2) time, O(n^2) memory; small/medium graphs only.
+/// The dense backend materializes M explicitly: O(n^3 + k n^2) time,
+/// O(n^2) memory — the pinned reference. The sparse_ldlt/cg backends
+/// never form M: the pseudoinverse diagonal comes from the identity
+/// L† = P H P with H = L_{-g}^{-1} zero-padded at an arbitrary ground g
+/// (one factorization + selected-inverse diagonal + one solve), column
+/// norms (M^2)_uu are initialized with n solves against the factored
+/// L_{-S_1}, and each later round is O(1) solves: the downdates are
+/// tracked as rank-1 corrections f^(t) f^(t)T / a_t on top of the fixed
+/// base factor, so f = M e_b and g = M f need one base solve each plus
+/// the stored corrections. Exact modulo roundoff: selections match the
+/// dense reference and scalars agree to ~1e-9 relative (pinned by
+/// tests/cfcm/backend_agreement_test.cc).
+///
+/// `options` supplies solver_backend (kAuto: dense up to
+/// kDenseBackendMaxN kept nodes, sparse_ldlt above) and the pool that
+/// parallelizes the column-norm initialization (deterministic: each
+/// column is an independent solve).
+StatusOr<ExactGreedyResult> ExactGreedyMaximize(const Graph& graph, int k,
+                                                const CfcmOptions& options);
+
+/// Backward-compatible overload: default options (auto backend).
 StatusOr<ExactGreedyResult> ExactGreedyMaximize(const Graph& graph, int k);
 
 }  // namespace cfcm

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 #include <string>
+#include <utility>
 
 #include "cfcm/cfcc.h"
 #include "common/timer.h"
@@ -82,9 +83,27 @@ struct SearchState {
   }
 };
 
+// Materializes L_{-removed}^{-1} through the chosen backend: the dense
+// kernel inverts directly (byte-identical to the pre-backend code),
+// the factor backends solve against the identity.
+StatusOr<DenseMatrix> InverseViaBackend(const Graph& graph,
+                                        const std::vector<NodeId>& removed,
+                                        SolverBackend backend) {
+  if (backend == SolverBackend::kDense) {
+    return ExactLaplacianSubmatrixInverse(graph, removed);
+  }
+  auto solver = MakeGroundedSolver(graph, removed, backend);
+  CFCM_RETURN_IF_ERROR(solver.status());
+  const int dim = (*solver)->dim();
+  DenseMatrix identity(dim, dim);
+  for (int i = 0; i < dim; ++i) identity(i, i) = 1.0;
+  return (*solver)->SolveMatrix(identity);
+}
+
 }  // namespace
 
-StatusOr<OptimumResult> OptimumSearch(const Graph& graph, int k) {
+StatusOr<OptimumResult> OptimumSearch(const Graph& graph, int k,
+                                      const CfcmOptions& options) {
   CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
   const NodeId n = graph.num_nodes();
   if (n > 128) {
@@ -95,10 +114,15 @@ StatusOr<OptimumResult> OptimumSearch(const Graph& graph, int k) {
   Timer timer;
   OptimumResult result;
   result.trace = std::numeric_limits<double>::infinity();
+  // Resolved on the branch dimension n - 1; at optimum's scale kAuto is
+  // always dense.
+  result.backend = ResolveSolverBackend(options.solver_backend, n - 1);
 
   if (k == 1) {
     for (NodeId u = 0; u < n; ++u) {
-      const double trace = ExactTraceInverseSubmatrix(graph, {u});
+      auto trace_or = TraceInverseSubmatrix(graph, {u}, result.backend);
+      CFCM_RETURN_IF_ERROR(trace_or.status());
+      const double trace = *trace_or;
       ++result.subsets_evaluated;
       if (trace < result.trace) {
         result.trace = trace;
@@ -107,10 +131,12 @@ StatusOr<OptimumResult> OptimumSearch(const Graph& graph, int k) {
     }
   } else {
     // Enumerate the smallest group element at the top level; each branch
-    // pays one dense inversion, everything below is O(n^2) downdates.
+    // pays one inversion, everything below is O(n^2) downdates.
     for (NodeId u1 = 0; u1 + k <= n; ++u1) {
       const SubmatrixIndex index = MakeSubmatrixIndex(n, {u1});
-      const DenseMatrix m = ExactLaplacianSubmatrixInverse(graph, {u1});
+      auto m_or = InverseViaBackend(graph, {u1}, result.backend);
+      CFCM_RETURN_IF_ERROR(m_or.status());
+      const DenseMatrix m = std::move(*m_or);
       const int dim = m.rows();
       std::vector<char> alive(static_cast<std::size_t>(dim), 1);
       SearchState state{k, dim, &index, {u1}, &result};
@@ -124,6 +150,10 @@ StatusOr<OptimumResult> OptimumSearch(const Graph& graph, int k) {
   std::sort(result.best.begin(), result.best.end());
   result.seconds = timer.Seconds();
   return result;
+}
+
+StatusOr<OptimumResult> OptimumSearch(const Graph& graph, int k) {
+  return OptimumSearch(graph, k, CfcmOptions{});
 }
 
 }  // namespace cfcm

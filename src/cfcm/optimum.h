@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "cfcm/options.h"
 #include "common/status.h"
 #include "graph/graph.h"
+#include "linalg/solver.h"
 
 namespace cfcm {
 
@@ -17,6 +19,8 @@ struct OptimumResult {
   double cfcc = 0.0;         ///< C(S*) = n / trace
   std::int64_t subsets_evaluated = 0;
   double seconds = 0.0;
+  /// Backend that produced the per-branch inverses (resolved).
+  SolverBackend backend = SolverBackend::kDense;
 };
 
 /// \brief Examines all C(n, k) groups and returns the one minimizing
@@ -26,6 +30,17 @@ struct OptimumResult {
 /// downdates so each internal node costs O(n^2) instead of a fresh
 /// O(n^3) factorization. Still exponential in k — intended for the
 /// paper's tiny graphs (n <= ~70, k <= 5); rejects n > 128.
+///
+/// The search itself always walks a dense inverse (the whole point is
+/// O(n^2) downdates on tiny n), but options.solver_backend chooses the
+/// kernel that materializes each branch's L_{-u1}^{-1}: dense inverts
+/// directly, sparse_ldlt/cg factor and solve against the identity —
+/// useful as an end-to-end cross-check of the factor backends.
+StatusOr<OptimumResult> OptimumSearch(const Graph& graph, int k,
+                                      const CfcmOptions& options);
+
+/// Backward-compatible overload: default options (auto backend, which
+/// resolves dense at optimum's n <= 128 scale).
 StatusOr<OptimumResult> OptimumSearch(const Graph& graph, int k);
 
 }  // namespace cfcm

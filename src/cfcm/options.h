@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "estimators/options.h"
 #include "graph/graph.h"
+#include "linalg/solver.h"
 
 namespace cfcm {
 
@@ -96,6 +97,14 @@ struct CfcmOptions {
   /// Extra relative margin the reuse pre-screen's certified winner must
   /// clear (guards the importance-sampling support bias).
   double reuse_margin = 0.25;
+
+  // -- exact linear algebra (DESIGN.md §14).
+  /// Which kernel backs the exact Laplacian paths (EXACT/OPTIMUM
+  /// selection, exact scoring, Schur assembly, augment). kAuto resolves
+  /// by kept dimension: dense up to kDenseBackendMaxN, sparse_ldlt
+  /// above. Every backend computes the same numbers; this is a
+  /// time/memory knob, not an accuracy knob.
+  SolverBackend solver_backend = SolverBackend::kAuto;
 };
 
 /// Per-iteration and total diagnostics of a solver run.
@@ -114,6 +123,10 @@ struct CfcmResult {
   std::int64_t rescored_candidates = 0;  ///< candidate gain evaluations
   std::int64_t heap_pops = 0;            ///< lazy-heap pops
   std::int64_t forests_reused = 0;       ///< arena replays (no walks)
+
+  /// Resolved Laplacian solver backend ("dense" / "sparse_ldlt" / "cg"),
+  /// empty for solvers that never touch the exact kernels.
+  std::string solver_backend;
 };
 
 /// Lowers CfcmOptions to the estimator-level sampling options.

@@ -38,6 +38,26 @@ Status ValidateGroup(NodeId n, const std::vector<NodeId>& group) {
 
 }  // namespace
 
+AugmentBudget CheckAugmentBudget(const EngineOptions& options, NodeId n,
+                                 std::size_t group_size, int k,
+                                 SolverBackend requested,
+                                 EdgeCandidates candidates) {
+  AugmentBudget budget;
+  budget.remaining = n - static_cast<NodeId>(group_size);
+  budget.backend = ResolveSolverBackend(requested, budget.remaining);
+  // kAny scans arbitrary off-diagonal M_uv entries: dense only.
+  if (candidates == EdgeCandidates::kAny) {
+    budget.backend = SolverBackend::kDense;
+  }
+  budget.limit = budget.backend == SolverBackend::kDense
+                     ? options.augment_max_n
+                     : options.augment_max_n * kSparseAugmentBudgetFactor;
+  budget.k_limit = options.augment_max_n;
+  budget.admitted = budget.remaining <= budget.limit &&
+                    k <= static_cast<int>(budget.k_limit);
+  return budget;
+}
+
 Engine::Engine(Graph graph, EngineOptions options)
     : session_(std::make_shared<GraphSession>(std::move(graph),
                                               options.num_threads)),
@@ -114,6 +134,7 @@ StatusOr<JobResult> Engine::RunSolve(const SolveJob& job,
   options.eps = job.eps;
   options.seed = job.seed;
   options.selection = job.selection;
+  options.solver_backend = job.solver_backend;
   // Sampling reuses the cached session pool; nested ParallelFor is safe
   // (see ThreadPool) and results are invariant to the pool size.
   options.pool = &session_->pool();
@@ -133,6 +154,11 @@ StatusOr<JobResult> Engine::RunSolve(const SolveJob& job,
       trace->Annotate("rescored_candidates", output->rescored_candidates);
       trace->Annotate("heap_pops", output->heap_pops);
       trace->Annotate("forests_reused", output->forests_reused);
+      // Resolved exact kernel as its enum ordinal (annotations are
+      // integers); absent when the solver never touched the exact paths.
+      if (const auto backend = ParseSolverBackend(output->solver_backend)) {
+        trace->Annotate("solver_backend", static_cast<int64_t>(*backend));
+      }
     }
     trace->EndSpan(span);
   }
@@ -144,17 +170,19 @@ StatusOr<JobResult> Engine::RunSolve(const SolveJob& job,
 
   // Policy: exact scoring below the ceiling, probed above. At least one
   // probe when probing is required, so a misconfigured eval_probes never
-  // turns a finished solve into an evaluation error.
+  // turns a finished solve into an evaluation error. An explicit
+  // sparse_ldlt backend scores exactly at any size (no dense inverse).
   const NodeId remaining =
       snapshot.num_nodes() -
       static_cast<NodeId>(result.output.selected.size());
-  const int probes = remaining <= options_.exact_eval_max_n
-                         ? 0
-                         : std::max(1, options_.eval_probes);
+  const bool exact_score =
+      remaining <= options_.exact_eval_max_n ||
+      job.solver_backend == SolverBackend::kSparseLdlt;
+  const int probes = exact_score ? 0 : std::max(1, options_.eval_probes);
   std::size_t score_span = 0;
   if (trace != nullptr) score_span = trace->BeginSpan("score");
-  StatusOr<EvaluateJobResult> eval =
-      EvaluateGroup(snapshot, result.output.selected, probes, job.seed);
+  StatusOr<EvaluateJobResult> eval = EvaluateGroup(
+      snapshot, result.output.selected, probes, job.seed, job.solver_backend);
   if (trace != nullptr) trace->EndSpan(score_span);
   if (!eval.ok()) return eval.status();
   result.cfcc = eval->cfcc;
@@ -170,8 +198,8 @@ StatusOr<JobResult> Engine::RunEvaluate(const EvaluateJob& job,
   }
   std::size_t span = 0;
   if (trace != nullptr) span = trace->BeginSpan("evaluate");
-  StatusOr<EvaluateJobResult> eval =
-      EvaluateGroup(snapshot, job.group, job.probes, job.seed);
+  StatusOr<EvaluateJobResult> eval = EvaluateGroup(
+      snapshot, job.group, job.probes, job.seed, job.solver_backend);
   if (trace != nullptr) trace->EndSpan(span);
   if (!eval.ok()) return eval.status();
   return JobResult(std::move(*eval));
@@ -192,29 +220,44 @@ StatusOr<JobResult> Engine::RunAugment(const AugmentJob& job,
   const NodeId n = snapshot.num_nodes();
   Status group_ok = ValidateGroup(n, job.group);
   if (!group_ok.ok()) return group_ok;
-  const NodeId remaining = n - static_cast<NodeId>(job.group.size());
-  if (remaining > options_.augment_max_n ||
-      job.k > static_cast<int>(options_.augment_max_n)) {
+  const AugmentBudget budget =
+      CheckAugmentBudget(options_, n, job.group.size(), job.k,
+                         job.solver_backend, job.candidates);
+  if (!budget.admitted) {
+    // Structured refusal: name the backend, sizes and limits so the
+    // caller can see which knob to turn (the serve layer re-derives the
+    // same budget to attach machine-readable details).
     return Status::InvalidArgument(
-        "augment needs a dense " + std::to_string(remaining) +
-        "^2 inverse over " + std::to_string(job.k) +
-        " rounds (ceiling " + std::to_string(options_.augment_max_n) +
-        " for both); the sampled augment analogue is future work");
+        "augment work budget exceeded: backend=" +
+        std::string(SolverBackendName(budget.backend)) + " remaining=" +
+        std::to_string(budget.remaining) + " (limit " +
+        std::to_string(budget.limit) + "), k=" + std::to_string(job.k) +
+        " (limit " + std::to_string(budget.k_limit) + "), n=" +
+        std::to_string(n) +
+        "; request solver_backend=sparse_ldlt for the wider factor budget "
+        "or raise augment_max_n");
   }
+  CfcmOptions augment_options = options_.solver_defaults;
+  augment_options.solver_backend = job.solver_backend;
+  augment_options.pool = &session_->pool();
   std::size_t span = 0;
   if (trace != nullptr) span = trace->BeginSpan("augment");
-  StatusOr<EdgeAdditionResult> added = GreedyEdgeAddition(
-      snapshot.graph(), job.group, job.k, job.candidates);
+  StatusOr<EdgeAdditionResult> added =
+      GreedyEdgeAddition(snapshot.graph(), job.group, job.k, job.candidates,
+                         augment_options);
   if (trace != nullptr) {
     if (added.ok()) {
       trace->Annotate("edges_added",
                       static_cast<int64_t>(added->added.size()));
+      trace->Annotate("solver_backend",
+                      static_cast<int64_t>(added->backend));
     }
     trace->EndSpan(span);
   }
   if (!added.ok()) return added.status();
 
   AugmentJobResult result;
+  result.solver_backend = SolverBackendName(added->backend);
   result.added = std::move(added->added);
   result.trace_after = std::move(added->trace_after);
   result.initial_trace = added->initial_trace;
@@ -230,7 +273,7 @@ StatusOr<JobResult> Engine::RunAugment(const AugmentJob& job,
 
 StatusOr<EvaluateJobResult> Engine::EvaluateGroup(
     const GraphSnapshot& snapshot, const std::vector<NodeId>& group,
-    int probes, uint64_t seed) const {
+    int probes, uint64_t seed, SolverBackend backend) const {
   const NodeId n = snapshot.num_nodes();
   Status group_ok = ValidateGroup(n, group);
   if (!group_ok.ok()) return group_ok;
@@ -238,20 +281,34 @@ StatusOr<EvaluateJobResult> Engine::EvaluateGroup(
   EvaluateJobResult result;
   if (probes <= 0) {
     const NodeId remaining = n - static_cast<NodeId>(group.size());
-    if (remaining > options_.exact_eval_max_n) {
+    // The dense ceiling guards the default path; an explicit factor
+    // backend never allocates the dense inverse and is admitted at any
+    // size (DESIGN.md §14).
+    const bool factor_backend = backend == SolverBackend::kSparseLdlt ||
+                                backend == SolverBackend::kCg;
+    if (remaining > options_.exact_eval_max_n && !factor_backend) {
       return Status::InvalidArgument(
           "exact evaluation needs a dense " + std::to_string(remaining) +
           "^2 inverse (ceiling " + std::to_string(options_.exact_eval_max_n) +
-          "); set probes > 0 for Hutchinson estimation");
+          "); set probes > 0 for Hutchinson estimation or request "
+          "solver_backend=sparse_ldlt");
     }
-    result.trace = ExactTraceInverseSubmatrix(snapshot.graph(), group);
+    const SolverBackend resolved = ResolveSolverBackend(
+        backend == SolverBackend::kAuto ? SolverBackend::kDense : backend,
+        remaining);
+    auto trace_or = TraceInverseSubmatrix(snapshot.graph(), group, resolved);
+    if (!trace_or.ok()) return trace_or.status();
+    result.trace = *trace_or;
     result.cfcc = static_cast<double>(n) / result.trace;
+    result.solver_backend = SolverBackendName(resolved);
   } else {
     const ApproxCfcc approx =
-        ApproximateGroupCfcc(snapshot.graph(), group, probes, seed);
+        ApproximateGroupCfcc(snapshot.graph(), group, probes, seed, backend);
     result.cfcc = approx.cfcc;
     result.trace = approx.trace;
     result.trace_std_error = approx.trace_std_error;
+    result.solver_backend = SolverBackendName(
+        backend == SolverBackend::kAuto ? SolverBackend::kCg : backend);
   }
   return result;
 }

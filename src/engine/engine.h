@@ -33,15 +33,23 @@ struct SolveJob {
   /// Greedy argmax strategy for solvers with the lazy_selection
   /// capability (DESIGN.md §13); others ignore it.
   SelectionMode selection = SelectionMode::kLazy;
+  /// Kernel behind the exact Laplacian paths (DESIGN.md §14); sampled
+  /// solvers ignore it apart from exact scoring.
+  SolverBackend solver_backend = SolverBackend::kAuto;
 };
 
 /// Evaluate C(S) for a caller-provided group.
 struct EvaluateJob {
   std::vector<NodeId> group;
-  int probes = 0;     ///< 0 = exact dense evaluation (only allowed up to
+  int probes = 0;     ///< 0 = exact evaluation (dense only up to
                       ///< EngineOptions::exact_eval_max_n remaining
-                      ///< nodes); > 0 = Hutchinson probing
+                      ///< nodes; an explicit sparse_ldlt solver_backend
+                      ///< lifts the ceiling); > 0 = Hutchinson probing
   uint64_t seed = 1;  ///< probe RNG seed (probes > 0 only)
+  /// Kernel for the trace: exact path factors L_{-S} with it, probed
+  /// path runs the probes through it (kAuto keeps the pinned defaults:
+  /// dense exact below the ceiling, CG probes above).
+  SolverBackend solver_backend = SolverBackend::kAuto;
 };
 
 /// Greedy edge addition for a fixed group: which k edges, added to the
@@ -53,6 +61,10 @@ struct AugmentJob {
   std::vector<NodeId> group;
   int k = 1;  ///< number of edges to add
   EdgeCandidates candidates = EdgeCandidates::kToGroup;
+  /// Kernel for the maintained inverse (kAny candidates always run
+  /// dense). A factor backend widens the admission budget — see
+  /// CheckAugmentBudget.
+  SolverBackend solver_backend = SolverBackend::kAuto;
 };
 
 using Job = std::variant<SolveJob, EvaluateJob, AugmentJob>;
@@ -71,6 +83,8 @@ struct EvaluateJobResult {
   double cfcc = 0.0;
   double trace = 0.0;             ///< Tr(L_{-S}^{-1})
   double trace_std_error = 0.0;   ///< 0 for exact evaluation
+  /// Backend that produced the trace ("dense" / "sparse_ldlt" / "cg").
+  std::string solver_backend;
 };
 
 /// Result of an AugmentJob.
@@ -81,6 +95,8 @@ struct AugmentJobResult {
   double cfcc_before = 0.0;         ///< n / initial_trace
   double cfcc_after = 0.0;          ///< n / trace_after.back()
   double seconds = 0.0;
+  /// Backend that maintained the inverse (resolved).
+  std::string solver_backend;
 };
 
 using JobResult = std::variant<SolveJobResult, EvaluateJobResult,
@@ -96,14 +112,17 @@ struct EngineOptions {
   int eval_probes = 64;  ///< probes used above the exact ceiling
                          ///< (values < 1 are clamped to 1 there)
 
-  /// AugmentJobs are rejected when the remaining matrix (n - |S|)
-  /// exceeds this, or when k does: GreedyEdgeAddition maintains a
-  /// dense (n - |S|)^2 inverse and spends O((n-|S|)^3 + k (n-|S|)^2)
-  /// time, and a serving daemon must not let one wire request allocate
-  /// or compute unboundedly (the Monte-Carlo augment analogue is
-  /// future work, mirroring the paper's §VI). Direct
-  /// GreedyEdgeAddition callers are deliberately unlimited; cfcm_cli
-  /// raises the ceiling to 4096 as a trusted local caller.
+  /// Base unit of the augment admission budget (see CheckAugmentBudget):
+  /// a serving daemon must not let one wire request allocate or compute
+  /// unboundedly. On the dense backend both the remaining matrix
+  /// (n - |S|) and k are capped at this value — GreedyEdgeAddition then
+  /// maintains a dense (n - |S|)^2 inverse in O((n-|S|)^3 + k (n-|S|)^2)
+  /// time. A factor backend (explicit sparse_ldlt / cg with kToGroup
+  /// candidates) never materializes the inverse and admits
+  /// kSparseAugmentBudgetFactor x more remaining nodes for the same
+  /// knob. Direct GreedyEdgeAddition callers are deliberately
+  /// unlimited; cfcm_cli raises the ceiling to 4096 as a trusted local
+  /// caller.
   NodeId augment_max_n = 1024;
 
   /// Base sampling options for every SolveJob; the job's eps / seed
@@ -111,6 +130,33 @@ struct EngineOptions {
   /// overrides any `pool` / `num_threads` set here.
   CfcmOptions solver_defaults;
 };
+
+/// Factor backends admit this many times more remaining nodes than the
+/// dense augment ceiling (their per-round cost is solves, not an
+/// O((n-|S|)^2) dense inverse).
+inline constexpr NodeId kSparseAugmentBudgetFactor = 32;
+
+/// \brief Admission decision for an augment request — the backend-aware
+/// work budget behind EngineOptions::augment_max_n.
+///
+/// Shared with the serve layer so wire errors can name exactly why a
+/// request was refused (backend, remaining size, effective limit).
+struct AugmentBudget {
+  bool admitted = false;
+  SolverBackend backend = SolverBackend::kDense;  ///< resolved kernel
+  NodeId remaining = 0;   ///< kept nodes n - |S|
+  NodeId limit = 0;       ///< ceiling on `remaining` for that backend
+  NodeId k_limit = 0;     ///< ceiling on k (backend-independent)
+};
+
+/// Resolves the kernel an augment job would run on (kAny candidates
+/// force dense) and checks the request against the budget: remaining
+/// <= limit and k <= k_limit, where limit = augment_max_n on dense and
+/// augment_max_n * kSparseAugmentBudgetFactor on factor backends.
+AugmentBudget CheckAugmentBudget(const EngineOptions& options, NodeId n,
+                                 std::size_t group_size, int k,
+                                 SolverBackend requested,
+                                 EdgeCandidates candidates);
 
 /// \brief Serves job batches against one cached graph session.
 ///
@@ -183,9 +229,11 @@ class Engine {
 
   /// C(S) plus trace diagnostics for `group` on the pinned `snapshot`;
   /// exact or probed per EngineOptions (see SolveJobResult::cfcc).
+  /// `backend` routes the linear algebra (kAuto = pinned defaults).
   StatusOr<EvaluateJobResult> EvaluateGroup(const GraphSnapshot& snapshot,
                                             const std::vector<NodeId>& group,
-                                            int probes, uint64_t seed) const;
+                                            int probes, uint64_t seed,
+                                            SolverBackend backend) const;
 
   std::shared_ptr<GraphSession> session_;
   EngineOptions options_;

@@ -87,23 +87,25 @@ class ExactGreedySolver final : public Solver {
  public:
   ExactGreedySolver()
       : Solver("exact",
-               "EXACT baseline: greedy via dense inversion and "
-               "Sherman-Morrison downdates",
+               "EXACT baseline: greedy via Sherman-Morrison downdates "
+               "(dense inverse or factored-solve backend, DESIGN.md §14)",
                {.optimal = false,
                 .deterministic = true,
                 .randomized = false,
                 .approximation_guarantee = true,
-                .complexity = "O(n^3 + k n^2)",
-                .max_recommended_n = 4096}) {}
+                .complexity = "O(n^3 + k n^2) dense; "
+                              "O(n (fill + solve) + k n) sparse",
+                .max_recommended_n = 0}) {}
 
   StatusOr<SolveOutput> Solve(const Graph& graph, int k,
                               const CfcmOptions& options) const override {
-    (void)options;  // deterministic; no sampling knobs apply
-    StatusOr<ExactGreedyResult> result = ExactGreedyMaximize(graph, k);
+    StatusOr<ExactGreedyResult> result =
+        ExactGreedyMaximize(graph, k, options);
     if (!result.ok()) return result.status();
     SolveOutput out;
     out.selected = std::move(result->selected);
     out.seconds = result->seconds;
+    out.solver_backend = SolverBackendName(result->backend);
     return out;
   }
 };
@@ -130,6 +132,8 @@ class ApproxGreedySolver final : public Solver {
     out.selected = std::move(result->selected);
     out.seconds = result->seconds;
     out.solver_calls = result->solver_calls;
+    // APPROXGREEDY's Laplacian systems always run matrix-free CG.
+    out.solver_backend = SolverBackendName(SolverBackend::kCg);
     return out;
   }
 };
@@ -198,12 +202,12 @@ class OptimumSolver final : public Solver {
 
   StatusOr<SolveOutput> Solve(const Graph& graph, int k,
                               const CfcmOptions& options) const override {
-    (void)options;
-    StatusOr<OptimumResult> result = OptimumSearch(graph, k);
+    StatusOr<OptimumResult> result = OptimumSearch(graph, k, options);
     if (!result.ok()) return result.status();
     SolveOutput out;
     out.selected = std::move(result->best);
     out.seconds = result->seconds;
+    out.solver_backend = SolverBackendName(result->backend);
     return out;
   }
 };

@@ -46,6 +46,10 @@ struct SolveOutput {
   std::int64_t rescored_candidates = 0;
   std::int64_t heap_pops = 0;
   std::int64_t forests_reused = 0;
+
+  /// Resolved Laplacian kernel ("dense" / "sparse_ldlt" / "cg";
+  /// DESIGN.md §14). Empty for solvers that never run exact algebra.
+  std::string solver_backend;
 };
 
 /// \brief Interface implemented by every maximization algorithm.

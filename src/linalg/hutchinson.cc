@@ -44,4 +44,53 @@ TraceEstimate HutchinsonTraceInverse(const Graph& graph,
   return est;
 }
 
+TraceEstimate HutchinsonTraceInverse(const Graph& graph,
+                                     const std::vector<NodeId>& removed,
+                                     int probes, uint64_t seed,
+                                     SolverBackend backend,
+                                     const CgOptions& cg) {
+  if (backend == SolverBackend::kAuto || backend == SolverBackend::kCg) {
+    return HutchinsonTraceInverse(graph, removed, probes, seed, cg);
+  }
+  assert(!removed.empty());
+  assert(probes >= 1);
+  auto solver = MakeGroundedSolver(graph, removed, backend, cg);
+  assert(solver.ok() && "L_{-S} is SPD for connected graphs");
+  if (!solver.ok()) {
+    return HutchinsonTraceInverse(graph, removed, probes, seed, cg);
+  }
+  const NodeId n = graph.num_nodes();
+  std::vector<char> mask(static_cast<std::size_t>(n), 0);
+  for (NodeId s : removed) mask[static_cast<std::size_t>(s)] = 1;
+  const int dim = (*solver)->dim();
+
+  double sum = 0;
+  double sum_sq = 0;
+  Vector z(static_cast<std::size_t>(dim));
+  for (int p = 0; p < probes; ++p) {
+    // Same probe vectors as the CG path: one Rademacher draw per kept
+    // node, in node order.
+    Rng rng(seed, static_cast<uint64_t>(p));
+    int at = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (mask[static_cast<std::size_t>(u)]) continue;
+      z[static_cast<std::size_t>(at++)] = rng.NextBool() ? 1.0 : -1.0;
+    }
+    const Vector x = (*solver)->Solve(z);
+    double sample = 0;
+    for (int i = 0; i < dim; ++i) sample += z[i] * x[i];
+    sum += sample;
+    sum_sq += sample * sample;
+  }
+  TraceEstimate est;
+  est.probes = probes;
+  est.trace = sum / probes;
+  if (probes > 1) {
+    const double var =
+        std::max(0.0, (sum_sq - sum * sum / probes) / (probes - 1));
+    est.std_error = std::sqrt(var / probes);
+  }
+  return est;
+}
+
 }  // namespace cfcm

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "linalg/cg.h"
+#include "linalg/solver.h"
 
 namespace cfcm {
 
@@ -25,6 +26,20 @@ struct TraceEstimate {
 TraceEstimate HutchinsonTraceInverse(const Graph& graph,
                                      const std::vector<NodeId>& removed,
                                      int probes, uint64_t seed,
+                                     const CgOptions& cg = {});
+
+/// \brief Backend-aware overload. kAuto and kCg keep the pinned
+/// matrix-free CG path above (one CG solve per probe — the historical
+/// default, so auto does NOT flip large graphs to the factor path
+/// behind existing callers). kSparseLdlt/kDense factor L_{-S} once and
+/// run every probe as a direct solve — identical probe vectors, so the
+/// estimate differs from the CG path only by solver accuracy. Falls
+/// back to the CG path if factoring fails (asserts in debug; EvaluateGroup
+/// validates connectivity upstream).
+TraceEstimate HutchinsonTraceInverse(const Graph& graph,
+                                     const std::vector<NodeId>& removed,
+                                     int probes, uint64_t seed,
+                                     SolverBackend backend,
                                      const CgOptions& cg = {});
 
 }  // namespace cfcm

@@ -58,31 +58,35 @@ DenseMatrix ExactSchurComplement(const DenseMatrix& m,
 DenseMatrix ExactRootedProbabilities(const Graph& graph,
                                      const std::vector<NodeId>& s_nodes,
                                      const std::vector<NodeId>& t_nodes) {
+  return ExactRootedProbabilities(graph, s_nodes, t_nodes,
+                                  SolverBackend::kDense);
+}
+
+DenseMatrix ExactRootedProbabilities(const Graph& graph,
+                                     const std::vector<NodeId>& s_nodes,
+                                     const std::vector<NodeId>& t_nodes,
+                                     SolverBackend backend) {
   const NodeId n = graph.num_nodes();
   std::vector<NodeId> removed = s_nodes;
   removed.insert(removed.end(), t_nodes.begin(), t_nodes.end());
   const SubmatrixIndex index = MakeSubmatrixIndex(n, removed);
-  const DenseMatrix l_uu = DenseLaplacianSubmatrix(graph, index);
-  auto ldlt = LdltFactorization::Compute(l_uu);
-  assert(ldlt.ok());
+  auto solver = MakeGroundedSolver(graph, removed, backend);
+  assert(solver.ok() && "L_UU must be SPD");
 
   const int nu = static_cast<int>(index.kept.size());
   const int nt = static_cast<int>(t_nodes.size());
-  DenseMatrix f(nu, nt);
-  Vector rhs(static_cast<std::size_t>(nu));
+  // Assemble -L_UT column by column and batch-solve.
+  DenseMatrix rhs(nu, nt);
   for (int j = 0; j < nt; ++j) {
     // Column j of -L_UT: +w(u, t_j) for u adjacent to t_j (L_ut = -w).
-    std::fill(rhs.begin(), rhs.end(), 0.0);
     const auto adj = graph.neighbors(t_nodes[j]);
     const auto w = graph.weights(t_nodes[j]);
     for (std::size_t k = 0; k < adj.size(); ++k) {
       const NodeId i = index.pos[adj[k]];
-      if (i >= 0) rhs[static_cast<std::size_t>(i)] = w.empty() ? 1.0 : w[k];
+      if (i >= 0) rhs(i, j) = w.empty() ? 1.0 : w[k];
     }
-    const Vector sol = ldlt->Solve(rhs);
-    for (int i = 0; i < nu; ++i) f(i, j) = sol[static_cast<std::size_t>(i)];
   }
-  return f;
+  return (*solver)->SolveMatrix(rhs);
 }
 
 }  // namespace cfcm

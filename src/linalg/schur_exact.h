@@ -9,6 +9,7 @@
 
 #include "graph/graph.h"
 #include "linalg/dense.h"
+#include "linalg/solver.h"
 
 namespace cfcm {
 
@@ -27,6 +28,14 @@ DenseMatrix ExactSchurComplement(const DenseMatrix& m,
 DenseMatrix ExactRootedProbabilities(const Graph& graph,
                                      const std::vector<NodeId>& s_nodes,
                                      const std::vector<NodeId>& t_nodes);
+
+/// Backend-aware overload: the nt solves against L_UU run through the
+/// chosen LaplacianSolver (kAuto resolves by |U|; the two-arg overload
+/// above stays pinned to the dense kernel).
+DenseMatrix ExactRootedProbabilities(const Graph& graph,
+                                     const std::vector<NodeId>& s_nodes,
+                                     const std::vector<NodeId>& t_nodes,
+                                     SolverBackend backend);
 
 }  // namespace cfcm
 

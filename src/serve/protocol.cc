@@ -61,6 +61,21 @@ StatusOr<NodeId> GetNodeId(const JsonValue& value, const std::string& field) {
   return static_cast<NodeId>(value.as_int());
 }
 
+// Optional "solver_backend" field (DESIGN.md §14); absent = auto.
+StatusOr<SolverBackend> GetSolverBackend(const JsonValue& request) {
+  const JsonValue* field = request.Find("solver_backend");
+  if (field == nullptr) return SolverBackend::kAuto;
+  if (field->is_string()) {
+    if (const std::optional<SolverBackend> parsed =
+            ParseSolverBackend(field->as_string())) {
+      return *parsed;
+    }
+  }
+  return Status::InvalidArgument(
+      "'solver_backend' must be one of \"auto\", \"dense\" (alias "
+      "\"full\"), \"sparse_ldlt\", \"cg\"");
+}
+
 StatusOr<std::vector<NodeId>> GetGroup(const JsonValue& request) {
   const JsonValue* field = request.Find("group");
   if (field == nullptr || !field->is_array()) {
@@ -545,6 +560,8 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request,
     }
     selection = *parsed;
   }
+  StatusOr<SolverBackend> backend = GetSolverBackend(request);
+  if (!backend.ok()) return ErrorResponseFor(request, backend.status());
 
   std::size_t span = 0;
   if (trace != nullptr) span = trace->BeginSpan("acquire");
@@ -562,7 +579,8 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request,
       (*session)->snapshot();
   const ResultCacheKey key{snapshot->fingerprint(), algorithm,
                            static_cast<int>(*k), eps,
-                           static_cast<uint64_t>(*seed), selection};
+                           static_cast<uint64_t>(*seed), selection,
+                           *backend};
   bool cache_hit = true;
   std::optional<engine::SolveJobResult> solve = cache_.Lookup(key);
   if (trace != nullptr) {
@@ -578,6 +596,7 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request,
     job.eps = eps;
     job.seed = static_cast<uint64_t>(*seed);
     job.selection = selection;
+    job.solver_backend = *backend;
     StatusOr<engine::JobResult> result = engine.Run(job, snapshot, trace);
     if (!result.ok()) return ErrorResponseFor(request, result.status());
     solve = std::get<engine::SolveJobResult>(std::move(*result));
@@ -598,6 +617,9 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request,
       // strategy rides alongside as "selection_mode".
       {"selection", JsonValue(GroupToJson(solve->output.selected))},
       {"selection_mode", SelectionModeName(selection)},
+      // Resolved exact kernel; empty when the algorithm never ran exact
+      // algebra (pure samplers / heuristics).
+      {"solver_backend", solve->output.solver_backend},
       {"cfcc", solve->cfcc},
       {"forests", solve->output.total_forests},
       {"walk_steps", solve->output.total_walk_steps},
@@ -620,6 +642,8 @@ JsonValue ServeHandler::HandleEvaluate(const JsonValue& request,
 
   StatusOr<std::vector<NodeId>> group = GetGroup(request);
   if (!group.ok()) return ErrorResponseFor(request, group.status());
+  StatusOr<SolverBackend> backend = GetSolverBackend(request);
+  if (!backend.ok()) return ErrorResponseFor(request, backend.status());
 
   std::size_t span = 0;
   if (trace != nullptr) span = trace->BeginSpan("acquire");
@@ -632,6 +656,7 @@ JsonValue ServeHandler::HandleEvaluate(const JsonValue& request,
   job.group = std::move(*group);
   job.probes = static_cast<int>(*probes);
   job.seed = static_cast<uint64_t>(*seed);
+  job.solver_backend = *backend;
   StatusOr<engine::JobResult> result =
       engine.Run(job, (*session)->snapshot(), trace);
   if (!result.ok()) return ErrorResponseFor(request, result.status());
@@ -643,6 +668,7 @@ JsonValue ServeHandler::HandleEvaluate(const JsonValue& request,
       {"cfcc", eval.cfcc},
       {"trace", eval.trace},
       {"trace_std_error", eval.trace_std_error},
+      {"solver_backend", eval.solver_backend},
   });
 }
 
@@ -731,6 +757,8 @@ JsonValue ServeHandler::HandleAugment(const JsonValue& request,
     }
     apply = field->as_bool();
   }
+  StatusOr<SolverBackend> backend = GetSolverBackend(request);
+  if (!backend.ok()) return ErrorResponseFor(request, backend.status());
 
   std::size_t span = 0;
   if (trace != nullptr) span = trace->BeginSpan("acquire");
@@ -743,9 +771,37 @@ JsonValue ServeHandler::HandleAugment(const JsonValue& request,
   job.group = std::move(*group);
   job.k = static_cast<int>(*k);
   job.candidates = candidates;
-  StatusOr<engine::JobResult> result =
-      engine.Run(job, (*session)->snapshot(), trace);
-  if (!result.ok()) return ErrorResponseFor(request, result.status());
+  job.solver_backend = *backend;
+  const std::shared_ptr<const engine::GraphSnapshot> snapshot =
+      (*session)->snapshot();
+  // Re-derive the admission budget the engine will apply, so a refusal
+  // can carry machine-readable details alongside the human message.
+  const engine::AugmentBudget budget = engine::CheckAugmentBudget(
+      options_.engine, snapshot->num_nodes(), job.group.size(), job.k,
+      job.solver_backend, job.candidates);
+  StatusOr<engine::JobResult> result = engine.Run(job, snapshot, trace);
+  if (!result.ok()) {
+    if (!budget.admitted) {
+      JsonValue::Object error;
+      error["code"] = StatusCodeName(result.status().code());
+      error["message"] = result.status().message();
+      error["details"] = JsonValue(JsonValue::Object{
+          {"reason", "augment_work_budget"},
+          {"backend", SolverBackendName(budget.backend)},
+          {"n", static_cast<int64_t>(snapshot->num_nodes())},
+          {"remaining", static_cast<int64_t>(budget.remaining)},
+          {"limit", static_cast<int64_t>(budget.limit)},
+          {"k", *k},
+          {"k_limit", static_cast<int64_t>(budget.k_limit)},
+      });
+      JsonValue::Object response;
+      response["status"] = "error";
+      response["error"] = JsonValue(std::move(error));
+      EchoId(request, &response);
+      return JsonValue(std::move(response));
+    }
+    return ErrorResponseFor(request, result.status());
+  }
   const auto& augment = std::get<engine::AugmentJobResult>(*result);
 
   JsonValue::Array added;
@@ -771,6 +827,7 @@ JsonValue ServeHandler::HandleAugment(const JsonValue& request,
       {"cfcc_before", augment.cfcc_before},
       {"cfcc_after", augment.cfcc_after},
       {"seconds", augment.seconds},
+      {"solver_backend", augment.solver_backend},
       // Mirrors the guard below: "applied" is true only when a
       // mutation actually lands (and the summary fields appear).
       {"applied", apply && !augment.added.empty()},

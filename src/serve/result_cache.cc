@@ -51,6 +51,8 @@ std::size_t ResultCache::KeyHash::operator()(const ResultCacheKey& key) const {
   hash = FnvMix(hash, &key.seed, sizeof(key.seed));
   const int selection = static_cast<int>(key.selection);
   hash = FnvMix(hash, &selection, sizeof(selection));
+  const int backend = static_cast<int>(key.solver_backend);
+  hash = FnvMix(hash, &backend, sizeof(backend));
   return static_cast<std::size_t>(hash);
 }
 

@@ -35,6 +35,9 @@ struct ResultCacheKey {
   double eps = 0.0;  ///< compared exactly (requests carry literal eps)
   uint64_t seed = 0;
   SelectionMode selection = SelectionMode::kLazy;
+  /// Requested kernel (DESIGN.md §14): backends agree only to tolerance,
+  /// so results computed under different backends never alias.
+  SolverBackend solver_backend = SolverBackend::kAuto;
 
   bool operator==(const ResultCacheKey&) const = default;
 };

@@ -1,0 +1,154 @@
+// Pins the tentpole contract of DESIGN.md §14: the factor-based
+// backends (sparse_ldlt, cg) must reproduce the dense reference on
+// every pinned graph — identical selections, scalars to ~1e-9 relative.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cfcm/edge_addition.h"
+#include "cfcm/exact_greedy.h"
+#include "cfcm/optimum.h"
+#include "cfcm/options.h"
+#include "graph/datasets.h"
+#include "linalg/solver.h"
+
+namespace cfcm {
+namespace {
+
+std::vector<Graph> PinnedGraphs() {
+  std::vector<Graph> graphs;
+  graphs.push_back(KarateClub());
+  graphs.push_back(ContiguousUsa());
+  graphs.push_back(ZebraSynthetic());
+  graphs.push_back(DolphinsSynthetic());
+  graphs.push_back(KarateClubWeighted());
+  return graphs;
+}
+
+CfcmOptions WithBackend(SolverBackend backend) {
+  CfcmOptions options;
+  options.solver_backend = backend;
+  return options;
+}
+
+TEST(BackendAgreementTest, ExactGreedySparseMatchesDense) {
+  for (const Graph& g : PinnedGraphs()) {
+    const int k = 4;
+    auto dense = ExactGreedyMaximize(g, k, WithBackend(SolverBackend::kDense));
+    auto sparse =
+        ExactGreedyMaximize(g, k, WithBackend(SolverBackend::kSparseLdlt));
+    ASSERT_TRUE(dense.ok() && sparse.ok());
+    EXPECT_EQ(dense->backend, SolverBackend::kDense);
+    EXPECT_EQ(sparse->backend, SolverBackend::kSparseLdlt);
+    EXPECT_EQ(sparse->selected, dense->selected) << "n=" << g.num_nodes();
+    ASSERT_EQ(sparse->trace_after.size(), dense->trace_after.size());
+    for (std::size_t i = 0; i < dense->trace_after.size(); ++i) {
+      EXPECT_NEAR(sparse->trace_after[i], dense->trace_after[i],
+                  1e-9 * dense->trace_after[i])
+          << "n=" << g.num_nodes() << " i=" << i;
+    }
+  }
+}
+
+TEST(BackendAgreementTest, ExactGreedyCgMatchesDense) {
+  // CG carries its own solve tolerance; selections must still match and
+  // the traces agree to a looser epsilon.
+  for (const Graph& g : {KarateClub(), ContiguousUsa()}) {
+    const int k = 3;
+    auto dense = ExactGreedyMaximize(g, k, WithBackend(SolverBackend::kDense));
+    auto cg = ExactGreedyMaximize(g, k, WithBackend(SolverBackend::kCg));
+    ASSERT_TRUE(dense.ok() && cg.ok());
+    EXPECT_EQ(cg->selected, dense->selected);
+    for (std::size_t i = 0; i < dense->trace_after.size(); ++i) {
+      EXPECT_NEAR(cg->trace_after[i], dense->trace_after[i],
+                  1e-4 * dense->trace_after[i]);
+    }
+  }
+}
+
+TEST(BackendAgreementTest, ExactGreedyKOneTraceMatches) {
+  const Graph g = KarateClub();
+  auto dense = ExactGreedyMaximize(g, 1, WithBackend(SolverBackend::kDense));
+  auto sparse =
+      ExactGreedyMaximize(g, 1, WithBackend(SolverBackend::kSparseLdlt));
+  ASSERT_TRUE(dense.ok() && sparse.ok());
+  EXPECT_EQ(sparse->selected, dense->selected);
+  ASSERT_EQ(sparse->trace_after.size(), 1u);
+  EXPECT_NEAR(sparse->trace_after[0], dense->trace_after[0],
+              1e-9 * dense->trace_after[0]);
+}
+
+TEST(BackendAgreementTest, OptimumSparseMatchesDense) {
+  // Exhaustive search scores every C(n, k) subset, so any backend
+  // disagreement anywhere in the subset lattice would flip the argmin.
+  for (const Graph& g : {KarateClub(), KarateClubWeighted()}) {
+    const int k = 2;
+    auto dense = OptimumSearch(g, k, WithBackend(SolverBackend::kDense));
+    auto sparse = OptimumSearch(g, k, WithBackend(SolverBackend::kSparseLdlt));
+    ASSERT_TRUE(dense.ok() && sparse.ok());
+    EXPECT_EQ(dense->backend, SolverBackend::kDense);
+    EXPECT_EQ(sparse->backend, SolverBackend::kSparseLdlt);
+    EXPECT_EQ(sparse->best, dense->best);
+    EXPECT_NEAR(sparse->trace, dense->trace, 1e-9 * dense->trace);
+    EXPECT_NEAR(sparse->cfcc, dense->cfcc, 1e-9 * dense->cfcc);
+    EXPECT_EQ(sparse->subsets_evaluated, dense->subsets_evaluated);
+  }
+}
+
+TEST(BackendAgreementTest, EdgeAdditionSparseMatchesDense) {
+  for (const Graph& g : PinnedGraphs()) {
+    const std::vector<NodeId> group = {0, 5};
+    const int k = 3;
+    auto dense = GreedyEdgeAddition(g, group, k, EdgeCandidates::kToGroup,
+                                    WithBackend(SolverBackend::kDense));
+    auto sparse = GreedyEdgeAddition(g, group, k, EdgeCandidates::kToGroup,
+                                     WithBackend(SolverBackend::kSparseLdlt));
+    ASSERT_TRUE(dense.ok() && sparse.ok());
+    EXPECT_EQ(sparse->backend, SolverBackend::kSparseLdlt);
+    EXPECT_EQ(sparse->added, dense->added) << "n=" << g.num_nodes();
+    EXPECT_NEAR(sparse->initial_trace, dense->initial_trace,
+                1e-9 * dense->initial_trace);
+    ASSERT_EQ(sparse->trace_after.size(), dense->trace_after.size());
+    for (std::size_t i = 0; i < dense->trace_after.size(); ++i) {
+      EXPECT_NEAR(sparse->trace_after[i], dense->trace_after[i],
+                  1e-9 * dense->trace_after[i])
+          << "n=" << g.num_nodes() << " i=" << i;
+    }
+  }
+}
+
+TEST(BackendAgreementTest, EdgeAdditionCgMatchesDense) {
+  const Graph g = KarateClub();
+  const std::vector<NodeId> group = {0, 33};
+  auto dense = GreedyEdgeAddition(g, group, 2, EdgeCandidates::kToGroup,
+                                  WithBackend(SolverBackend::kDense));
+  auto cg = GreedyEdgeAddition(g, group, 2, EdgeCandidates::kToGroup,
+                               WithBackend(SolverBackend::kCg));
+  ASSERT_TRUE(dense.ok() && cg.ok());
+  EXPECT_EQ(cg->added, dense->added);
+  for (std::size_t i = 0; i < dense->trace_after.size(); ++i) {
+    EXPECT_NEAR(cg->trace_after[i], dense->trace_after[i],
+                1e-4 * dense->trace_after[i]);
+  }
+}
+
+TEST(BackendAgreementTest, EdgeAdditionAnyCandidatesForcesDense) {
+  // M_uv off-diagonals are only available densely; an explicit sparse
+  // request on kAny still runs (and reports) the dense kernel.
+  const Graph g = KarateClub();
+  auto result = GreedyEdgeAddition(g, {0, 33}, 1, EdgeCandidates::kAny,
+                                   WithBackend(SolverBackend::kSparseLdlt));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->backend, SolverBackend::kDense);
+}
+
+TEST(BackendAgreementTest, AutoResolvesDenseOnSmallGraphs) {
+  auto result =
+      ExactGreedyMaximize(KarateClub(), 2, WithBackend(SolverBackend::kAuto));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->backend, SolverBackend::kDense);
+}
+
+}  // namespace
+}  // namespace cfcm

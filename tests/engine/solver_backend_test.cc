@@ -1,0 +1,139 @@
+// Engine-level contract of the pluggable Laplacian kernel (DESIGN.md
+// §14): jobs carry a requested backend, results name the resolved one,
+// explicit factor backends lift the dense-only size gates, and the
+// augment admission budget scales with the backend.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "linalg/solver.h"
+
+namespace cfcm::engine {
+namespace {
+
+TEST(SolverBackendTest, SolveResultNamesResolvedBackend) {
+  Engine engine{KarateClub()};
+  auto dense = engine.Run(SolveJob{.algorithm = "exact", .k = 3});
+  ASSERT_TRUE(dense.ok());
+  // kAuto resolves dense on 33 remaining nodes.
+  EXPECT_EQ(std::get<SolveJobResult>(*dense).output.solver_backend, "dense");
+
+  auto sparse = engine.Run(SolveJob{
+      .algorithm = "exact", .k = 3,
+      .solver_backend = SolverBackend::kSparseLdlt});
+  ASSERT_TRUE(sparse.ok());
+  const auto& out = std::get<SolveJobResult>(*sparse).output;
+  EXPECT_EQ(out.solver_backend, "sparse_ldlt");
+  // Backends agree to tolerance: same group either way.
+  EXPECT_EQ(out.selected, std::get<SolveJobResult>(*dense).output.selected);
+}
+
+TEST(SolverBackendTest, ExplicitSparseLiftsExactEvalCeiling) {
+  // 600 remaining > exact_eval_max_n = 512: kAuto must keep refusing
+  // (the pinned gate), while an explicit factor backend runs exactly.
+  Engine engine{BarabasiAlbert(603, 3, 2)};
+  auto refused = engine.Run(EvaluateJob{.group = {0, 1, 2}, .probes = 0});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(refused.status().message().find("solver_backend=sparse_ldlt"),
+            std::string::npos)
+      << refused.status().message();
+
+  auto exact = engine.Run(EvaluateJob{
+      .group = {0, 1, 2}, .probes = 0,
+      .solver_backend = SolverBackend::kSparseLdlt});
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  const auto& eval = std::get<EvaluateJobResult>(*exact);
+  EXPECT_EQ(eval.solver_backend, "sparse_ldlt");
+  EXPECT_EQ(eval.trace_std_error, 0.0);  // exact, not probed
+  EXPECT_GT(eval.cfcc, 0.0);
+}
+
+TEST(SolverBackendTest, EvaluateNamesBackendOnBothPaths) {
+  Engine engine{KarateClub()};
+  auto exact = engine.Run(EvaluateJob{.group = {0, 33}, .probes = 0});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(std::get<EvaluateJobResult>(*exact).solver_backend, "dense");
+  auto probed = engine.Run(EvaluateJob{.group = {0, 33}, .probes = 16});
+  ASSERT_TRUE(probed.ok());
+  // Hutchinson's solves default to matrix-free CG.
+  EXPECT_EQ(std::get<EvaluateJobResult>(*probed).solver_backend, "cg");
+}
+
+TEST(SolverBackendTest, AugmentBudgetScalesWithBackend) {
+  EngineOptions options;
+  options.augment_max_n = 8;
+  const NodeId n = KarateClub().num_nodes();  // 34, remaining 32 with |S|=2
+
+  // kAuto on 32 remaining resolves dense: over the dense limit of 8.
+  AugmentBudget dense = CheckAugmentBudget(options, n, 2, 1,
+                                           SolverBackend::kAuto,
+                                           EdgeCandidates::kToGroup);
+  EXPECT_FALSE(dense.admitted);
+  EXPECT_EQ(dense.backend, SolverBackend::kDense);
+  EXPECT_EQ(dense.remaining, 32);
+  EXPECT_EQ(dense.limit, 8);
+
+  // Explicit sparse_ldlt widens the limit by the budget factor.
+  AugmentBudget sparse = CheckAugmentBudget(options, n, 2, 1,
+                                            SolverBackend::kSparseLdlt,
+                                            EdgeCandidates::kToGroup);
+  EXPECT_TRUE(sparse.admitted);
+  EXPECT_EQ(sparse.backend, SolverBackend::kSparseLdlt);
+  EXPECT_EQ(sparse.limit, 8 * kSparseAugmentBudgetFactor);
+  EXPECT_EQ(sparse.k_limit, 8);  // k ceiling stays backend-independent
+
+  // kAny candidates need arbitrary M_uv entries: always the dense
+  // budget, whatever was requested.
+  AugmentBudget any = CheckAugmentBudget(options, n, 2, 1,
+                                         SolverBackend::kSparseLdlt,
+                                         EdgeCandidates::kAny);
+  EXPECT_FALSE(any.admitted);
+  EXPECT_EQ(any.backend, SolverBackend::kDense);
+}
+
+TEST(SolverBackendTest, AugmentSparseRunsPastDenseCeiling) {
+  EngineOptions options;
+  options.augment_max_n = 8;
+  Engine engine{KarateClub(), options};
+  AugmentJob job;
+  job.group = {0, 33};
+  job.k = 1;
+  StatusOr<JobResult> refused = engine.Run(Job{job});
+  ASSERT_FALSE(refused.ok());
+  // The structured message names the backend, both limits and the size.
+  const std::string& message = refused.status().message();
+  EXPECT_NE(message.find("augment work budget exceeded"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("backend=dense"), std::string::npos) << message;
+  EXPECT_NE(message.find("remaining=32"), std::string::npos) << message;
+
+  job.solver_backend = SolverBackend::kSparseLdlt;
+  StatusOr<JobResult> admitted = engine.Run(Job{job});
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  const auto& augment = std::get<AugmentJobResult>(*admitted);
+  EXPECT_EQ(augment.solver_backend, "sparse_ldlt");
+  EXPECT_EQ(augment.added.size(), 1u);
+}
+
+TEST(SolverBackendTest, AugmentResultsAgreeAcrossBackends) {
+  Engine engine{KarateClub()};
+  AugmentJob job;
+  job.group = {0, 33};
+  job.k = 2;
+  auto dense = engine.Run(Job{job});
+  job.solver_backend = SolverBackend::kSparseLdlt;
+  auto sparse = engine.Run(Job{job});
+  ASSERT_TRUE(dense.ok() && sparse.ok());
+  const auto& d = std::get<AugmentJobResult>(*dense);
+  const auto& s = std::get<AugmentJobResult>(*sparse);
+  EXPECT_EQ(s.added, d.added);
+  EXPECT_NEAR(s.cfcc_after, d.cfcc_after, 1e-9 * d.cfcc_after);
+}
+
+}  // namespace
+}  // namespace cfcm::engine

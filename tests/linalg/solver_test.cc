@@ -1,0 +1,149 @@
+#include "linalg/solver.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "linalg/laplacian.h"
+#include "obs/metrics.h"
+
+namespace cfcm {
+namespace {
+
+TEST(SolverBackendTest, NameParseRoundTrip) {
+  for (SolverBackend b : {SolverBackend::kAuto, SolverBackend::kDense,
+                          SolverBackend::kSparseLdlt, SolverBackend::kCg}) {
+    const auto parsed = ParseSolverBackend(SolverBackendName(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+  // networkx spelling of the dense backend.
+  EXPECT_EQ(ParseSolverBackend("full"), SolverBackend::kDense);
+  EXPECT_FALSE(ParseSolverBackend("lu").has_value());
+  EXPECT_FALSE(ParseSolverBackend("").has_value());
+}
+
+TEST(SolverBackendTest, AutoResolvesBySize) {
+  EXPECT_EQ(ResolveSolverBackend(SolverBackend::kAuto, 10),
+            SolverBackend::kDense);
+  EXPECT_EQ(ResolveSolverBackend(SolverBackend::kAuto, kDenseBackendMaxN),
+            SolverBackend::kDense);
+  EXPECT_EQ(ResolveSolverBackend(SolverBackend::kAuto, kDenseBackendMaxN + 1),
+            SolverBackend::kSparseLdlt);
+  // Explicit requests pass through untouched.
+  EXPECT_EQ(ResolveSolverBackend(SolverBackend::kCg, 10), SolverBackend::kCg);
+  EXPECT_EQ(ResolveSolverBackend(SolverBackend::kDense, 1 << 20),
+            SolverBackend::kDense);
+}
+
+TEST(SolverTest, BackendsAgreeOnSolveAndTrace) {
+  for (const Graph& g : {KarateClub(), ContiguousUsa(), KarateClubWeighted()}) {
+    const std::vector<NodeId> removed = {0, 3};
+    auto dense = MakeGroundedSolver(g, removed, SolverBackend::kDense);
+    auto sparse = MakeGroundedSolver(g, removed, SolverBackend::kSparseLdlt);
+    auto cg = MakeGroundedSolver(g, removed, SolverBackend::kCg);
+    ASSERT_TRUE(dense.ok() && sparse.ok() && cg.ok());
+    EXPECT_EQ((*dense)->backend(), SolverBackend::kDense);
+    EXPECT_EQ((*sparse)->backend(), SolverBackend::kSparseLdlt);
+    EXPECT_EQ((*cg)->backend(), SolverBackend::kCg);
+
+    Rng rng(3);
+    Vector b(static_cast<std::size_t>((*dense)->dim()));
+    for (auto& v : b) v = rng.NextDouble() - 0.5;
+    const Vector xd = (*dense)->Solve(b);
+    const Vector xs = (*sparse)->Solve(b);
+    const Vector xc = (*cg)->Solve(b);
+    for (int i = 0; i < (*dense)->dim(); ++i) {
+      EXPECT_NEAR(xs[i], xd[i], 1e-10 * (1.0 + std::abs(xd[i])));
+      // CG under its default 1e-8 relative-residual tolerance.
+      EXPECT_NEAR(xc[i], xd[i], 1e-5 * (1.0 + std::abs(xd[i])));
+    }
+
+    const double td = (*dense)->TraceInverse();
+    EXPECT_NEAR((*sparse)->TraceInverse(), td, 1e-9 * td);
+    EXPECT_NEAR((*cg)->TraceInverse(), td, 1e-4 * td);
+    EXPECT_NEAR(td, ExactTraceInverseSubmatrix(g, removed), 1e-12 * td);
+  }
+}
+
+TEST(SolverTest, InverseDiagonalAgreesAcrossBackends) {
+  const Graph g = DolphinsSynthetic();
+  const std::vector<NodeId> removed = {1};
+  auto dense = MakeGroundedSolver(g, removed, SolverBackend::kDense);
+  auto sparse = MakeGroundedSolver(g, removed, SolverBackend::kSparseLdlt);
+  ASSERT_TRUE(dense.ok() && sparse.ok());
+  const Vector dd = (*dense)->InverseDiagonal();
+  const Vector ds = (*sparse)->InverseDiagonal();
+  for (std::size_t i = 0; i < dd.size(); ++i) {
+    EXPECT_NEAR(ds[i], dd[i], 1e-10 * (1.0 + dd[i]));
+  }
+}
+
+TEST(SolverTest, TraceInverseSubmatrixHelperMatchesReference) {
+  const Graph g = KarateClub();
+  const double ref = ExactTraceInverseSubmatrix(g, {0});
+  for (SolverBackend b : {SolverBackend::kAuto, SolverBackend::kDense,
+                          SolverBackend::kSparseLdlt}) {
+    auto trace = TraceInverseSubmatrix(g, {0}, b);
+    ASSERT_TRUE(trace.ok());
+    EXPECT_NEAR(*trace, ref, 1e-9 * ref);
+  }
+}
+
+TEST(SolverTest, SparseMemoryBelowDenseMemory) {
+  const Graph g = ContiguousUsa();
+  auto dense = MakeGroundedSolver(g, {0}, SolverBackend::kDense);
+  auto sparse = MakeGroundedSolver(g, {0}, SolverBackend::kSparseLdlt);
+  ASSERT_TRUE(dense.ok() && sparse.ok());
+  EXPECT_LT((*sparse)->MemoryBytes(), (*dense)->MemoryBytes());
+}
+
+TEST(SolverTest, RejectsBadRemovedSets) {
+  const Graph g = KarateClub();
+  EXPECT_EQ(MakeGroundedSolver(g, {}, SolverBackend::kAuto).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeGroundedSolver(g, {99}, SolverBackend::kAuto).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SolverTest, RejectsSingularSubmatrixOnEveryFactoringBackend) {
+  const Graph g = BuildGraph(4, {{0, 1}, {2, 3}});
+  for (SolverBackend b : {SolverBackend::kDense, SolverBackend::kSparseLdlt}) {
+    auto solver = MakeGroundedSolver(g, {0}, b);
+    ASSERT_FALSE(solver.ok());
+    EXPECT_EQ(solver.status().code(), StatusCode::kNumericalError);
+  }
+}
+
+TEST(SolverTest, RecordsLinalgMetrics) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const uint64_t factorizations_before =
+      registry.counter("engine.linalg.factorizations").value();
+  const uint64_t solves_before =
+      registry.counter("engine.linalg.solves").value();
+  const uint64_t cg_before =
+      registry.counter("engine.linalg.cg_iterations").value();
+
+  const Graph g = KarateClub();
+  auto sparse = MakeGroundedSolver(g, {0}, SolverBackend::kSparseLdlt);
+  auto cg = MakeGroundedSolver(g, {0}, SolverBackend::kCg);
+  ASSERT_TRUE(sparse.ok() && cg.ok());
+  Vector b(static_cast<std::size_t>((*sparse)->dim()), 1.0);
+  (void)(*sparse)->Solve(b);
+  (void)(*cg)->Solve(b);
+
+  EXPECT_GE(registry.counter("engine.linalg.factorizations").value(),
+            factorizations_before + 2);
+  EXPECT_GE(registry.counter("engine.linalg.solves").value(),
+            solves_before + 2);
+  EXPECT_GT(registry.counter("engine.linalg.cg_iterations").value(),
+            cg_before);
+}
+
+}  // namespace
+}  // namespace cfcm

@@ -1,0 +1,132 @@
+// Wire-level contract of "solver_backend" (DESIGN.md §14): requests
+// opt into a Laplacian kernel, responses name the resolved one, the
+// augment budget rejection carries a structured details object, and
+// the result cache keys on the backend. Drives ServeHandler directly —
+// the transport adds nothing to this contract.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/json.h"
+#include "serve/protocol.h"
+
+namespace cfcm::serve {
+namespace {
+
+JsonValue Call(ServeHandler& handler, const std::string& line) {
+  return handler.HandleLine(line);
+}
+
+std::string Field(const JsonValue& response, const std::string& key) {
+  const JsonValue* field = response.Find(key);
+  return field != nullptr && field->is_string() ? field->as_string() : "";
+}
+
+TEST(ServeSolverBackendTest, SolveResponseNamesResolvedBackend) {
+  ServeHandler handler{HandlerOptions{}};
+  ASSERT_EQ(Field(Call(handler,
+                       R"({"op":"load","graph":"g","source":"karate"})"),
+                  "status"),
+            "ok");
+
+  const JsonValue dense = Call(
+      handler, R"({"op":"solve","graph":"g","algorithm":"exact","k":3})");
+  EXPECT_EQ(Field(dense, "status"), "ok");
+  EXPECT_EQ(Field(dense, "solver_backend"), "dense");  // kAuto on n=34
+
+  const JsonValue sparse = Call(
+      handler,
+      R"({"op":"solve","graph":"g","algorithm":"exact","k":3,)"
+      R"("solver_backend":"sparse_ldlt"})");
+  EXPECT_EQ(Field(sparse, "status"), "ok");
+  EXPECT_EQ(Field(sparse, "solver_backend"), "sparse_ldlt");
+  // Different backend = different cache identity: no aliased hit even
+  // though every other key field matches.
+  EXPECT_EQ(Field(sparse, "cache"), "miss");
+  EXPECT_EQ(sparse.Find("selection")->array().size(),
+            dense.Find("selection")->array().size());
+
+  // Replaying each request hits its own entry.
+  EXPECT_EQ(Field(Call(handler,
+                       R"({"op":"solve","graph":"g","algorithm":"exact",)"
+                       R"("k":3,"solver_backend":"sparse_ldlt"})"),
+                  "cache"),
+            "hit");
+}
+
+TEST(ServeSolverBackendTest, EvaluateAndAugmentNameBackend) {
+  ServeHandler handler{HandlerOptions{}};
+  ASSERT_EQ(Field(Call(handler,
+                       R"({"op":"load","graph":"g","source":"karate"})"),
+                  "status"),
+            "ok");
+
+  const JsonValue eval = Call(
+      handler,
+      R"({"op":"evaluate","graph":"g","group":[0,33],)"
+      R"("solver_backend":"sparse_ldlt"})");
+  EXPECT_EQ(Field(eval, "status"), "ok");
+  EXPECT_EQ(Field(eval, "solver_backend"), "sparse_ldlt");
+
+  const JsonValue augment = Call(
+      handler,
+      R"({"op":"augment","graph":"g","group":[0,33],"k":1,)"
+      R"("solver_backend":"cg"})");
+  EXPECT_EQ(Field(augment, "status"), "ok");
+  EXPECT_EQ(Field(augment, "solver_backend"), "cg");
+}
+
+TEST(ServeSolverBackendTest, BadBackendStringIsStructuredError) {
+  ServeHandler handler{HandlerOptions{}};
+  ASSERT_EQ(Field(Call(handler,
+                       R"({"op":"load","graph":"g","source":"karate"})"),
+                  "status"),
+            "ok");
+  const JsonValue response = Call(
+      handler,
+      R"({"op":"solve","graph":"g","algorithm":"exact","k":3,)"
+      R"("solver_backend":"bogus"})");
+  EXPECT_EQ(Field(response, "status"), "error");
+  const JsonValue* error = response.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(Field(*error, "code"), "invalid_argument");
+}
+
+TEST(ServeSolverBackendTest, AugmentBudgetRejectionCarriesDetails) {
+  HandlerOptions options;
+  options.engine.augment_max_n = 8;  // Karate: 32 remaining > 8 dense
+  ServeHandler handler(options);
+  ASSERT_EQ(Field(Call(handler,
+                       R"({"op":"load","graph":"g","source":"karate"})"),
+                  "status"),
+            "ok");
+
+  const JsonValue refused = Call(
+      handler,
+      R"({"op":"augment","graph":"g","group":[0,33],"k":1,"id":"req-7"})");
+  EXPECT_EQ(Field(refused, "status"), "error");
+  const JsonValue* error = refused.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(Field(*error, "code"), "invalid_argument");
+  const JsonValue* details = error->Find("details");
+  ASSERT_NE(details, nullptr) << "budget rejection must carry details";
+  EXPECT_EQ(Field(*details, "reason"), "augment_work_budget");
+  EXPECT_EQ(Field(*details, "backend"), "dense");
+  EXPECT_EQ(details->Find("remaining")->as_int(), 32);
+  EXPECT_EQ(details->Find("limit")->as_int(), 8);
+  EXPECT_EQ(details->Find("k")->as_int(), 1);
+  // The request id is echoed so callers can correlate the refusal.
+  ASSERT_NE(refused.Find("id"), nullptr);
+  EXPECT_EQ(Field(refused, "id"), "req-7");
+
+  // The same request on the factor budget (8 * 32 = 256 >= 32) runs.
+  const JsonValue admitted = Call(
+      handler,
+      R"({"op":"augment","graph":"g","group":[0,33],"k":1,)"
+      R"("solver_backend":"sparse_ldlt"})");
+  EXPECT_EQ(Field(admitted, "status"), "ok");
+  EXPECT_EQ(Field(admitted, "solver_backend"), "sparse_ldlt");
+}
+
+}  // namespace
+}  // namespace cfcm::serve

@@ -46,6 +46,7 @@ struct CliOptions {
   double eps = 0.2;
   uint64_t seed = 1;
   cfcm::SelectionMode selection = cfcm::SelectionMode::kLazy;
+  cfcm::SolverBackend solver_backend = cfcm::SolverBackend::kAuto;
   int probes = 0;       // EvaluateJob probes (0 = exact)
   int threads = 0;      // engine pool size; 0 = hardware concurrency
   int augment = 0;      // edges to add greedily (0 = no augment job)
@@ -77,13 +78,23 @@ void PrintUsage(std::FILE* out) {
                "                solvers: 'lazy' (CELF heap, default) or\n"
                "                'exhaustive' (re-score every candidate each\n"
                "                round); both select identical groups per seed\n"
+               "  --solver-backend B  Laplacian kernel for the exact paths\n"
+               "                (exact/optimum solve, exact --evaluate,\n"
+               "                --augment): 'auto' (default; dense below\n"
+               "                513 free nodes, sparse LDLT above),\n"
+               "                'dense' (alias 'full'), 'sparse_ldlt'\n"
+               "                (fill-reducing factorization) or 'cg'\n"
+               "                (Jacobi-preconditioned CG). Explicit\n"
+               "                sparse_ldlt/cg also lifts the dense-only\n"
+               "                size ceilings on exact evaluate/augment\n"
                "  --evaluate G  evaluate C(S) of group 'u1,u2,...' (repeatable)\n"
                "  --probes N    Hutchinson probes for --evaluate (0 = exact)\n"
                "  --augment N   greedily add the N edges maximizing C(S) of\n"
                "                the --group nodes (paper §VI edge selection);\n"
                "                prints the chosen edges and the trace after\n"
-               "                each addition. Dense algorithm: up to 4096\n"
-               "                free nodes\n"
+               "                each addition. Dense backend: up to 4096\n"
+               "                free nodes; --solver-backend sparse_ldlt\n"
+               "                raises the budget 32x\n"
                "  --group G     fixed group 'u1,u2,...' for --augment\n"
                "  --candidates C  'group' (non-edges into the group, default)\n"
                "                or 'any' (any non-edge) for --augment\n"
@@ -174,7 +185,7 @@ StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
                arg == "--threads" || arg == "--evaluate" ||
                arg == "--weighted" || arg == "--augment" ||
                arg == "--group" || arg == "--candidates" ||
-               arg == "--selection") {
+               arg == "--selection" || arg == "--solver-backend") {
       StatusOr<std::string> value = need_value(i);
       if (!value.ok()) return value.status();
       ++i;
@@ -206,6 +217,15 @@ StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
               "'");
         }
         options.selection = *parsed;
+      } else if (arg == "--solver-backend") {
+        const std::optional<cfcm::SolverBackend> parsed =
+            cfcm::ParseSolverBackend(*value);
+        if (!parsed.has_value()) {
+          return Status::InvalidArgument(
+              "--solver-backend must be 'auto', 'dense' (alias 'full'), "
+              "'sparse_ldlt' or 'cg', got '" + *value + "'");
+        }
+        options.solver_backend = *parsed;
       } else if (arg == "--candidates") {
         options.candidates_set = true;
         if (*value == "group") {
@@ -312,11 +332,12 @@ void PrintJsonJob(const cfcm::engine::Job& spec,
     std::printf(
         ",\"cfcc\":%.9g,\"forests\":%lld,\"walk_steps\":%lld,"
         "\"rescored_candidates\":%lld,\"forests_reused\":%lld,"
-        "\"seconds\":%.6f}",
+        "\"solver_backend\":\"%s\",\"seconds\":%.6f}",
         solve->cfcc, static_cast<long long>(solve->output.total_forests),
         static_cast<long long>(solve->output.total_walk_steps),
         static_cast<long long>(solve->output.rescored_candidates),
         static_cast<long long>(solve->output.forests_reused),
+        JsonEscapeString(solve->output.solver_backend).c_str(),
         solve->output.seconds);
   } else if (const auto* augment =
                  std::get_if<cfcm::engine::AugmentJobResult>(&*result)) {
@@ -328,14 +349,17 @@ void PrintJsonJob(const cfcm::engine::Job& spec,
       std::printf("%s%.9g", i ? "," : "", augment->trace_after[i]);
     }
     std::printf("],\"cfcc_before\":%.9g,\"cfcc_after\":%.9g,"
-                "\"seconds\":%.6f}",
-                augment->cfcc_before, augment->cfcc_after, augment->seconds);
+                "\"solver_backend\":\"%s\",\"seconds\":%.6f}",
+                augment->cfcc_before, augment->cfcc_after,
+                JsonEscapeString(augment->solver_backend).c_str(),
+                augment->seconds);
   } else {
     const auto& eval = std::get<cfcm::engine::EvaluateJobResult>(*result);
     std::printf(
         "\"status\":\"ok\",\"cfcc\":%.9g,\"trace\":%.9g,"
-        "\"trace_std_error\":%.3g}",
-        eval.cfcc, eval.trace, eval.trace_std_error);
+        "\"trace_std_error\":%.3g,\"solver_backend\":\"%s\"}",
+        eval.cfcc, eval.trace, eval.trace_std_error,
+        JsonEscapeString(eval.solver_backend).c_str());
   }
   std::printf("%s\n", last ? "" : ",");
 }
@@ -519,6 +543,7 @@ int main(int argc, char** argv) {
     job.eps = cli.eps;
     job.seed = cli.seed;
     job.selection = cli.selection;
+    job.solver_backend = cli.solver_backend;
     jobs.emplace_back(std::move(job));
   }
   for (const std::vector<NodeId>& group : cli.evaluate_groups) {
@@ -526,6 +551,7 @@ int main(int argc, char** argv) {
     job.group = group;
     job.probes = cli.probes;
     job.seed = cli.seed;
+    job.solver_backend = cli.solver_backend;
     jobs.emplace_back(std::move(job));
   }
   if (cli.augment > 0) {
@@ -533,6 +559,7 @@ int main(int argc, char** argv) {
     job.group = cli.augment_group;
     job.k = cli.augment;
     job.candidates = cli.candidates;
+    job.solver_backend = cli.solver_backend;
     jobs.emplace_back(std::move(job));
   }
 
