@@ -7,13 +7,27 @@
 // request's client-visible latency into a log2 histogram and reports
 // p50/p95/p99/max alongside throughput.
 //
-// A final overhead phase replays the hot (cache-hit) path twice — once
-// with the global instrumentation kill switch off, once on — and
-// reports the relative cost of the observability layer itself; the
-// budget is <= 2% (DESIGN.md §12).
+// An admin_scrape phase prices the diagnostics plane (DESIGN.md §15):
+// with cache-hit traffic running in the background, it scrapes the
+// admin HTTP /metrics endpoint repeatedly and reports scrape latency as
+// its own row.
+//
+// A final overhead phase replays the hot (cache-hit) path — which now
+// includes the flight-recorder commit — with the global instrumentation
+// kill switch off and on, repeated three times, and reports the minimum
+// relative cost across the repetitions (min-of-3 filters scheduler
+// noise; the instrumentation delta is systematic, the noise is not).
+// The budget is <= 2% (DESIGN.md §12); the process exits nonzero when
+// the measured overhead busts it, so CI fails loudly.
 //
 //   bench_serve [--smoke] [--json BENCH_serve.json]
 //               [--connections C] [--requests N]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,7 +56,7 @@ using cfcm::serve::ServerOptions;
 
 struct PhaseRow {
   std::string graph;
-  std::string phase;  // "cold" or "hot"
+  std::string phase;  // "cold", "hot" or "admin_scrape"
   int connections = 0;
   int requests = 0;
   double seconds = 0.0;
@@ -97,6 +111,43 @@ void RunPhase(int port, const std::string& graph, int connections,
   if (latency != nullptr) row->latency = latency->snapshot();
 }
 
+// Minimal blocking HTTP/1.1 GET against the admin plane; returns the
+// full response (headers + body), or "" on any socket error.
+std::string HttpGet(int port, const char* path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = std::string("GET ") + path +
+                        " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                        "Connection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,6 +187,8 @@ int main(int argc, char** argv) {
   ServerOptions server_options;
   server_options.num_workers = 4;
   server_options.max_queue = 256;
+  server_options.admin_port = 0;  // ephemeral, for the admin_scrape phase
+  server_options.watchdog_interval_ms = 0;  // scrape-driven sampling only
   Server server{&handler, server_options};
   if (!server.Start().ok()) {
     std::fprintf(stderr, "bench_serve: failed to start server\n");
@@ -183,29 +236,103 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Admin-scrape phase: cache-hit traffic keeps hammering in the
+  // background while we repeatedly GET /metrics off the admin plane, so
+  // the scrape latency row reflects a loaded daemon, not an idle one.
+  {
+    const std::string& scrape_graph = graphs.front().first;
+    const int scrapes = smoke ? 32 : 200;
+    PhaseRow row;
+    row.graph = scrape_graph;
+    row.phase = "admin_scrape";
+    std::atomic<bool> stop_traffic{false};
+    std::thread traffic([&] {
+      auto client = ServeClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) return;
+      uint64_t i = 0;
+      while (!stop_traffic.load(std::memory_order_acquire)) {
+        const uint64_t seed =
+            1 + i++ % static_cast<uint64_t>(connections * per_connection);
+        const std::string request =
+            R"({"op":"solve","graph":")" + scrape_graph +
+            R"(","algorithm":"forest","k":3,"eps":0.3,"seed":)" +
+            std::to_string(seed) + "}";
+        if (!client->SendLine(request).ok() || !client->ReadLine().ok()) break;
+      }
+    });
+    LatencyHistogram scrape_latency;
+    Timer scrape_timer;
+    int ok_scrapes = 0;
+    for (int i = 0; i < scrapes; ++i) {
+      Timer one;
+      const std::string response = HttpGet(server.admin_port(), "/metrics");
+      if (response.find("200 OK") != std::string::npos &&
+          response.find("# TYPE") != std::string::npos) {
+        scrape_latency.Record(one.Micros());
+        ++ok_scrapes;
+      }
+    }
+    const double seconds = scrape_timer.Seconds();
+    stop_traffic.store(true, std::memory_order_release);
+    traffic.join();
+    row.connections = 1;
+    row.requests = ok_scrapes;
+    row.seconds = seconds;
+    row.rps = seconds > 0 ? ok_scrapes / seconds : 0.0;
+    row.latency = scrape_latency.snapshot();
+    std::printf("%-8s %-12s %6d %8d %9.3f %10.1f %6lld %8lld %8lld %8lld\n",
+                row.graph.c_str(), row.phase.c_str(), row.connections,
+                row.requests, row.seconds, row.rps, row.cache_hits,
+                static_cast<long long>(row.latency.Percentile(0.50)),
+                static_cast<long long>(row.latency.Percentile(0.99)),
+                static_cast<long long>(row.latency.max));
+    if (ok_scrapes != scrapes) {
+      std::fprintf(stderr, "bench_serve: only %d/%d /metrics scrapes ok\n",
+                   ok_scrapes, scrapes);
+      server.Shutdown();
+      return 1;
+    }
+    rows.push_back(row);
+  }
+
   // Overhead phase: the same hot cache-hit replay on the first graph,
-  // first with every Counter::Add / Histogram::Record turned into a
-  // no-op by the global kill switch, then with instrumentation live.
-  // Both runs hit only the cache path, so the delta prices the
-  // observability layer itself. The instrumented run goes second so it
-  // cannot benefit from warming the first run paid for.
+  // first with every Counter::Add / Histogram::Record / flight-recorder
+  // Commit turned into a no-op by the global kill switch, then with
+  // instrumentation live. Both runs hit only the cache path, so the
+  // delta prices the observability layer itself. Three repetitions,
+  // minimum overhead kept: the instrumentation cost is systematic and
+  // survives the min, scheduler noise does not. Enough requests per
+  // repetition to make the ratio meaningful even in smoke mode.
   const std::string& overhead_graph = graphs.front().first;
-  PhaseRow off_row, on_row;
-  cfcm::obs::SetMetricsEnabled(false);
-  RunPhase(server.port(), overhead_graph, connections, per_connection,
-           /*seed_base=*/1, nullptr, &off_row);
-  cfcm::obs::SetMetricsEnabled(true);
-  RunPhase(server.port(), overhead_graph, connections, per_connection,
-           /*seed_base=*/1, nullptr, &on_row);
+  const int overhead_per_connection =
+      per_connection < 200 ? 200 : per_connection;
+  double overhead_pct = 0.0;
+  double off_rps = 0.0, on_rps = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    PhaseRow off_row, on_row;
+    cfcm::obs::SetMetricsEnabled(false);
+    RunPhase(server.port(), overhead_graph, connections,
+             overhead_per_connection, /*seed_base=*/1, nullptr, &off_row);
+    cfcm::obs::SetMetricsEnabled(true);
+    RunPhase(server.port(), overhead_graph, connections,
+             overhead_per_connection, /*seed_base=*/1, nullptr, &on_row);
+    const double pct =
+        off_row.rps > 0 ? (off_row.rps - on_row.rps) / off_row.rps * 100.0
+                        : 0.0;
+    if (rep == 0 || pct < overhead_pct) {
+      overhead_pct = pct;
+      off_rps = off_row.rps;
+      on_rps = on_row.rps;
+    }
+  }
   server.Shutdown();
 
-  const double overhead_pct =
-      off_row.rps > 0 ? (off_row.rps - on_row.rps) / off_row.rps * 100.0
-                      : 0.0;
+  const bool within_budget = overhead_pct <= 2.0;
   std::printf(
-      "# instrumentation overhead (hot path, %s): off=%.1f req/s "
-      "on=%.1f req/s overhead=%.2f%% (budget 2%%)\n",
-      overhead_graph.c_str(), off_row.rps, on_row.rps, overhead_pct);
+      "# instrumentation overhead (hot path, %s, min of 3): off=%.1f req/s "
+      "on=%.1f req/s overhead=%.2f%% (budget 2%%) %s\n",
+      overhead_graph.c_str(), off_rps, on_rps, overhead_pct,
+      within_budget ? "OK" : "OVER BUDGET");
 
   if (json_path != nullptr) {
     std::FILE* out = std::fopen(json_path, "w");
@@ -232,12 +359,19 @@ int main(int argc, char** argv) {
                  "  ],\n  \"instrumentation_overhead\": "
                  "{\"graph\":\"%s\",\"rps_disabled\":%.1f,"
                  "\"rps_enabled\":%.1f,\"overhead_pct\":%.2f,"
-                 "\"budget_pct\":2.0}\n}\n",
-                 overhead_graph.c_str(), off_row.rps, on_row.rps,
-                 overhead_pct);
+                 "\"budget_pct\":2.0,\"within_budget\":%s}\n}\n",
+                 overhead_graph.c_str(), off_rps, on_rps, overhead_pct,
+                 within_budget ? "true" : "false");
     std::fclose(out);
     std::printf("# wrote %zu serving perf rows to %s\n", rows.size(),
                 json_path);
+  }
+  if (!within_budget) {
+    std::fprintf(stderr,
+                 "bench_serve: instrumentation overhead %.2f%% exceeds the "
+                 "2%% budget\n",
+                 overhead_pct);
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,129 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace cfcm::obs {
+
+void FlightRecord::Copy(char* dst, std::size_t capacity,
+                        std::string_view src) {
+  const std::size_t n = std::min(src.size(), capacity - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+void FlightRecord::AddSpan(std::string_view name, int64_t duration_us) {
+  if (num_spans >= kMaxSpans) return;
+  Span& span = spans[num_spans];
+  Copy(span.name, sizeof(span.name), name);
+  span.duration_us = duration_us;
+  ++num_spans;
+}
+
+FlightRecorder::Ring::Ring(std::size_t capacity)
+    : slots_(capacity > 0 ? capacity : 1) {}
+
+void FlightRecorder::Ring::Commit(const FlightRecord& record) {
+  uint64_t buffer[kWords] = {};  // zeroed: padding bytes stay deterministic
+  std::memcpy(buffer, &record, sizeof(record));
+
+  const uint64_t ticket = tickets_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % slots_.size()];
+  // Claim: only the exact completion value of the generation that last
+  // owned this slot (or 0 on first use) may transition to our odd
+  // in-progress value. A writer that finds anything newer was lapped a
+  // full ring by faster committers — its record is stale by definition,
+  // so it drops the write instead of clobbering the newer one.
+  const uint64_t previous =
+      ticket < slots_.size() ? 0 : 2 * (ticket - slots_.size()) + 2;
+  uint64_t expected = previous;
+  while (!slot.seq.compare_exchange_weak(expected, 2 * ticket + 1,
+                                         std::memory_order_relaxed)) {
+    if (expected > 2 * ticket) return;  // lapped by a newer generation
+    expected = previous;  // prior-generation writer mid-commit: wait it out
+    std::this_thread::yield();
+  }
+  // Release fence before the payload: a reader that observes any payload
+  // word of this generation is guaranteed to also observe the odd
+  // sequence (or a later one) on its re-check — the seqlock's tear
+  // detection.
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t w = 0; w < kWords; ++w) {
+    slot.words[w].store(buffer[w], std::memory_order_relaxed);
+  }
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<FlightRecord> FlightRecorder::Ring::Snapshot() const {
+  std::vector<FlightRecord> out;
+  out.reserve(slots_.size());
+  uint64_t buffer[kWords];
+  for (const Slot& slot : slots_) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const uint64_t before = slot.seq.load(std::memory_order_acquire);
+      if (before == 0) break;             // never written
+      if ((before & 1) != 0) continue;    // writer in progress; retry
+      for (std::size_t w = 0; w < kWords; ++w) {
+        buffer[w] = slot.words[w].load(std::memory_order_relaxed);
+      }
+      // Acquire fence pairs with the writer's release fence: if any word
+      // above came from a newer write, the re-check below sees its odd
+      // (or later) sequence and discards the copy.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != before) continue;
+      FlightRecord record;
+      std::memcpy(&record, buffer, sizeof(record));
+      out.push_back(record);
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+FlightRecorder::FlightRecorder(Options options)
+    : options_(options),
+      main_(options_.capacity),
+      pinned_(options_.pinned_capacity) {}
+
+void FlightRecorder::Commit(FlightRecord record) {
+  if (!MetricsEnabled()) return;
+  record.id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  record.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+  record.mono_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  main_.Commit(record);
+  const bool slow =
+      options_.slow_us > 0 && record.latency_us >= options_.slow_us;
+  if (!record.ok || slow) pinned_.Commit(record);
+}
+
+std::vector<FlightRecord> FlightRecorder::Recent(std::size_t last_n) const {
+  std::vector<FlightRecord> all = main_.Snapshot();
+  if (last_n < all.size()) {
+    all.erase(all.begin(),
+              all.end() - static_cast<std::ptrdiff_t>(last_n));
+  }
+  return all;
+}
+
+std::vector<FlightRecord> FlightRecorder::Pinned(std::size_t last_n) const {
+  std::vector<FlightRecord> all = pinned_.Snapshot();
+  if (last_n < all.size()) {
+    all.erase(all.begin(),
+              all.end() - static_cast<std::ptrdiff_t>(last_n));
+  }
+  return all;
+}
+
+}  // namespace cfcm::obs

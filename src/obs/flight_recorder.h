@@ -1,0 +1,150 @@
+// Request flight recorder (DESIGN.md §15).
+//
+// A fixed-size, lock-free ring of compact per-request records: the serve
+// handler commits one FlightRecord per request (op, graph, epoch,
+// outcome, latency, queue wait, trace id, top-level span timings), always
+// on, so a human or the admin plane's /flightz endpoint can reconstruct
+// what the daemon just did without having asked in advance. A second,
+// smaller ring pins slow and failed requests so a burst of healthy
+// traffic cannot evict the interesting entries before anyone looks.
+//
+// Concurrency model: each ring slot is a ticket-addressed seqlock over a
+// buffer of relaxed atomic words. A writer takes a global ticket
+// (fetch_add), claims its slot by CAS-ing the slot sequence from the
+// previous generation's completion value to the odd in-progress value —
+// so a stalled writer from a lapped generation can never clobber a newer
+// record — publishes the payload as relaxed atomic word stores, and
+// releases the even completion value. Readers copy the words between two
+// sequence loads and discard the copy when the sequence moved: a torn
+// record is never returned. No mutexes anywhere, so committing never
+// blocks the request path and dumping never blocks committers.
+#ifndef CFCM_OBS_FLIGHT_RECORDER_H_
+#define CFCM_OBS_FLIGHT_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace cfcm::obs {
+
+/// One request, compacted to a fixed-size POD so it can pass through the
+/// ring's word-copy protocol. Strings are truncating copies — the record
+/// is a diagnostic sample, not the source of truth.
+struct FlightRecord {
+  static constexpr int kMaxSpans = 8;
+  static constexpr std::size_t kOpBytes = 12;
+  static constexpr std::size_t kGraphBytes = 24;
+  static constexpr std::size_t kErrorBytes = 20;
+  static constexpr std::size_t kTraceIdBytes = 20;
+  static constexpr std::size_t kSpanNameBytes = 16;
+
+  struct Span {
+    char name[kSpanNameBytes];
+    int64_t duration_us;
+  };
+
+  uint64_t id = 0;        ///< commit sequence, 1-based; stamped by Commit
+  int64_t wall_ms = 0;    ///< system clock at commit (ms since epoch)
+  int64_t mono_ns = 0;    ///< monotonic clock at commit
+  uint64_t epoch = 0;     ///< graph mutation epoch the request observed
+  int64_t latency_us = 0;     ///< whole-request latency
+  int64_t queue_wait_us = 0;  ///< admission-queue wait
+  uint8_t ok = 1;             ///< response status was "ok"
+  uint8_t num_spans = 0;
+  char op[kOpBytes] = {};
+  char graph[kGraphBytes] = {};
+  char error_code[kErrorBytes] = {};  ///< empty when ok
+  char trace_id[kTraceIdBytes] = {};
+  Span spans[kMaxSpans] = {};
+
+  void set_op(std::string_view value) { Copy(op, sizeof(op), value); }
+  void set_graph(std::string_view value) { Copy(graph, sizeof(graph), value); }
+  void set_error_code(std::string_view value) {
+    Copy(error_code, sizeof(error_code), value);
+  }
+  void set_trace_id(std::string_view value) {
+    Copy(trace_id, sizeof(trace_id), value);
+  }
+  /// Appends a top-level span timing; silently drops past kMaxSpans.
+  void AddSpan(std::string_view name, int64_t duration_us);
+
+ private:
+  static void Copy(char* dst, std::size_t capacity, std::string_view src);
+};
+static_assert(std::is_trivially_copyable_v<FlightRecord>,
+              "FlightRecord passes through the ring as raw words");
+
+/// \brief Dual-ring flight recorder: an always-on main ring plus a
+/// reserved ring for slow/error records.
+///
+/// Commit is lock-free and wait-free in the common case (one fetch_add,
+/// one CAS, word stores); Recent/Pinned are lock-free snapshots that
+/// never block writers. Commit honors the global metrics kill switch, so
+/// the instrumentation-overhead bench prices it automatically.
+/// Thread-safe.
+class FlightRecorder {
+ public:
+  struct Options {
+    std::size_t capacity = 1024;        ///< main ring size (records)
+    std::size_t pinned_capacity = 128;  ///< reserved slow/error ring size
+    /// Requests at least this slow are pinned; <= 0 pins errors only.
+    int64_t slow_us = 100'000;
+  };
+
+  // Split default: GCC rejects `Options options = {}` for a nested
+  // aggregate with member initializers inside the enclosing class.
+  FlightRecorder() : FlightRecorder(Options()) {}
+  explicit FlightRecorder(Options options);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Stamps id / wall_ms / mono_ns and publishes the record; slow or
+  /// failed requests are additionally pinned. No-op when the global
+  /// metrics kill switch is off.
+  void Commit(FlightRecord record);
+
+  /// The newest `last_n` main-ring records, ascending by id. Concurrent
+  /// commits may be missing or already evicted; returned records are
+  /// never torn.
+  std::vector<FlightRecord> Recent(std::size_t last_n) const;
+  /// The newest `last_n` pinned (slow/error) records, ascending by id.
+  std::vector<FlightRecord> Pinned(std::size_t last_n) const;
+
+  /// Total records ever committed (== the largest stamped id).
+  uint64_t committed() const {
+    return next_id_.load(std::memory_order_relaxed);
+  }
+  const Options& options() const { return options_; }
+
+ private:
+  class Ring {
+   public:
+    explicit Ring(std::size_t capacity);
+    void Commit(const FlightRecord& record);
+    std::vector<FlightRecord> Snapshot() const;  // ascending by id
+
+   private:
+    static constexpr std::size_t kWords =
+        (sizeof(FlightRecord) + sizeof(uint64_t) - 1) / sizeof(uint64_t);
+    struct alignas(64) Slot {
+      // 0 = never written; 2t+1 = ticket t writing; 2t+2 = ticket t done.
+      std::atomic<uint64_t> seq{0};
+      std::array<std::atomic<uint64_t>, kWords> words{};
+    };
+    std::vector<Slot> slots_;
+    std::atomic<uint64_t> tickets_{0};
+  };
+
+  const Options options_;
+  std::atomic<uint64_t> next_id_{0};
+  Ring main_;
+  Ring pinned_;
+};
+
+}  // namespace cfcm::obs
+
+#endif  // CFCM_OBS_FLIGHT_RECORDER_H_

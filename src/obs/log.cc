@@ -64,6 +64,12 @@ std::string WallClockTimestamp() {
   return buf;
 }
 
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 bool ParseLogLevel(std::string_view text, LogLevel* out) {
@@ -115,7 +121,13 @@ LogEvent::LogEvent(LogLevel level, std::string_view event)
   line_.reserve(160);
   line_ += "{\"ts\":\"";
   line_ += WallClockTimestamp();
-  line_ += "\",\"level\":\"";
+  // The wall clock can step (NTP); mono_ns orders lines reliably and
+  // lives on the same clock as trace span offsets.
+  char mono[40];
+  std::snprintf(mono, sizeof(mono), "\",\"mono_ns\":%" PRId64,
+                MonotonicNanos());
+  line_ += mono;
+  line_ += ",\"level\":\"";
   line_ += LogLevelName(level);
   line_ += "\",\"event\":\"";
   AppendEscaped(&line_, event);

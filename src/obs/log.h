@@ -1,11 +1,13 @@
 // Structured single-line JSON logging to stderr (DESIGN.md §12).
 //
-// One line per event: {"ts":"...","level":"info","event":"request",...}.
-// Fields are emitted in insertion order after ts/level/event, values are
-// JSON-escaped, and the whole line is written with a single fwrite so
-// concurrent workers never interleave mid-line. Timestamps use the wall
-// clock (system_clock) because log lines are correlated with the outside
-// world; all latency *measurement* elsewhere uses the monotonic clock.
+// One line per event:
+//   {"ts":"...","mono_ns":N,"level":"info","event":"request",...}.
+// Fields are emitted in insertion order after ts/mono_ns/level/event,
+// values are JSON-escaped, and the whole line is written with a single
+// fwrite so concurrent workers never interleave mid-line. `ts` is the
+// wall clock (system_clock) because log lines are correlated with the
+// outside world; `mono_ns` is the monotonic clock, immune to NTP steps,
+// so lines order reliably and correlate with trace span offsets.
 #ifndef CFCM_OBS_LOG_H_
 #define CFCM_OBS_LOG_H_
 

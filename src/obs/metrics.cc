@@ -156,27 +156,44 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
+// Every metric gets a `# HELP` line immediately before its `# TYPE` —
+// scrapers expect the pair, and the dotted registry name in the help
+// text preserves the original spelling that the underscore mapping
+// destroys. Built with string appends, not the fixed line buffer: the
+// name appears twice plus free text.
+void AppendHeader(std::string* out, const std::string& pname,
+                  const std::string& dotted, const char* type) {
+  *out += "# HELP ";
+  *out += pname;
+  *out += " cfcm metric ";
+  *out += dotted;
+  *out += "\n# TYPE ";
+  *out += pname;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
 }  // namespace
 
 std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
   std::string out;
   char line[160];
   for (const auto& [name, value] : snapshot.counters) {
-    std::snprintf(line, sizeof(line), "# TYPE %s counter\n%s %" PRIu64 "\n",
-                  PrometheusName(name).c_str(), PrometheusName(name).c_str(),
-                  value);
+    const std::string p = PrometheusName(name);
+    AppendHeader(&out, p, name, "counter");
+    std::snprintf(line, sizeof(line), "%s %" PRIu64 "\n", p.c_str(), value);
     out += line;
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    std::snprintf(line, sizeof(line), "# TYPE %s gauge\n%s %" PRId64 "\n",
-                  PrometheusName(name).c_str(), PrometheusName(name).c_str(),
-                  value);
+    const std::string p = PrometheusName(name);
+    AppendHeader(&out, p, name, "gauge");
+    std::snprintf(line, sizeof(line), "%s %" PRId64 "\n", p.c_str(), value);
     out += line;
   }
   for (const auto& [name, h] : snapshot.histograms) {
     const std::string p = PrometheusName(name);
-    std::snprintf(line, sizeof(line), "# TYPE %s histogram\n", p.c_str());
-    out += line;
+    AppendHeader(&out, p, name, "histogram");
     uint64_t cumulative = 0;
     for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
       const uint64_t in_bucket = h.buckets[static_cast<std::size_t>(b)];

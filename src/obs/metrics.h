@@ -153,9 +153,10 @@ class MetricsRegistry {
       histograms_;
 };
 
-/// Prometheus text-exposition rendering of a snapshot: counters and
-/// gauges as untyped samples, histograms as cumulative `_bucket{le=...}`
-/// series plus `_sum`/`_count` (dots in names become underscores).
+/// Prometheus text-exposition rendering of a snapshot: every metric gets
+/// a `# HELP`/`# TYPE` pair, histograms render as cumulative
+/// `_bucket{le=...}` series plus `_sum`/`_count` (dots in names become
+/// underscores; the help text keeps the original dotted spelling).
 std::string RenderPrometheus(const MetricsSnapshot& snapshot);
 
 }  // namespace cfcm::obs

@@ -42,8 +42,8 @@ std::size_t TraceContext::BeginSpan(std::string name) {
   span.name = std::move(name);
   span.start_ns = MonotonicNowNs() - epoch_ns_;
   span.duration_ns = -1;  // open
+  span.nested = !open_.empty();
   spans_.push_back(std::move(span));
-  nested_.push_back(!open_.empty());
   open_.push_back(index);
   return index;
 }
@@ -74,7 +74,6 @@ void TraceContext::AddSpan(std::string name, int64_t start_ns,
   span.start_ns = start_ns;
   span.duration_ns = duration_ns < 0 ? 0 : duration_ns;
   spans_.push_back(std::move(span));
-  nested_.push_back(false);
 }
 
 void TraceContext::Annotate(std::string key, int64_t value) {
@@ -90,9 +89,9 @@ int64_t TraceContext::ElapsedNs() const {
 
 int64_t TraceContext::SpanTotalNs() const {
   int64_t total = 0;
-  for (std::size_t i = 0; i < spans_.size(); ++i) {
-    if (nested_[i]) continue;
-    if (spans_[i].duration_ns > 0) total += spans_[i].duration_ns;
+  for (const TraceSpan& span : spans_) {
+    if (span.nested) continue;
+    if (span.duration_ns > 0) total += span.duration_ns;
   }
   return total;
 }

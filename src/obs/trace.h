@@ -32,6 +32,7 @@ struct TraceSpan {
   std::string name;       ///< phase name, e.g. "solver", "queue_wait"
   int64_t start_ns = 0;   ///< offset from the context's epoch
   int64_t duration_ns = 0;
+  bool nested = false;    ///< opened while another span was already open
   /// Phase-scoped measurements (e.g. {"walk_steps", 123}).
   std::vector<std::pair<std::string, int64_t>> annotations;
 };
@@ -74,7 +75,6 @@ class TraceContext {
   int64_t epoch_ns_ = 0;           ///< steady_clock at construction
   std::vector<TraceSpan> spans_;   ///< completed + in-flight, open last
   std::vector<std::size_t> open_;  ///< indices of unclosed spans (stack)
-  std::vector<bool> nested_;       ///< spans_[i] opened inside another span
 };
 
 }  // namespace cfcm::obs

@@ -1,0 +1,271 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+#include "obs/log.h"
+
+namespace cfcm::obs {
+
+namespace {
+
+int64_t NowMonoNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int64_t ProcessStartMonoNs() {
+  static const int64_t start = NowMonoNs();
+  return start;
+}
+
+int64_t ProcessUptimeSeconds() {
+  return (NowMonoNs() - ProcessStartMonoNs()) / 1'000'000'000;
+}
+
+int64_t ProcessRssBytes() {
+#ifdef __linux__
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return -1;
+  long size_pages = 0;
+  long rss_pages = 0;
+  const int fields = std::fscanf(statm, "%ld %ld", &size_pages, &rss_pages);
+  std::fclose(statm);
+  if (fields != 2) return -1;
+  return rss_pages * sysconf(_SC_PAGESIZE);
+#else
+  return -1;
+#endif
+}
+
+bool ParseSloSpec(std::string_view spec, std::vector<SloObjective>* out,
+                  std::string* error) {
+  std::vector<SloObjective> parsed;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view item = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (item.empty()) {
+      if (spec.empty()) break;  // empty spec: no objectives
+      if (error != nullptr) *error = "empty objective in --slo spec";
+      return false;
+    }
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 == item.size()) {
+      if (error != nullptr) {
+        *error = "expected op=threshold, got '" + std::string(item) + "'";
+      }
+      return false;
+    }
+    const std::string_view op = item.substr(0, eq);
+    std::string_view value = item.substr(eq + 1);
+    int64_t scale_us = 1000;  // bare numbers are milliseconds
+    if (value.size() > 2 && value.substr(value.size() - 2) == "us") {
+      scale_us = 1;
+      value.remove_suffix(2);
+    } else if (value.size() > 2 && value.substr(value.size() - 2) == "ms") {
+      scale_us = 1000;
+      value.remove_suffix(2);
+    } else if (value.size() > 1 && value.back() == 's') {
+      scale_us = 1'000'000;
+      value.remove_suffix(1);
+    }
+    int64_t number = 0;
+    for (const char c : value) {
+      if (c < '0' || c > '9') {
+        if (error != nullptr) {
+          *error = "bad threshold '" + std::string(item.substr(eq + 1)) +
+                   "' (want integer with optional us/ms/s suffix)";
+        }
+        return false;
+      }
+      number = number * 10 + (c - '0');
+    }
+    if (value.empty() || number <= 0) {
+      if (error != nullptr) {
+        *error = "threshold must be positive in '" + std::string(item) + "'";
+      }
+      return false;
+    }
+    for (const SloObjective& existing : parsed) {
+      if (existing.op == op) {
+        if (error != nullptr) {
+          *error = "duplicate op '" + std::string(op) + "' in --slo spec";
+        }
+        return false;
+      }
+    }
+    parsed.push_back(SloObjective{std::string(op), number * scale_us});
+    if (end == spec.size()) break;
+  }
+  if (out != nullptr) *out = std::move(parsed);
+  return true;
+}
+
+SloTracker::SloTracker(std::vector<SloObjective> objectives, Options options)
+    : options_(options) {
+  ops_.reserve(objectives.size());
+  for (SloObjective& objective : objectives) {
+    const std::string base = "serve.slo." + objective.op;
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    PerOp per_op{std::move(objective),
+                 &registry.counter(base + ".good"),
+                 &registry.counter(base + ".total"),
+                 &registry.gauge(base + ".burn_short_milli"),
+                 &registry.gauge(base + ".burn_long_milli"),
+                 {},
+                 false};
+    ops_.push_back(std::move(per_op));
+  }
+}
+
+std::vector<SloObjective> SloTracker::objectives() const {
+  std::vector<SloObjective> out;
+  out.reserve(ops_.size());
+  for (const PerOp& per_op : ops_) out.push_back(per_op.objective);
+  return out;
+}
+
+void SloTracker::Record(std::string_view op, int64_t latency_us, bool ok) {
+  for (PerOp& per_op : ops_) {
+    if (per_op.objective.op != op) continue;
+    per_op.total_counter->Add(1);
+    if (ok && latency_us <= per_op.objective.threshold_us) {
+      per_op.good_counter->Add(1);
+    }
+    return;
+  }
+}
+
+double SloTracker::WindowBurn(const std::deque<Sample>& history,
+                              const Sample& now, int64_t window_ns,
+                              double error_budget) {
+  if (error_budget <= 0) return 0.0;
+  // Baseline = newest sample at or before the window start; with no
+  // history that old, the oldest sample we have (the window simply
+  // hasn't filled yet).
+  const int64_t window_start = now.mono_ns - window_ns;
+  const Sample* baseline = nullptr;
+  for (const Sample& sample : history) {
+    if (sample.mono_ns <= window_start) {
+      baseline = &sample;
+    } else {
+      break;
+    }
+  }
+  if (baseline == nullptr) {
+    baseline = history.empty() ? nullptr : &history.front();
+  }
+  const uint64_t base_good = baseline != nullptr ? baseline->good : 0;
+  const uint64_t base_total = baseline != nullptr ? baseline->total : 0;
+  if (now.total <= base_total) return 0.0;
+  const uint64_t total = now.total - base_total;
+  const uint64_t good = now.good > base_good ? now.good - base_good : 0;
+  const double bad_fraction =
+      static_cast<double>(total - std::min(good, total)) /
+      static_cast<double>(total);
+  return bad_fraction / error_budget;
+}
+
+void SloTracker::Tick(int64_t mono_ns) {
+  if (ops_.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t long_window_ns = options_.long_window_s * 1'000'000'000;
+  const int64_t short_window_ns = options_.short_window_s * 1'000'000'000;
+  for (PerOp& per_op : ops_) {
+    Sample now{mono_ns, per_op.good_counter->value(),
+               per_op.total_counter->value()};
+    const double burn_short =
+        WindowBurn(per_op.history, now, short_window_ns, options_.error_budget);
+    const double burn_long =
+        WindowBurn(per_op.history, now, long_window_ns, options_.error_budget);
+    per_op.burn_short->Set(std::llround(burn_short * 1000.0));
+    per_op.burn_long->Set(std::llround(burn_long * 1000.0));
+
+    per_op.history.push_back(now);
+    // Keep one sample older than the long window so its baseline stays
+    // exact; everything older than that is dead weight.
+    const int64_t horizon = mono_ns - long_window_ns;
+    while (per_op.history.size() > 1 && per_op.history[1].mono_ns <= horizon) {
+      per_op.history.pop_front();
+    }
+
+    const bool burning = burn_short >= options_.alert_burn &&
+                         burn_long >= options_.alert_burn;
+    if (burning && !per_op.alerting) {
+      LogEvent(LogLevel::kWarn, "slo_burn")
+          .Str("op", per_op.objective.op)
+          .Int("threshold_us", per_op.objective.threshold_us)
+          .Int("burn_short_milli", std::llround(burn_short * 1000.0))
+          .Int("burn_long_milli", std::llround(burn_long * 1000.0))
+          .Double("error_budget", options_.error_budget);
+    }
+    per_op.alerting = burning;
+  }
+}
+
+Watchdog::Watchdog(Options options)
+    : options_(options),
+      rss_gauge_(&MetricsRegistry::Global().gauge("process.rss_bytes")),
+      uptime_gauge_(&MetricsRegistry::Global().gauge("process.uptime_s")) {}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::AddSampler(std::string name, std::function<void()> sampler) {
+  samplers_.emplace_back(std::move(name), std::move(sampler));
+}
+
+void Watchdog::Start() {
+  if (options_.interval_ms <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Watchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void Watchdog::TickOnce() {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  const int64_t rss = ProcessRssBytes();
+  if (rss >= 0) rss_gauge_->Set(rss);
+  uptime_gauge_->Set(ProcessUptimeSeconds());
+  for (const auto& [name, sampler] : samplers_) sampler();
+  MetricsRegistry::Global().counter("obs.watchdog.ticks").Add(1);
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Watchdog::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    TickOnce();
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return stop_; });
+  }
+}
+
+}  // namespace cfcm::obs

@@ -1,0 +1,171 @@
+// Resource watchdog and SLO burn tracking (DESIGN.md §15).
+//
+// Watchdog: a background thread that samples process/runtime state into
+// registry gauges every interval — built-ins (RSS, uptime) plus caller-
+// registered sampler callbacks, which is how the serving layer feeds
+// queue depth, catalog bytes, cache occupancy and per-session epochs in
+// without obs/ knowing anything about serve/. TickOnce() runs one
+// sampling pass synchronously, so the admin plane can refresh every
+// gauge right before rendering /metrics (scrape-fresh values, and tests
+// need no sleeps).
+//
+// SloTracker: per-op latency objectives ("solve in 50ms") recorded as
+// good/total counters on the hot path, with burn rates computed on the
+// watchdog tick over a short and a long trailing window:
+//   burn = (bad fraction over window) / error_budget
+// burn 1.0 means the op is consuming its budget exactly as fast as
+// allowed; both windows >= alert threshold emits one edge-triggered
+// warn-level "slo_burn" log. The two-window form is the standard
+// burn-rate alert shape: the short window makes alerts fast, the long
+// window keeps one latency blip from paging anyone.
+#ifndef CFCM_OBS_WATCHDOG_H_
+#define CFCM_OBS_WATCHDOG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cfcm::obs {
+
+/// Monotonic nanosecond timestamp of the first call (process start as
+/// far as observability is concerned; anchored explicitly by the daemon
+/// and the serve handler at construction).
+int64_t ProcessStartMonoNs();
+/// Whole seconds elapsed since ProcessStartMonoNs' capture.
+int64_t ProcessUptimeSeconds();
+/// Resident set size in bytes via /proc/self/statm; -1 when unavailable.
+int64_t ProcessRssBytes();
+
+/// One per-op latency objective: requests slower than threshold_us (or
+/// failed) consume error budget.
+struct SloObjective {
+  std::string op;
+  int64_t threshold_us = 0;
+};
+
+/// Parses "--slo solve=50ms,mutate=2s" specs. Accepted value suffixes:
+/// us, ms (default for bare numbers), s. Returns false and fills *error
+/// on malformed input, duplicate ops, or non-positive thresholds.
+bool ParseSloSpec(std::string_view spec, std::vector<SloObjective>* out,
+                  std::string* error);
+
+/// \brief Good/total SLO counters with multi-window burn-rate gauges.
+///
+/// Record() is the hot path (two lock-free counter bumps); Tick() is
+/// called by the watchdog, maintains the trailing sample history, and
+/// publishes `serve.slo.<op>.burn_{short,long}_milli` gauges (burn rate
+/// x1000). Thread-safe.
+class SloTracker {
+ public:
+  struct Options {
+    double error_budget = 0.01;  ///< tolerated bad-request fraction
+    int64_t short_window_s = 60;
+    int64_t long_window_s = 300;
+    double alert_burn = 1.0;  ///< warn-log when both windows reach this
+  };
+
+  // Split default: GCC rejects `Options options = {}` for a nested
+  // aggregate with member initializers inside the enclosing class.
+  explicit SloTracker(std::vector<SloObjective> objectives)
+      : SloTracker(std::move(objectives), Options()) {}
+  SloTracker(std::vector<SloObjective> objectives, Options options);
+
+  bool enabled() const { return !ops_.empty(); }
+  std::vector<SloObjective> objectives() const;
+
+  /// Scores one request against its op's objective (no-op for ops
+  /// without one). A request is good when it succeeded AND met the
+  /// latency threshold.
+  void Record(std::string_view op, int64_t latency_us, bool ok);
+
+  /// Appends one (good, total) sample at `mono_ns`, recomputes both
+  /// window burn rates per op, publishes the gauges, and emits the
+  /// edge-triggered "slo_burn" warn log.
+  void Tick(int64_t mono_ns);
+
+ private:
+  struct Sample {
+    int64_t mono_ns = 0;
+    uint64_t good = 0;
+    uint64_t total = 0;
+  };
+  struct PerOp {
+    SloObjective objective;
+    Counter* good_counter;
+    Counter* total_counter;
+    Gauge* burn_short;
+    Gauge* burn_long;
+    std::deque<Sample> history;  // guarded by mu_
+    bool alerting = false;       // guarded by mu_
+  };
+
+  static double WindowBurn(const std::deque<Sample>& history,
+                           const Sample& now, int64_t window_ns,
+                           double error_budget);
+
+  const Options options_;
+  std::vector<PerOp> ops_;
+  std::mutex mu_;  // serializes Tick (history + alert edge state)
+};
+
+/// \brief Background gauge sampler with a synchronous TickOnce.
+///
+/// Built-ins: `process.rss_bytes`, `process.uptime_s` gauges and an
+/// `obs.watchdog.ticks` counter. AddSampler registers additional
+/// callbacks (run on every tick, registration must finish before
+/// Start). Start spawns the sampling thread when interval_ms > 0;
+/// TickOnce works either way and is safe concurrently with the thread.
+class Watchdog {
+ public:
+  struct Options {
+    int interval_ms = 1000;  ///< <= 0: no thread, sample via TickOnce only
+  };
+
+  Watchdog() : Watchdog(Options()) {}
+  explicit Watchdog(Options options);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registers a sampler; must not be called after Start. Samplers must
+  /// not throw.
+  void AddSampler(std::string name, std::function<void()> sampler);
+
+  void Start();
+  void Stop();  ///< idempotent; joins the sampling thread
+
+  /// One synchronous sampling pass (built-ins + registered samplers).
+  void TickOnce();
+
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  const Options options_;
+  std::vector<std::pair<std::string, std::function<void()>>> samplers_;
+  Gauge* const rss_gauge_;
+  Gauge* const uptime_gauge_;
+  std::atomic<uint64_t> ticks_{0};
+
+  std::mutex tick_mu_;  // TickOnce callers vs. the sampling thread
+  std::mutex mu_;       // thread lifecycle
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace cfcm::obs
+
+#endif  // CFCM_OBS_WATCHDOG_H_

@@ -1,0 +1,102 @@
+// Admin diagnostics plane (DESIGN.md §15).
+//
+// A minimal, dependency-free HTTP/1.1 responder on a second listen port
+// so standard tooling — Prometheus, load balancers, a human with curl —
+// can see inside a running daemon without speaking the line-JSON wire
+// protocol. GET-only, one response per connection (Connection: close),
+// no keep-alive, no TLS: this is a loopback/cluster-internal diagnostics
+// port, not a web server.
+//
+// Endpoints:
+//   /metrics   Prometheus text exposition of the global registry
+//   /healthz   liveness — the process is up and responding
+//   /readyz    readiness — 200 only while the daemon should get traffic
+//   /statusz   JSON build/uptime/config/session summary
+//   /flightz   JSON dump of the request flight recorder (?n=...)
+//
+// The plane is wired to the Server through AdminHooks rather than
+// touching Server internals, so it stays independently testable and the
+// serving layer decides what "ready" means.
+#ifndef CFCM_SERVE_ADMIN_H_
+#define CFCM_SERVE_ADMIN_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "obs/flight_recorder.h"
+#include "serve/json.h"
+
+namespace cfcm::serve {
+
+/// Callbacks the admin plane pulls its answers through. All must be
+/// thread-safe; they run on admin connection threads.
+struct AdminHooks {
+  /// Run before rendering /metrics so gauges are scrape-fresh
+  /// (typically Watchdog::TickOnce). May be null.
+  std::function<void()> refresh;
+  /// Readiness verdict; on false, fills *reason with a short token.
+  /// Null means always ready.
+  std::function<bool(std::string*)> ready;
+  /// Fills the /statusz JSON object. May be null.
+  std::function<void(JsonValue::Object*)> statusz;
+  /// Flight recorder dumped by /flightz; null renders 503 there.
+  obs::FlightRecorder* flight = nullptr;
+};
+
+struct AdminPlaneOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral (bound port via port())
+  int io_timeout_seconds = 5;
+};
+
+/// \brief The admin HTTP listener: one acceptor thread plus one short-
+/// lived detached thread per connection.
+///
+/// Connections are bounded by SO_RCVTIMEO/SO_SNDTIMEO so a stuck peer
+/// cannot pin a thread past the timeout; Shutdown closes the listener
+/// and every open connection, then waits for the handlers to drain.
+class AdminPlane {
+ public:
+  AdminPlane(AdminHooks hooks, AdminPlaneOptions options);
+  ~AdminPlane();
+
+  AdminPlane(const AdminPlane&) = delete;
+  AdminPlane& operator=(const AdminPlane&) = delete;
+
+  /// Binds, listens and spawns the acceptor. Fails on bind errors.
+  bool Start(std::string* error);
+  /// The bound port (after Start), for ephemeral binds.
+  int port() const { return port_; }
+
+  /// Stops accepting, closes open connections, joins the acceptor and
+  /// waits for in-flight handlers. Idempotent.
+  void Shutdown();
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  std::string HandleRequest(const std::string& method,
+                            const std::string& target, int* http_status,
+                            std::string* content_type);
+
+  const AdminHooks hooks_;
+  const AdminPlaneOptions options_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread acceptor_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<int> open_fds_;  // accepted connections still being served
+  int active_ = 0;          // detached handler threads still running
+  bool stopping_ = false;
+  bool started_ = false;
+};
+
+}  // namespace cfcm::serve
+
+#endif  // CFCM_SERVE_ADMIN_H_

@@ -129,6 +129,19 @@ class SessionCatalog {
 
   CatalogStats stats() const;
 
+  /// True when resident bytes exceed a non-zero budget — the admin
+  /// plane's readiness check; transient by design (eviction runs on the
+  /// next Acquire).
+  bool over_budget() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return options_.memory_budget_bytes > 0 &&
+           resident_bytes_ > options_.memory_budget_bytes;
+  }
+
+  std::size_t memory_budget_bytes() const {
+    return options_.memory_budget_bytes;
+  }
+
   /// The pool shared by all catalog sessions.
   ThreadPool& pool() const { return *pool_; }
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <variant>
 
+#include "common/build_info.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
 
@@ -359,7 +360,19 @@ JsonValue MakeOverCapacityResponse() {
 ServeHandler::ServeHandler(HandlerOptions options)
     : options_(std::move(options)),
       catalog_(options_.catalog),
-      cache_(options_.cache_capacity, options_.cache_shards) {}
+      cache_(options_.cache_capacity, options_.cache_shards) {
+  if (options_.flight_capacity > 0) {
+    flight_ = std::make_unique<obs::FlightRecorder>(obs::FlightRecorder::
+        Options{options_.flight_capacity, options_.flight_pinned_capacity,
+                options_.flight_slow_us});
+  }
+  if (!options_.slo.empty()) {
+    slo_ = std::make_unique<obs::SloTracker>(options_.slo);
+  }
+  // Anchor process uptime at handler construction so the stats op and
+  // /statusz report sensible uptime even before the first watchdog tick.
+  obs::ProcessStartMonoNs();
+}
 
 JsonValue ServeHandler::HandleLine(std::string_view line) {
   return HandleLine(line, RequestInfo{}, nullptr);
@@ -406,13 +419,21 @@ JsonValue ServeHandler::Handle(const JsonValue& request,
     return ErrorResponseFor(request, op.status());
   }
 
-  // Opt-in tracing: spans only materialize when the request asks. The
-  // always-on path below (histogram + two counters) is the one priced
-  // by the ≤2% overhead budget.
+  // Opt-in tracing: spans only materialize in the RESPONSE when the
+  // request asks. The flight recorder keeps an internal trace for every
+  // request (it wants span timings) without ever attaching it — the
+  // response bytes are identical whether the recorder is on or off,
+  // which preserves the §11 byte-identical cache-hit contract. The
+  // always-on path below (histogram + counters + flight commit) is the
+  // one priced by the ≤2% overhead budget; the metrics kill switch
+  // disables the flight trace too.
   const int64_t pre_ns = info.read_ns + info.queue_wait_ns + info.parse_ns;
+  const JsonValue* trace_field = request.Find("trace");
+  const bool want_trace = trace_field != nullptr && trace_field->is_bool() &&
+                          trace_field->as_bool();
+  const bool flight_on = flight_ != nullptr && obs::MetricsEnabled();
   std::optional<obs::TraceContext> trace;
-  if (const JsonValue* field = request.Find("trace");
-      field != nullptr && field->is_bool() && field->as_bool()) {
+  if (want_trace || flight_on) {
     trace.emplace();
     if (const JsonValue* id = request.Find("trace_id");
         id != nullptr && id->is_string()) {
@@ -429,17 +450,22 @@ JsonValue ServeHandler::Handle(const JsonValue& request,
                                           info.parse_ns);
   }
   obs::TraceContext* trace_ptr = trace.has_value() ? &*trace : nullptr;
+  obs::FlightRecord record{};
+  obs::FlightRecord* record_ptr = flight_on ? &record : nullptr;
 
   Timer timer;
   JsonValue response = [&]() -> JsonValue {
-    if (*op == "load") return HandleLoad(request, trace_ptr);
+    if (*op == "load") return HandleLoad(request, trace_ptr, record_ptr);
     if (*op == "unload") return HandleUnload(request);
-    if (*op == "solve") return HandleSolve(request, trace_ptr);
-    if (*op == "evaluate") return HandleEvaluate(request, trace_ptr);
-    if (*op == "mutate") return HandleMutate(request, trace_ptr);
-    if (*op == "augment") return HandleAugment(request, trace_ptr);
+    if (*op == "solve") return HandleSolve(request, trace_ptr, record_ptr);
+    if (*op == "evaluate") {
+      return HandleEvaluate(request, trace_ptr, record_ptr);
+    }
+    if (*op == "mutate") return HandleMutate(request, trace_ptr, record_ptr);
+    if (*op == "augment") return HandleAugment(request, trace_ptr, record_ptr);
     if (*op == "stats") return HandleStats();
     if (*op == "metrics") return HandleMetrics(request);
+    if (*op == "flightz") return HandleFlightz(request);
     if (*op == "shutdown") {
       shutdown_.store(true, std::memory_order_release);
       return OkResponse({{"op", "shutdown"}});
@@ -449,21 +475,56 @@ JsonValue ServeHandler::Handle(const JsonValue& request,
         Status::InvalidArgument(
             "unknown op '" + *op +
             "' (expected load/unload/solve/evaluate/mutate/augment/stats/"
-            "metrics/shutdown)"));
+            "metrics/flightz/shutdown)"));
   }();
 
   // Whole-request latency: transport phases plus the handler itself.
+  const int64_t total_us = pre_ns / 1000 + timer.Micros();
   const OpMetrics& metrics = MetricsFor(*op);
   metrics.requests->Add(1);
-  metrics.latency_us->Record(pre_ns / 1000 + timer.Micros());
+  metrics.latency_us->Record(total_us);
 
   const JsonValue* status = response.is_object() ? response.Find("status")
                                                  : nullptr;
   const bool ok = status != nullptr && status->is_string() &&
                   status->as_string() == "ok";
   if (!ok) metrics.errors->Add(1);
+  std::string error_code;
+  if (!ok) {
+    const JsonValue* error = response.is_object() ? response.Find("error")
+                                                  : nullptr;
+    const JsonValue* code =
+        error != nullptr && error->is_object() ? error->Find("code")
+                                               : nullptr;
+    if (code != nullptr && code->is_string()) error_code = code->as_string();
+  }
+  if (slo_ != nullptr) slo_->Record(*op, total_us, ok);
 
-  if (trace_ptr != nullptr && response.is_object()) {
+  if (record_ptr != nullptr) {
+    record.set_op(*op);
+    if (const JsonValue* graph = request.Find("graph");
+        graph != nullptr && graph->is_string()) {
+      record.set_graph(graph->as_string());
+    }
+    record.ok = ok ? 1 : 0;
+    if (!ok) record.set_error_code(error_code);
+    record.latency_us = total_us;
+    record.queue_wait_us = info.queue_wait_ns / 1000;
+    if (trace_ptr != nullptr) {
+      record.set_trace_id(trace_ptr->trace_id());
+      for (const obs::TraceSpan& span : trace_ptr->spans()) {
+        if (span.nested) continue;
+        record.AddSpan(span.name,
+                       (span.duration_ns < 0 ? 0 : span.duration_ns) / 1000);
+      }
+    }
+    flight_->Commit(record);
+  }
+
+  // Only a request that asked for tracing gets the trace (and its id)
+  // echoed — the flight recorder's internal trace must not change a
+  // single response byte.
+  if (want_trace && trace_ptr != nullptr && response.is_object()) {
     AttachTrace(*trace_ptr, pre_ns, &response.object());
   }
   if (response.is_object()) EchoId(request, &response.object());
@@ -471,23 +532,15 @@ JsonValue ServeHandler::Handle(const JsonValue& request,
   if (outcome != nullptr) {
     outcome->op = *op;
     outcome->ok = ok;
-    if (!ok) {
-      const JsonValue* error = response.is_object() ? response.Find("error")
-                                                    : nullptr;
-      const JsonValue* code =
-          error != nullptr && error->is_object() ? error->Find("code")
-                                                 : nullptr;
-      if (code != nullptr && code->is_string()) {
-        outcome->error_code = code->as_string();
-      }
-    }
+    if (!ok) outcome->error_code = error_code;
     if (trace_ptr != nullptr) outcome->trace_id = trace_ptr->trace_id();
   }
   return response;
 }
 
 JsonValue ServeHandler::HandleLoad(const JsonValue& request,
-                                   obs::TraceContext* trace) {
+                                   obs::TraceContext* trace,
+                                   obs::FlightRecord* record) {
   StatusOr<std::string> name = GetString(request, "graph");
   if (!name.ok()) return ErrorResponseFor(request, name.status());
   StatusOr<std::string> source = GetString(request, "source");
@@ -507,7 +560,10 @@ JsonValue ServeHandler::HandleLoad(const JsonValue& request,
     return ErrorResponseFor(request, session.status());
   }
   JsonValue::Object response{{"op", "load"}, {"graph", *name}};
-  AppendSessionSummary((*session)->versioned_snapshot(), &response);
+  const engine::GraphSession::VersionedSnapshot pinned =
+      (*session)->versioned_snapshot();
+  if (record != nullptr) record->epoch = pinned.epoch;
+  AppendSessionSummary(pinned, &response);
   return OkResponse(std::move(response));
 }
 
@@ -520,7 +576,8 @@ JsonValue ServeHandler::HandleUnload(const JsonValue& request) {
 }
 
 JsonValue ServeHandler::HandleSolve(const JsonValue& request,
-                                    obs::TraceContext* trace) {
+                                    obs::TraceContext* trace,
+                                    obs::FlightRecord* record) {
   StatusOr<std::string> name = GetString(request, "graph");
   if (!name.ok()) return ErrorResponseFor(request, name.status());
   StatusOr<int64_t> k = GetInt(request, "k", 1, 1, 1'000'000'000);
@@ -575,8 +632,11 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request,
   // invariant under mutation (DESIGN.md §11). The "cache_lookup" span
   // covers the pin, the (lazily computed) fingerprint, and the probe.
   if (trace != nullptr) span = trace->BeginSpan("cache_lookup");
-  const std::shared_ptr<const engine::GraphSnapshot> snapshot =
-      (*session)->snapshot();
+  const engine::GraphSession::VersionedSnapshot pinned =
+      (*session)->versioned_snapshot();
+  const std::shared_ptr<const engine::GraphSnapshot>& snapshot =
+      pinned.snapshot;
+  if (record != nullptr) record->epoch = pinned.epoch;
   const ResultCacheKey key{snapshot->fingerprint(), algorithm,
                            static_cast<int>(*k), eps,
                            static_cast<uint64_t>(*seed), selection,
@@ -632,7 +692,8 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request,
 }
 
 JsonValue ServeHandler::HandleEvaluate(const JsonValue& request,
-                                       obs::TraceContext* trace) {
+                                       obs::TraceContext* trace,
+                                       obs::FlightRecord* record) {
   StatusOr<std::string> name = GetString(request, "graph");
   if (!name.ok()) return ErrorResponseFor(request, name.status());
   StatusOr<int64_t> probes = GetInt(request, "probes", 0, 0, 1'000'000);
@@ -657,8 +718,10 @@ JsonValue ServeHandler::HandleEvaluate(const JsonValue& request,
   job.probes = static_cast<int>(*probes);
   job.seed = static_cast<uint64_t>(*seed);
   job.solver_backend = *backend;
-  StatusOr<engine::JobResult> result =
-      engine.Run(job, (*session)->snapshot(), trace);
+  const engine::GraphSession::VersionedSnapshot pinned =
+      (*session)->versioned_snapshot();
+  if (record != nullptr) record->epoch = pinned.epoch;
+  StatusOr<engine::JobResult> result = engine.Run(job, pinned.snapshot, trace);
   if (!result.ok()) return ErrorResponseFor(request, result.status());
   const auto& eval = std::get<engine::EvaluateJobResult>(*result);
 
@@ -673,7 +736,8 @@ JsonValue ServeHandler::HandleEvaluate(const JsonValue& request,
 }
 
 JsonValue ServeHandler::HandleMutate(const JsonValue& request,
-                                     obs::TraceContext* trace) {
+                                     obs::TraceContext* trace,
+                                     obs::FlightRecord* record) {
   StatusOr<std::string> name = GetString(request, "graph");
   if (!name.ok()) return ErrorResponseFor(request, name.status());
   // Bounded per request: node additions allocate CSR arrays up front,
@@ -710,6 +774,7 @@ JsonValue ServeHandler::HandleMutate(const JsonValue& request,
   auto mutated = catalog_.Mutate(*name, delta);
   if (trace != nullptr) trace->EndSpan(span);
   if (!mutated.ok()) return ErrorResponseFor(request, mutated.status());
+  if (record != nullptr) record->epoch = mutated->installed.epoch;
 
   JsonValue::Object response{
       {"op", "mutate"},
@@ -730,7 +795,8 @@ JsonValue ServeHandler::HandleMutate(const JsonValue& request,
 }
 
 JsonValue ServeHandler::HandleAugment(const JsonValue& request,
-                                      obs::TraceContext* trace) {
+                                      obs::TraceContext* trace,
+                                      obs::FlightRecord* record) {
   StatusOr<std::string> name = GetString(request, "graph");
   if (!name.ok()) return ErrorResponseFor(request, name.status());
   StatusOr<std::vector<NodeId>> group = GetGroup(request);
@@ -772,8 +838,11 @@ JsonValue ServeHandler::HandleAugment(const JsonValue& request,
   job.k = static_cast<int>(*k);
   job.candidates = candidates;
   job.solver_backend = *backend;
-  const std::shared_ptr<const engine::GraphSnapshot> snapshot =
-      (*session)->snapshot();
+  const engine::GraphSession::VersionedSnapshot pinned =
+      (*session)->versioned_snapshot();
+  const std::shared_ptr<const engine::GraphSnapshot>& snapshot =
+      pinned.snapshot;
+  if (record != nullptr) record->epoch = pinned.epoch;
   // Re-derive the admission budget the engine will apply, so a refusal
   // can carry machine-readable details alongside the human message.
   const engine::AugmentBudget budget = engine::CheckAugmentBudget(
@@ -842,6 +911,7 @@ JsonValue ServeHandler::HandleAugment(const JsonValue& request,
     auto mutated = catalog_.Mutate(*name, delta);
     if (trace != nullptr) trace->EndSpan(span);
     if (!mutated.ok()) return ErrorResponseFor(request, mutated.status());
+    if (record != nullptr) record->epoch = mutated->installed.epoch;
     AppendSessionSummary(mutated->installed, &response);
   }
   return OkResponse(std::move(response));
@@ -930,10 +1000,36 @@ JsonValue ServeHandler::HandleStats() {
        })},
       {"requests", JsonValue(std::move(requests_json))},
       {"latency", JsonValue(std::move(latency_json))},
+      // The PR 8 sparse-solver counters, from the same coherent snapshot
+      // as everything else in this block.
+      {"engine",
+       JsonValue(JsonValue::Object{
+           {"linalg",
+            JsonValue(JsonValue::Object{
+                {"factorizations",
+                 static_cast<int64_t>(CounterValue(
+                     observed, "engine.linalg.factorizations"))},
+                {"solves",
+                 static_cast<int64_t>(
+                     CounterValue(observed, "engine.linalg.solves"))},
+                {"cg_iterations",
+                 static_cast<int64_t>(CounterValue(
+                     observed, "engine.linalg.cg_iterations"))},
+            })},
+       })},
   };
 
+  const BuildInfo& build = GetBuildInfo();
   JsonValue::Object response{
       {"op", "stats"},
+      {"uptime_s", obs::ProcessUptimeSeconds()},
+      {"build",
+       JsonValue(JsonValue::Object{
+           {"version", build.version},
+           {"compiler", build.compiler},
+           {"build_type", build.build_type},
+           {"cxx_standard", build.cxx_standard},
+       })},
       {"cache", JsonValue(std::move(cache_json))},
       {"catalog", JsonValue(std::move(catalog_json))},
       {"observed", JsonValue(std::move(observed_json))},
@@ -988,6 +1084,63 @@ JsonValue ServeHandler::HandleMetrics(const JsonValue& request) {
       {"gauges", JsonValue(std::move(gauges))},
       {"histograms", JsonValue(std::move(histograms))},
   });
+}
+
+JsonValue ServeHandler::HandleFlightz(const JsonValue& request) {
+  if (flight_ == nullptr) {
+    return ErrorResponseFor(
+        request, Status::FailedPrecondition(
+                     "flight recorder disabled (flight capacity 0)"));
+  }
+  StatusOr<int64_t> n = GetInt(request, "n", 64, 1, 4096);
+  if (!n.ok()) return ErrorResponseFor(request, n.status());
+
+  JsonValue::Array records;
+  for (const obs::FlightRecord& record :
+       flight_->Recent(static_cast<std::size_t>(*n))) {
+    records.push_back(FlightRecordJson(record));
+  }
+  JsonValue::Array pinned;
+  for (const obs::FlightRecord& record :
+       flight_->Pinned(static_cast<std::size_t>(*n))) {
+    pinned.push_back(FlightRecordJson(record));
+  }
+  return OkResponse({
+      {"op", "flightz"},
+      {"committed", flight_->committed()},
+      {"capacity", static_cast<int64_t>(flight_->options().capacity)},
+      {"pinned_capacity",
+       static_cast<int64_t>(flight_->options().pinned_capacity)},
+      {"records", JsonValue(std::move(records))},
+      {"pinned", JsonValue(std::move(pinned))},
+  });
+}
+
+JsonValue FlightRecordJson(const obs::FlightRecord& record) {
+  JsonValue::Array spans;
+  for (int i = 0; i < record.num_spans; ++i) {
+    spans.push_back(JsonValue(JsonValue::Object{
+        {"name", std::string(record.spans[i].name)},
+        {"us", record.spans[i].duration_us},
+    }));
+  }
+  JsonValue::Object json{
+      {"id", record.id},
+      {"ts_ms", record.wall_ms},
+      {"mono_ns", record.mono_ns},
+      {"op", std::string(record.op)},
+      {"graph", std::string(record.graph)},
+      {"epoch", static_cast<int64_t>(record.epoch)},
+      {"ok", record.ok != 0},
+      {"trace_id", std::string(record.trace_id)},
+      {"latency_us", record.latency_us},
+      {"queue_wait_us", record.queue_wait_us},
+      {"spans", JsonValue(std::move(spans))},
+  };
+  if (record.ok == 0) {
+    json["error_code"] = std::string(record.error_code);
+  }
+  return JsonValue(std::move(json));
 }
 
 }  // namespace cfcm::serve

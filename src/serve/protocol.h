@@ -21,11 +21,16 @@
 //             Dense algorithm: rejected when n - |group| or k exceeds
 //             EngineOptions::augment_max_n.
 //   stats    {"op":"stats"} — cache/catalog/server counters plus, from
-//             one coherent metrics snapshot, per-op request totals and
-//             latency percentiles (DESIGN.md §12).
+//             one coherent metrics snapshot, per-op request totals,
+//             latency percentiles and engine linear-algebra counters,
+//             with uptime and build identification (DESIGN.md §12).
 //   metrics  {"op":"metrics"} — full registry snapshot as JSON;
 //             {"format":"prometheus"} returns a text-exposition
 //             rendering in a "text" member instead.
+//   flightz  {"op":"flightz","n":<int>} — the newest n (default 64)
+//             flight-recorder entries plus the pinned slow/error ring
+//             (DESIGN.md §15); same records as the admin plane's
+//             /flightz endpoint.
 //   shutdown {"op":"shutdown"}
 // Every request may carry an "id" member, echoed verbatim in the
 // response so pipelined clients can match replies; a string "trace_id"
@@ -43,9 +48,12 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "engine/engine.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "serve/catalog.h"
 #include "serve/json.h"
 #include "serve/result_cache.h"
@@ -66,6 +74,17 @@ struct HandlerOptions {
   std::size_t cache_capacity = 1024;
   int cache_shards = 8;
   engine::EngineOptions engine;
+
+  /// Flight-recorder rings (DESIGN.md §15). capacity 0 disables the
+  /// recorder entirely (no per-request commit, flightz answers an
+  /// error).
+  std::size_t flight_capacity = 1024;
+  std::size_t flight_pinned_capacity = 128;
+  /// Requests at least this slow are pinned; <= 0 pins errors only.
+  int64_t flight_slow_us = 100'000;
+
+  /// Per-op latency objectives (--slo); empty disables SLO tracking.
+  std::vector<obs::SloObjective> slo;
 };
 
 /// The wire name of a Status code, e.g. "not_found" — shared by server
@@ -147,22 +166,41 @@ class ServeHandler {
   SessionCatalog& catalog() { return catalog_; }
   ResultCache& cache() { return cache_; }
 
+  /// Null when flight_capacity was 0.
+  obs::FlightRecorder* flight_recorder() { return flight_.get(); }
+  /// Null when no SLO objectives were configured.
+  obs::SloTracker* slo_tracker() { return slo_.get(); }
+
  private:
-  JsonValue HandleLoad(const JsonValue& request, obs::TraceContext* trace);
+  JsonValue HandleLoad(const JsonValue& request, obs::TraceContext* trace,
+                       obs::FlightRecord* record);
   JsonValue HandleUnload(const JsonValue& request);
-  JsonValue HandleSolve(const JsonValue& request, obs::TraceContext* trace);
-  JsonValue HandleEvaluate(const JsonValue& request, obs::TraceContext* trace);
-  JsonValue HandleMutate(const JsonValue& request, obs::TraceContext* trace);
-  JsonValue HandleAugment(const JsonValue& request, obs::TraceContext* trace);
+  JsonValue HandleSolve(const JsonValue& request, obs::TraceContext* trace,
+                        obs::FlightRecord* record);
+  JsonValue HandleEvaluate(const JsonValue& request, obs::TraceContext* trace,
+                           obs::FlightRecord* record);
+  JsonValue HandleMutate(const JsonValue& request, obs::TraceContext* trace,
+                         obs::FlightRecord* record);
+  JsonValue HandleAugment(const JsonValue& request, obs::TraceContext* trace,
+                          obs::FlightRecord* record);
   JsonValue HandleStats();
   JsonValue HandleMetrics(const JsonValue& request);
+  JsonValue HandleFlightz(const JsonValue& request);
 
   HandlerOptions options_;
   SessionCatalog catalog_;
   ResultCache cache_;
   const AdmissionStats* admission_ = nullptr;
   std::atomic<bool> shutdown_{false};
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::SloTracker> slo_;
 };
+
+/// JSON rendering of one flight record ({"id","ts_ms","mono_ns","op",
+/// "graph","epoch","ok","error_code","trace_id","latency_us",
+/// "queue_wait_us","spans":[{"name","us"}]}) — shared by the flightz op,
+/// the admin plane's /flightz endpoint, and the daemon's SIGTERM dump.
+JsonValue FlightRecordJson(const obs::FlightRecord& record);
 
 }  // namespace cfcm::serve
 

@@ -6,10 +6,12 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
+#include "common/build_info.h"
 #include "common/timer.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -66,7 +68,40 @@ Status Server::Start() {
     port_ = ntohs(bound.sin_port);
   }
 
-  started_ = true;
+  // Bring the admin plane up BEFORE workers/acceptor so a failed admin
+  // bind aborts cleanly (nothing else to unwind yet) and /healthz can
+  // answer from the first instant the data port accepts.
+  if (options_.admin_port >= 0) {
+    watchdog_ = std::make_unique<obs::Watchdog>(
+        obs::Watchdog::Options{options_.watchdog_interval_ms});
+    watchdog_->AddSampler("server", [this] { SampleGauges(); });
+    if (obs::SloTracker* slo = handler_->slo_tracker()) {
+      watchdog_->AddSampler("slo", [slo] { slo->Tick(MonotonicNanos()); });
+    }
+    AdminHooks hooks;
+    hooks.refresh = [this] { watchdog_->TickOnce(); };
+    hooks.ready = [this](std::string* reason) { return Ready(reason); };
+    hooks.statusz = [this](JsonValue::Object* status) { FillStatusz(status); };
+    hooks.flight = handler_->flight_recorder();
+    admin_ = std::make_unique<AdminPlane>(
+        std::move(hooks),
+        AdminPlaneOptions{options_.host, options_.admin_port, 5});
+    std::string admin_error;
+    if (!admin_->Start(&admin_error)) {
+      admin_.reset();
+      watchdog_.reset();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::IoError(admin_error);
+    }
+    watchdog_->Start();
+  }
+
+  {
+    // Under mu_: admin connection threads may already be calling Ready().
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+  }
   acceptor_ = std::thread([this] { AcceptLoop(); });
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -74,8 +109,167 @@ Status Server::Start() {
   obs::LogEvent(obs::LogLevel::kInfo, "listening")
       .Str("host", options_.host)
       .Int("port", port_)
+      .Int("admin_port", admin_port())
       .Int("workers", options_.num_workers);
   return Status::Ok();
+}
+
+std::size_t Server::queue_high_watermark() const {
+  if (options_.queue_high_watermark > 0) {
+    return std::min(options_.queue_high_watermark, options_.max_queue);
+  }
+  return std::max<std::size_t>(1, 3 * options_.max_queue / 4);
+}
+
+bool Server::Ready(std::string* reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) {
+      if (reason != nullptr) *reason = "not_accepting";
+      return false;
+    }
+    if (queue_.size() >= queue_high_watermark()) {
+      if (reason != nullptr) *reason = "queue_high_watermark";
+      return false;
+    }
+  }
+  // Outside mu_: the catalog has its own lock.
+  if (handler_->catalog().over_budget()) {
+    if (reason != nullptr) *reason = "catalog_over_budget";
+    return false;
+  }
+  return true;
+}
+
+void Server::FillStatusz(JsonValue::Object* status) {
+  const BuildInfo& build = GetBuildInfo();
+  (*status)["build"] = JsonValue(JsonValue::Object{
+      {"version", build.version},
+      {"compiler", build.compiler},
+      {"build_type", build.build_type},
+      {"cxx_standard", build.cxx_standard},
+  });
+  (*status)["uptime_s"] = obs::ProcessUptimeSeconds();
+
+  std::string reason;
+  const bool ready = Ready(&reason);
+  (*status)["ready"] = ready;
+  if (!ready) (*status)["not_ready_reason"] = reason;
+
+  std::size_t queue_depth;
+  std::size_t in_flight;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_depth = queue_.size();
+    in_flight = in_flight_;
+  }
+  (*status)["config"] = JsonValue(JsonValue::Object{
+      {"host", options_.host},
+      {"port", port_},
+      {"admin_port", admin_port()},
+      {"workers", options_.num_workers},
+      {"max_queue", static_cast<int64_t>(options_.max_queue)},
+      {"queue_high_watermark", static_cast<int64_t>(queue_high_watermark())},
+      {"max_line_bytes", static_cast<int64_t>(options_.max_line_bytes)},
+      {"slow_request_ms", options_.slow_request_ms},
+      {"watchdog_interval_ms", options_.watchdog_interval_ms},
+      {"pool_threads",
+       static_cast<int64_t>(handler_->catalog().pool().num_threads())},
+  });
+  (*status)["queue"] = JsonValue(JsonValue::Object{
+      {"depth", static_cast<int64_t>(queue_depth)},
+      {"in_flight", static_cast<int64_t>(in_flight)},
+  });
+  (*status)["admission"] = JsonValue(JsonValue::Object{
+      {"connections", stats_.connections.load(std::memory_order_relaxed)},
+      {"accepted", stats_.accepted.load(std::memory_order_relaxed)},
+      {"rejected", stats_.rejected.load(std::memory_order_relaxed)},
+      {"served", stats_.served.load(std::memory_order_relaxed)},
+  });
+
+  const CatalogStats catalog = handler_->catalog().stats();
+  JsonValue::Array sessions;
+  for (const CatalogSessionInfo& info : catalog.sessions) {
+    sessions.push_back(JsonValue(JsonValue::Object{
+        {"name", info.name},
+        {"resident", info.resident},
+        {"mutated", info.mutated},
+        {"bytes", static_cast<int64_t>(info.bytes)},
+        {"epoch", static_cast<int64_t>(info.epoch)},
+    }));
+  }
+  (*status)["catalog"] = JsonValue(JsonValue::Object{
+      {"resident_bytes", static_cast<int64_t>(catalog.resident_bytes)},
+      {"budget_bytes",
+       static_cast<int64_t>(handler_->catalog().memory_budget_bytes())},
+      {"sessions", JsonValue(std::move(sessions))},
+  });
+
+  const ResultCacheStats cache = handler_->cache().stats();
+  (*status)["cache"] = JsonValue(JsonValue::Object{
+      {"entries", cache.entries},
+      {"capacity", cache.capacity},
+      {"hits", cache.hits},
+      {"misses", cache.misses},
+  });
+
+  if (obs::FlightRecorder* flight = handler_->flight_recorder()) {
+    (*status)["flight"] = JsonValue(JsonValue::Object{
+        {"capacity", static_cast<int64_t>(flight->options().capacity)},
+        {"pinned_capacity",
+         static_cast<int64_t>(flight->options().pinned_capacity)},
+        {"slow_us", flight->options().slow_us},
+        {"committed", flight->committed()},
+    });
+  }
+  if (obs::SloTracker* slo = handler_->slo_tracker()) {
+    JsonValue::Array objectives;
+    for (const obs::SloObjective& objective : slo->objectives()) {
+      objectives.push_back(JsonValue(JsonValue::Object{
+          {"op", objective.op},
+          {"threshold_us", objective.threshold_us},
+      }));
+    }
+    (*status)["slo"] = JsonValue(std::move(objectives));
+  }
+}
+
+void Server::SampleGauges() {
+  auto& registry = obs::MetricsRegistry::Global();
+  std::size_t queue_depth;
+  std::size_t in_flight;
+  bool accepting;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_depth = queue_.size();
+    in_flight = in_flight_;
+    accepting = started_ && !stopping_;
+  }
+  registry.gauge("serve.queue.depth")
+      .Set(static_cast<int64_t>(queue_depth));
+  registry.gauge("serve.queue.high_watermark")
+      .Set(static_cast<int64_t>(queue_high_watermark()));
+  registry.gauge("serve.workers.in_flight")
+      .Set(static_cast<int64_t>(in_flight));
+  registry.gauge("serve.workers.total").Set(options_.num_workers);
+  registry.gauge("serve.accepting").Set(accepting ? 1 : 0);
+  registry.gauge("serve.pool.threads")
+      .Set(static_cast<int64_t>(handler_->catalog().pool().num_threads()));
+
+  const CatalogStats catalog = handler_->catalog().stats();
+  registry.gauge("catalog.bytes")
+      .Set(static_cast<int64_t>(catalog.resident_bytes));
+  registry.gauge("catalog.budget_bytes")
+      .Set(static_cast<int64_t>(handler_->catalog().memory_budget_bytes()));
+  registry.gauge("catalog.sessions")
+      .Set(static_cast<int64_t>(catalog.sessions.size()));
+  for (const CatalogSessionInfo& info : catalog.sessions) {
+    registry.gauge("serve.session." + info.name + ".epoch")
+        .Set(static_cast<int64_t>(info.epoch));
+  }
+
+  registry.gauge("serve.cache.entries")
+      .Set(static_cast<int64_t>(handler_->cache().stats().entries));
 }
 
 void Server::AcceptLoop() {
@@ -287,6 +481,13 @@ void Server::Shutdown() {
     reader_sync_->cv.wait(reader_lock,
                           [this] { return reader_sync_->active == 0; });
   }
+
+  // 4. Take down the admin plane LAST among the listeners: /healthz and
+  // /readyz keep answering through the drain (readiness already flipped
+  // to 503 when stopping_ was set), so a router sees the replica leave
+  // rotation before the health endpoint disappears.
+  if (admin_ != nullptr) admin_->Shutdown();
+  if (watchdog_ != nullptr) watchdog_->Stop();
 
   std::lock_guard<std::mutex> lock(mu_);
   connections_.clear();

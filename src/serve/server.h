@@ -13,7 +13,12 @@
 //     onto the shared ServeHandler (catalog + cache + engine);
 //   - shutdown (Shutdown() or the protocol's "shutdown" op) is graceful:
 //     stop accepting, reject new requests, drain the admitted queue,
-//     then close connections and join every thread.
+//     then close connections and join every thread;
+//   - with admin_port >= 0 a second HTTP listener (serve/admin.h)
+//     exposes /metrics, /healthz, /readyz, /statusz and /flightz, fed by
+//     a watchdog thread that samples queue/catalog/cache/session gauges
+//     — the admin plane stays up through the drain so health checks see
+//     the daemon leave rotation before it disappears.
 //
 // Responses echo the request's "id" member; pipelined requests on one
 // connection may complete out of order (workers run concurrently), so
@@ -31,6 +36,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/watchdog.h"
+#include "serve/admin.h"
 #include "serve/protocol.h"
 
 namespace cfcm::serve {
@@ -53,6 +60,20 @@ struct ServerOptions {
   /// this threshold are logged at warn level with their op and timing.
   /// 0 disables slow-request logging.
   int64_t slow_request_ms = 0;
+
+  /// Admin diagnostics plane (DESIGN.md §15): second HTTP listen port
+  /// for /metrics, /healthz, /readyz, /statusz, /flightz. -1 disables
+  /// the plane entirely; 0 binds an ephemeral port (see admin_port()).
+  int admin_port = -1;
+
+  /// Queue depth at which /readyz starts answering 503 (the router's
+  /// back-off signal, softer than the hard max_queue rejection).
+  /// 0 = 3/4 of max_queue.
+  std::size_t queue_high_watermark = 0;
+
+  /// Watchdog gauge-sampling period. <= 0 keeps the watchdog passive:
+  /// gauges refresh only on /metrics scrapes (deterministic for tests).
+  int watchdog_interval_ms = 1000;
 };
 
 /// \brief TCP front end over one ServeHandler.
@@ -70,6 +91,22 @@ class Server {
 
   /// The bound port (the resolved one when options.port was 0).
   int port() const { return port_; }
+
+  /// The admin plane's bound port; -1 when the plane is disabled.
+  int admin_port() const { return admin_ != nullptr ? admin_->port() : -1; }
+
+  /// The effective /readyz queue threshold.
+  std::size_t queue_high_watermark() const;
+
+  /// Readiness verdict (the /readyz rule): accepting connections AND
+  /// admission queue below the high watermark AND catalog within its
+  /// byte budget. Fills *reason with a short token on false.
+  bool Ready(std::string* reason);
+
+  /// Fills the /statusz JSON object: build, uptime, config, admission
+  /// counters, queue/session/cache state, flight-recorder and SLO
+  /// configuration.
+  void FillStatusz(JsonValue::Object* status);
 
   /// Blocks until Shutdown() is called or a worker executes the
   /// protocol's "shutdown" op, then performs the graceful shutdown.
@@ -100,6 +137,8 @@ class Server {
   void AcceptLoop();
   void ReadConnection(std::shared_ptr<Connection> connection);
   void WorkerLoop();
+  /// Watchdog sampler: queue/worker/catalog/cache/session gauges.
+  void SampleGauges();
   /// Serializes `response` and writes it plus '\n' (SIGPIPE-safe).
   static void WriteResponse(Connection& connection, const JsonValue& response);
 
@@ -110,6 +149,8 @@ class Server {
   int port_ = 0;
   std::thread acceptor_;
   std::vector<std::thread> workers_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
+  std::unique_ptr<AdminPlane> admin_;
 
   std::mutex mu_;
   std::condition_variable queue_cv_;     // workers wait for tasks

@@ -1,0 +1,191 @@
+// Flight recorder (DESIGN.md §15): seqlock ring correctness — field
+// round-trips, wrap-around retention, pinning policy, the metrics kill
+// switch, and the no-tearing guarantee under writer/reader races.
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cfcm::obs {
+namespace {
+
+FlightRecord MakeRecord(const char* op, bool ok, int64_t latency_us) {
+  FlightRecord record{};
+  record.set_op(op);
+  record.set_graph("karate");
+  record.set_trace_id("trace-1");
+  record.ok = ok ? 1 : 0;
+  record.latency_us = latency_us;
+  record.queue_wait_us = 3;
+  record.epoch = 7;
+  if (!ok) record.set_error_code("not_found");
+  return record;
+}
+
+TEST(FlightRecord, FieldRoundTripAndTruncation) {
+  FlightRecord record{};
+  record.set_op("solve");
+  record.set_graph("a-name-way-longer-than-the-twenty-four-byte-field");
+  record.set_trace_id("short");
+  record.set_error_code("deadline_exceeded_and_more");
+  record.AddSpan("parse", 11);
+  record.AddSpan("a-span-name-longer-than-twelve", 22);
+  EXPECT_STREQ(record.op, "solve");
+  EXPECT_EQ(std::strlen(record.graph), FlightRecord::kGraphBytes - 1);
+  EXPECT_STREQ(record.trace_id, "short");
+  EXPECT_EQ(std::strlen(record.error_code), FlightRecord::kErrorBytes - 1);
+  ASSERT_EQ(record.num_spans, 2);
+  EXPECT_STREQ(record.spans[0].name, "parse");
+  EXPECT_EQ(record.spans[0].duration_us, 11);
+  EXPECT_EQ(std::strlen(record.spans[1].name),
+            FlightRecord::kSpanNameBytes - 1);
+  // Span slots beyond kMaxSpans are dropped, not overflowed.
+  for (int i = 0; i < FlightRecord::kMaxSpans + 3; ++i) {
+    record.AddSpan("extra", i);
+  }
+  EXPECT_EQ(record.num_spans, FlightRecord::kMaxSpans);
+}
+
+TEST(FlightRecorder, CommitAndRecentRoundTrip) {
+  FlightRecorder recorder{{.capacity = 8, .pinned_capacity = 4}};
+  recorder.Commit(MakeRecord("solve", true, 100));
+  recorder.Commit(MakeRecord("stats", true, 5));
+  EXPECT_EQ(recorder.committed(), 2u);
+  const std::vector<FlightRecord> recent = recorder.Recent(10);
+  ASSERT_EQ(recent.size(), 2u);
+  // Ascending id order; ids are 1-based commit ordinals.
+  EXPECT_EQ(recent[0].id, 1u);
+  EXPECT_STREQ(recent[0].op, "solve");
+  EXPECT_EQ(recent[0].latency_us, 100);
+  EXPECT_EQ(recent[0].epoch, 7);
+  EXPECT_EQ(recent[1].id, 2u);
+  EXPECT_STREQ(recent[1].op, "stats");
+  EXPECT_GT(recent[0].mono_ns, 0);
+  EXPECT_GT(recent[0].wall_ms, 0);
+}
+
+TEST(FlightRecorder, WrapKeepsNewestCapacityRecords) {
+  FlightRecorder recorder{{.capacity = 4, .pinned_capacity = 2}};
+  for (int i = 1; i <= 10; ++i) {
+    recorder.Commit(MakeRecord("solve", true, i));
+  }
+  const std::vector<FlightRecord> recent = recorder.Recent(10);
+  ASSERT_EQ(recent.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(recent[static_cast<std::size_t>(i)].id,
+              static_cast<uint64_t>(7 + i));
+    EXPECT_EQ(recent[static_cast<std::size_t>(i)].latency_us, 7 + i);
+  }
+  // Recent(n) with a smaller n trims to the newest n.
+  const std::vector<FlightRecord> last_two = recorder.Recent(2);
+  ASSERT_EQ(last_two.size(), 2u);
+  EXPECT_EQ(last_two[0].id, 9u);
+  EXPECT_EQ(last_two[1].id, 10u);
+}
+
+TEST(FlightRecorder, PinsErrorsAndSlowRequests) {
+  FlightRecorder recorder{
+      {.capacity = 8, .pinned_capacity = 8, .slow_us = 1000}};
+  recorder.Commit(MakeRecord("solve", true, 10));     // fast ok: not pinned
+  recorder.Commit(MakeRecord("solve", false, 10));    // error: pinned
+  recorder.Commit(MakeRecord("solve", true, 5000));   // slow: pinned
+  const std::vector<FlightRecord> pinned = recorder.Pinned(10);
+  ASSERT_EQ(pinned.size(), 2u);
+  EXPECT_EQ(pinned[0].ok, 0);
+  EXPECT_STREQ(pinned[0].error_code, "not_found");
+  EXPECT_EQ(pinned[1].latency_us, 5000);
+  // slow_us <= 0 pins errors only.
+  FlightRecorder errors_only{
+      {.capacity = 8, .pinned_capacity = 8, .slow_us = 0}};
+  errors_only.Commit(MakeRecord("solve", true, 1 << 30));
+  errors_only.Commit(MakeRecord("solve", false, 1));
+  EXPECT_EQ(errors_only.Pinned(10).size(), 1u);
+}
+
+TEST(FlightRecorder, PinnedRingSurvivesMainRingChurn) {
+  FlightRecorder recorder{
+      {.capacity = 4, .pinned_capacity = 4, .slow_us = 1000}};
+  recorder.Commit(MakeRecord("solve", false, 10));  // the interesting one
+  // 100 fast-ok commits lap the main ring many times over.
+  for (int i = 0; i < 100; ++i) {
+    recorder.Commit(MakeRecord("solve", true, 1));
+  }
+  const std::vector<FlightRecord> pinned = recorder.Pinned(10);
+  ASSERT_EQ(pinned.size(), 1u);
+  EXPECT_EQ(pinned[0].id, 1u);
+  EXPECT_EQ(pinned[0].ok, 0);
+  // ...while the main ring only has the newest 4.
+  EXPECT_EQ(recorder.Recent(100).size(), 4u);
+  EXPECT_EQ(recorder.Recent(100).front().id, 98u);
+}
+
+TEST(FlightRecorder, KillSwitchMakesCommitANoOp) {
+  FlightRecorder recorder{{.capacity = 8, .pinned_capacity = 4}};
+  SetMetricsEnabled(false);
+  recorder.Commit(MakeRecord("solve", false, 10));
+  SetMetricsEnabled(true);
+  EXPECT_EQ(recorder.committed(), 0u);
+  EXPECT_TRUE(recorder.Recent(10).empty());
+  EXPECT_TRUE(recorder.Pinned(10).empty());
+  recorder.Commit(MakeRecord("solve", true, 10));
+  EXPECT_EQ(recorder.committed(), 1u);
+}
+
+TEST(FlightRecorder, ConcurrentCommitsAndReadsNeverTear) {
+  // 8 writers commit records whose fields are all derived from one
+  // nonce, while a reader snapshots continuously. A torn read would
+  // surface as a record whose fields disagree with each other.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  FlightRecorder recorder{
+      {.capacity = 64, .pinned_capacity = 16, .slow_us = 0}};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const FlightRecord& r : recorder.Recent(64)) {
+        const int64_t nonce = r.latency_us;
+        const std::string op = "op" + std::to_string(nonce % 7);
+        if (r.queue_wait_us != nonce * 3 || r.epoch != nonce + 1 ||
+            std::strncmp(r.op, op.c_str(), FlightRecord::kOpBytes) != 0) {
+          torn.fetch_add(1);
+        }
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int64_t nonce = static_cast<int64_t>(t) * kPerThread + i;
+        FlightRecord record{};
+        record.set_op(("op" + std::to_string(nonce % 7)).c_str());
+        record.latency_us = nonce;
+        record.queue_wait_us = nonce * 3;
+        record.epoch = nonce + 1;
+        record.ok = 1;
+        recorder.Commit(record);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(recorder.committed(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  // After the dust settles the ring holds exactly the newest 64 ids.
+  const std::vector<FlightRecord> recent = recorder.Recent(64);
+  ASSERT_EQ(recent.size(), 64u);
+  EXPECT_EQ(recent.back().id, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace cfcm::obs

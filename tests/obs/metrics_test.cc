@@ -12,6 +12,7 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -181,6 +182,101 @@ TEST(RenderPrometheus, EmitsBucketsSumCount) {
       << text;
   EXPECT_NE(text.find("serve_test_latency_us_count 2"), std::string::npos)
       << text;
+}
+
+TEST(RenderPrometheus, EmptyRegistryRendersEmpty) {
+  MetricsRegistry registry;
+  EXPECT_EQ(RenderPrometheus(registry.snapshot()), "");
+}
+
+TEST(RenderPrometheus, ZeroSampleHistogramKeepsSumCountConsistent) {
+  // A histogram that was registered but never recorded must still emit
+  // a coherent exposition: every bucket 0, _sum 0, _count 0, and the
+  // +Inf bucket equal to _count (scrapers divide _sum by _count and
+  // cross-check +Inf == count; divergence here poisons dashboards).
+  MetricsRegistry registry;
+  (void)registry.histogram("serve.idle.latency_us");
+  const std::string text = RenderPrometheus(registry.snapshot());
+  EXPECT_NE(text.find("serve_idle_latency_us_bucket{le=\"+Inf\"} 0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_idle_latency_us_sum 0"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_idle_latency_us_count 0"), std::string::npos)
+      << text;
+}
+
+TEST(RenderPrometheus, NegativeGaugeRendersSigned) {
+  MetricsRegistry registry;
+  registry.gauge("pool.headroom").Set(-42);
+  const std::string text = RenderPrometheus(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE pool_headroom gauge\npool_headroom -42\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(RenderPrometheus, EscapesInvalidNameCharacters) {
+  // Dots, dashes and other non-[a-zA-Z0-9_:] characters all map to '_';
+  // the HELP line preserves the original dotted spelling.
+  MetricsRegistry registry;
+  registry.counter("serve.session.graph-a.epoch").Add(4);
+  const std::string text = RenderPrometheus(registry.snapshot());
+  EXPECT_NE(text.find("serve_session_graph_a_epoch 4"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP serve_session_graph_a_epoch cfcm metric "
+                      "serve.session.graph-a.epoch"),
+            std::string::npos)
+      << text;
+}
+
+TEST(RenderPrometheus, EverySampleHasHelpAndTypePair) {
+  MetricsRegistry registry;
+  registry.counter("a.requests").Add(1);
+  registry.gauge("b.depth").Set(2);
+  registry.histogram("c.latency_us").Record(3);
+  const std::string text = RenderPrometheus(registry.snapshot());
+  for (const char* pname : {"a_requests", "b_depth", "c_latency_us"}) {
+    const std::string help = std::string("# HELP ") + pname + " ";
+    const std::string type = std::string("# TYPE ") + pname + " ";
+    const std::size_t help_at = text.find(help);
+    const std::size_t type_at = text.find(type);
+    ASSERT_NE(help_at, std::string::npos) << pname << "\n" << text;
+    ASSERT_NE(type_at, std::string::npos) << pname << "\n" << text;
+    EXPECT_LT(help_at, type_at) << pname;  // HELP immediately precedes TYPE
+  }
+  EXPECT_NE(text.find("# TYPE a_requests counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE b_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE c_latency_us histogram"), std::string::npos);
+}
+
+TEST(RenderPrometheus, CumulativeBucketsAreMonotone) {
+  MetricsRegistry registry;
+  auto& histogram = registry.histogram("mono.latency_us");
+  for (int64_t v : {1, 1, 5, 80, 3000, 70000}) histogram.Record(v);
+  const std::string text = RenderPrometheus(registry.snapshot());
+  // Walk every le-bucket line in order; cumulative counts must be
+  // non-decreasing and the +Inf bucket must equal _count.
+  uint64_t previous = 0;
+  uint64_t inf_value = 0;
+  std::size_t pos = 0;
+  int buckets_seen = 0;
+  while ((pos = text.find("mono_latency_us_bucket{le=\"", pos)) !=
+         std::string::npos) {
+    const std::size_t value_at = text.find("} ", pos);
+    ASSERT_NE(value_at, std::string::npos);
+    const uint64_t value = std::strtoull(text.c_str() + value_at + 2,
+                                         nullptr, 10);
+    EXPECT_GE(value, previous) << text.substr(pos, 64);
+    previous = value;
+    if (text.compare(pos, 33, "mono_latency_us_bucket{le=\"+Inf\"}") == 0) {
+      inf_value = value;
+    }
+    ++buckets_seen;
+    pos = value_at;
+  }
+  EXPECT_GT(buckets_seen, 1);
+  EXPECT_EQ(inf_value, 6u);
+  EXPECT_NE(text.find("mono_latency_us_count 6"), std::string::npos) << text;
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+// Watchdog and SLO burn tracking (DESIGN.md §15): --slo spec parsing,
+// burn-rate window math with explicit tick timestamps, the edge cases
+// around empty windows, and the sampling thread's lifecycle.
+//
+// SLO trackers publish gauges into the global registry, so every test
+// uses op names unique to this file to avoid crosstalk with other tests
+// in the process.
+#include "obs/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cfcm::obs {
+namespace {
+
+int64_t BurnShortMilli(const std::string& op) {
+  return MetricsRegistry::Global()
+      .gauge("serve.slo." + op + ".burn_short_milli")
+      .value();
+}
+
+int64_t BurnLongMilli(const std::string& op) {
+  return MetricsRegistry::Global()
+      .gauge("serve.slo." + op + ".burn_long_milli")
+      .value();
+}
+
+TEST(ParseSloSpec, AcceptsSuffixesAndBareMilliseconds) {
+  std::vector<SloObjective> out;
+  std::string error;
+  ASSERT_TRUE(ParseSloSpec("solve=50ms,mutate=2s,stats=750us,load=80", &out,
+                           &error))
+      << error;
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].op, "solve");
+  EXPECT_EQ(out[0].threshold_us, 50'000);
+  EXPECT_EQ(out[1].op, "mutate");
+  EXPECT_EQ(out[1].threshold_us, 2'000'000);
+  EXPECT_EQ(out[2].op, "stats");
+  EXPECT_EQ(out[2].threshold_us, 750);
+  EXPECT_EQ(out[3].op, "load");  // bare number = milliseconds
+  EXPECT_EQ(out[3].threshold_us, 80'000);
+}
+
+TEST(ParseSloSpec, EmptySpecMeansNoObjectives) {
+  std::vector<SloObjective> out;
+  std::string error;
+  EXPECT_TRUE(ParseSloSpec("", &out, &error)) << error;
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ParseSloSpec, RejectsMalformedSpecs) {
+  for (const char* bad : {"solve", "solve=", "=50ms", "solve=abc",
+                          "solve=0ms", "solve=-5ms", "solve=50ms,solve=60ms",
+                          "solve=50xs", "solve=50ms,,mutate=2s"}) {
+    std::vector<SloObjective> out;
+    std::string error;
+    EXPECT_FALSE(ParseSloSpec(bad, &out, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(SloTracker, CountsGoodAndBadAgainstThreshold) {
+  SloTracker tracker{{{"wdtest_count", 1000}}};
+  ASSERT_TRUE(tracker.enabled());
+  tracker.Record("wdtest_count", 500, true);    // good: fast + ok
+  tracker.Record("wdtest_count", 1000, true);   // good: exactly at threshold
+  tracker.Record("wdtest_count", 1500, true);   // bad: too slow
+  tracker.Record("wdtest_count", 500, false);   // bad: failed
+  tracker.Record("other_op", 1, false);         // no objective: ignored
+  auto& registry = MetricsRegistry::Global();
+  EXPECT_EQ(registry.counter("serve.slo.wdtest_count.good").value(), 2u);
+  EXPECT_EQ(registry.counter("serve.slo.wdtest_count.total").value(), 4u);
+}
+
+TEST(SloTracker, BurnIsBadFractionOverBudget) {
+  // 10% bad over the window with a 1% budget = burn 10.0 = 10000 milli.
+  SloTracker tracker{{{"wdtest_burn", 1000}},
+                     {.error_budget = 0.01,
+                      .short_window_s = 60,
+                      .long_window_s = 300}};
+  const int64_t t0 = 1'000'000'000;
+  tracker.Tick(t0);  // baseline sample (0 good, 0 total)
+  for (int i = 0; i < 90; ++i) tracker.Record("wdtest_burn", 1, true);
+  for (int i = 0; i < 10; ++i) tracker.Record("wdtest_burn", 1, false);
+  tracker.Tick(t0 + 30'000'000'000);  // 30s later: inside both windows
+  EXPECT_EQ(BurnShortMilli("wdtest_burn"), 10'000);
+  EXPECT_EQ(BurnLongMilli("wdtest_burn"), 10'000);
+}
+
+TEST(SloTracker, ShortWindowDecaysBeforeLongWindow) {
+  SloTracker tracker{{{"wdtest_decay", 1000}},
+                     {.error_budget = 0.01,
+                      .short_window_s = 60,
+                      .long_window_s = 300}};
+  const int64_t second = 1'000'000'000;
+  const int64_t t0 = second;
+  tracker.Tick(t0);
+  // A burst of pure failures...
+  for (int i = 0; i < 10; ++i) tracker.Record("wdtest_decay", 1, false);
+  tracker.Tick(t0 + 10 * second);
+  EXPECT_EQ(BurnShortMilli("wdtest_decay"), 100'000);  // 100% bad / 1%
+  // ...then 2 minutes of pure successes: the 60s window no longer sees
+  // the burst, the 300s window still does.
+  for (int i = 0; i < 110; ++i) tracker.Record("wdtest_decay", 1, true);
+  tracker.Tick(t0 + 130 * second);
+  EXPECT_EQ(BurnShortMilli("wdtest_decay"), 0);
+  EXPECT_GT(BurnLongMilli("wdtest_decay"), 0);
+}
+
+TEST(SloTracker, EmptyWindowBurnsNothing) {
+  SloTracker tracker{{{"wdtest_idle", 1000}}};
+  tracker.Tick(5'000'000'000);
+  tracker.Tick(10'000'000'000);  // no requests at all
+  EXPECT_EQ(BurnShortMilli("wdtest_idle"), 0);
+  EXPECT_EQ(BurnLongMilli("wdtest_idle"), 0);
+}
+
+TEST(SloTracker, DisabledWithoutObjectives) {
+  SloTracker tracker{{}};
+  EXPECT_FALSE(tracker.enabled());
+  tracker.Record("anything", 1, true);  // must not crash
+  tracker.Tick(1'000'000'000);
+}
+
+TEST(Watchdog, TickOncePublishesBuiltInsAndRunsSamplers) {
+  Watchdog watchdog{{.interval_ms = 0}};  // passive: no thread
+  std::atomic<int> sampled{0};
+  watchdog.AddSampler("test", [&] { sampled.fetch_add(1); });
+  watchdog.TickOnce();
+  watchdog.TickOnce();
+  EXPECT_EQ(sampled.load(), 2);
+  EXPECT_EQ(watchdog.ticks(), 2u);
+  auto& registry = MetricsRegistry::Global();
+#if defined(__linux__)
+  EXPECT_GT(registry.gauge("process.rss_bytes").value(), 0);
+#endif
+  EXPECT_GE(registry.gauge("process.uptime_s").value(), 0);
+}
+
+TEST(Watchdog, StartAndStopJoinCleanly) {
+  Watchdog watchdog{{.interval_ms = 1}};
+  std::atomic<int> sampled{0};
+  watchdog.AddSampler("test", [&] { sampled.fetch_add(1); });
+  watchdog.Start();
+  // The loop ticks immediately on start, so one TickOnce from the
+  // outside plus the thread's own passes make this >= 1 without sleeps.
+  watchdog.TickOnce();
+  watchdog.Stop();
+  watchdog.Stop();  // idempotent
+  EXPECT_GE(sampled.load(), 1);
+  const uint64_t after_stop = watchdog.ticks();
+  EXPECT_EQ(watchdog.ticks(), after_stop);  // no thread left ticking
+}
+
+TEST(ProcessClock, UptimeAndRssAreSane) {
+  EXPECT_GT(ProcessStartMonoNs(), 0);
+  EXPECT_GE(ProcessUptimeSeconds(), 0);
+#if defined(__linux__)
+  EXPECT_GT(ProcessRssBytes(), 0);
+#endif
+}
+
+}  // namespace
+}  // namespace cfcm::obs

@@ -194,6 +194,80 @@ TEST(ObservabilityTest, StatsObservedBlockIsCoherent) {
   EXPECT_GE(IntField(*observed->Find("requests")->Find("solve"), "total"), 2);
 }
 
+TEST(ObservabilityTest, StatsSurfaceEngineCountersUptimeAndBuild) {
+  ServeHandler handler{{}};
+  LoadKarate(handler, "s2");
+  ASSERT_EQ(StrField(Call(handler, SolveLine("s2", 13)), "status"), "ok");
+
+  const JsonValue stats = Call(handler, R"({"op":"stats"})");
+  ASSERT_EQ(StrField(stats, "status"), "ok");
+  // Engine linear-algebra counters ride in the same coherent snapshot
+  // as the cache/latency numbers (DESIGN.md §15 satellite).
+  const JsonValue* linalg = stats.Find("observed")->Find("engine");
+  ASSERT_NE(linalg, nullptr) << stats.Serialize();
+  linalg = linalg->Find("linalg");
+  ASSERT_NE(linalg, nullptr) << stats.Serialize();
+  for (const char* key : {"factorizations", "solves", "cg_iterations"}) {
+    EXPECT_GE(IntField(*linalg, key), 0) << key;
+  }
+  EXPECT_GE(IntField(stats, "uptime_s"), 0);
+  const JsonValue* build = stats.Find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_FALSE(StrField(*build, "version").empty());
+  EXPECT_FALSE(StrField(*build, "compiler").empty());
+  EXPECT_FALSE(StrField(*build, "build_type").empty());
+  EXPECT_EQ(StrField(*build, "cxx_standard"), "c++20");
+}
+
+TEST(ObservabilityTest, FlightzOpReturnsCommittedRecords) {
+  ServeHandler handler{{}};
+  LoadKarate(handler, "f1");
+  ASSERT_EQ(
+      StrField(Call(handler, SolveLine("f1", 21,
+                                       R"(,"trace_id":"flight-trace")")),
+               "status"),
+      "ok");
+  // An op against a missing graph is an error -> pinned.
+  Call(handler, R"({"op":"solve","graph":"missing","k":2})");
+
+  const JsonValue flightz = Call(handler, R"({"op":"flightz","n":16})");
+  ASSERT_EQ(StrField(flightz, "status"), "ok");
+  EXPECT_GE(IntField(flightz, "committed"), 3);
+  const JsonValue* records = flightz.Find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_FALSE(records->array().empty());
+  bool saw_traced_solve = false;
+  for (const JsonValue& record : records->array()) {
+    if (StrField(record, "op") == "solve" &&
+        StrField(record, "trace_id") == "flight-trace") {
+      saw_traced_solve = true;
+      EXPECT_GE(IntField(record, "latency_us"), 0);
+      EXPECT_GT(IntField(record, "mono_ns"), 0);
+      EXPECT_EQ(record.Find("ok")->as_bool(), true);
+      // Flight records carry span timings even though the request never
+      // asked for a trace (observation-only: the response had none).
+      EXPECT_FALSE(record.Find("spans")->array().empty())
+          << record.Serialize();
+    }
+  }
+  EXPECT_TRUE(saw_traced_solve) << flightz.Serialize();
+  // The failed solve landed in the pinned ring with its error code.
+  const JsonValue* pinned = flightz.Find("pinned");
+  ASSERT_NE(pinned, nullptr);
+  bool saw_error = false;
+  for (const JsonValue& record : pinned->array()) {
+    if (StrField(record, "error_code") == "not_found") saw_error = true;
+  }
+  EXPECT_TRUE(saw_error) << flightz.Serialize();
+
+  // flight_capacity 0 disables the recorder; flightz reports that.
+  HandlerOptions disabled;
+  disabled.flight_capacity = 0;
+  ServeHandler no_flight{disabled};
+  const JsonValue err = Call(no_flight, R"({"op":"flightz"})");
+  EXPECT_EQ(StrField(err, "status"), "error");
+}
+
 TEST(ObservabilityTest, StatsStayCoherentUnderConcurrentTraffic) {
   // The regression this PR fixes: stats used to read cache and catalog
   // counters with separate lock acquisitions, so a reader racing live

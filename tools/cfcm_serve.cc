@@ -16,14 +16,22 @@
 //   # mutate -> guaranteed miss -> inverse delta -> hit again, and an
 //   # augment round-trip
 //   cfcm_serve selftest
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parse.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
+#include "obs/watchdog.h"
 #include "serve/client.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
@@ -58,7 +66,17 @@ void PrintUsage(std::FILE* out) {
       "  --preload NAME=SPEC define+load a graph at startup (repeatable)\n"
       "  --log-level L       structured stderr logging: debug/info/warn/\n"
       "                      error/off (default warn)\n"
-      "  --slow-request-ms N warn-log requests slower than N ms (0 = off)\n"
+      "  --slow-request-ms N warn-log requests slower than N ms (0 = off);\n"
+      "                      also pins them in the flight recorder\n"
+      "  --admin-port N      HTTP diagnostics port (/metrics /healthz\n"
+      "                      /readyz /statusz /flightz); 0 = OS-assigned,\n"
+      "                      printed on stdout; omit to disable\n"
+      "  --slo SPEC          per-op latency objectives, e.g.\n"
+      "                      solve=50ms,mutate=2s (us/ms/s suffixes)\n"
+      "  --flight-capacity N flight-recorder ring size in records\n"
+      "                      (default 1024; 0 disables the recorder)\n"
+      "  --watchdog-ms N     gauge sampling period (default 1000; 0 =\n"
+      "                      sample only on /metrics scrapes)\n"
       "\n"
       "client options:\n"
       "  --host A --port N   server address (port required)\n"
@@ -110,7 +128,8 @@ int RunServe(int argc, char** argv) {
       server_options.host = need_value();
     } else if (arg == "--port" || arg == "--workers" || arg == "--queue" ||
                arg == "--cache" || arg == "--memory-budget" ||
-               arg == "--threads") {
+               arg == "--threads" || arg == "--admin-port" ||
+               arg == "--flight-capacity" || arg == "--watchdog-ms") {
       const char* value = need_value();
       if (!ParseLong(value, &number) || number < 0) {
         std::fprintf(stderr, "error: bad value for %s: '%s'\n", arg.c_str(),
@@ -140,6 +159,26 @@ int RunServe(int argc, char** argv) {
       if (arg == "--threads") {
         handler_options.catalog.num_threads = static_cast<int>(number);
       }
+      if (arg == "--admin-port") {
+        if (number > 65535) {
+          std::fprintf(stderr, "error: --admin-port must be in [0, 65535]\n");
+          return 2;
+        }
+        server_options.admin_port = static_cast<int>(number);
+      }
+      if (arg == "--flight-capacity") {
+        handler_options.flight_capacity = static_cast<std::size_t>(number);
+      }
+      if (arg == "--watchdog-ms") {
+        server_options.watchdog_interval_ms = static_cast<int>(number);
+      }
+    } else if (arg == "--slo") {
+      const char* value = need_value();
+      std::string slo_error;
+      if (!cfcm::obs::ParseSloSpec(value, &handler_options.slo, &slo_error)) {
+        std::fprintf(stderr, "error: --slo: %s\n", slo_error.c_str());
+        return 2;
+      }
     } else if (arg == "--log-level") {
       const char* value = need_value();
       cfcm::obs::LogLevel level = cfcm::obs::LogLevel::kWarn;
@@ -159,6 +198,10 @@ int RunServe(int argc, char** argv) {
         return 2;
       }
       server_options.slow_request_ms = number;
+      // The same threshold drives flight-recorder pinning, so the slow
+      // requests the operator asked to be warned about are the ones held
+      // in the reserved ring.
+      if (number > 0) handler_options.flight_slow_us = number * 1000;
     } else if (arg == "--preload") {
       const std::string spec = need_value();
       const std::size_t eq = spec.find('=');
@@ -173,6 +216,16 @@ int RunServe(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Block SIGTERM/SIGINT before any thread exists so every thread
+  // inherits the mask and only the dedicated sigwait thread below ever
+  // sees the signals — the POSIX-clean way to run nontrivial code (the
+  // flight dump + graceful shutdown) on termination.
+  sigset_t term_signals;
+  sigemptyset(&term_signals);
+  sigaddset(&term_signals, SIGTERM);
+  sigaddset(&term_signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &term_signals, nullptr);
 
   ServeHandler handler{handler_options};
   for (const auto& [name, spec] : preloads) {
@@ -192,11 +245,50 @@ int RunServe(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
     return 1;
   }
-  // One machine-readable line so wrappers can discover the bound port.
-  std::printf("{\"serving\":true,\"host\":\"%s\",\"port\":%d,\"graphs\":%zu}\n",
-              server_options.host.c_str(), server.port(), preloads.size());
+  // One machine-readable line so wrappers can discover the bound ports.
+  std::printf("{\"serving\":true,\"host\":\"%s\",\"port\":%d,"
+              "\"admin_port\":%d,\"graphs\":%zu}\n",
+              server_options.host.c_str(), server.port(), server.admin_port(),
+              preloads.size());
   std::fflush(stdout);
+
+  // On SIGTERM/SIGINT: dump the flight recorder (the post-hoc record of
+  // what the daemon was doing when someone killed it), then shut down
+  // gracefully. The dump goes to stderr as one JSON line per record.
+  std::atomic<bool> dump_on_signal{true};
+  std::thread signal_thread([&] {
+    int sig = 0;
+    if (sigwait(&term_signals, &sig) != 0) return;
+    if (!dump_on_signal.load(std::memory_order_acquire)) return;
+    cfcm::obs::LogEvent(cfcm::obs::LogLevel::kWarn, "terminating")
+        .Int("signal", sig);
+    if (cfcm::obs::FlightRecorder* flight = handler.flight_recorder()) {
+      for (const auto& record : flight->Pinned(flight->options()
+                                                   .pinned_capacity)) {
+        std::fprintf(stderr,
+                     "{\"event\":\"flight_record\",\"ring\":\"pinned\","
+                     "\"record\":%s}\n",
+                     cfcm::serve::FlightRecordJson(record)
+                         .Serialize().c_str());
+      }
+      for (const auto& record : flight->Recent(32)) {
+        std::fprintf(stderr,
+                     "{\"event\":\"flight_record\",\"ring\":\"recent\","
+                     "\"record\":%s}\n",
+                     cfcm::serve::FlightRecordJson(record)
+                         .Serialize().c_str());
+      }
+    }
+    server.Shutdown();
+  });
+
   server.Wait();
+  // Wake the signal thread if no signal ever arrived (shutdown came via
+  // the protocol op): disarm the dump, send ourselves the signal it is
+  // sigwait-ing for, and join.
+  dump_on_signal.store(false, std::memory_order_release);
+  ::kill(::getpid(), SIGTERM);
+  signal_thread.join();
   return 0;
 }
 
@@ -492,8 +584,10 @@ int RunSelftest() {
       R"({"op":"solve","graph":"karate","algorithm":"forest","k":3,"seed":7,)"
       R"("trace":true,"trace_id":"selftest-trace"})");
   const std::string metrics = call(R"({"op":"metrics"})");
+  const std::string flightz = call(R"({"op":"flightz"})");
   server.Shutdown();
-  std::printf("%s\n%s\n", traced.c_str(), metrics.c_str());
+  std::printf("%s\n%s\n%s\n", traced.c_str(), metrics.c_str(),
+              flightz.c_str());
   if (traced.find("\"trace_id\":\"selftest-trace\"") == std::string::npos ||
       traced.find("\"spans\":[") == std::string::npos ||
       traced.find("\"queue_wait\"") == std::string::npos) {
@@ -505,6 +599,14 @@ int RunSelftest() {
           std::string::npos ||
       metrics.find("\"serve.cache.hits\"") == std::string::npos) {
     std::fprintf(stderr, "selftest: metrics op missing solve latency\n");
+    return 1;
+  }
+  // Flight recorder: every request above commits a record; the traced
+  // solve must be findable by its trace id, and the pinned ring member
+  // must be present in the answer (even if empty on a fast machine).
+  if (flightz.find("\"trace_id\":\"selftest-trace\"") == std::string::npos ||
+      flightz.find("\"pinned\":[") == std::string::npos) {
+    std::fprintf(stderr, "selftest: flightz missing traced solve record\n");
     return 1;
   }
   std::printf("selftest ok\n");

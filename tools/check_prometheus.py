@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition (CI gate for the admin plane).
+
+Reads the exposition from stdin (or a file argument) and checks:
+  - every sample's metric family has a preceding # HELP and # TYPE pair,
+    with HELP immediately before TYPE;
+  - histogram le="..." bucket values are monotonically non-decreasing in
+    file order, and the +Inf bucket equals the family's _count sample;
+  - no unparseable lines.
+
+Exits 0 when clean, 1 with one message per violation otherwise.
+"""
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9]+(?:\.[0-9]+)?|[+-]Inf|NaN)$'
+)
+LE_RE = re.compile(r'le="([^"]*)"')
+
+
+def base_family(name):
+    """Maps a sample name to its declared family (histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    if len(sys.argv) > 2:
+        print("usage: check_prometheus.py [exposition.txt] < exposition",
+              file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        with open(sys.argv[1], "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+
+    errors = []
+    helped = set()
+    typed = {}
+    last_help = None
+    bucket_prev = {}   # family -> last cumulative bucket value
+    inf_bucket = {}    # family -> +Inf bucket value
+    counts = {}        # family -> _count value
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                errors.append(f"line {lineno}: malformed HELP: {line!r}")
+                continue
+            last_help = parts[2]
+            helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {lineno}: malformed TYPE: {line!r}")
+                continue
+            name, kind = parts[2], parts[3]
+            if last_help != name:
+                errors.append(
+                    f"line {lineno}: TYPE {name} not immediately preceded "
+                    f"by its HELP line")
+            typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, labels, value = match.group(1), match.group(2) or "", match.group(3)
+        family = base_family(name)
+        if family not in typed:
+            errors.append(f"line {lineno}: sample {name} has no # TYPE")
+        if family not in helped:
+            errors.append(f"line {lineno}: sample {name} has no # HELP")
+        if name.endswith("_bucket"):
+            le = LE_RE.search(labels)
+            if le is None:
+                errors.append(f"line {lineno}: bucket without le label")
+                continue
+            v = float(value)
+            prev = bucket_prev.get(family, 0.0)
+            if v < prev:
+                errors.append(
+                    f"line {lineno}: {family} bucket le={le.group(1)} value "
+                    f"{v} < previous cumulative {prev}")
+            bucket_prev[family] = v
+            if le.group(1) == "+Inf":
+                inf_bucket[family] = v
+                bucket_prev[family] = 0.0  # next histogram starts over
+        elif name.endswith("_count"):
+            counts[family] = float(value)
+
+    for family, count in counts.items():
+        if typed.get(family) != "histogram":
+            continue
+        if family not in inf_bucket:
+            errors.append(f"{family}: histogram without a +Inf bucket")
+        elif inf_bucket[family] != count:
+            errors.append(
+                f"{family}: +Inf bucket {inf_bucket[family]} != _count "
+                f"{count}")
+
+    for message in errors:
+        print(f"check_prometheus: {message}", file=sys.stderr)
+    if not errors:
+        families = sum(1 for k in typed)
+        print(f"check_prometheus: ok ({families} metric families)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
