@@ -10,10 +10,21 @@
 //                  guaranteed cache miss because each mutation produces
 //                  a fingerprint never seen before
 //
+// plus, per delta kind (1-edge reweight / ~1% edge churn / node add),
+// a warm-vs-cold pair of mutate+resolve phases exercising the
+// incremental pipeline (DESIGN.md §16): the cold leg re-solves from
+// scratch after every delta, the warm leg sends "warm":true so the
+// solver replays retained forests and repairs the previous selection.
+// Warm rows carry warm_speedup = cold_seconds / warm_seconds; the JSON
+// also reports the top-level "warm_speedup" (best reweight1 speedup
+// across graphs) and "warm_beats_cold" (every graph's reweight1 warm
+// leg faster than its cold leg) for the CI bench smoke.
+//
 // Per-phase round latencies go into a log2 histogram; the table and
 // BENCH_dynamic.json report p50/p99/max per phase.
 //
 //   bench_dynamic [--smoke] [--json BENCH_dynamic.json] [--rounds N]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +55,9 @@ struct PhaseRow {
   long long cache_misses = 0;
   long long epoch = 0;  // session epoch when the phase ended
   LatencyHistogram::Snapshot latency;  // per-round latency
+  long long warm_started = 0;   // solves answered by the warm pipeline
+  long long cold_fallbacks = 0; // warm requests that fell back cold
+  double warm_speedup = 0.0;    // cold/warm seconds (warm rows only)
 };
 
 bool IsOk(const JsonValue& response) {
@@ -87,14 +101,15 @@ int main(int argc, char** argv) {
 
   std::vector<std::pair<std::string, std::string>> graphs = {
       {"karate", "karate"}};
+  graphs.emplace_back("ba400", "ba:400,4,1");
   if (!smoke) graphs.emplace_back("ba2000", "ba:2000,4,1");
 
   ServeHandler handler{{}};
   std::printf("# bench_dynamic: mutate + re-solve pipeline throughput\n");
   std::printf("# rounds=%d per phase\n", rounds);
-  std::printf("%-8s %-12s %7s %9s %10s %6s %7s %6s %8s %8s\n", "graph",
-              "phase", "rounds", "seconds", "rounds/s", "hits", "misses",
-              "epoch", "p50_us", "p99_us");
+  std::printf("%-8s %-15s %7s %9s %10s %6s %7s %6s %8s %8s %5s %4s %8s\n",
+              "graph", "phase", "rounds", "seconds", "rounds/s", "hits",
+              "misses", "epoch", "p50_us", "p99_us", "warm", "fb", "speedup");
 
   std::vector<PhaseRow> rows;
   for (const auto& [name, spec] : graphs) {
@@ -148,16 +163,165 @@ int main(int argc, char** argv) {
       row.cache_misses = static_cast<long long>(after.misses - before.misses);
       row.epoch = SessionEpoch(handler, name);
       row.latency = latency.snapshot();
-      std::printf("%-8s %-12s %7d %9.4f %10.1f %6lld %7lld %6lld %8lld "
-                  "%8lld\n",
+      std::printf("%-8s %-15s %7d %9.4f %10.1f %6lld %7lld %6lld %8lld "
+                  "%8lld %5lld %4lld %8s\n",
                   row.graph.c_str(), row.phase.c_str(), row.rounds,
                   row.seconds, row.rps, row.cache_hits, row.cache_misses,
                   row.epoch,
                   static_cast<long long>(row.latency.Percentile(0.50)),
-                  static_cast<long long>(row.latency.Percentile(0.99)));
+                  static_cast<long long>(row.latency.Percentile(0.99)),
+                  row.warm_started, row.cold_fallbacks, "-");
       rows.push_back(row);
     }
+
+    // ---- warm vs cold mutate+resolve per delta kind (DESIGN.md §16).
+    const long long n0 = loaded.Find("nodes")->as_int();
+    const long long m0 = loaded.Find("edges")->as_int();
+    // Guarantee edge (0,1) exists so the reweight kind always applies.
+    if (!IsOk(handler.HandleLine(R"({"op":"mutate","graph":")" + name +
+                                 R"(","add":[[0,1,1.0]]})"))) {
+      std::fprintf(stderr, "bench_dynamic: seed mutate failed\n");
+      return 1;
+    }
+    long long next_node = n0;  // nodeadd: id of the next added node
+    long long seq = 0;         // global delta sequence: fresh fingerprints
+    const long long churn_count = std::max<long long>(1, m0 / 100);
+    bool churn_present = false;  // churn batch currently in the graph
+
+    auto mutate_for = [&](const std::string& kind) -> std::string {
+      ++seq;
+      char weight[32];
+      if (kind == "reweight1") {
+        std::snprintf(weight, sizeof(weight), "%.6f", 1.0 + 0.001 * seq);
+        return R"({"op":"mutate","graph":")" + name +
+               R"(","reweight":[[0,1,)" + weight + "]]}";
+      }
+      if (kind == "churn1pct") {
+        // Structurally churn ~1% of the edges each round: drop the
+        // previous round's batch and re-add it at a fresh weight
+        // (removals apply before additions), so no fingerprint repeats
+        // and no solve degenerates into a cache hit.
+        std::snprintf(weight, sizeof(weight), "%.6f", 0.05 + 0.0001 * seq);
+        std::string remove_list, add_list;
+        for (long long j = 0; j < churn_count; ++j) {
+          const long long u = j;
+          const long long v = n0 - 1 - j;
+          if (!remove_list.empty()) {
+            remove_list += ",";
+            add_list += ",";
+          }
+          remove_list += "[" + std::to_string(u) + "," + std::to_string(v) +
+                         "]";
+          add_list += "[" + std::to_string(u) + "," + std::to_string(v) +
+                      "," + weight + "]";
+        }
+        std::string line = R"({"op":"mutate","graph":")" + name + "\",";
+        if (churn_present) line += "\"remove\":[" + remove_list + "],";
+        churn_present = true;
+        line += "\"add\":[" + add_list + "]}";
+        return line;
+      }
+      // nodeadd: one new node, attached to node 0 to stay connected.
+      const long long u = next_node++;
+      return R"({"op":"mutate","graph":")" + name +
+             R"(","add_nodes":1,"add":[[)" + std::to_string(u) + ",0,1.0]]}";
+    };
+
+    const std::string cold_solve_line =
+        R"({"op":"solve","graph":")" + name +
+        R"(","algorithm":"forest","k":3,"eps":0.2,"seed":7})";
+    const std::string warm_solve_line =
+        R"({"op":"solve","graph":")" + name +
+        R"(","algorithm":"forest","k":3,"eps":0.2,"seed":7,"warm":true})";
+
+    for (const char* kind : {"reweight1", "churn1pct", "nodeadd"}) {
+      double cold_seconds = 0.0;
+      for (const bool warm : {false, true}) {
+        PhaseRow row;
+        row.graph = name;
+        row.phase = std::string(kind) + (warm ? ":warm" : ":cold");
+        row.rounds = rounds;
+        // Seed the warm chain: an un-timed solve deposits the state the
+        // first timed round advances across its delta. (Usually a cache
+        // hit right after the cold leg — the deposit then already
+        // happened on that leg's final miss.)
+        if (!IsOk(handler.HandleLine(cold_solve_line))) {
+          std::fprintf(stderr, "bench_dynamic: seed solve failed\n");
+          return 1;
+        }
+        const auto before = handler.cache().stats();
+        LatencyHistogram latency;
+        Timer phase_timer;
+        for (int i = 0; i < rounds; ++i) {
+          Timer round_timer;
+          if (!IsOk(handler.HandleLine(mutate_for(kind)))) {
+            std::fprintf(stderr, "bench_dynamic: %s mutate failed\n", kind);
+            return 1;
+          }
+          const JsonValue solved =
+              handler.HandleLine(warm ? warm_solve_line : cold_solve_line);
+          if (!IsOk(solved)) {
+            std::fprintf(stderr, "bench_dynamic: %s solve failed: %s\n", kind,
+                         solved.Serialize().c_str());
+            return 1;
+          }
+          if (const JsonValue* w = solved.Find("warm_started");
+              w != nullptr && w->is_bool() && w->as_bool()) {
+            ++row.warm_started;
+          }
+          if (const JsonValue* f = solved.Find("cold_fallback");
+              f != nullptr && f->is_bool() && f->as_bool()) {
+            ++row.cold_fallbacks;
+          }
+          latency.Record(round_timer.Micros());
+        }
+        row.seconds = phase_timer.Seconds();
+        const auto after = handler.cache().stats();
+        row.rps = row.seconds > 0 ? rounds / row.seconds : 0.0;
+        row.cache_hits = static_cast<long long>(after.hits - before.hits);
+        row.cache_misses =
+            static_cast<long long>(after.misses - before.misses);
+        row.epoch = SessionEpoch(handler, name);
+        row.latency = latency.snapshot();
+        if (warm) {
+          row.warm_speedup =
+              row.seconds > 0 ? cold_seconds / row.seconds : 0.0;
+        } else {
+          cold_seconds = row.seconds;
+        }
+        char speedup[32];
+        if (warm) {
+          std::snprintf(speedup, sizeof(speedup), "%.2fx", row.warm_speedup);
+        } else {
+          std::snprintf(speedup, sizeof(speedup), "-");
+        }
+        std::printf("%-8s %-15s %7d %9.4f %10.1f %6lld %7lld %6lld %8lld "
+                    "%8lld %5lld %4lld %8s\n",
+                    row.graph.c_str(), row.phase.c_str(), row.rounds,
+                    row.seconds, row.rps, row.cache_hits, row.cache_misses,
+                    row.epoch,
+                    static_cast<long long>(row.latency.Percentile(0.50)),
+                    static_cast<long long>(row.latency.Percentile(0.99)),
+                    row.warm_started, row.cold_fallbacks, speedup);
+        rows.push_back(row);
+      }
+    }
   }
+
+  // The CI smoke gate: on the 1-edge-reweight kind, every graph's warm
+  // leg must beat its cold leg; "warm_speedup" reports the best one.
+  double best_reweight_speedup = 0.0;
+  bool any_reweight_warm = false;
+  bool all_reweight_faster = true;
+  for (const PhaseRow& r : rows) {
+    if (r.phase != "reweight1:warm") continue;
+    any_reweight_warm = true;
+    best_reweight_speedup = std::max(best_reweight_speedup, r.warm_speedup);
+    all_reweight_faster = all_reweight_faster && r.warm_speedup > 1.0;
+  }
+  const bool warm_beats_cold = any_reweight_warm && all_reweight_faster;
+  std::printf("# reweight1 warm_speedup=%.2fx warm_beats_cold=%s\n",
+              best_reweight_speedup, warm_beats_cold ? "true" : "false");
 
   if (json_path != nullptr) {
     std::FILE* out = std::fopen(json_path, "w");
@@ -175,13 +339,19 @@ int main(int argc, char** argv) {
                    "    {\"graph\":\"%s\",\"phase\":\"%s\",\"rounds\":%d,"
                    "\"seconds\":%.6f,\"rps\":%.1f,\"cache_hits\":%lld,"
                    "\"cache_misses\":%lld,\"epoch\":%lld,"
+                   "\"warm_started\":%lld,\"cold_fallbacks\":%lld,"
+                   "\"warm_speedup\":%.3f,"
                    "\"latency\":%s}%s\n",
                    r.graph.c_str(), r.phase.c_str(), r.rounds, r.seconds,
                    r.rps, r.cache_hits, r.cache_misses, r.epoch,
+                   r.warm_started, r.cold_fallbacks, r.warm_speedup,
                    LatencyJson(r.latency).c_str(),
                    i + 1 == rows.size() ? "" : ",");
     }
-    std::fprintf(out, "  ]\n}\n");
+    std::fprintf(out,
+                 "  ],\n  \"warm_speedup\": %.3f,\n"
+                 "  \"warm_beats_cold\": %s\n}\n",
+                 best_reweight_speedup, warm_beats_cold ? "true" : "false");
     std::fclose(out);
     std::printf("# wrote %zu dynamic perf rows to %s\n", rows.size(),
                 json_path);

@@ -62,6 +62,12 @@ StatusOr<CfcmResult> ForestCfcmExhaustive(const Graph& graph, int k,
 
 StatusOr<CfcmResult> ForestCfcmMaximize(const Graph& graph, int k,
                                         const CfcmOptions& options) {
+  return ForestCfcmMaximizeCaptured(graph, k, options, nullptr);
+}
+
+StatusOr<CfcmResult> ForestCfcmMaximizeCaptured(const Graph& graph, int k,
+                                                const CfcmOptions& options,
+                                                WarmCapture* capture) {
   CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
   Timer timer;
   ThreadPool& pool = ResolveSamplingPool(options);
@@ -78,7 +84,7 @@ StatusOr<CfcmResult> ForestCfcmMaximize(const Graph& graph, int k,
                   est.seed = seed;
                   return ForestDelta(graph, s_nodes, est, pool, scope);
                 },
-                /*allow_forest_reuse=*/true);
+                /*allow_forest_reuse=*/true, capture);
   if (result.ok()) result->seconds = timer.Seconds();
   return result;
 }

@@ -18,6 +18,15 @@ namespace cfcm {
 StatusOr<CfcmResult> ForestCfcmMaximize(const Graph& graph, int k,
                                         const CfcmOptions& options = {});
 
+struct WarmCapture;  // cfcm/lazy_greedy.h
+
+/// ForestCfcmMaximize that additionally fills `capture` (may be null)
+/// with the warm-start material of DESIGN.md §16 when the lazy
+/// selection path ran. Exhaustive selection leaves it untouched.
+StatusOr<CfcmResult> ForestCfcmMaximizeCaptured(const Graph& graph, int k,
+                                                const CfcmOptions& options,
+                                                WarmCapture* capture);
+
 }  // namespace cfcm
 
 #endif  // CFCM_CFCM_FOREST_CFCM_H_

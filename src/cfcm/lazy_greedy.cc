@@ -199,7 +199,8 @@ StatusOr<CfcmResult> LazyGreedySelect(const Graph& graph, int k,
                                       const CfcmOptions& options,
                                       ThreadPool& pool,
                                       const LazyDeltaFn& delta_fn,
-                                      bool allow_forest_reuse) {
+                                      bool allow_forest_reuse,
+                                      WarmCapture* capture) {
   CFCM_RETURN_IF_ERROR(ValidateCfcmArguments(graph, k));
   const NodeId n = graph.num_nodes();
   EstimatorOptions est = ToEstimatorOptions(options);
@@ -209,12 +210,17 @@ StatusOr<CfcmResult> LazyGreedySelect(const Graph& graph, int k,
   LazyHeap heap;
   heap.Reset(n);
 
+  // The final pick's winning gain, carried out of the round loop for the
+  // warm capture.
+  double last_pick_gain = 0.0;
+
   // Iteration 1: argmin of the pseudoinverse diagonal, identical to the
   // exhaustive path. The full score vector seeds the heap (satellite of
   // §13): -x_u orders candidates by first-round promise, and round 2
   // refreshes them all in one call, so no extra estimator pass runs.
   {
     const FirstPickResult first = EstimateFirstPick(graph, est, pool);
+    last_pick_gain = -first.scores[first.best];
     result.selected.push_back(first.best);
     in_s[first.best] = 1;
     result.forests_per_iteration.push_back(first.forests);
@@ -460,6 +466,7 @@ StatusOr<CfcmResult> LazyGreedySelect(const Graph& graph, int k,
       }
     }
     assert(best_id >= 0);
+    last_pick_gain = best_gain;
     result.selected.push_back(best_id);
     in_s[best_id] = 1;
     result.forests_per_iteration.push_back(round_fresh_forests);
@@ -501,6 +508,22 @@ StatusOr<CfcmResult> LazyGreedySelect(const Graph& graph, int k,
                 static_cast<std::size_t>(std::max(1, options.lazy_batch));
   }
 
+  if (capture != nullptr) {
+    capture->gains.assign(static_cast<std::size_t>(n), 0.0);
+    capture->keys.assign(static_cast<std::size_t>(n), 0.0);
+    for (const LazyHeapEntry& e : heap.entries()) {
+      capture->gains[static_cast<std::size_t>(e.id)] = e.gain;
+      capture->keys[static_cast<std::size_t>(e.id)] = e.key;
+    }
+    capture->last_gain = last_pick_gain;
+    capture->final_seed =
+        options.seed + static_cast<uint64_t>(k - 1) * 0x9e3779b9ULL;
+    capture->has_arena = k >= 2;
+    // When the final round was an accepted reuse pre-screen this arena
+    // still holds an older round's forests; consumers gate every replay
+    // on MatchesRound, so handing it over is safe either way.
+    if (k >= 2) capture->arena = std::move(arenas[(k - 1) & 1]);
+  }
   RecordSelectionCounters(result.rescored_candidates, result.heap_pops,
                           result.forests_reused);
   return result;

@@ -111,17 +111,35 @@ using LazyDeltaFn = std::function<DeltaEstimate(
     const std::vector<NodeId>& s_nodes, uint64_t seed,
     const DeltaScope& scope)>;
 
+/// \brief Raw material for an incremental WarmState (DESIGN.md §16),
+/// captured as the greedy loop exits: the final per-candidate heap keys
+/// and gains, the final round's stream seed, and — when the final
+/// refresh round filled one — that round's forest arena, moved out so
+/// the successor epoch can replay its clean forests.
+struct WarmCapture {
+  std::vector<double> gains;  ///< last-scored gain per node; 0 at selected
+  std::vector<double> keys;   ///< width-inflated heap keys; 0 at selected
+  double last_gain = 0.0;     ///< the final pick's winning gain estimate
+  uint64_t final_seed = 0;    ///< stream seed of greedy round k
+                              ///< (options.seed when k == 1)
+  ForestArena arena;          ///< final round's forests (k >= 2 only)
+  bool has_arena = false;
+};
+
 /// \brief Runs the full greedy selection (first pick + lazy rounds
 /// 2..k) and returns the same CfcmResult shape as the exhaustive loop.
 ///
 /// `allow_forest_reuse` enables the cross-round reuse pre-screen
 /// (ForestCFCM only: it replays plain S-rooted forests). Timing
-/// (result.seconds) is left at 0 for the caller to stamp.
+/// (result.seconds) is left at 0 for the caller to stamp. A non-null
+/// `capture` is filled on success (pure out-param; it never changes the
+/// selection).
 StatusOr<CfcmResult> LazyGreedySelect(const Graph& graph, int k,
                                       const CfcmOptions& options,
                                       ThreadPool& pool,
                                       const LazyDeltaFn& delta_fn,
-                                      bool allow_forest_reuse);
+                                      bool allow_forest_reuse,
+                                      WarmCapture* capture = nullptr);
 
 /// Records the engine.selection.{rescored_candidates,heap_pops,
 /// forests_reused} process counters; called by both selection modes so

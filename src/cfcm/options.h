@@ -98,6 +98,18 @@ struct CfcmOptions {
   /// clear (guards the importance-sampling support bias).
   double reuse_margin = 0.25;
 
+  // -- incremental warm start (DESIGN.md §16; src/cfcm/incremental.h).
+  /// Cold-fallback trigger: warm repair is refused when the accumulated
+  /// delta touched more than this fraction of the current edge set.
+  double warm_max_delta_fraction = 0.25;
+  /// Per-member swap-sweep gate: an earlier selection member is
+  /// re-contested (drop-one/add-best) only when the delta weight
+  /// incident to it exceeds this fraction of its weighted degree.
+  double warm_swap_impact = 0.05;
+  /// Candidate pool size for the warm repair phases; 0 = auto
+  /// (max(2 * lazy_batch, 16)).
+  int warm_contenders = 0;
+
   // -- exact linear algebra (DESIGN.md §14).
   /// Which kernel backs the exact Laplacian paths (EXACT/OPTIMUM
   /// selection, exact scoring, Schur assembly, augment). kAuto resolves
@@ -123,6 +135,13 @@ struct CfcmResult {
   std::int64_t rescored_candidates = 0;  ///< candidate gain evaluations
   std::int64_t heap_pops = 0;            ///< lazy-heap pops
   std::int64_t forests_reused = 0;       ///< arena replays (no walks)
+
+  // -- incremental warm-start diagnostics (DESIGN.md §16). All zero on
+  // cold solves.
+  std::int64_t forests_resampled = 0;  ///< dirty/extension forests drawn
+  std::int64_t swap_moves = 0;         ///< repair swaps applied
+  bool warm_started = false;           ///< solved via warm repair
+  bool cold_fallback = false;          ///< warm requested but refused
 
   /// Resolved Laplacian solver backend ("dense" / "sparse_ldlt" / "cg"),
   /// empty for solvers that never touch the exact kernels.

@@ -92,7 +92,7 @@ StatusOr<JobResult> Engine::Run(
 
   Timer timer;
   if (const auto* solve = std::get_if<SolveJob>(&job)) {
-    auto result = RunSolve(*solve, *snapshot, trace);
+    auto result = RunSolve(*solve, snapshot, trace);
     solve_us->Record(timer.Micros());
     return result;
   }
@@ -120,13 +120,16 @@ std::vector<StatusOr<JobResult>> Engine::RunBatch(
   return results;
 }
 
-StatusOr<JobResult> Engine::RunSolve(const SolveJob& job,
-                                     const GraphSnapshot& snapshot,
-                                     obs::TraceContext* trace) const {
-  if (!snapshot.is_connected()) {
+StatusOr<JobResult> Engine::RunSolve(
+    const SolveJob& job,
+    const std::shared_ptr<const GraphSnapshot>& snapshot,
+    obs::TraceContext* trace) const {
+  if (!snapshot->is_connected()) {
     return Status::FailedPrecondition(
         "session graph must be connected and non-empty");
   }
+  // Registry lookup even for the warm-routed forest path, so unknown
+  // algorithm names fail with the same NotFound either way.
   StatusOr<const Solver*> solver = SolverRegistry::Global().Find(job.algorithm);
   if (!solver.ok()) return solver.status();
 
@@ -141,8 +144,43 @@ StatusOr<JobResult> Engine::RunSolve(const SolveJob& job,
 
   std::size_t span = 0;
   if (trace != nullptr) span = trace->BeginSpan("solver");
-  StatusOr<SolveOutput> output =
-      (*solver)->Solve(snapshot.graph(), job.k, options);
+  StatusOr<SolveOutput> output = Status::FailedPrecondition("unset");
+  if (job.algorithm == "forest") {
+    // The forest solver runs through the incremental pipeline
+    // (DESIGN.md §16): it consumes the session's warm state for this
+    // exact snapshot (mode permitting) and deposits the successor
+    // state for the next solve/mutation, warm or cold.
+    std::shared_ptr<const cfcm::WarmState> warm;
+    if (job.warm != cfcm::WarmMode::kOff) {
+      warm = session_->WarmStateFor(snapshot.get());
+    }
+    std::shared_ptr<const cfcm::WarmState> deposit;
+    StatusOr<CfcmResult> solved = cfcm::ForestSolveWithWarm(
+        snapshot->graph(), job.k, options, job.warm, warm, &deposit);
+    if (solved.ok()) {
+      if (deposit != nullptr) {
+        session_->DepositWarmState(snapshot, std::move(deposit));
+      }
+      SolveOutput out;
+      out.selected = std::move(solved->selected);
+      out.seconds = solved->seconds;
+      out.total_forests = solved->total_forests;
+      out.total_walk_steps = solved->total_walk_steps;
+      out.jl_rows = solved->jl_rows;
+      out.rescored_candidates = solved->rescored_candidates;
+      out.heap_pops = solved->heap_pops;
+      out.forests_reused = solved->forests_reused;
+      out.forests_resampled = solved->forests_resampled;
+      out.swap_moves = solved->swap_moves;
+      out.warm_started = solved->warm_started;
+      out.cold_fallback = solved->cold_fallback;
+      output = std::move(out);
+    } else {
+      output = solved.status();
+    }
+  } else {
+    output = (*solver)->Solve(snapshot->graph(), job.k, options);
+  }
   if (trace != nullptr) {
     if (output.ok()) {
       trace->Annotate("forests", output->total_forests);
@@ -154,6 +192,11 @@ StatusOr<JobResult> Engine::RunSolve(const SolveJob& job,
       trace->Annotate("rescored_candidates", output->rescored_candidates);
       trace->Annotate("heap_pops", output->heap_pops);
       trace->Annotate("forests_reused", output->forests_reused);
+      // Incremental warm-start work (DESIGN.md §16).
+      trace->Annotate("warm_started", output->warm_started ? 1 : 0);
+      trace->Annotate("cold_fallback", output->cold_fallback ? 1 : 0);
+      trace->Annotate("forests_resampled", output->forests_resampled);
+      trace->Annotate("swap_moves", output->swap_moves);
       // Resolved exact kernel as its enum ordinal (annotations are
       // integers); absent when the solver never touched the exact paths.
       if (const auto backend = ParseSolverBackend(output->solver_backend)) {
@@ -173,7 +216,7 @@ StatusOr<JobResult> Engine::RunSolve(const SolveJob& job,
   // turns a finished solve into an evaluation error. An explicit
   // sparse_ldlt backend scores exactly at any size (no dense inverse).
   const NodeId remaining =
-      snapshot.num_nodes() -
+      snapshot->num_nodes() -
       static_cast<NodeId>(result.output.selected.size());
   const bool exact_score =
       remaining <= options_.exact_eval_max_n ||
@@ -182,7 +225,7 @@ StatusOr<JobResult> Engine::RunSolve(const SolveJob& job,
   std::size_t score_span = 0;
   if (trace != nullptr) score_span = trace->BeginSpan("score");
   StatusOr<EvaluateJobResult> eval = EvaluateGroup(
-      snapshot, result.output.selected, probes, job.seed, job.solver_backend);
+      *snapshot, result.output.selected, probes, job.seed, job.solver_backend);
   if (trace != nullptr) trace->EndSpan(score_span);
   if (!eval.ok()) return eval.status();
   result.cfcc = eval->cfcc;

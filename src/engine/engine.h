@@ -36,6 +36,13 @@ struct SolveJob {
   /// Kernel behind the exact Laplacian paths (DESIGN.md §14); sampled
   /// solvers ignore it apart from exact scoring.
   SolverBackend solver_backend = SolverBackend::kAuto;
+  /// Warm-start policy (DESIGN.md §16): kOff = plain cold solve (the
+  /// default keeps existing behavior byte-identical), kAuto = warm when
+  /// the session holds a usable state for the pinned snapshot, kOn =
+  /// warm or report cold_fallback. Only the "forest" algorithm with
+  /// lazy selection honors it; every lazy forest solve still deposits a
+  /// warm state for successors regardless of the mode.
+  cfcm::WarmMode warm = cfcm::WarmMode::kOff;
 };
 
 /// Evaluate C(S) for a caller-provided group.
@@ -217,9 +224,10 @@ class Engine {
   std::vector<StatusOr<JobResult>> RunBatch(const std::vector<Job>& jobs) const;
 
  private:
-  StatusOr<JobResult> RunSolve(const SolveJob& job,
-                               const GraphSnapshot& snapshot,
-                               obs::TraceContext* trace) const;
+  StatusOr<JobResult> RunSolve(
+      const SolveJob& job,
+      const std::shared_ptr<const GraphSnapshot>& snapshot,
+      obs::TraceContext* trace) const;
   StatusOr<JobResult> RunEvaluate(const EvaluateJob& job,
                                   const GraphSnapshot& snapshot,
                                   obs::TraceContext* trace) const;

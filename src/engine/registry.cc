@@ -46,6 +46,10 @@ class ForestSolver final : public Solver {
     out.rescored_candidates = result->rescored_candidates;
     out.heap_pops = result->heap_pops;
     out.forests_reused = result->forests_reused;
+    out.forests_resampled = result->forests_resampled;
+    out.swap_moves = result->swap_moves;
+    out.warm_started = result->warm_started;
+    out.cold_fallback = result->cold_fallback;
     return out;
   }
 };

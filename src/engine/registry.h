@@ -47,6 +47,13 @@ struct SolveOutput {
   std::int64_t heap_pops = 0;
   std::int64_t forests_reused = 0;
 
+  // Incremental warm-start diagnostics (DESIGN.md §16). Only the forest
+  // solver running through the warm pipeline ever sets them.
+  std::int64_t forests_resampled = 0;
+  std::int64_t swap_moves = 0;
+  bool warm_started = false;
+  bool cold_fallback = false;
+
   /// Resolved Laplacian kernel ("dense" / "sparse_ldlt" / "cg";
   /// DESIGN.md §14). Empty for solvers that never run exact algebra.
   std::string solver_backend;

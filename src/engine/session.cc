@@ -135,6 +135,14 @@ GraphSession::VersionedSnapshot GraphSession::versioned_snapshot() const {
   return {snapshot_, epoch_};
 }
 
+namespace {
+
+// Warm/staleness state kept per session is bounded: epoch records this
+// deep cover any realistic "max_epochs" staleness request.
+constexpr std::size_t kEpochHistoryCap = 64;
+
+}  // namespace
+
 StatusOr<GraphSession::VersionedSnapshot> GraphSession::Mutate(
     const GraphDelta& delta) {
   // Mutators serialize on mutate_mu_ so concurrent deltas compose
@@ -142,13 +150,86 @@ StatusOr<GraphSession::VersionedSnapshot> GraphSession::Mutate(
   // contend on mu_ for the pointer swap, never the CSR rebuild.
   std::lock_guard<std::mutex> mutate_lock(mutate_mu_);
   const std::shared_ptr<const GraphSnapshot> current = snapshot();
+
+  // Staleness bound of this transition (needs PRE-delta conductances;
+  // see EpochRecord). Only reweight-only deltas are boundable.
+  EpochRecord record;
+  record.boundable = delta.add_nodes() == 0 && delta.add_edges().empty() &&
+                     delta.remove_edges().empty();
+  if (record.boundable) {
+    for (const auto& e : delta.reweight_edges()) {
+      const double old_w = current->graph().EdgeWeight(e.u, e.v);
+      if (!(old_w > 0.0)) {
+        record.boundable = false;  // missing edge; Apply rejects below
+        break;
+      }
+      const double ratio = e.weight / old_w;
+      record.cfcc_lo = std::min(record.cfcc_lo, ratio);
+      record.cfcc_hi = std::max(record.cfcc_hi, ratio);
+    }
+  }
+
   StatusOr<Graph> next = current->graph().Apply(delta);
   if (!next.ok()) return next.status();
   auto fresh = std::make_shared<const GraphSnapshot>(std::move(*next));
+  record.parent_fingerprint = current->fingerprint();
+
+  // Advance the warm state across the delta (classification of the
+  // retained forests; serialized with other mutators by mutate_mu_).
+  std::shared_ptr<const cfcm::WarmState> advanced;
+  {
+    std::shared_ptr<const cfcm::WarmState> base;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (warm_.state != nullptr && warm_.target.lock() == current) {
+        base = warm_.state;
+      }
+    }
+    if (base != nullptr) {
+      advanced = cfcm::AdvanceWarmState(*base, current->graph(), delta);
+    }
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   snapshot_ = fresh;
   ++epoch_;
+  record.epoch = epoch_;
+  prev_warm_ = std::move(warm_);  // in-flight jobs pinned on `current`
+  warm_ = WarmSlot{fresh, std::move(advanced)};
+  history_.push_front(record);
+  if (history_.size() > kEpochHistoryCap) history_.pop_back();
   return VersionedSnapshot{std::move(fresh), epoch_};
+}
+
+void GraphSession::DepositWarmState(
+    const std::shared_ptr<const GraphSnapshot>& target,
+    std::shared_ptr<const cfcm::WarmState> state) {
+  if (state == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (target == snapshot_) {
+    warm_ = WarmSlot{target, std::move(state)};
+  } else if (prev_warm_.target.lock() == target) {
+    prev_warm_.state = std::move(state);
+  }
+  // Older targets: the delta summary can no longer be brought current —
+  // drop the deposit.
+}
+
+std::shared_ptr<const cfcm::WarmState> GraphSession::WarmStateFor(
+    const GraphSnapshot* snap) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (warm_.state != nullptr && warm_.target.lock().get() == snap) {
+    return warm_.state;
+  }
+  if (prev_warm_.state != nullptr && prev_warm_.target.lock().get() == snap) {
+    return prev_warm_.state;
+  }
+  return nullptr;
+}
+
+std::vector<GraphSession::EpochRecord> GraphSession::EpochHistory() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {history_.begin(), history_.end()};
 }
 
 ThreadPool& GraphSession::pool() const {

@@ -7,11 +7,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
+#include "cfcm/incremental.h"
 #include "common/thread_pool.h"
 #include "graph/delta.h"
 #include "graph/graph.h"
@@ -167,15 +169,61 @@ class GraphSession {
   /// the session was constructed with one). Survives mutations.
   ThreadPool& pool() const;
 
+  // ---- incremental warm state (DESIGN.md §16) ----
+
+  /// \brief Retains the warm state a solve produced against `target`.
+  ///
+  /// Kept only while `target` is the current snapshot or the one-deep
+  /// predecessor slot's target; a deposit against an older snapshot is
+  /// dropped (its delta summary can no longer be brought current).
+  void DepositWarmState(const std::shared_ptr<const GraphSnapshot>& target,
+                        std::shared_ptr<const cfcm::WarmState> state);
+
+  /// The warm state targeting exactly `snap` (the current snapshot or
+  /// the one-deep predecessor), or null. Jobs pass the snapshot they
+  /// pinned, so a solve admitted just before a Mutate still finds the
+  /// state that matches its graph.
+  std::shared_ptr<const cfcm::WarmState> WarmStateFor(
+      const GraphSnapshot* snap) const;
+
+  /// \brief One epoch transition's staleness-bound record.
+  ///
+  /// A reweight-only delta with per-edge conductance ratios
+  /// rho_e = w'_e / w_e satisfies a·L ⪯ L' ⪯ b·L with a = min(1, min
+  /// rho) and b = max(1, max rho) (Loewner order), hence
+  /// C'(S) ∈ [a·C(S), b·C(S)] for every group — the factors compose
+  /// multiplicatively across epochs. Structural deltas are not
+  /// boundable this way and carry boundable = false.
+  struct EpochRecord {
+    uint64_t epoch = 0;               ///< the epoch this record created
+    uint64_t parent_fingerprint = 0;  ///< fingerprint of epoch - 1
+    double cfcc_lo = 1.0;             ///< factor a (≤ 1)
+    double cfcc_hi = 1.0;             ///< factor b (≥ 1)
+    bool boundable = false;
+  };
+
+  /// Recent epoch transitions, newest first (bounded ring). The serve
+  /// layer's staleness cache mode walks this to find a ≤E-epoch-old
+  /// cached answer and attach the composed bound.
+  std::vector<EpochRecord> EpochHistory() const;
+
  private:
+  struct WarmSlot {
+    std::weak_ptr<const GraphSnapshot> target;
+    std::shared_ptr<const cfcm::WarmState> state;
+  };
+
   const int num_threads_;
   ThreadPool* const shared_pool_ = nullptr;  ///< borrowed; owns none
 
-  mutable std::mutex mu_;         ///< guards snapshot_/epoch_/pool_
+  mutable std::mutex mu_;         ///< guards snapshot_/epoch_/pool_/warm
   std::mutex mutate_mu_;          ///< serializes mutators (rebuild phase)
   std::shared_ptr<const GraphSnapshot> snapshot_;  ///< never null
   uint64_t epoch_ = 0;
   mutable std::unique_ptr<ThreadPool> pool_;
+  WarmSlot warm_;        ///< state for the current snapshot
+  WarmSlot prev_warm_;   ///< one-deep predecessor (in-flight warm jobs)
+  std::deque<EpochRecord> history_;  ///< newest first, capped
 };
 
 }  // namespace cfcm::engine

@@ -40,6 +40,9 @@ DeltaEstimate ForestDelta(const Graph& graph,
   if (scope.arena != nullptr) {
     scope.arena->BeginRound(n, s_nodes, options.seed, target);
     kernel.set_arena(scope.arena);
+    if (scope.replay_clean != nullptr) {
+      kernel.set_replay_plan(scope.replay_clean, scope.resample_seed);
+    }
   }
   McRunOptions run;
   run.num_nodes = n;
@@ -130,7 +133,7 @@ DeltaEstimate ForestDelta(const Graph& graph,
     // subset estimates bitwise exchangeable with full-batch ones
     // (DESIGN.md §13). The subset still skips the O(w) moment folds and
     // assembly for excluded nodes.
-    if (options.adaptive && subset == nullptr &&
+    if (options.adaptive && (subset == nullptr || scope.allow_adaptive_exit) &&
         assemble_and_check(total, /*fill_rel=*/false)) {
       result.converged = true;
       break;

@@ -50,6 +50,18 @@ struct DeltaScope {
   /// (DESIGN.md §13); rel[] reflects the actual sample size, so the
   /// reduced-budget widths stay honest. 1 everywhere fidelity matters.
   double forest_scale = 1.0;
+  /// Incremental replay plan (DESIGN.md §16): with `replay_clean` set,
+  /// committed arena forests are replayed only where the mask is
+  /// nonzero; dirty committed slots resample from Rng(resample_seed, f)
+  /// and overwrite their slot. Requires `arena`.
+  const std::vector<char>* replay_clean = nullptr;
+  uint64_t resample_seed = 0;
+  /// Lets a *subset-restricted* call keep the adaptive Bernstein exit
+  /// (convergence judged over the subset only). Off by default because
+  /// the lazy layer needs subset estimates bitwise exchangeable with
+  /// full-schedule ones; the warm repair path opts in — its fresh
+  /// subset scores are only compared against each other (DESIGN.md §16).
+  bool allow_adaptive_exit = false;
 };
 
 /// \brief Runs Algorithm 2: samples rooted forests with root set

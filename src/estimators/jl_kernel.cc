@@ -29,8 +29,15 @@ std::int64_t JlForestKernel::ProcessForest(std::size_t slot,
                                            std::uint64_t forest_index) {
   Scratch& ws = *scratch_[slot];
   std::int64_t walk_steps = 0;
-  if (arena_ != nullptr &&
-      forest_index < static_cast<std::uint64_t>(arena_->committed())) {
+  const bool stored =
+      arena_ != nullptr &&
+      forest_index < static_cast<std::uint64_t>(arena_->committed());
+  const bool replayable =
+      stored &&
+      (replay_clean_ == nullptr ||
+       (forest_index < replay_clean_->size() &&
+        (*replay_clean_)[forest_index] != 0));
+  if (replayable) {
     // Replay: same (seed, index) stream would resample the identical
     // forest, so the copied slabs feed the passes bit-for-bit — only
     // the loop-erased walks are skipped.
@@ -38,7 +45,11 @@ std::int64_t JlForestKernel::ProcessForest(std::size_t slot,
     ws.forest = &ws.replay;
     reused_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    Rng rng(seed_, forest_index);
+    // A stored-but-dirty slot resamples from the resample stream, never
+    // the base stream: (seed_, forest_index) already produced the
+    // rejected forest, so drawing from it again would not be an
+    // independent sample of the post-delta measure.
+    Rng rng(stored ? resample_seed_ : seed_, forest_index);
     ws.forest = &ws.sampler.Sample(scaffold_.is_root, &rng);
     walk_steps = ws.sampler.last_walk_steps();
     if (arena_ != nullptr &&

@@ -43,6 +43,19 @@ class JlForestKernel : public ForestKernel {
   /// and stores freshly sampled ones for later calls.
   void set_arena(ForestArena* arena) { arena_ = arena; }
 
+  /// Incremental replay plan (DESIGN.md §16). With `clean` set, a
+  /// committed forest index f is replayed only when f < clean->size()
+  /// and (*clean)[f] != 0; other committed indices are *resampled* on
+  /// the current graph from the independent stream Rng(resample_seed, f)
+  /// and their arena slots overwritten. Indices at or beyond the
+  /// committed count keep the kernel's base seed (those (seed, index)
+  /// pairs were never drawn). Null `clean` restores plain replay.
+  void set_replay_plan(const std::vector<char>* clean,
+                       uint64_t resample_seed) {
+    replay_clean_ = clean;
+    resample_seed_ = resample_seed;
+  }
+
   /// Forests replayed from the arena instead of sampled.
   int reused_forests() const {
     return reused_.load(std::memory_order_relaxed);
@@ -93,6 +106,8 @@ class JlForestKernel : public ForestKernel {
   const int jl_rows_;
   const std::vector<char>* subset_ = nullptr;
   ForestArena* arena_ = nullptr;
+  const std::vector<char>* replay_clean_ = nullptr;
+  uint64_t resample_seed_ = 0;
   std::atomic<int> reused_{0};
   std::vector<std::unique_ptr<Scratch>> scratch_;
   // Batch partials — exactly one copy regardless of thread count.

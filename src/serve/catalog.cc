@@ -224,7 +224,12 @@ StatusOr<SessionCatalog::MutateResult> SessionCatalog::Mutate(
       it->second.projected_bytes = projected;
     }
 
-    // The CSR rebuild runs outside the catalog lock.
+    // The CSR rebuild runs outside the catalog lock. Pin the snapshot
+    // being retired first: in-flight warm solves admitted against it
+    // resolve their warm state by snapshot identity, so it must stay
+    // alive one mutation deep (see MutateResult::predecessor).
+    const std::shared_ptr<const engine::GraphSnapshot> retired =
+        (*lease)->snapshot();
     StatusOr<engine::GraphSession::VersionedSnapshot> applied =
         (*lease)->Mutate(delta);
 
@@ -250,6 +255,7 @@ StatusOr<SessionCatalog::MutateResult> SessionCatalog::Mutate(
     }
     if (tracked) {
       it->second.mutated = true;
+      it->second.predecessor = retired;
       // Re-charge the byte budget with the post-mutation footprint so
       // the catalog and budget never see pre-mutation values; growth
       // may evict *other* sessions.
@@ -265,7 +271,7 @@ StatusOr<SessionCatalog::MutateResult> SessionCatalog::Mutate(
     // If the entry was Forgotten mid-mutation the delta still applied to
     // the leased session (the caller observes it); the catalog simply no
     // longer tracks that session.
-    return MutateResult{std::move(*lease), std::move(*applied)};
+    return MutateResult{std::move(*lease), std::move(*applied), retired};
   }
   return Status::FailedPrecondition(
       "graph '" + name +
@@ -294,6 +300,7 @@ void SessionCatalog::EvictOverBudgetLocked(const std::string& keep) {
     if (victim == entries_.end()) return;  // nothing evictable left
     resident_bytes_ -= victim->second.bytes;
     victim->second.session.reset();  // leases keep the graph alive
+    victim->second.predecessor.reset();
     victim->second.bytes = 0;
     evictions_ += 1;
     CatalogEvictions().Add(1);
@@ -322,6 +329,7 @@ Status SessionCatalog::Unload(const std::string& name) {
     it->second.session.reset();
     it->second.bytes = 0;
   }
+  it->second.predecessor.reset();
   // Unloading a mutated session explicitly discards its mutations; the
   // next Acquire reloads the pristine source spec.
   it->second.mutated = false;

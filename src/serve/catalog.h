@@ -94,6 +94,13 @@ class SessionCatalog {
   struct MutateResult {
     std::shared_ptr<engine::GraphSession> session;
     engine::GraphSession::VersionedSnapshot installed;
+    /// The snapshot this delta retired. The catalog also keeps it alive
+    /// one mutation deep (Entry::predecessor), so warm solves admitted
+    /// against the pre-mutation snapshot can still resolve their warm
+    /// state — WarmStateFor matches by snapshot identity through a
+    /// weak_ptr, which must not expire the instant the last in-flight
+    /// job finishes.
+    std::shared_ptr<const engine::GraphSnapshot> predecessor;
   };
 
   /// \brief Applies `delta` to the named session (loading it first if
@@ -149,6 +156,10 @@ class SessionCatalog {
   struct Entry {
     std::string source;
     std::shared_ptr<engine::GraphSession> session;  // null = not resident
+    // One-deep lease on the snapshot the latest Mutate retired; keeps
+    // the session's predecessor warm slot resolvable (its weak target
+    // stays lockable) until the next mutation or unload.
+    std::shared_ptr<const engine::GraphSnapshot> predecessor;
     std::size_t bytes = 0;
     uint64_t last_use = 0;    // catalog tick of the latest Acquire
     uint64_t loads = 0;

@@ -620,6 +620,44 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request,
   StatusOr<SolverBackend> backend = GetSolverBackend(request);
   if (!backend.ok()) return ErrorResponseFor(request, backend.status());
 
+  // Warm-start policy (DESIGN.md §16): "warm" is a bool (true = on,
+  // false = off) or one of "auto"/"on"/"off". Default off — warm
+  // results depend on the session's mutation history.
+  cfcm::WarmMode warm_mode = cfcm::WarmMode::kOff;
+  if (const JsonValue* field = request.Find("warm")) {
+    if (field->is_bool()) {
+      warm_mode = field->as_bool() ? cfcm::WarmMode::kOn : cfcm::WarmMode::kOff;
+    } else if (field->is_string()) {
+      const std::optional<cfcm::WarmMode> parsed =
+          cfcm::ParseWarmMode(field->as_string());
+      if (!parsed.has_value()) {
+        return ErrorResponseFor(
+            request, Status::InvalidArgument(
+                         "'warm' must be a boolean or \"auto\"/\"on\"/"
+                         "\"off\""));
+      }
+      warm_mode = *parsed;
+    } else {
+      return ErrorResponseFor(
+          request, Status::InvalidArgument(
+                       "'warm' must be a boolean or \"auto\"/\"on\"/\"off\""));
+    }
+  }
+  // Staleness-tolerant cache mode: {"staleness":{"max_epochs":E}} lets
+  // a miss answer from a ≤E-epoch-old cached entry, with the composed
+  // Loewner bound of the intervening (reweight-only) deltas attached.
+  int64_t max_stale_epochs = 0;
+  if (const JsonValue* field = request.Find("staleness")) {
+    if (!field->is_object()) {
+      return ErrorResponseFor(
+          request, Status::InvalidArgument(
+                       "'staleness' must be an object {\"max_epochs\":E}"));
+    }
+    StatusOr<int64_t> max_epochs = GetInt(*field, "max_epochs", 0, 0, 64);
+    if (!max_epochs.ok()) return ErrorResponseFor(request, max_epochs.status());
+    max_stale_epochs = *max_epochs;
+  }
+
   std::size_t span = 0;
   if (trace != nullptr) span = trace->BeginSpan("acquire");
   auto session = catalog_.Acquire(*name);
@@ -641,14 +679,57 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request,
                            static_cast<int>(*k), eps,
                            static_cast<uint64_t>(*seed), selection,
                            *backend};
-  bool cache_hit = true;
+  std::string cache_state = "hit";
   std::optional<engine::SolveJobResult> solve = cache_.Lookup(key);
   if (trace != nullptr) {
     trace->Annotate("hit", solve.has_value() ? 1 : 0);
     trace->EndSpan(span);
   }
+
+  // Stale-tolerant answer: on a miss, walk the session's epoch history
+  // for a ≤max_epochs-old cached entry reachable through boundable
+  // (reweight-only) transitions, composing the Loewner factors
+  // C' ∈ [a·C, b·C] along the way (DESIGN.md §16).
+  int64_t stale_depth = 0;
+  double stale_lo = 1.0;
+  double stale_hi = 1.0;
+  if (!solve.has_value() && max_stale_epochs > 0) {
+    const std::vector<engine::GraphSession::EpochRecord> history =
+        (*session)->EpochHistory();
+    double lo = 1.0;
+    double hi = 1.0;
+    uint64_t epoch_cursor = pinned.epoch;
+    for (int64_t depth = 1; depth <= max_stale_epochs && epoch_cursor > 0;
+         ++depth, --epoch_cursor) {
+      const engine::GraphSession::EpochRecord* rec = nullptr;
+      for (const auto& r : history) {
+        if (r.epoch == epoch_cursor) {
+          rec = &r;
+          break;
+        }
+      }
+      if (rec == nullptr || !rec->boundable) break;
+      lo *= rec->cfcc_lo;
+      hi *= rec->cfcc_hi;
+      ResultCacheKey ancestor_key{rec->parent_fingerprint, algorithm,
+                                  static_cast<int>(*k), eps,
+                                  static_cast<uint64_t>(*seed), selection,
+                                  *backend};
+      std::optional<engine::SolveJobResult> stale =
+          cache_.Lookup(ancestor_key);
+      if (stale.has_value()) {
+        solve = std::move(stale);
+        cache_state = "stale";
+        stale_depth = depth;
+        stale_lo = lo;
+        stale_hi = hi;
+        break;
+      }
+    }
+  }
+
   if (!solve.has_value()) {
-    cache_hit = false;
+    cache_state = "miss";
     engine::Engine engine{*session, options_.engine};
     engine::SolveJob job;
     job.algorithm = algorithm;
@@ -657,22 +738,28 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request,
     job.seed = static_cast<uint64_t>(*seed);
     job.selection = selection;
     job.solver_backend = *backend;
+    job.warm = warm_mode;
     StatusOr<engine::JobResult> result = engine.Run(job, snapshot, trace);
     if (!result.ok()) return ErrorResponseFor(request, result.status());
     solve = std::get<engine::SolveJobResult>(std::move(*result));
-    if (trace != nullptr) span = trace->BeginSpan("commit");
-    cache_.Insert(key, *solve);
-    if (trace != nullptr) trace->EndSpan(span);
+    // A warm result depends on the session's mutation history, not just
+    // the cache key — caching it would let it answer cold requests for
+    // the same (fingerprint, params). Only cold results are cacheable.
+    if (!solve->output.warm_started) {
+      if (trace != nullptr) span = trace->BeginSpan("commit");
+      cache_.Insert(key, *solve);
+      if (trace != nullptr) trace->EndSpan(span);
+    }
   }
 
-  return OkResponse({
+  JsonValue::Object response{
       {"op", "solve"},
       {"graph", *name},
       {"algorithm", algorithm},
       {"k", *k},
       {"eps", eps},
       {"seed", *seed},
-      {"cache", cache_hit ? "hit" : "miss"},
+      {"cache", cache_state},
       // "selection" (the chosen group) predates the mode field; the
       // strategy rides alongside as "selection_mode".
       {"selection", JsonValue(GroupToJson(solve->output.selected))},
@@ -685,10 +772,28 @@ JsonValue ServeHandler::HandleSolve(const JsonValue& request,
       {"walk_steps", solve->output.total_walk_steps},
       {"rescored_candidates", solve->output.rescored_candidates},
       {"forests_reused", solve->output.forests_reused},
+      // Incremental warm-start diagnostics (DESIGN.md §16).
+      {"warm", cfcm::WarmModeName(warm_mode)},
+      {"warm_started", solve->output.warm_started},
+      {"cold_fallback", solve->output.cold_fallback},
+      {"forests_resampled", solve->output.forests_resampled},
+      {"swap_moves", solve->output.swap_moves},
       // Solver cost of the result; on a hit this is the original solve's
       // time, not this request's latency.
       {"seconds", solve->output.seconds},
-  });
+  };
+  if (cache_state == "stale") {
+    // The answer describes an ancestor graph; the composed factors
+    // bound the current C(S) of ITS group: C' ∈ [lo·C, hi·C].
+    response["staleness"] = JsonValue(JsonValue::Object{
+        {"epochs", stale_depth},
+        {"cfcc_lo_factor", stale_lo},
+        {"cfcc_hi_factor", stale_hi},
+        {"cfcc_lo", stale_lo * solve->cfcc},
+        {"cfcc_hi", stale_hi * solve->cfcc},
+    });
+  }
+  return OkResponse(std::move(response));
 }
 
 JsonValue ServeHandler::HandleEvaluate(const JsonValue& request,
@@ -1015,6 +1120,26 @@ JsonValue ServeHandler::HandleStats() {
                 {"cg_iterations",
                  static_cast<int64_t>(CounterValue(
                      observed, "engine.linalg.cg_iterations"))},
+            })},
+           // The incremental warm-start counters (DESIGN.md §16), same
+           // coherent snapshot.
+           {"incremental",
+            JsonValue(JsonValue::Object{
+                {"forests_reused",
+                 static_cast<int64_t>(CounterValue(
+                     observed, "engine.incremental.forests_reused"))},
+                {"forests_resampled",
+                 static_cast<int64_t>(CounterValue(
+                     observed, "engine.incremental.forests_resampled"))},
+                {"warm_starts",
+                 static_cast<int64_t>(CounterValue(
+                     observed, "engine.incremental.warm_starts"))},
+                {"cold_fallbacks",
+                 static_cast<int64_t>(CounterValue(
+                     observed, "engine.incremental.cold_fallbacks"))},
+                {"swap_moves",
+                 static_cast<int64_t>(CounterValue(
+                     observed, "engine.incremental.swap_moves"))},
             })},
        })},
   };

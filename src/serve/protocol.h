@@ -4,7 +4,14 @@
 //   load     {"op":"load","graph":<name>,"source":<spec>}
 //   unload   {"op":"unload","graph":<name>}
 //   solve    {"op":"solve","graph":<name>,"algorithm":<reg name>,
-//             "k":<int>,"eps":<double>,"seed":<int>}
+//             "k":<int>,"eps":<double>,"seed":<int>} — optional
+//             "warm":true|false|"auto"|"on"|"off" runs the forest
+//             solver's incremental warm-start pipeline (DESIGN.md §16;
+//             warm results are never cached), and optional
+//             "staleness":{"max_epochs":E} lets a cache miss answer
+//             from a ≤E-epoch-old entry ("cache":"stale") with the
+//             composed reweight bound C' ∈ [lo·C, hi·C] attached
+//             under "staleness".
 //   evaluate {"op":"evaluate","graph":<name>,"group":[ids],
 //             "probes":<int>,"seed":<int>}
 //   mutate   {"op":"mutate","graph":<name>,"add_nodes":<int>,

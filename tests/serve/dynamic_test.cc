@@ -459,6 +459,198 @@ TEST(DynamicCatalogTest, BudgetProjectionSeesWeightDegradingDuplicateAdds) {
   EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
 }
 
+// ------------------- §16: warm solves and stale answers over the wire
+
+TEST(DynamicServeTest, WarmSolveAfterMutateReportsCountersAndSkipsCache) {
+  ServeHandler handler{{}};
+  auto call = [&](const std::string& line) { return handler.HandleLine(line); };
+  ASSERT_EQ(
+      Field(call(R"({"op":"load","graph":"g","source":"karate"})"), "status"),
+      "ok");
+
+  const JsonValue stats0 = call(R"({"op":"stats"})");
+  const int64_t warm_starts0 = stats0.Find("observed")
+                                   ->Find("engine")
+                                   ->Find("incremental")
+                                   ->Find("warm_starts")
+                                   ->as_int();
+
+  const std::string cold_line =
+      R"({"op":"solve","graph":"g","algorithm":"forest","k":3,"eps":0.2,"seed":7})";
+  const std::string warm_line =
+      R"({"op":"solve","graph":"g","algorithm":"forest","k":3,"eps":0.2,"seed":7,"warm":true})";
+  const JsonValue cold = call(cold_line);
+  ASSERT_EQ(Field(cold, "status"), "ok") << cold.Serialize();
+  EXPECT_EQ(Field(cold, "warm"), "off");
+  EXPECT_FALSE(cold.Find("warm_started")->as_bool());
+
+  ASSERT_EQ(
+      Field(call(R"({"op":"mutate","graph":"g","reweight":[[0,1,1.5]]})"),
+            "status"),
+      "ok");
+  const JsonValue warm = call(warm_line);
+  ASSERT_EQ(Field(warm, "status"), "ok") << warm.Serialize();
+  EXPECT_EQ(Field(warm, "cache"), "miss");
+  EXPECT_EQ(Field(warm, "warm"), "on");
+  EXPECT_TRUE(warm.Find("warm_started")->as_bool());
+  EXPECT_FALSE(warm.Find("cold_fallback")->as_bool());
+  ASSERT_NE(warm.Find("forests_resampled"), nullptr);
+  ASSERT_NE(warm.Find("swap_moves"), nullptr);
+
+  // Warm answers depend on the session's mutation history and must
+  // never enter the result cache: the identical request misses again
+  // (served by the identity fast path off the deposited state).
+  const JsonValue again = call(warm_line);
+  ASSERT_EQ(Field(again, "status"), "ok");
+  EXPECT_EQ(Field(again, "cache"), "miss");
+  EXPECT_TRUE(again.Find("warm_started")->as_bool());
+  EXPECT_EQ(again.Find("selection")->Serialize(),
+            warm.Find("selection")->Serialize());
+
+  // The process counters moved and surface through stats.
+  const JsonValue stats1 = call(R"({"op":"stats"})");
+  EXPECT_GE(stats1.Find("observed")
+                ->Find("engine")
+                ->Find("incremental")
+                ->Find("warm_starts")
+                ->as_int(),
+            warm_starts0 + 2);
+
+  // A string mode parses too; a bad one is a structured error.
+  ASSERT_EQ(
+      Field(call(R"({"op":"mutate","graph":"g","reweight":[[0,1,1.6]]})"),
+            "status"),
+      "ok");
+  const JsonValue auto_warm = call(
+      R"({"op":"solve","graph":"g","algorithm":"forest","k":3,"eps":0.2,"seed":7,"warm":"auto"})");
+  ASSERT_EQ(Field(auto_warm, "status"), "ok");
+  EXPECT_EQ(Field(auto_warm, "warm"), "auto");
+  EXPECT_TRUE(auto_warm.Find("warm_started")->as_bool());
+  const JsonValue bad = call(
+      R"({"op":"solve","graph":"g","algorithm":"forest","k":3,"warm":"sometimes"})");
+  EXPECT_EQ(Field(*bad.Find("error"), "code"), "invalid_argument");
+}
+
+TEST(DynamicServeTest, StalenessAnswersFromAncestorCacheEntryWithBound) {
+  ServeHandler handler{{}};
+  auto call = [&](const std::string& line) { return handler.HandleLine(line); };
+  ASSERT_EQ(
+      Field(call(R"({"op":"load","graph":"g","source":"karate"})"), "status"),
+      "ok");
+  const std::string solve_line =
+      R"({"op":"solve","graph":"g","algorithm":"forest","k":3,"eps":0.3,"seed":11})";
+  const JsonValue fresh = call(solve_line);
+  ASSERT_EQ(Field(fresh, "status"), "ok");
+  EXPECT_EQ(Field(fresh, "cache"), "miss");
+
+  // A reweight-only delta is Loewner-boundable: doubling one edge's
+  // conductance bounds the CFCC change by the weight ratios, so the
+  // epoch-0 cache entry can answer with C' in [1.0*C, 2.0*C].
+  ASSERT_EQ(
+      Field(call(R"({"op":"mutate","graph":"g","reweight":[[0,1,2.0]]})"),
+            "status"),
+      "ok");
+
+  // Without a staleness budget the request is a plain miss (re-solved).
+  const std::string stale_line =
+      R"({"op":"solve","graph":"g","algorithm":"forest","k":3,"eps":0.3,"seed":11,"staleness":{"max_epochs":2}})";
+  const JsonValue stale = call(stale_line);
+  ASSERT_EQ(Field(stale, "status"), "ok") << stale.Serialize();
+  EXPECT_EQ(Field(stale, "cache"), "stale");
+  EXPECT_EQ(stale.Find("cfcc")->as_double(), fresh.Find("cfcc")->as_double());
+  const JsonValue* bound = stale.Find("staleness");
+  ASSERT_NE(bound, nullptr);
+  EXPECT_EQ(bound->Find("epochs")->as_int(), 1);
+  const double lo = bound->Find("cfcc_lo_factor")->as_double();
+  const double hi = bound->Find("cfcc_hi_factor")->as_double();
+  EXPECT_DOUBLE_EQ(lo, 1.0);  // conductance only grew
+  EXPECT_DOUBLE_EQ(hi, 2.0);  // by at most the ratio 2.0
+  EXPECT_LE(bound->Find("cfcc_lo")->as_double(),
+            bound->Find("cfcc_hi")->as_double());
+
+  // An edge REMOVAL is not reweight-boundable; the ancestor entry must
+  // not be served across it.
+  ASSERT_EQ(Field(call(R"({"op":"mutate","graph":"g","remove":[[0,1]]})"),
+                  "status"),
+            "ok");
+  const JsonValue unbounded = call(stale_line);
+  ASSERT_EQ(Field(unbounded, "status"), "ok");
+  EXPECT_EQ(Field(unbounded, "cache"), "miss");
+
+  const JsonValue bad = call(
+      R"({"op":"solve","graph":"g","algorithm":"forest","k":3,"staleness":{"max_epochs":999}})");
+  EXPECT_EQ(Field(*bad.Find("error"), "code"), "invalid_argument");
+}
+
+TEST(DynamicCatalogTest, MutateLeasesPredecessorSnapshotOneDeep) {
+  SessionCatalog catalog;
+  ASSERT_TRUE(catalog.Define("g", "karate").ok());
+  auto lease = catalog.Acquire("g");
+  ASSERT_TRUE(lease.ok());
+  const auto epoch0 = (*lease)->snapshot();
+
+  GraphDelta d1;
+  d1.RemoveEdge(0, 1);
+  auto first = catalog.Mutate("g", d1);
+  ASSERT_TRUE(first.ok());
+  // The retired snapshot is handed back AND kept alive one epoch deep,
+  // so in-flight warm state targeting it stays lockable.
+  ASSERT_NE(first->predecessor, nullptr);
+  EXPECT_EQ(first->predecessor.get(), epoch0.get());
+  EXPECT_EQ(first->predecessor->num_edges(), 78);
+  EXPECT_EQ(first->installed.snapshot->num_edges(), 77);
+
+  GraphDelta d2;
+  d2.AddEdge(0, 1);
+  auto second = catalog.Mutate("g", d2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->predecessor.get(), first->installed.snapshot.get());
+}
+
+// Acceptance (§16): warm solves racing mutation churn never crash, tear
+// state, or produce an error — every response is a well-formed ok with
+// a coherent warm/cold marker. The predecessor lease keeps the retired
+// snapshot alive while a warm solve may still be resolving against it.
+// Runs under TSan in CI.
+TEST(DynamicServeTest, ConcurrentWarmSolvesDuringMutationChurn) {
+  ServeHandler handler{{}};
+  handler.HandleLine(R"({"op":"load","graph":"g","source":"karate"})");
+  const std::string warm_line =
+      R"({"op":"solve","graph":"g","algorithm":"forest","k":3,"eps":0.3,"seed":11,"warm":"auto"})";
+  handler.HandleLine(warm_line);  // seed the warm chain
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::atomic<int> warm_hits{0};
+  std::vector<std::thread> solvers;
+  for (int t = 0; t < 3; ++t) {
+    solvers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const JsonValue response = handler.HandleLine(warm_line);
+        const JsonValue* status = response.Find("status");
+        if (status == nullptr || !status->is_string() ||
+            status->as_string() != "ok") {
+          errors.fetch_add(1);
+          continue;
+        }
+        const JsonValue* started = response.Find("warm_started");
+        if (started != nullptr && started->is_bool() && started->as_bool()) {
+          warm_hits.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 12; ++i) {
+    const JsonValue grown = handler.HandleLine(
+        R"({"op":"mutate","graph":"g","reweight":[[0,1,)" +
+        std::to_string(1.0 + 0.01 * (i + 1)) + "]]}");
+    ASSERT_EQ(Field(grown, "status"), "ok");
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& thread : solvers) thread.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
 TEST(DynamicCatalogTest, MutateUnknownNameIsNotFound) {
   SessionCatalog catalog;
   GraphDelta delta;

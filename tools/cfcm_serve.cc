@@ -84,6 +84,8 @@ void PrintUsage(std::FILE* out) {
       "                      mutate/augment/stats/metrics/shutdown, with\n"
       "                      --graph --source --algo --k --eps --seed\n"
       "                      --selection lazy|exhaustive (solve)\n"
+      "                      --warm true|false|auto|on|off and\n"
+      "                      --max-stale-epochs E (solve; DESIGN.md §16)\n"
       "                      --probes --group u1,u2,...\n"
       "                      mutate: --add u,v[,w] --remove u,v\n"
       "                      --reweight u,v,w (each repeatable) and\n"
@@ -360,6 +362,23 @@ StatusOr<JsonValue> BuildRequest(const std::string& op,
                                        value + "'");
       }
       request["add_nodes"] = static_cast<int64_t>(number);
+    } else if (key == "warm") {
+      if (value == "true" || value == "false") {
+        request["warm"] = value == "true";
+      } else if (value == "auto" || value == "on" || value == "off") {
+        request["warm"] = value;
+      } else {
+        return Status::InvalidArgument(
+            "--warm expects true/false/auto/on/off, got '" + value + "'");
+      }
+    } else if (key == "max-stale-epochs") {
+      long long number = 0;
+      if (!ParseLong(value, &number) || number < 0) {
+        return Status::InvalidArgument("bad count for --max-stale-epochs: '" +
+                                       value + "'");
+      }
+      request["staleness"] = JsonValue(
+          JsonValue::Object{{"max_epochs", static_cast<int64_t>(number)}});
     } else if (key == "apply") {
       if (value != "true" && value != "false") {
         return Status::InvalidArgument("--apply expects true or false, got '" +
